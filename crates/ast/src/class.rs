@@ -1,0 +1,135 @@
+//! ODL-style class definitions (paper §2).
+//!
+//! ```text
+//! cd ::= class C₁ extends C₂ (extent e) { ad₁ … ad_k  md₁ … md_n }
+//! ad ::= attribute φ a;
+//! md ::= φ m (φ₀ x₀, …, φ_m x_m);
+//! ```
+//!
+//! Every class states its superclass explicitly (paper: "For simplicity we
+//! insist that all class definitions explicitly state a superclass"); the
+//! root of each hierarchy extends the distinguished class `Object`.
+//! An *object schema* is a collection of class definitions; well-formedness
+//! is checked in `ioql-schema`.
+
+use crate::ident::{AttrName, ClassName, ExtentName};
+use crate::method::MethodDef;
+use crate::types::Type;
+
+/// An attribute definition `attribute φ a;`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AttrDef {
+    /// The attribute's name.
+    pub name: AttrName,
+    /// The attribute's type; must be a data-model type φ (`int`, `bool`,
+    /// or a class), enforced by the schema checker (paper Note 1).
+    pub ty: Type,
+}
+
+impl AttrDef {
+    /// Builds an attribute definition.
+    pub fn new(name: impl Into<AttrName>, ty: Type) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A class definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassDef {
+    /// The class name `C₁`.
+    pub name: ClassName,
+    /// The superclass `C₂` (use [`ClassName::object`] for hierarchy roots).
+    pub parent: ClassName,
+    /// The extent name `e` — the set of all live objects of this class.
+    pub extent: ExtentName,
+    /// Declared attributes (inherited attributes are *not* repeated here;
+    /// `ioql-schema`'s `atypes` computes the full list).
+    pub attrs: Vec<AttrDef>,
+    /// Declared methods (may override inherited ones with an identical
+    /// signature; checked by the schema).
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Builds a class definition.
+    pub fn new(
+        name: impl Into<ClassName>,
+        parent: impl Into<ClassName>,
+        extent: impl Into<ExtentName>,
+        attrs: impl IntoIterator<Item = AttrDef>,
+        methods: impl IntoIterator<Item = MethodDef>,
+    ) -> Self {
+        ClassDef {
+            name: name.into(),
+            parent: parent.into(),
+            extent: extent.into(),
+            attrs: attrs.into_iter().collect(),
+            methods: methods.into_iter().collect(),
+        }
+    }
+
+    /// A class with attributes only — the common case in the paper's
+    /// examples (e.g. class `P` with a single `name` attribute).
+    pub fn plain(
+        name: impl Into<ClassName>,
+        parent: impl Into<ClassName>,
+        extent: impl Into<ExtentName>,
+        attrs: impl IntoIterator<Item = AttrDef>,
+    ) -> Self {
+        ClassDef::new(name, parent, extent, attrs, [])
+    }
+
+    /// Looks up a *declared* (not inherited) attribute.
+    pub fn attr(&self, name: &AttrName) -> Option<&AttrDef> {
+        self.attrs.iter().find(|a| &a.name == name)
+    }
+
+    /// Looks up a *declared* (not inherited) method.
+    pub fn method(&self, name: &crate::ident::MethodName) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| &m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::MethodName;
+
+    #[test]
+    fn employee_example_shape() {
+        // The paper's §2 example.
+        let cd = ClassDef::new(
+            "Employee",
+            "Person",
+            "Employees",
+            [
+                AttrDef::new("EmpID", Type::Int),
+                AttrDef::new("GrossSalary", Type::Int),
+                AttrDef::new("UniqueManager", Type::class("Manager")),
+            ],
+            [MethodDef::new(
+                "NetSalary",
+                [(crate::ident::VarName::new("TaxRate"), Type::Int)],
+                Type::Int,
+                vec![],
+            )],
+        );
+        assert_eq!(cd.attrs.len(), 3);
+        assert!(cd.attr(&AttrName::new("EmpID")).is_some());
+        assert!(cd.attr(&AttrName::new("Missing")).is_none());
+        assert!(cd.method(&MethodName::new("NetSalary")).is_some());
+    }
+
+    #[test]
+    fn plain_class() {
+        let cd = ClassDef::plain("P", ClassName::object(), "Ps", [AttrDef::new(
+            "name",
+            Type::Int,
+        )]);
+        assert!(cd.methods.is_empty());
+        assert!(cd.parent.is_object());
+    }
+}

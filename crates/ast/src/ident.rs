@@ -1,0 +1,169 @@
+//! Identifier newtypes.
+//!
+//! The paper assumes "a countable set of identifiers, and … a number of
+//! designated subsets: record labels `l`, object attributes `a`, definition
+//! identifiers `d`, and extent identifiers `e`, and by convention these are
+//! never mixed up". We enforce that convention in the type system of the
+//! *implementation*: each designated subset is its own newtype, so a
+//! `Label` can never be passed where an `AttrName` is expected.
+//!
+//! All newtypes wrap an [`Arc<str>`](std::sync::Arc) so clones performed
+//! during substitution and reduction are a reference-count bump, not a heap
+//! allocation (the reducer clones identifiers on every step).
+
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! ident_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Creates an identifier from anything string-like.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                $name(Arc::from(s.as_ref()))
+            }
+
+            /// The identifier's text.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), &self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl std::borrow::Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                self.as_str()
+            }
+        }
+    };
+}
+
+ident_newtype! {
+    /// The name of a class, e.g. `Employee`.
+    ClassName
+}
+
+ident_newtype! {
+    /// The name of a class extent, e.g. `Employees` — the set of all live
+    /// objects of a class (paper §2).
+    ExtentName
+}
+
+ident_newtype! {
+    /// The name of an object attribute, e.g. `GrossSalary`.
+    AttrName
+}
+
+ident_newtype! {
+    /// The name of a method, e.g. `NetSalary`.
+    MethodName
+}
+
+ident_newtype! {
+    /// A record label `l` (paper §3.1: record construction `⟨l₁: q₁, …⟩`).
+    Label
+}
+
+ident_newtype! {
+    /// A query-definition identifier `d` (paper §3.1: `define d(…) as q`).
+    DefName
+}
+
+ident_newtype! {
+    /// A variable — a comprehension-generator binder, definition parameter,
+    /// or method-language local.
+    VarName
+}
+
+impl ClassName {
+    /// The distinguished root class `Object`, superclass of all classes
+    /// (paper §2: "we also assume a class `Object`, which is the superclass
+    /// of all classes").
+    pub fn object() -> Self {
+        ClassName::new("Object")
+    }
+
+    /// Whether this is the root class `Object`.
+    pub fn is_object(&self) -> bool {
+        self.as_str() == "Object"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let c = ClassName::new("Employee");
+        assert_eq!(c.to_string(), "Employee");
+        assert_eq!(c.as_str(), "Employee");
+    }
+
+    #[test]
+    fn equality_is_textual() {
+        assert_eq!(VarName::new("x"), VarName::from("x"));
+        assert_ne!(VarName::new("x"), VarName::new("y"));
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        let mut v = [Label::new("b"), Label::new("a"), Label::new("c")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|l| l.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn object_class_is_recognised() {
+        assert!(ClassName::object().is_object());
+        assert!(!ClassName::new("Person").is_object());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shares() {
+        let a = AttrName::new("name");
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<AttrName, i32> = BTreeMap::new();
+        m.insert(AttrName::new("k"), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+}

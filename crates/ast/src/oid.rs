@@ -1,0 +1,52 @@
+//! Object identifiers.
+//!
+//! The paper treats oids as "a designated subset of the program
+//! identifiers"; operationally they are opaque tokens compared by identity
+//! (`==` in the query language) and generated fresh by the `(New)` rule.
+//! We represent them as `u64`s drawn from a monotone allocator (see
+//! `ioql_store::OidGen`). The *numeric value* of an oid is never
+//! observable in the language — the determinism theorems (4, 7, 8) are all
+//! stated *up to a bijection on oids*, implemented by
+//! `ioql_store::equiv`.
+
+use std::fmt;
+
+/// An object identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// Constructs an oid from its raw index. Intended for the allocator
+    /// and for tests; query evaluation never fabricates oids.
+    pub const fn from_raw(raw: u64) -> Self {
+        Oid(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let o = Oid::from_raw(42);
+        assert_eq!(o.raw(), 42);
+        assert_eq!(o.to_string(), "@42");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(Oid::from_raw(1) < Oid::from_raw(2));
+    }
+}

@@ -1,0 +1,354 @@
+//! Pretty-printing of queries, qualifiers, definitions, and programs.
+//!
+//! The output is the concrete syntax accepted by `ioql-syntax`, so
+//! `parse ∘ print` is the identity on parser-produced trees (checked by a
+//! round-trip property test in the parser crate). Runtime-only forms (oids,
+//! reduced set/record *values* inside [`Query::Lit`]) print in value
+//! notation and are not re-parseable — they never occur in source programs.
+//!
+//! Printing is precedence-aware: parentheses are inserted exactly where the
+//! grammar requires them.
+
+use crate::program::{Definition, Program};
+use crate::query::{IntOp, Qualifier, Query};
+use std::fmt;
+
+/// Precedence levels, loosest to tightest. Mirrors the parser in
+/// `ioql-syntax::parser`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// `if … then … else …`
+    If,
+    /// `union` / `intersect` / `except`
+    SetOp,
+    /// `<`, `<=`, `=`, `==` (non-associative)
+    Cmp,
+    /// `+`, `-`
+    Add,
+    /// `*`
+    Mul,
+    /// `(C) q`
+    Cast,
+    /// postfix `.l`, `.m(…)`; atoms
+    Postfix,
+}
+
+fn int_op_prec(op: IntOp) -> Prec {
+    match op {
+        IntOp::Add | IntOp::Sub => Prec::Add,
+        IntOp::Mul => Prec::Mul,
+        IntOp::Lt | IntOp::Le => Prec::Cmp,
+    }
+}
+
+impl Query {
+    fn prec(&self) -> Prec {
+        match self {
+            Query::If(_, _, _) => Prec::If,
+            Query::SetBin(_, _, _) => Prec::SetOp,
+            Query::IntEq(_, _) | Query::ObjEq(_, _) => Prec::Cmp,
+            Query::IntBin(op, _, _) => int_op_prec(*op),
+            Query::Cast(_, _) => Prec::Cast,
+            _ => Prec::Postfix,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: Prec) -> fmt::Result {
+        let me = self.prec();
+        let need_parens = me < min;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Query::Lit(v) => write!(f, "{v}")?,
+            Query::Var(x) => write!(f, "{x}")?,
+            Query::Extent(e) => write!(f, "{e}")?,
+            Query::SetLit(items) => {
+                write!(f, "{{")?;
+                for (i, q) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    q.fmt_prec(f, Prec::If)?;
+                }
+                write!(f, "}}")?;
+            }
+            Query::SetBin(op, a, b) => {
+                // Left-associative; right operand printed one level tighter.
+                a.fmt_prec(f, Prec::SetOp)?;
+                write!(f, " {op} ")?;
+                b.fmt_prec(f, Prec::Cmp)?;
+            }
+            Query::IntBin(op, a, b) => {
+                let p = int_op_prec(*op);
+                match p {
+                    Prec::Cmp => {
+                        // Comparisons are non-associative.
+                        a.fmt_prec(f, Prec::Add)?;
+                        write!(f, " {op} ")?;
+                        b.fmt_prec(f, Prec::Add)?;
+                    }
+                    Prec::Add => {
+                        a.fmt_prec(f, Prec::Add)?;
+                        write!(f, " {op} ")?;
+                        b.fmt_prec(f, Prec::Mul)?;
+                    }
+                    _ => {
+                        a.fmt_prec(f, Prec::Mul)?;
+                        write!(f, " {op} ")?;
+                        b.fmt_prec(f, Prec::Cast)?;
+                    }
+                }
+            }
+            Query::IntEq(a, b) => {
+                a.fmt_prec(f, Prec::Add)?;
+                write!(f, " = ")?;
+                b.fmt_prec(f, Prec::Add)?;
+            }
+            Query::ObjEq(a, b) => {
+                a.fmt_prec(f, Prec::Add)?;
+                write!(f, " == ")?;
+                b.fmt_prec(f, Prec::Add)?;
+            }
+            Query::Record(fields) => {
+                write!(f, "struct(")?;
+                for (i, (l, q)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}: ")?;
+                    q.fmt_prec(f, Prec::If)?;
+                }
+                write!(f, ")")?;
+            }
+            Query::Field(q, l) => {
+                q.fmt_prec(f, Prec::Postfix)?;
+                write!(f, ".{l}")?;
+            }
+            Query::Attr(q, a) => {
+                q.fmt_prec(f, Prec::Postfix)?;
+                write!(f, ".{a}")?;
+            }
+            Query::Call(d, args) => {
+                write!(f, "{d}(")?;
+                for (i, q) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    q.fmt_prec(f, Prec::If)?;
+                }
+                write!(f, ")")?;
+            }
+            Query::Size(q) => {
+                write!(f, "size(")?;
+                q.fmt_prec(f, Prec::If)?;
+                write!(f, ")")?;
+            }
+            Query::Sum(q) => {
+                write!(f, "sum(")?;
+                q.fmt_prec(f, Prec::If)?;
+                write!(f, ")")?;
+            }
+            Query::Cast(c, q) => {
+                write!(f, "({c}) ")?;
+                q.fmt_prec(f, Prec::Cast)?;
+            }
+            Query::Invoke(recv, m, args) => {
+                recv.fmt_prec(f, Prec::Postfix)?;
+                write!(f, ".{m}(")?;
+                for (i, q) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    q.fmt_prec(f, Prec::If)?;
+                }
+                write!(f, ")")?;
+            }
+            Query::New(c, attrs) => {
+                write!(f, "new {c}(")?;
+                for (i, (a, q)) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: ")?;
+                    q.fmt_prec(f, Prec::If)?;
+                }
+                write!(f, ")")?;
+            }
+            Query::If(c, t, e) => {
+                write!(f, "if ")?;
+                c.fmt_prec(f, Prec::SetOp)?;
+                write!(f, " then ")?;
+                t.fmt_prec(f, Prec::SetOp)?;
+                write!(f, " else ")?;
+                e.fmt_prec(f, Prec::If)?;
+            }
+            Query::Comp(head, quals) => {
+                write!(f, "{{ ")?;
+                head.fmt_prec(f, Prec::If)?;
+                write!(f, " |")?;
+                for (i, cq) in quals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " ")?;
+                    match cq {
+                        Qualifier::Pred(q) => q.fmt_prec(f, Prec::If)?,
+                        Qualifier::Gen(x, q) => {
+                            write!(f, "{x} <- ")?;
+                            q.fmt_prec(f, Prec::If)?;
+                        }
+                    }
+                }
+                write!(f, " }}")?;
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, Prec::If)
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Pred(q) => write!(f, "{q}"),
+            Qualifier::Gen(x, q) => write!(f, "{x} <- {q}"),
+        }
+    }
+}
+
+impl fmt::Display for Definition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "define {}(", self.name)?;
+        for (i, (x, t)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}: {t}")?;
+        }
+        write!(f, ") as {};", self.body)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.defs {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::VarName;
+    use crate::types::Type;
+
+    #[test]
+    fn arithmetic_precedence() {
+        // (1 + 2) * 3 needs parens; 1 + 2 * 3 does not.
+        let q = Query::IntBin(
+            IntOp::Mul,
+            Box::new(Query::int(1).add(Query::int(2))),
+            Box::new(Query::int(3)),
+        );
+        assert_eq!(q.to_string(), "(1 + 2) * 3");
+        let q2 = Query::int(1).add(Query::IntBin(
+            IntOp::Mul,
+            Box::new(Query::int(2)),
+            Box::new(Query::int(3)),
+        ));
+        assert_eq!(q2.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn set_ops_left_assoc() {
+        let q = Query::var("a").union(Query::var("b")).union(Query::var("c"));
+        assert_eq!(q.to_string(), "a union b union c");
+        let q2 = Query::var("a").union(Query::var("b").union(Query::var("c")));
+        assert_eq!(q2.to_string(), "a union (b union c)");
+    }
+
+    #[test]
+    fn comprehension_and_record() {
+        let q = Query::comp(
+            Query::record([("n", Query::var("x").attr("name"))]),
+            [
+                Qualifier::Gen(VarName::new("x"), Query::extent("Ps")),
+                Qualifier::Pred(Query::var("x").attr("age").int_eq(Query::int(3))),
+            ],
+        );
+        assert_eq!(
+            q.to_string(),
+            "{ struct(n: x.name) | x <- Ps, x.age = 3 }"
+        );
+    }
+
+    #[test]
+    fn if_then_else_and_cast() {
+        let q = Query::ite(
+            Query::bool(true),
+            Query::var("p").cast("Person"),
+            Query::var("q"),
+        );
+        assert_eq!(q.to_string(), "if true then (Person) p else q");
+    }
+
+    #[test]
+    fn new_and_invoke() {
+        let q = Query::new_obj("F", [("name", Query::int(1))]);
+        assert_eq!(q.to_string(), "new F(name: 1)");
+        let q2 = Query::var("e").invoke("NetSalary", [Query::int(40)]);
+        assert_eq!(q2.to_string(), "e.NetSalary(40)");
+    }
+
+    #[test]
+    fn definition_display() {
+        let d = Definition::new(
+            "inc",
+            [(VarName::new("x"), Type::Int)],
+            Query::var("x").add(Query::int(1)),
+        );
+        assert_eq!(d.to_string(), "define inc(x: int) as x + 1;");
+    }
+
+    #[test]
+    fn sum_prints_like_a_call() {
+        let q = Query::set_lit([Query::int(1)]).sum_of().add(Query::int(2));
+        assert_eq!(q.to_string(), "sum({1}) + 2");
+    }
+
+    #[test]
+    fn nested_comprehension_printing() {
+        let q = Query::comp(
+            Query::comp(
+                Query::var("y"),
+                [Qualifier::Gen(VarName::new("y"), Query::var("s"))],
+            ),
+            [Qualifier::Gen(VarName::new("x"), Query::var("t"))],
+        );
+        assert_eq!(q.to_string(), "{ { y | y <- s } | x <- t }");
+    }
+
+    #[test]
+    fn empty_qualifier_list_prints_reparseably() {
+        let q = Query::comp(Query::int(1), []);
+        assert_eq!(q.to_string(), "{ 1 | }");
+    }
+
+    #[test]
+    fn if_in_operand_parenthesised() {
+        let q = Query::ite(Query::bool(true), Query::int(1), Query::int(2))
+            .add(Query::int(3));
+        assert_eq!(q.to_string(), "(if true then 1 else 2) + 3");
+    }
+}

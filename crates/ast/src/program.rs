@@ -1,0 +1,115 @@
+//! IOQL programs: a sequence of (non-recursive) query definitions followed
+//! by a query (paper §3.1).
+
+use crate::ident::{DefName, VarName};
+use crate::query::Query;
+use crate::types::Type;
+
+/// A query definition `define d(x₀: σ₀, …, x_n: σ_n) as q` (paper §3.1).
+///
+/// Definitions are non-recursive: the body may only call *earlier*
+/// definitions (enforced by the program typing rule in `ioql-types`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Definition {
+    /// The definition identifier `d`.
+    pub name: DefName,
+    /// Typed parameters, in declaration order. Parameter types must be
+    /// given explicitly (the paper provides no type inference for
+    /// definitions).
+    pub params: Vec<(VarName, Type)>,
+    /// The body query.
+    pub body: Query,
+}
+
+impl Definition {
+    /// Builds a definition.
+    pub fn new(
+        name: impl Into<DefName>,
+        params: impl IntoIterator<Item = (VarName, Type)>,
+        body: Query,
+    ) -> Self {
+        Definition {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            body,
+        }
+    }
+
+    /// Whether the *body* contains `new` (one half of the paper's
+    /// "functional" predicate; the transitive half is in `ioql-types`).
+    pub fn contains_new(&self) -> bool {
+        self.body.contains_new()
+    }
+}
+
+/// An IOQL program: `def₀ … def_k q` (paper §3.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The definitions, in order (each may use earlier ones).
+    pub defs: Vec<Definition>,
+    /// The main query.
+    pub query: Query,
+}
+
+impl Program {
+    /// A program with no definitions.
+    pub fn query_only(query: Query) -> Self {
+        Program {
+            defs: Vec::new(),
+            query,
+        }
+    }
+
+    /// Builds a program.
+    pub fn new(defs: impl IntoIterator<Item = Definition>, query: Query) -> Self {
+        Program {
+            defs: defs.into_iter().collect(),
+            query,
+        }
+    }
+
+    /// Looks up a definition by name (last binding wins, though duplicate
+    /// names are rejected by the program checker).
+    pub fn def(&self, name: &DefName) -> Option<&Definition> {
+        self.defs.iter().rev().find(|d| &d.name == name)
+    }
+
+    /// Whether the program is *functional* in the paper's sense (§3.4): no
+    /// `new` anywhere in the main query or in any definition reachable
+    /// from it. Since definitions are non-recursive and we conservatively
+    /// include all of them, we simply check every body.
+    pub fn is_functional(&self) -> bool {
+        !self.query.contains_new() && !self.defs.iter().any(Definition::contains_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_detection() {
+        let p = Program::query_only(Query::int(1).add(Query::int(2)));
+        assert!(p.is_functional());
+
+        let p2 = Program::new(
+            [Definition::new(
+                "mk",
+                [],
+                Query::new_obj("C", Vec::<(&str, Query)>::new()),
+            )],
+            Query::call("mk", []),
+        );
+        assert!(!p2.is_functional());
+    }
+
+    #[test]
+    fn def_lookup() {
+        let d = Definition::new("inc", [(VarName::new("x"), Type::Int)], {
+            Query::var("x").add(Query::int(1))
+        });
+        let p = Program::new([d.clone()], Query::call("inc", [Query::int(1)]));
+        assert_eq!(p.def(&DefName::new("inc")), Some(&d));
+        assert_eq!(p.def(&DefName::new("missing")), None);
+    }
+}

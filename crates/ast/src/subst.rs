@@ -1,0 +1,222 @@
+//! Substitution `q[x := v]` of a *closed value* for a free identifier
+//! (paper §3.3: "We write q[x := v] for the substitution of value v for all
+//! free instances of identifier x in query q").
+//!
+//! Because only closed values are ever substituted (IOQL is call-by-value
+//! and generator elements are drawn from evaluated sets), substitution can
+//! never capture: values have no free variables. We must still respect
+//! *shadowing* — a generator that rebinds `x` stops the substitution for
+//! the comprehension head and later qualifiers.
+
+use crate::ident::VarName;
+use crate::query::{Qualifier, Query};
+use crate::value::Value;
+
+impl Query {
+    /// Returns `self[x := v]`.
+    pub fn subst(&self, x: &VarName, v: &Value) -> Query {
+        match self {
+            Query::Lit(_) | Query::Extent(_) => self.clone(),
+            Query::Var(y) => {
+                if y == x {
+                    Query::Lit(v.clone())
+                } else {
+                    self.clone()
+                }
+            }
+            Query::SetLit(items) => {
+                Query::SetLit(items.iter().map(|q| q.subst(x, v)).collect())
+            }
+            Query::SetBin(op, a, b) => Query::SetBin(
+                *op,
+                Box::new(a.subst(x, v)),
+                Box::new(b.subst(x, v)),
+            ),
+            Query::IntBin(op, a, b) => Query::IntBin(
+                *op,
+                Box::new(a.subst(x, v)),
+                Box::new(b.subst(x, v)),
+            ),
+            Query::IntEq(a, b) => {
+                Query::IntEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            }
+            Query::ObjEq(a, b) => {
+                Query::ObjEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            }
+            Query::Record(fields) => Query::Record(
+                fields
+                    .iter()
+                    .map(|(l, q)| (l.clone(), q.subst(x, v)))
+                    .collect(),
+            ),
+            Query::Field(q, l) => Query::Field(Box::new(q.subst(x, v)), l.clone()),
+            Query::Call(d, args) => Query::Call(
+                d.clone(),
+                args.iter().map(|q| q.subst(x, v)).collect(),
+            ),
+            Query::Size(q) => Query::Size(Box::new(q.subst(x, v))),
+            Query::Sum(q) => Query::Sum(Box::new(q.subst(x, v))),
+            Query::Cast(c, q) => Query::Cast(c.clone(), Box::new(q.subst(x, v))),
+            Query::Attr(q, a) => Query::Attr(Box::new(q.subst(x, v)), a.clone()),
+            Query::Invoke(recv, m, args) => Query::Invoke(
+                Box::new(recv.subst(x, v)),
+                m.clone(),
+                args.iter().map(|q| q.subst(x, v)).collect(),
+            ),
+            Query::New(c, attrs) => Query::New(
+                c.clone(),
+                attrs
+                    .iter()
+                    .map(|(a, q)| (a.clone(), q.subst(x, v)))
+                    .collect(),
+            ),
+            Query::If(c, t, e) => Query::If(
+                Box::new(c.subst(x, v)),
+                Box::new(t.subst(x, v)),
+                Box::new(e.subst(x, v)),
+            ),
+            Query::Comp(head, quals) => {
+                let mut new_quals = Vec::with_capacity(quals.len());
+                let mut shadowed = false;
+                for cq in quals {
+                    match cq {
+                        Qualifier::Pred(q) => {
+                            let q2 = if shadowed { q.clone() } else { q.subst(x, v) };
+                            new_quals.push(Qualifier::Pred(q2));
+                        }
+                        Qualifier::Gen(y, q) => {
+                            // The generator *source* is outside y's scope.
+                            let q2 = if shadowed { q.clone() } else { q.subst(x, v) };
+                            new_quals.push(Qualifier::Gen(y.clone(), q2));
+                            if y == x {
+                                shadowed = true;
+                            }
+                        }
+                    }
+                }
+                let new_head = if shadowed {
+                    (**head).clone()
+                } else {
+                    head.subst(x, v)
+                };
+                Query::Comp(Box::new(new_head), new_quals)
+            }
+        }
+    }
+
+    /// Simultaneous substitution of a list of (variable, value) pairs,
+    /// applied left-to-right. All values are closed, so sequential
+    /// application coincides with simultaneous substitution as long as the
+    /// variables are distinct — which the definition/method typing rules
+    /// guarantee.
+    pub fn subst_all<'a>(
+        &self,
+        pairs: impl IntoIterator<Item = (&'a VarName, &'a Value)>,
+    ) -> Query {
+        let mut q = self.clone();
+        for (x, v) in pairs {
+            q = q.subst(x, v);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn x() -> VarName {
+        VarName::new("x")
+    }
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let q = Query::var("x").add(Query::var("y"));
+        let r = q.subst(&x(), &Value::Int(5));
+        assert_eq!(r, Query::int(5).add(Query::var("y")));
+    }
+
+    #[test]
+    fn respects_shadowing_in_head() {
+        // {x | x <- x}[x := 3] = {x | x <- 3}: source substituted, head not.
+        let q = Query::comp(
+            Query::var("x"),
+            [Qualifier::Gen(x(), Query::var("x"))],
+        );
+        let r = q.subst(&x(), &Value::Int(3));
+        // Generator source substituted; head still the bound x.
+        assert_eq!(
+            r,
+            Query::comp(Query::var("x"), [Qualifier::Gen(x(), Query::int(3))])
+        );
+    }
+
+    #[test]
+    fn later_qualifiers_shadowed() {
+        // {1 | x <- s, x = 2}[x := 9]: the predicate's x is bound, so stays.
+        let q = Query::comp(
+            Query::int(1),
+            [
+                Qualifier::Gen(x(), Query::var("s")),
+                Qualifier::Pred(Query::var("x").int_eq(Query::int(2))),
+            ],
+        );
+        let r = q.subst(&x(), &Value::Int(9));
+        if let Query::Comp(_, quals) = r {
+            assert_eq!(
+                quals[1],
+                Qualifier::Pred(Query::var("x").int_eq(Query::int(2)))
+            );
+        } else {
+            panic!("expected comprehension");
+        }
+    }
+
+    #[test]
+    fn earlier_qualifiers_substituted() {
+        // {1 | x = 2, y <- s}[x := 9]: predicate comes before any binder of
+        // x, so it is substituted.
+        let q = Query::comp(
+            Query::int(1),
+            [
+                Qualifier::Pred(Query::var("x").int_eq(Query::int(2))),
+                Qualifier::Gen(VarName::new("y"), Query::var("s")),
+            ],
+        );
+        let r = q.subst(&x(), &Value::Int(9));
+        if let Query::Comp(_, quals) = r {
+            assert_eq!(
+                quals[0],
+                Qualifier::Pred(Query::int(9).int_eq(Query::int(2)))
+            );
+        } else {
+            panic!("expected comprehension");
+        }
+    }
+
+    #[test]
+    fn subst_all_distinct_vars() {
+        let q = Query::var("a").add(Query::var("b"));
+        let a = VarName::new("a");
+        let b = VarName::new("b");
+        let va = Value::Int(1);
+        let vb = Value::Int(2);
+        let r = q.subst_all([(&a, &va), (&b, &vb)]);
+        assert_eq!(r, Query::int(1).add(Query::int(2)));
+    }
+
+    #[test]
+    fn substitution_makes_closed() {
+        let q = Query::comp(
+            Query::var("x").add(Query::var("y")),
+            [Qualifier::Gen(x(), Query::var("s"))],
+        );
+        let s = VarName::new("s");
+        let y = VarName::new("y");
+        let vs = Value::set([Value::Int(1)]);
+        let vy = Value::Int(10);
+        let r = q.subst_all([(&s, &vs), (&y, &vy)]);
+        assert!(r.free_vars().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! B1 — "the effects system … is trivial to implement" and is "a static,
+//! compile-time analysis" (paper §7).
+//!
+//! Measures the cost of the three static stages — parsing, Figure 1 type
+//! checking, Figure 3 effect inference — as query size grows. The claim
+//! to reproduce: analysis is linear in query size and sits at
+//! micro-second scale, i.e. negligible next to evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql_effects::{infer_query, EffectEnv};
+use ioql_testkit::fixtures::jack_jill;
+use ioql_testkit::gen::{GenConfig, QueryGen};
+use ioql_types::{check_query, TypeEnv};
+
+/// A chain of `n` filtered comprehensions unioned together — a realistic
+/// "grows linearly" query family.
+fn query_of_size(n: usize) -> String {
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        parts.push(format!("{{ p.name + {i} | p <- Ps, p.name < {i} }}"));
+    }
+    parts.join(" union ")
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = EffectEnv::new(&fx.schema);
+
+    let mut group = c.benchmark_group("B1-static-analysis");
+    for n in [1usize, 4, 16, 64] {
+        let src = query_of_size(n);
+        let parsed = fx.query(&src);
+        let (elab, _) = check_query(&tenv, &parsed).unwrap();
+        group.bench_with_input(BenchmarkId::new("parse", n), &src, |b, src| {
+            b.iter(|| ioql_syntax::parse_query(std::hint::black_box(src)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("typecheck-fig1", n), &parsed, |b, q| {
+            b.iter(|| check_query(&tenv, std::hint::black_box(q)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("effects-fig3", n), &elab, |b, q| {
+            b.iter(|| infer_query(&eenv, std::hint::black_box(q)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Generated-query population: amortised analysis cost per AST node.
+    let mut group = c.benchmark_group("B1-generated-population");
+    group.sample_size(20);
+    group.bench_function("typecheck-200-generated", |b| {
+        let queries: Vec<_> = (0..200u64)
+            .map(|seed| {
+                let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+                let t = g.target_type();
+                g.query(&t)
+            })
+            .collect();
+        b.iter(|| {
+            for q in &queries {
+                let _ = check_query(&tenv, std::hint::black_box(q)).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

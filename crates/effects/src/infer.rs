@@ -1,0 +1,779 @@
+//! The effect typing judgement `E; D; Q ⊢ q : σ ! ε` (Figure 3), with the
+//! `⊢'` and `⊢''` refinements.
+//!
+//! Figure 3 restates every Figure 1 premise with effect accumulation, so
+//! this module is a full, standalone type-and-effect checker. A workspace
+//! property test cross-checks it against `ioql-types`: on every generated
+//! well-typed query the two systems derive identical types.
+//!
+//! The inference computes the *least* effect of a query; the paper's
+//! (Does) rule — weakening to any supereffect — corresponds to
+//! [`Effect::subeffect`] on the result.
+
+use crate::effect::Effect;
+use crate::env::EffectEnv;
+use ioql_ast::{
+    AttrName, ClassName, Definition, FnType, Label, Program, Qualifier, Query, Type, Value,
+};
+use ioql_schema::Schema;
+use ioql_store::Store;
+use ioql_types::{type_of_value, TypeError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An effect-system failure: either an underlying type error, or one of
+/// the `⊢'`/`⊢''` interference checks firing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EffectError {
+    /// The query is ill-typed (the effect system includes the type
+    /// system's premises).
+    Type(TypeError),
+    /// `⊢'` rejected a comprehension whose body effect interferes with
+    /// itself — the statically detected non-determinism of Theorem 7.
+    InterferingComprehension {
+        /// The body's inferred effect (contains the clashing R/A pair).
+        body_effect: Effect,
+    },
+    /// `⊢''` rejected a commutative set operator whose operands interfere
+    /// — commuting them could change the result (paper §4's `∩` example).
+    InterferingOperands {
+        /// Left operand's effect.
+        left: Effect,
+        /// Right operand's effect.
+        right: Effect,
+    },
+}
+
+impl fmt::Display for EffectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EffectError::Type(e) => write!(f, "{e}"),
+            EffectError::InterferingComprehension { body_effect } => write!(
+                f,
+                "comprehension body has interfering effect {{{body_effect}}}: evaluation \
+                 order is observable (potential non-determinism)"
+            ),
+            EffectError::InterferingOperands { left, right } => write!(
+                f,
+                "operand effects {{{left}}} and {{{right}}} interfere: operands may not be \
+                 commuted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EffectError {}
+
+impl From<TypeError> for EffectError {
+    fn from(e: TypeError) -> Self {
+        EffectError::Type(e)
+    }
+}
+
+/// Result of effect-checking a whole program.
+#[derive(Clone, Debug)]
+pub struct InferredProgram {
+    /// Each definition's annotated type `σ⃗ →ε σ'`.
+    pub def_sigs: BTreeMap<ioql_ast::DefName, (FnType, Effect)>,
+    /// The main query's type.
+    pub ty: Type,
+    /// The main query's effect.
+    pub effect: Effect,
+}
+
+/// Infers the type and (least) effect of a query: `E; D; Q ⊢ q : σ ! ε`.
+pub fn infer_query(env: &EffectEnv<'_>, q: &Query) -> Result<(Type, Effect), EffectError> {
+    infer(env, None, q)
+}
+
+/// As [`infer_query`] for runtime states (reduced values typed against a
+/// store) — the correspondence of Theorems 5/6.
+pub fn infer_runtime_query(
+    env: &EffectEnv<'_>,
+    store: &Store,
+    q: &Query,
+) -> Result<(Type, Effect), EffectError> {
+    infer(env, Some(store), q)
+}
+
+/// Infers a definition's annotated type `σ⃗ →ε σ'`.
+pub fn infer_definition(
+    env: &EffectEnv<'_>,
+    def: &Definition,
+) -> Result<(FnType, Effect), EffectError> {
+    let mut inner = env.clone();
+    let mut seen = BTreeSet::new();
+    for (x, t) in &def.params {
+        if !seen.insert(x.clone()) {
+            return Err(TypeError::DuplicateParam(x.clone()).into());
+        }
+        inner = inner.bind(x.clone(), t.clone());
+    }
+    let (result, eff) = infer(&inner, None, &def.body)?;
+    Ok((
+        FnType::new(
+            def.params.iter().map(|(_, t)| t.clone()).collect(),
+            result,
+        ),
+        eff,
+    ))
+}
+
+/// Infers a whole program, threading annotated definition types.
+pub fn infer_program(
+    env: &EffectEnv<'_>,
+    program: &Program,
+) -> Result<InferredProgram, EffectError> {
+    let mut cur = env.clone();
+    let mut def_sigs = BTreeMap::new();
+    for def in &program.defs {
+        if cur.defs.contains_key(&def.name) {
+            return Err(TypeError::DuplicateDef(def.name.clone()).into());
+        }
+        let (fnty, eff) = infer_definition(&cur, def)?;
+        cur.defs
+            .insert(def.name.clone(), (fnty.clone(), eff.clone()));
+        def_sigs.insert(def.name.clone(), (fnty, eff));
+    }
+    let (ty, effect) = infer(&cur, None, &program.query)?;
+    Ok(InferredProgram {
+        def_sigs,
+        ty,
+        effect,
+    })
+}
+
+fn as_set(t: &Type, context: &'static str) -> Result<Type, TypeError> {
+    match t {
+        Type::Set(inner) => Ok((**inner).clone()),
+        // ⊥ eliminates vacuously (see `ioql-types`).
+        Type::Bottom => Ok(Type::Bottom),
+        other => Err(TypeError::Mismatch {
+            expected: "a set type".into(),
+            got: other.clone(),
+            context,
+        }),
+    }
+}
+
+fn as_class(t: &Type, context: &'static str) -> Result<ClassName, TypeError> {
+    match t {
+        Type::Class(c) => Ok(c.clone()),
+        other => Err(TypeError::Mismatch {
+            expected: "an object (class) type".into(),
+            got: other.clone(),
+            context,
+        }),
+    }
+}
+
+fn require_subtype(
+    schema: &Schema,
+    got: &Type,
+    want: &Type,
+    context: &'static str,
+) -> Result<(), TypeError> {
+    if schema.subtype(got, want) {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            expected: format!("a subtype of `{want}`"),
+            got: got.clone(),
+            context,
+        })
+    }
+}
+
+/// The A-atoms generated by `new C(…)`: the object's own class, plus —
+/// under the ODMG `inherited_extents` option — every superclass whose
+/// extent also receives the object. Recording the closure at *inference*
+/// time keeps `nonint` a plain per-class disjointness test.
+fn new_effect(schema: &Schema, c: &ClassName) -> Effect {
+    let mut e = Effect::add(c.clone());
+    if schema.options().inherited_extents {
+        for sup in schema.proper_superclasses(c) {
+            if !sup.is_object() {
+                e.union_with(&Effect::add(sup));
+            }
+        }
+    }
+    e
+}
+
+fn infer(
+    env: &EffectEnv<'_>,
+    store: Option<&Store>,
+    q: &Query,
+) -> Result<(Type, Effect), EffectError> {
+    let schema = env.schema;
+    match q {
+        // Values have no effect (Lemma 2.1).
+        Query::Lit(v) => {
+            let t = match v {
+                Value::Int(_) => Type::Int,
+                Value::Bool(_) => Type::Bool,
+                other => match store {
+                    Some(st) => type_of_value(schema, st, other)?,
+                    None => {
+                        if let Some(o) = other.oids().first() {
+                            return Err(TypeError::OidNeedsStore(*o).into());
+                        }
+                        type_of_value(schema, &Store::new(), other)?
+                    }
+                },
+            };
+            Ok((t, Effect::empty()))
+        }
+
+        Query::Var(x) => match env.vars.get(x) {
+            Some(t) => Ok((t.clone(), Effect::empty())),
+            None => Err(TypeError::Unbound(x.clone()).into()),
+        },
+
+        // (Extent): e : set(C) ! R(C).
+        Query::Extent(e) => match schema.extent_class(e) {
+            Some(c) => Ok((
+                Type::set(Type::Class(c.clone())),
+                Effect::read(c.clone()),
+            )),
+            None => Err(TypeError::UnknownExtent(e.clone()).into()),
+        },
+
+        Query::SetLit(items) => {
+            let mut elem = Type::Bottom;
+            let mut eff = Effect::empty();
+            for item in items {
+                let (t, e) = infer(env, store, item)?;
+                elem = schema
+                    .lub(&elem, &t)
+                    .ok_or_else(|| TypeError::NoLub(elem.clone(), t.clone()))?;
+                eff.union_with(&e);
+            }
+            Ok((Type::set(elem), eff))
+        }
+
+        // (Sop) — with the ⊢'' commutation check on commutative operators.
+        Query::SetBin(op, a, b) => {
+            let (ta, ea) = infer(env, store, a)?;
+            let (tb, eb) = infer(env, store, b)?;
+            let elem_a = as_set(&ta, "set operator")?;
+            let elem_b = as_set(&tb, "set operator")?;
+            let elem = schema
+                .lub(&elem_a, &elem_b)
+                .ok_or(TypeError::NoLub(elem_a, elem_b))?;
+            if env.discipline.safe_commutation
+                && op.is_commutative()
+                && !ea.noninterfering_with(&eb, schema)
+            {
+                return Err(EffectError::InterferingOperands { left: ea, right: eb });
+            }
+            Ok((Type::set(elem), ea.union(&eb)))
+        }
+
+        Query::IntBin(op, a, b) => {
+            let (ta, ea) = infer(env, store, a)?;
+            let (tb, eb) = infer(env, store, b)?;
+            require_subtype(schema, &ta, &Type::Int, "integer operator")?;
+            require_subtype(schema, &tb, &Type::Int, "integer operator")?;
+            let t = if op.yields_bool() { Type::Bool } else { Type::Int };
+            Ok((t, ea.union(&eb)))
+        }
+
+        Query::IntEq(a, b) => {
+            let (ta, ea) = infer(env, store, a)?;
+            let (tb, eb) = infer(env, store, b)?;
+            require_subtype(schema, &ta, &Type::Int, "integer equality")?;
+            require_subtype(schema, &tb, &Type::Int, "integer equality")?;
+            Ok((Type::Bool, ea.union(&eb)))
+        }
+
+        Query::ObjEq(a, b) => {
+            let (ta, ea) = infer(env, store, a)?;
+            let (tb, eb) = infer(env, store, b)?;
+            for t in [&ta, &tb] {
+                if !matches!(t, Type::Class(_) | Type::Bottom) {
+                    return Err(TypeError::Mismatch {
+                        expected: "an object (class) type".into(),
+                        got: t.clone(),
+                        context: "object equality",
+                    }
+                    .into());
+                }
+            }
+            Ok((Type::Bool, ea.union(&eb)))
+        }
+
+        Query::Record(fields) => {
+            let mut seen = BTreeSet::new();
+            let mut tys = BTreeMap::new();
+            let mut eff = Effect::empty();
+            for (l, fq) in fields {
+                if !seen.insert(l.clone()) {
+                    return Err(TypeError::DuplicateLabel(l.clone()).into());
+                }
+                let (t, e) = infer(env, store, fq)?;
+                tys.insert(l.clone(), t);
+                eff.union_with(&e);
+            }
+            Ok((Type::Record(tys), eff))
+        }
+
+        // Projection: record field (no extra effect) or attribute read
+        // (adds Ra(C) — used only by the extended-mode analyses).
+        Query::Field(subject, l) => {
+            let (ts, es) = infer(env, store, subject)?;
+            project(schema, &ts, l, es)
+        }
+        Query::Attr(subject, a) => {
+            let (ts, es) = infer(env, store, subject)?;
+            project(schema, &ts, &Label::new(a.as_str()), es)
+        }
+
+        // (Defn): arguments' effects ∪ the definition's latent effect.
+        Query::Call(d, args) => {
+            let (fnty, latent) = env
+                .defs
+                .get(d)
+                .cloned()
+                .ok_or_else(|| TypeError::UnknownDef(d.clone()))?;
+            if fnty.params.len() != args.len() {
+                return Err(TypeError::Arity {
+                    expected: fnty.params.len(),
+                    got: args.len(),
+                    context: "definition call",
+                }
+                .into());
+            }
+            let mut eff = Effect::empty();
+            for (arg, want) in args.iter().zip(&fnty.params) {
+                let (t, e) = infer(env, store, arg)?;
+                require_subtype(schema, &t, want, "definition argument")?;
+                eff.union_with(&e);
+            }
+            Ok((fnty.result, eff.union(&latent)))
+        }
+
+        Query::Size(inner) => {
+            let (t, e) = infer(env, store, inner)?;
+            as_set(&t, "size")?;
+            Ok((Type::Int, e))
+        }
+
+        // (Sum) — extension; same effect shape as (Size).
+        Query::Sum(inner) => {
+            let (t, e) = infer(env, store, inner)?;
+            let elem = as_set(&t, "sum")?;
+            require_subtype(schema, &elem, &Type::Int, "sum")?;
+            Ok((Type::Int, e))
+        }
+
+        Query::Cast(c, inner) => {
+            if !schema.is_class(c) {
+                return Err(TypeError::UnknownClass(c.clone()).into());
+            }
+            let (t, e) = infer(env, store, inner)?;
+            if t == Type::Bottom {
+                return Ok((Type::Class(c.clone()), e));
+            }
+            let from = as_class(&t, "cast")?;
+            // Accept either direction here: the plain type system is the
+            // gatekeeper for downcasts; the effect system only accumulates.
+            if schema.extends(&from, c) || schema.extends(c, &from) {
+                Ok((Type::Class(c.clone()), e))
+            } else {
+                Err(TypeError::BadCast {
+                    to: c.clone(),
+                    from,
+                }
+                .into())
+            }
+        }
+
+        // (Method): receiver ∪ arguments ∪ ε'' (the method's latent
+        // effect — ∅ for the paper's read-only methods).
+        Query::Invoke(recv, m, args) => {
+            let (tr, er) = infer(env, store, recv)?;
+            if tr == Type::Bottom {
+                let mut eff = er;
+                for arg in args {
+                    let (_, e) = infer(env, store, arg)?;
+                    eff.union_with(&e);
+                }
+                return Ok((Type::Bottom, eff));
+            }
+            let c = as_class(&tr, "method receiver")?;
+            let fnty = schema
+                .mtype(&c, m)
+                .ok_or_else(|| TypeError::UnknownMethod(c.clone(), m.clone()))?;
+            if fnty.params.len() != args.len() {
+                return Err(TypeError::Arity {
+                    expected: fnty.params.len(),
+                    got: args.len(),
+                    context: "method call",
+                }
+                .into());
+            }
+            let mut eff = er;
+            for (arg, want) in args.iter().zip(&fnty.params) {
+                let (t, e) = infer(env, store, arg)?;
+                require_subtype(schema, &t, want, "method argument")?;
+                eff.union_with(&e);
+            }
+            let latent = env.methods.effect_of(schema, &c, m);
+            Ok((fnty.result, eff.union(&latent)))
+        }
+
+        // (New): attribute arguments ∪ A(C) (closed over superclasses when
+        // extents are inherited).
+        Query::New(c, attrs) => {
+            if c.is_object() || schema.class(c).is_none() {
+                return Err(TypeError::CannotInstantiate(c.clone()).into());
+            }
+            let declared: BTreeMap<AttrName, Type> = schema.atypes(c).into_iter().collect();
+            let mut supplied = BTreeSet::new();
+            let mut eff = Effect::empty();
+            for (a, aq) in attrs {
+                let want = declared
+                    .get(a)
+                    .ok_or_else(|| TypeError::UnexpectedAttr(c.clone(), a.clone()))?;
+                if !supplied.insert(a.clone()) {
+                    return Err(TypeError::UnexpectedAttr(c.clone(), a.clone()).into());
+                }
+                let (t, e) = infer(env, store, aq)?;
+                require_subtype(schema, &t, want, "new attribute")?;
+                eff.union_with(&e);
+            }
+            for a in declared.keys() {
+                if !supplied.contains(a) {
+                    return Err(TypeError::MissingAttr(c.clone(), a.clone()).into());
+                }
+            }
+            Ok((Type::Class(c.clone()), eff.union(&new_effect(schema, c))))
+        }
+
+        Query::If(cond, then, els) => {
+            let (tc, ec) = infer(env, store, cond)?;
+            require_subtype(schema, &tc, &Type::Bool, "if condition")?;
+            let (tt, et) = infer(env, store, then)?;
+            let (te, ee) = infer(env, store, els)?;
+            let t = schema.lub(&tt, &te).ok_or(TypeError::NoLub(tt, te))?;
+            Ok((t, ec.union(&et).union(&ee)))
+        }
+
+        // (Comp1)/(Comp2)/(Comp3), recursive on the qualifier list so the
+        // ⊢' premise "nonint(ε₁)" sees exactly the *body* effect — the
+        // effect of `{q₁ | cq⃗}` under the generator's binder.
+        Query::Comp(head, quals) => infer_comp(env, store, head, quals),
+    }
+}
+
+fn infer_comp(
+    env: &EffectEnv<'_>,
+    store: Option<&Store>,
+    head: &Query,
+    quals: &[Qualifier],
+) -> Result<(Type, Effect), EffectError> {
+    match quals.split_first() {
+        // (Comp1): { q | } : set(τ) ! ε.
+        None => {
+            let (t, e) = infer(env, store, head)?;
+            Ok((Type::set(t), e))
+        }
+        // Predicate qualifier: effect of the predicate joins the rest.
+        Some((Qualifier::Pred(p), rest)) => {
+            let (tp, ep) = infer(env, store, p)?;
+            require_subtype(env.schema, &tp, &Type::Bool, "comprehension predicate")?;
+            let (t, e) = infer_comp(env, store, head, rest)?;
+            Ok((t, ep.union(&e)))
+        }
+        // (Comp2): generator. Under ⊢', the body effect ε₁ must be
+        // non-interfering — the body runs once per element in an
+        // unspecified order.
+        Some((Qualifier::Gen(x, src), rest)) => {
+            let (ts, es) = infer(env, store, src)?;
+            let elem = as_set(&ts, "comprehension generator")?;
+            let inner = env.bind(x.clone(), elem);
+            let (t, body_eff) = infer_comp(&inner, store, head, rest)?;
+            if env.discipline.deterministic_comprehensions && !body_eff.nonint_extended() {
+                return Err(EffectError::InterferingComprehension {
+                    body_effect: body_eff,
+                });
+            }
+            Ok((t, body_eff.union(&es)))
+        }
+    }
+}
+
+/// Projection typing shared by `Field`/`Attr` nodes; object projections
+/// add the `Ra(C)` atom.
+fn project(
+    schema: &Schema,
+    subject_ty: &Type,
+    label: &Label,
+    subject_eff: Effect,
+) -> Result<(Type, Effect), EffectError> {
+    if *subject_ty == Type::Bottom {
+        return Ok((Type::Bottom, subject_eff));
+    }
+    match subject_ty {
+        Type::Record(fields) => match fields.get(label) {
+            Some(t) => Ok((t.clone(), subject_eff)),
+            None => Err(TypeError::UnknownField(subject_ty.clone(), label.clone()).into()),
+        },
+        Type::Class(c) => {
+            let a = AttrName::new(label.as_str());
+            match schema.atype(c, &a) {
+                Some(t) => Ok((
+                    t.clone(),
+                    subject_eff.union(&Effect::attr_read(c.clone())),
+                )),
+                None => Err(TypeError::UnknownAttr(c.clone(), a).into()),
+            }
+        }
+        other => Err(TypeError::BadProjection(other.clone()).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Discipline;
+    use ioql_ast::{AttrDef, ClassDef, VarName};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::plain(
+                "P",
+                ClassName::object(),
+                "Ps",
+                [AttrDef::new("name", Type::Int)],
+            ),
+            ClassDef::plain(
+                "F",
+                ClassName::object(),
+                "Fs",
+                [AttrDef::new("name", Type::Int), AttrDef::new("boss", Type::Int)],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn env(s: &Schema) -> EffectEnv<'_> {
+        EffectEnv::new(s)
+    }
+
+    #[test]
+    fn values_have_no_effect() {
+        let s = schema();
+        let e = env(&s);
+        let (_, eff) = infer_query(&e, &Query::int(3)).unwrap();
+        assert!(eff.is_empty());
+        let (_, eff) = infer_query(
+            &e,
+            &Query::set_lit([Query::int(1), Query::int(2)]),
+        )
+        .unwrap();
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn extent_rule_reads() {
+        let s = schema();
+        let (_, eff) = infer_query(&env(&s), &Query::extent("Ps")).unwrap();
+        assert_eq!(eff, Effect::read("P"));
+    }
+
+    #[test]
+    fn new_rule_adds() {
+        let s = schema();
+        let q = Query::new_obj("P", [("name", Query::int(1))]);
+        let (t, eff) = infer_query(&env(&s), &q).unwrap();
+        assert_eq!(t, Type::class("P"));
+        assert_eq!(eff, Effect::add("P"));
+    }
+
+    #[test]
+    fn attr_access_records_attr_read() {
+        let s = schema();
+        let q = Query::comp(
+            Query::var("x").attr("name"),
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
+        );
+        let (_, eff) = infer_query(&env(&s), &q).unwrap();
+        assert!(eff.reads.contains(&ClassName::new("P")));
+        assert!(eff.attr_reads.contains(&ClassName::new("P")));
+        assert!(eff.adds.is_empty());
+    }
+
+    #[test]
+    fn paper_jack_jill_query_effect() {
+        // { (new F(name: x.name, boss: 0)).name | x <- Ps, pred-over-Fs }
+        // reads Ps and Fs and adds to Fs: interference on F.
+        let s = schema();
+        let body_pred = Query::extent("Fs").size_of().int_eq(Query::int(0));
+        let q = Query::comp(
+            Query::new_obj(
+                "F",
+                [("name", Query::var("x").attr("name")), ("boss", Query::int(0))],
+            )
+            .attr("name"),
+            [
+                Qualifier::Gen(VarName::new("x"), Query::extent("Ps")),
+                Qualifier::Pred(body_pred),
+            ],
+        );
+        let (_, eff) = infer_query(&env(&s), &q).unwrap();
+        assert!(eff.reads.contains(&ClassName::new("F")));
+        assert!(eff.adds.contains(&ClassName::new("F")));
+        assert!(!eff.nonint());
+
+        // ⊢' rejects it.
+        let det = env(&s).with_discipline(Discipline::deterministic());
+        assert!(matches!(
+            infer_query(&det, &q),
+            Err(EffectError::InterferingComprehension { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_discipline_accepts_functional_bodies() {
+        let s = schema();
+        let det = env(&s).with_discipline(Discipline::deterministic());
+        let q = Query::comp(
+            Query::var("x").attr("name"),
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
+        );
+        assert!(infer_query(&det, &q).is_ok());
+    }
+
+    #[test]
+    fn generator_source_effect_not_part_of_body_check() {
+        // { 1 | x <- Fs-reading-source } with a body that *adds* to F:
+        // the source is evaluated once, so R(F) from the source must not
+        // clash with the body's A(F) under ⊢'. (The body alone is the
+        // check.)
+        let s = schema();
+        let det = env(&s).with_discipline(Discipline::deterministic());
+        let q = Query::comp(
+            Query::new_obj("F", [("name", Query::int(1)), ("boss", Query::int(2))])
+                .attr("name"),
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Fs"))],
+        );
+        // Body effect: A(F), Ra(F) — no R(F), so nonint holds.
+        assert!(infer_query(&det, &q).is_ok());
+        // The overall effect still contains both R(F) and A(F).
+        let (_, eff) = infer_query(&env(&s), &q).unwrap();
+        assert!(!eff.nonint());
+    }
+
+    #[test]
+    fn safe_commutation_check() {
+        let s = schema();
+        let sc = env(&s).with_discipline(Discipline::safe_commute());
+        // Reading Ps on both sides: fine.
+        let ok = Query::extent("Ps").union(Query::extent("Ps"));
+        assert!(infer_query(&sc, &ok).is_ok());
+        // One side reads Fs, the other creates an F: interferes.
+        let reader = Query::extent("Fs");
+        let adder = Query::set_lit([Query::new_obj(
+            "F",
+            [("name", Query::int(1)), ("boss", Query::int(2))],
+        )]);
+        let bad = reader.union(adder);
+        assert!(matches!(
+            infer_query(&sc, &bad),
+            Err(EffectError::InterferingOperands { .. })
+        ));
+        // Permissive mode accepts it (and reports the union effect).
+        let (_, eff) = infer_query(&env(&s), &bad).unwrap();
+        assert!(eff.reads.contains(&ClassName::new("F")));
+        assert!(eff.adds.contains(&ClassName::new("F")));
+    }
+
+    #[test]
+    fn definition_latent_effect() {
+        let s = schema();
+        let def = Definition::new("allPs", [], Query::extent("Ps"));
+        let mut e = env(&s);
+        let (fnty, latent) = infer_definition(&e, &def).unwrap();
+        assert_eq!(latent, Effect::read("P"));
+        e.defs
+            .insert(def.name.clone(), (fnty, latent.clone()));
+        // Calling the definition surfaces its latent effect.
+        let (_, eff) = infer_query(&e, &Query::call("allPs", [])).unwrap();
+        assert_eq!(eff, Effect::read("P"));
+    }
+
+    #[test]
+    fn program_inference() {
+        let s = schema();
+        let p = Program::new(
+            [Definition::new("allPs", [], Query::extent("Ps"))],
+            Query::call("allPs", []).size_of(),
+        );
+        let out = infer_program(&env(&s), &p).unwrap();
+        assert_eq!(out.ty, Type::Int);
+        assert_eq!(out.effect, Effect::read("P"));
+    }
+
+    #[test]
+    fn inherited_extents_close_the_add_effect() {
+        let defs = vec![
+            ClassDef::plain("Person", ClassName::object(), "Persons", []),
+            ClassDef::plain("Emp", "Person", "Emps", []),
+        ];
+        let s = ioql_schema::Schema::with_options(
+            defs,
+            ioql_schema::SchemaOptions {
+                inherited_extents: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = Query::new_obj("Emp", Vec::<(&str, Query)>::new());
+        let (_, eff) = infer_query(&env(&s), &q).unwrap();
+        assert!(eff.adds.contains(&ClassName::new("Emp")));
+        assert!(eff.adds.contains(&ClassName::new("Person")));
+    }
+
+    #[test]
+    fn strict_discipline_composes_both_checks() {
+        let s = schema();
+        let strict = env(&s).with_discipline(Discipline::strict());
+        // Fails the ⊢' half.
+        let comp = Query::comp(
+            Query::new_obj("F", [("name", Query::extent("Fs").size_of()), ("boss", Query::int(0))])
+                .attr("name"),
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
+        );
+        assert!(matches!(
+            infer_query(&strict, &comp),
+            Err(EffectError::InterferingComprehension { .. })
+        ));
+        // Fails the ⊢'' half.
+        let bad_union = Query::extent("Fs").union(Query::set_lit([Query::new_obj(
+            "F",
+            [("name", Query::int(1)), ("boss", Query::int(2))],
+        )]));
+        assert!(matches!(
+            infer_query(&strict, &bad_union),
+            Err(EffectError::InterferingOperands { .. })
+        ));
+        // Clean queries pass both.
+        let ok = Query::extent("Ps").union(Query::extent("Fs"));
+        assert!(infer_query(&strict, &ok).is_ok());
+    }
+
+    #[test]
+    fn if_unions_all_branches() {
+        let s = schema();
+        let q = Query::ite(
+            Query::extent("Ps").size_of().int_eq(Query::int(0)),
+            Query::extent("Fs"),
+            Query::set_lit([]),
+        );
+        let (_, eff) = infer_query(&env(&s), &q).unwrap();
+        assert!(eff.reads.contains(&ClassName::new("P")));
+        assert!(eff.reads.contains(&ClassName::new("F")));
+    }
+}

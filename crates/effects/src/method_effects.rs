@@ -1,0 +1,108 @@
+//! Latent method effects — the `ε''` of the (Method) effect rule.
+//!
+//! "In the (Method) rule we assume that methods have also been typed using
+//! an effects system, and that the method's effect ε'' is included in the
+//! overall effect of the method. Of course, we have assumed that methods
+//! … can not side-effect the database, so the value of ε'' will always be
+//! ∅. (If we allow more sophisticated methods, then this may not
+//! necessarily be true, see §5.)" — paper §4.
+//!
+//! The query-level effect system therefore consumes method effects as a
+//! *table*: read-only mode supplies the empty table (every lookup is ∅);
+//! §5 extended mode supplies the table computed by `ioql-methods`'s
+//! method-body effect analysis. Keeping the table abstract here avoids a
+//! dependency cycle between the query analysis and the method language.
+
+use crate::effect::Effect;
+use ioql_ast::{ClassName, MethodName};
+use ioql_schema::Schema;
+use std::collections::BTreeMap;
+
+/// A table of method effects, keyed by the *declaring* class (overrides
+/// are separate entries under their own class).
+#[derive(Clone, Debug, Default)]
+pub struct MethodEffects {
+    map: BTreeMap<(ClassName, MethodName), Effect>,
+}
+
+impl MethodEffects {
+    /// The empty table — the paper's read-only methods (every effect ∅).
+    pub fn read_only() -> Self {
+        MethodEffects::default()
+    }
+
+    /// Records the effect of `C::m` (keyed by declaring class).
+    pub fn insert(&mut self, class: ClassName, method: MethodName, effect: Effect) {
+        self.map.insert((class, method), effect);
+    }
+
+    /// The latent effect of invoking `m` on a receiver whose *static*
+    /// class is `receiver`: resolved through `mbody` to the declaring
+    /// class; absent entries are ∅.
+    ///
+    /// Note a subtlety the table inherits from dynamic dispatch: the
+    /// runtime receiver may be a *subclass* of the static class, running
+    /// an override with a different body. A sound table must therefore
+    /// store, for each `(C, m)`, the union over all overrides of `m`
+    /// declared at or below `C` — `ioql-methods::effect_table` does
+    /// exactly that.
+    pub fn effect_of(&self, schema: &Schema, receiver: &ClassName, method: &MethodName) -> Effect {
+        match schema.mbody(receiver, method) {
+            Some((decl, _)) => self
+                .map
+                .get(&(decl, method.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            None => Effect::empty(),
+        }
+    }
+
+    /// Raw lookup by declaring class.
+    pub fn get(&self, class: &ClassName, method: &MethodName) -> Option<&Effect> {
+        self.map.get(&(class.clone(), method.clone()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty (pure read-only mode).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::{ClassDef, MethodDef, MExpr, MStmt, Type};
+
+    #[test]
+    fn lookup_resolves_declaring_class() {
+        let schema = Schema::new(vec![
+            ClassDef::new(
+                "A",
+                ClassName::object(),
+                "As",
+                [],
+                [MethodDef::new(
+                    "m",
+                    [],
+                    Type::Int,
+                    vec![MStmt::Return(MExpr::Int(1))],
+                )],
+            ),
+            ClassDef::plain("B", "A", "Bs", []),
+        ])
+        .unwrap();
+        let mut table = MethodEffects::read_only();
+        table.insert(ClassName::new("A"), MethodName::new("m"), Effect::read("A"));
+        // B inherits A::m, so the lookup through B resolves to A's entry.
+        let e = table.effect_of(&schema, &ClassName::new("B"), &MethodName::new("m"));
+        assert_eq!(e, Effect::read("A"));
+        // Unknown methods are ∅.
+        let none = table.effect_of(&schema, &ClassName::new("B"), &MethodName::new("zz"));
+        assert!(none.is_empty());
+    }
+}

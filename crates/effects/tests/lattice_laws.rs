@@ -1,0 +1,135 @@
+//! Algebraic laws of the effect lattice (paper §4: "∪ is associative,
+//! commutative, idempotent, and has ∅ as a unit"), plus the order theory
+//! of subeffecting and the monotonicity facts the disciplines rely on.
+
+use ioql_ast::{ClassDef, ClassName};
+use ioql_effects::Effect;
+use ioql_schema::Schema;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ClassDef::plain("A", ClassName::object(), "As", []),
+        ClassDef::plain("B", "A", "Bs", []),
+        ClassDef::plain("C", ClassName::object(), "Cs", []),
+    ])
+    .unwrap()
+}
+
+fn arb_effect() -> impl Strategy<Value = Effect> {
+    let class = prop_oneof![Just("A"), Just("B"), Just("C")];
+    let atom = (0..4, class).prop_map(|(kind, c)| match kind {
+        0 => Effect::read(c),
+        1 => Effect::add(c),
+        2 => Effect::attr_read(c),
+        _ => Effect::update(c),
+    });
+    prop::collection::vec(atom, 0..6).prop_map(|atoms| {
+        let mut e = Effect::empty();
+        for a in atoms {
+            e.union_with(&a);
+        }
+        e
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn union_associative(a in arb_effect(), b in arb_effect(), c in arb_effect()) {
+        let l = a.clone().union(&b).union(&c);
+        let r = a.union(&b.clone().union(&c));
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn union_commutative(a in arb_effect(), b in arb_effect()) {
+        prop_assert_eq!(a.clone().union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_idempotent_with_unit(a in arb_effect()) {
+        prop_assert_eq!(a.clone().union(&a), a.clone());
+        prop_assert_eq!(a.clone().union(&Effect::empty()), a.clone());
+        prop_assert_eq!(Effect::empty().union(&a), a);
+    }
+
+    #[test]
+    fn subeffect_partial_order(a in arb_effect(), b in arb_effect(), c in arb_effect()) {
+        // Reflexive.
+        prop_assert!(a.subeffect(&a));
+        // Antisymmetric.
+        if a.subeffect(&b) && b.subeffect(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Transitive.
+        if a.subeffect(&b) && b.subeffect(&c) {
+            prop_assert!(a.subeffect(&c));
+        }
+        // Union is the join: both operands below it, and it is least
+        // among the sampled upper bounds.
+        let j = a.clone().union(&b);
+        prop_assert!(a.subeffect(&j) && b.subeffect(&j));
+        if a.subeffect(&c) && b.subeffect(&c) {
+            prop_assert!(j.subeffect(&c));
+        }
+    }
+
+    #[test]
+    fn nonint_antimonotone(a in arb_effect(), b in arb_effect()) {
+        // Growing an effect can only introduce interference: if the
+        // union is non-interfering, so is each part. This is what lets
+        // the (Does) weakening rule coexist with ⊢' — accepting at a
+        // *smaller* effect is always safe.
+        let u = a.clone().union(&b);
+        if u.nonint() {
+            prop_assert!(a.nonint() && b.nonint());
+        }
+        if u.nonint_extended() {
+            prop_assert!(a.nonint_extended() && b.nonint_extended());
+        }
+    }
+
+    #[test]
+    fn covered_by_extends_subeffect(a in arb_effect(), b in arb_effect()) {
+        let s = schema();
+        // Plain containment always implies subsumption-containment.
+        if a.subeffect(&b) {
+            prop_assert!(a.covered_by(&b, &s));
+        }
+        // And covered_by is reflexive/transitively sane on samples.
+        prop_assert!(a.covered_by(&a, &s));
+    }
+
+    #[test]
+    fn pairwise_noninterference_symmetric(a in arb_effect(), b in arb_effect()) {
+        let s = schema();
+        prop_assert_eq!(
+            a.noninterfering_with(&b, &s),
+            b.noninterfering_with(&a, &s),
+            "Theorem 8's guard must not depend on operand order"
+        );
+    }
+
+    #[test]
+    fn self_interference_matches_nonint(a in arb_effect()) {
+        let s = schema();
+        // An effect that interferes with itself pairwise is (at least)
+        // one that ⊢' would reject, extent-wise.
+        if !a.nonint() {
+            prop_assert!(!a.noninterfering_with(&a, &s));
+        }
+    }
+}
+
+#[test]
+fn covered_by_uses_subsumption_on_attr_atoms() {
+    let s = schema();
+    // Runtime Ra(B) is covered by static Ra(A) since B ≤ A …
+    assert!(Effect::attr_read("B").covered_by(&Effect::attr_read("A"), &s));
+    // … but not the other way around, and extent atoms stay exact.
+    assert!(!Effect::attr_read("A").covered_by(&Effect::attr_read("B"), &s));
+    assert!(!Effect::read("B").covered_by(&Effect::read("A"), &s));
+    assert!(Effect::update("B").covered_by(&Effect::update("A"), &s));
+}

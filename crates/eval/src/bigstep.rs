@@ -1,0 +1,404 @@
+//! A big-step ("normalization") evaluator — the *other* presentation of
+//! operational semantics the paper weighs and rejects for its proofs:
+//!
+//! > "One presentation of an operational semantics is based on
+//! > normalization ('big-step'), but we shall follow the approach of
+//! > [Wright–Felleisen] and use an operational semantics based on
+//! > reduction ('single-step')." — §3.3
+//!
+//! The small-step machine ([`crate::step()`](crate::step::step)) is the specification; this
+//! module is an independent, direct-recursive implementation of the same
+//! language. Its value is twofold:
+//!
+//! * **Differential testing.** Both evaluators must agree (for the same
+//!   [`Chooser`] decisions) on every query — a workspace property test
+//!   drives thousands of generated queries through both. A disagreement
+//!   would expose a bug in one of the two, exactly the class of error a
+//!   single implementation can never see.
+//! * **Performance floor.** The faithful machine re-traverses the term
+//!   on every step (that *is* the evaluation-context discipline); the
+//!   big-step evaluator shows what a production engine would do, and the
+//!   B4 benchmarks quantify the gap.
+//!
+//! Choice points: to stay comparable with the small-step machine, the
+//! comprehension rule consumes elements through the same [`Chooser`]
+//! protocol — pick index `i` among the *remaining* elements, evaluate
+//! the body, recurse on the rest, union the results left-to-right.
+
+use crate::chooser::Chooser;
+use crate::machine::{DefEnv, EvalConfig, EvalError};
+use ioql_ast::{Qualifier, Query, Value};
+use ioql_effects::Effect;
+use ioql_methods::{invoke, MethodCall};
+use ioql_store::{Object, Store};
+use std::collections::BTreeSet;
+
+/// The result of a big-step evaluation.
+#[derive(Clone, Debug)]
+pub struct BigStepResult {
+    /// The final value.
+    pub value: Value,
+    /// The accumulated effect trace (matches the small-step machine's
+    /// union of step labels).
+    pub effect: Effect,
+}
+
+struct Ev<'a, 'c> {
+    cfg: &'a EvalConfig<'a>,
+    defs: &'a DefEnv,
+    chooser: &'c mut dyn Chooser,
+    effect: Effect,
+    fuel: u64,
+}
+
+/// Evaluates `q` to a value in one recursive descent:
+/// `DE ⊢ EE, OE, q ⇓ EE', OE', v ! ε`.
+pub fn eval_big(
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    q: &Query,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+) -> Result<BigStepResult, EvalError> {
+    let mut ev = Ev {
+        cfg,
+        defs,
+        chooser,
+        effect: Effect::empty(),
+        fuel: max_steps,
+    };
+    let value = ev.eval(store, q)?;
+    Ok(BigStepResult {
+        value,
+        effect: ev.effect,
+    })
+}
+
+impl Ev<'_, '_> {
+    fn burn(&mut self, q: &Query) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        let _ = q;
+        Ok(())
+    }
+
+    fn stuck<T>(&self, q: &Query, reason: impl Into<String>) -> Result<T, EvalError> {
+        Err(EvalError::Stuck {
+            query: q.to_string(),
+            reason: reason.into(),
+        })
+    }
+
+    fn int(&mut self, store: &mut Store, q: &Query) -> Result<i64, EvalError> {
+        match self.eval(store, q)? {
+            Value::Int(i) => Ok(i),
+            _ => self.stuck(q, "expected an integer"),
+        }
+    }
+
+    fn set(&mut self, store: &mut Store, q: &Query) -> Result<BTreeSet<Value>, EvalError> {
+        match self.eval(store, q)? {
+            Value::Set(s) => Ok(s),
+            _ => self.stuck(q, "expected a set"),
+        }
+    }
+
+    fn oid(&mut self, store: &mut Store, q: &Query) -> Result<ioql_ast::Oid, EvalError> {
+        match self.eval(store, q)? {
+            Value::Oid(o) => Ok(o),
+            _ => self.stuck(q, "expected an object"),
+        }
+    }
+
+    fn eval(&mut self, store: &mut Store, q: &Query) -> Result<Value, EvalError> {
+        self.burn(q)?;
+        match q {
+            Query::Lit(v) => Ok(v.clone()),
+            Query::Var(x) => self.stuck(q, format!("free variable `{x}`")),
+            Query::Extent(e) => {
+                let class = match store.extents.get(e) {
+                    Some((c, _)) => c.clone(),
+                    None => return self.stuck(q, format!("unknown extent `{e}`")),
+                };
+                self.effect.union_with(&Effect::read(class));
+                store
+                    .extent_value(e)
+                    .map_err(|err| EvalError::Store(err.to_string()))
+            }
+            Query::SetLit(items) => {
+                let mut out = BTreeSet::new();
+                for item in items {
+                    out.insert(self.eval(store, item)?);
+                }
+                Ok(Value::Set(out))
+            }
+            Query::SetBin(op, a, b) => {
+                let va = self.set(store, a)?;
+                let vb = self.set(store, b)?;
+                Ok(Value::Set(op.apply(&va, &vb)))
+            }
+            Query::IntBin(op, a, b) => {
+                let ia = self.int(store, a)?;
+                let ib = self.int(store, b)?;
+                Ok(op.apply(ia, ib))
+            }
+            Query::IntEq(a, b) => {
+                let ia = self.int(store, a)?;
+                let ib = self.int(store, b)?;
+                Ok(Value::Bool(ia == ib))
+            }
+            Query::ObjEq(a, b) => {
+                let oa = self.oid(store, a)?;
+                let ob = self.oid(store, b)?;
+                if !store.objects.contains(oa) || !store.objects.contains(ob) {
+                    return self.stuck(q, "dangling oid");
+                }
+                Ok(Value::Bool(oa == ob))
+            }
+            Query::Record(fields) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (l, fq) in fields {
+                    out.insert(l.clone(), self.eval(store, fq)?);
+                }
+                Ok(Value::Record(out))
+            }
+            Query::Field(subject, l) => match self.eval(store, subject)? {
+                Value::Record(fields) => match fields.get(l) {
+                    Some(v) => Ok(v.clone()),
+                    None => self.stuck(q, format!("no field `{l}`")),
+                },
+                _ => self.stuck(q, "field access on a non-record"),
+            },
+            Query::Call(d, args) => {
+                let def = match self.defs.get(d) {
+                    Some(def) => def.clone(),
+                    None => return self.stuck(q, format!("unknown definition `{d}`")),
+                };
+                if def.params.len() != args.len() {
+                    return self.stuck(q, "definition arity mismatch");
+                }
+                let mut body = def.body.clone();
+                for ((x, _), arg) in def.params.iter().zip(args) {
+                    let v = self.eval(store, arg)?;
+                    body = body.subst(x, &v);
+                }
+                self.eval(store, &body)
+            }
+            Query::Size(inner) => {
+                let s = self.set(store, inner)?;
+                Ok(Value::Int(s.len() as i64))
+            }
+            Query::Sum(inner) => {
+                let s = self.set(store, inner)?;
+                let mut total = 0i64;
+                for v in &s {
+                    match v {
+                        Value::Int(i) => total = total.wrapping_add(*i),
+                        _ => return self.stuck(q, "sum over a non-integer set"),
+                    }
+                }
+                Ok(Value::Int(total))
+            }
+            Query::Cast(c, inner) => {
+                let o = self.oid(store, inner)?;
+                let dynamic = store
+                    .class_of(o)
+                    .map_err(|e| EvalError::Store(e.to_string()))?;
+                if self.cfg.schema.extends(dynamic, c) {
+                    Ok(Value::Oid(o))
+                } else {
+                    self.stuck(q, format!("cast to `{c}` failed"))
+                }
+            }
+            Query::Attr(subject, a) => {
+                let o = self.oid(store, subject)?;
+                let class = store
+                    .class_of(o)
+                    .map_err(|e| EvalError::Store(e.to_string()))?
+                    .clone();
+                self.effect.union_with(&Effect::attr_read(class));
+                store
+                    .attr(o, a)
+                    .cloned()
+                    .map_err(|e| EvalError::Store(e.to_string()))
+            }
+            Query::Invoke(recv, m, args) => {
+                let o = self.oid(store, recv)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(store, a)?);
+                }
+                let call = MethodCall {
+                    receiver: o,
+                    method: m.clone(),
+                    args: argv,
+                };
+                match invoke(
+                    self.cfg.schema,
+                    store,
+                    &call,
+                    self.cfg.method_mode,
+                    self.cfg.method_fuel,
+                ) {
+                    Ok(r) => {
+                        self.effect.union_with(&r.effect);
+                        Ok(r.value)
+                    }
+                    Err(ioql_methods::MethodError::Diverged) => {
+                        Err(EvalError::MethodDiverged {
+                            method: m.to_string(),
+                        })
+                    }
+                    Err(e) => self.stuck(q, e.to_string()),
+                }
+            }
+            Query::New(c, attrs) => {
+                let mut vals = Vec::with_capacity(attrs.len());
+                for (a, aq) in attrs {
+                    vals.push((a.clone(), self.eval(store, aq)?));
+                }
+                let extents = self.cfg.schema.extents_for_new(c);
+                if extents.is_empty() {
+                    return self.stuck(q, format!("class `{c}` has no extent"));
+                }
+                self.effect.union_with(&Effect::add(c.clone()));
+                if self.cfg.schema.options().inherited_extents {
+                    for sup in self.cfg.schema.proper_superclasses(c) {
+                        if !sup.is_object() {
+                            self.effect.union_with(&Effect::add(sup));
+                        }
+                    }
+                }
+                let o = store
+                    .create(Object::new(c.clone(), vals), extents)
+                    .map_err(|e| EvalError::Store(e.to_string()))?;
+                Ok(Value::Oid(o))
+            }
+            Query::If(cond, then, els) => match self.eval(store, cond)? {
+                Value::Bool(true) => self.eval(store, then),
+                Value::Bool(false) => self.eval(store, els),
+                _ => self.stuck(q, "non-boolean condition"),
+            },
+            Query::Comp(head, quals) => {
+                let mut out = BTreeSet::new();
+                self.comp(store, head, quals, &mut out)?;
+                Ok(Value::Set(out))
+            }
+        }
+    }
+
+    /// Evaluates a comprehension tail, unioning produced elements into
+    /// `out`. Mirrors the small-step rules: first qualifier decides; a
+    /// generator draws elements through the chooser, evaluating the rest
+    /// of the comprehension per element *in the drawn order*.
+    fn comp(
+        &mut self,
+        store: &mut Store,
+        head: &Query,
+        quals: &[Qualifier],
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        match quals.split_first() {
+            None => {
+                let v = self.eval(store, head)?;
+                out.insert(v);
+                Ok(())
+            }
+            Some((Qualifier::Pred(p), rest)) => match self.eval(store, p)? {
+                Value::Bool(true) => self.comp(store, head, rest, out),
+                Value::Bool(false) => Ok(()),
+                _ => self.stuck(p, "non-boolean predicate"),
+            },
+            Some((Qualifier::Gen(x, src), rest)) => {
+                let mut remaining: Vec<Value> = match self.eval(store, src)? {
+                    Value::Set(s) => s.into_iter().collect(),
+                    _ => return self.stuck(src, "generator over a non-set"),
+                };
+                while !remaining.is_empty() {
+                    let i = self.chooser.choose(remaining.len());
+                    let picked = remaining.remove(i);
+                    let body = Query::Comp(Box::new(head.clone()), rest.to_vec())
+                        .subst(x, &picked);
+                    let Query::Comp(h2, r2) = body else {
+                        unreachable!("substitution preserves the constructor")
+                    };
+                    self.comp(store, &h2, &r2, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::FirstChooser;
+    use ioql_ast::{AttrDef, ClassDef, ClassName, VarName};
+    use ioql_schema::Schema;
+
+    fn setup() -> (Schema, Store) {
+        let schema = Schema::new(vec![ClassDef::plain(
+            "P",
+            ClassName::object(),
+            "Ps",
+            [AttrDef::new("n", ioql_ast::Type::Int)],
+        )])
+        .unwrap();
+        let mut store = Store::new();
+        store.declare_extent("Ps", "P");
+        for n in [1, 2, 3] {
+            store
+                .create(
+                    Object::new("P", [("n", Value::Int(n))]),
+                    [ioql_ast::ExtentName::new("Ps")],
+                )
+                .unwrap();
+        }
+        (schema, store)
+    }
+
+    #[test]
+    fn agrees_with_small_step_on_a_scan() {
+        let (schema, store) = setup();
+        let cfg = EvalConfig::new(&schema);
+        let defs = DefEnv::new();
+        let q = Query::comp(
+            Query::var("x").attr("n").add(Query::int(10)),
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
+        );
+        let mut s1 = store.clone();
+        let big = eval_big(&cfg, &defs, &mut s1, &q, &mut FirstChooser, 100_000).unwrap();
+        let mut s2 = store.clone();
+        let small =
+            crate::machine::evaluate(&cfg, &defs, &mut s2, &q, &mut FirstChooser, 100_000)
+                .unwrap();
+        assert_eq!(big.value, small.value);
+        assert_eq!(big.effect, small.effect);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let (schema, store) = setup();
+        let cfg = EvalConfig::new(&schema);
+        // size(Ps) needs two burns; give it one.
+        let q = Query::extent("Ps").size_of();
+        let mut s = store;
+        let r = eval_big(&cfg, &DefEnv::new(), &mut s, &q, &mut FirstChooser, 1);
+        assert!(matches!(r, Err(EvalError::FuelExhausted)), "{r:?}");
+    }
+
+    #[test]
+    fn ill_typed_sticks() {
+        let (schema, store) = setup();
+        let cfg = EvalConfig::new(&schema);
+        let q = Query::bool(true).add(Query::int(1));
+        let mut s = store;
+        let r = eval_big(&cfg, &DefEnv::new(), &mut s, &q, &mut FirstChooser, 100);
+        assert!(matches!(r, Err(EvalError::Stuck { .. })));
+    }
+}

@@ -1,0 +1,142 @@
+//! Choice strategies for the `(ND comp)` rule.
+//!
+//! "An element is picked at random from the generator set" — paper §3.3.
+//! The reduction relation is the union over all possible picks; a
+//! [`Chooser`] selects one branch per choice point, so a single run
+//! samples one path through the relation and the scripted chooser lets
+//! the [`explore`](crate::explore) module enumerate them all.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Resolves `(ND comp)` choice points: given `n ≥ 1` candidates, return
+/// an index in `0..n`.
+pub trait Chooser {
+    /// Picks one of `n` candidates.
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// Always picks the first element (in the canonical value order) — a
+/// deterministic *implementation strategy* for the non-deterministic
+/// specification, as a real engine would use.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstChooser;
+
+impl Chooser for FirstChooser {
+    fn choose(&mut self, _n: usize) -> usize {
+        0
+    }
+}
+
+/// Always picks the last element — the "opposite order" strategy, handy
+/// for demonstrating the paper's §1 non-determinism with just two runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LastChooser;
+
+impl Chooser for LastChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        n - 1
+    }
+}
+
+/// Picks uniformly at random from a seeded generator — reproducible
+/// sampling of the reduction relation.
+#[derive(Clone, Debug)]
+pub struct RandomChooser {
+    rng: SmallRng,
+}
+
+impl RandomChooser {
+    /// A chooser seeded for reproducibility.
+    pub fn seeded(seed: u64) -> Self {
+        RandomChooser {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Replays a fixed script of choices, then falls back to `0`. Records the
+/// arity of every choice point it passes, which is exactly what the
+/// exhaustive explorer needs to enumerate sibling branches.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedChooser {
+    script: Vec<usize>,
+    pos: usize,
+    /// Arities of the choice points encountered, in order.
+    pub arities: Vec<usize>,
+}
+
+impl ScriptedChooser {
+    /// A chooser replaying `script`.
+    pub fn new(script: Vec<usize>) -> Self {
+        ScriptedChooser {
+            script,
+            pos: 0,
+            arities: Vec::new(),
+        }
+    }
+
+    /// The choices actually taken (script prefix plus fallback zeros).
+    pub fn taken(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.arities.len());
+        for (i, _) in self.arities.iter().enumerate() {
+            out.push(self.script.get(i).copied().unwrap_or(0));
+        }
+        out
+    }
+}
+
+impl Chooser for ScriptedChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        self.arities.push(n);
+        let pick = self.script.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        pick.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_last() {
+        assert_eq!(FirstChooser.choose(5), 0);
+        assert_eq!(LastChooser.choose(5), 4);
+        assert_eq!(LastChooser.choose(1), 0);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let mut a = RandomChooser::seeded(42);
+        let mut b = RandomChooser::seeded(42);
+        for _ in 0..100 {
+            let n = 7;
+            let x = a.choose(n);
+            assert_eq!(x, b.choose(n));
+            assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn scripted_replays_then_zeroes() {
+        let mut c = ScriptedChooser::new(vec![2, 1]);
+        assert_eq!(c.choose(4), 2);
+        assert_eq!(c.choose(2), 1);
+        assert_eq!(c.choose(3), 0); // past the script
+        assert_eq!(c.arities, vec![4, 2, 3]);
+        assert_eq!(c.taken(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn scripted_clamps_to_range() {
+        let mut c = ScriptedChooser::new(vec![9]);
+        assert_eq!(c.choose(3), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Method-language errors.
+
+use ioql_ast::{AttrName, ClassName, ExtentName, MethodName, Oid, Type, VarName};
+use std::fmt;
+
+/// A static (type-checking) error in a method body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MethodTypeError {
+    /// A variable is not a parameter or in-scope local.
+    Unbound(ClassName, MethodName, VarName),
+    /// A local redeclares a name already in scope.
+    Shadowing(ClassName, MethodName, VarName),
+    /// An expression has the wrong type.
+    Mismatch {
+        /// The method being checked.
+        class: ClassName,
+        /// Its name.
+        method: MethodName,
+        /// What was required.
+        expected: String,
+        /// What was found.
+        got: Type,
+    },
+    /// A call's arity is wrong.
+    Arity {
+        /// The method being checked.
+        class: ClassName,
+        /// Its name.
+        method: MethodName,
+        /// The callee.
+        callee: MethodName,
+    },
+    /// Receiver has no such method.
+    UnknownMethod(ClassName, MethodName),
+    /// Receiver/class has no such attribute.
+    UnknownAttr(ClassName, AttrName),
+    /// Unknown extent in a `for` statement.
+    UnknownExtent(ExtentName),
+    /// Unknown class in `new`.
+    UnknownClass(ClassName),
+    /// `new` does not initialise the class's attributes exactly.
+    BadNew(ClassName),
+    /// A statement reserved for extended mode appeared under
+    /// [`Mode::ReadOnly`](crate::Mode) — the paper's core discipline.
+    ExtendedFeatureInReadOnlyMode(ClassName, MethodName),
+    /// Not every control path ends in `return`.
+    MissingReturn(ClassName, MethodName),
+    /// The declared method body is empty / signature-only.
+    NoBody(ClassName, MethodName),
+}
+
+impl fmt::Display for MethodTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodTypeError::Unbound(c, m, x) => {
+                write!(f, "{c}::{m}: unbound variable `{x}`")
+            }
+            MethodTypeError::Shadowing(c, m, x) => {
+                write!(f, "{c}::{m}: local `{x}` shadows a name in scope")
+            }
+            MethodTypeError::Mismatch {
+                class,
+                method,
+                expected,
+                got,
+            } => write!(f, "{class}::{method}: expected {expected}, got `{got}`"),
+            MethodTypeError::Arity { class, method, callee } => {
+                write!(f, "{class}::{method}: wrong number of arguments to `{callee}`")
+            }
+            MethodTypeError::UnknownMethod(c, m) => {
+                write!(f, "no method `{m}` on class `{c}`")
+            }
+            MethodTypeError::UnknownAttr(c, a) => {
+                write!(f, "no attribute `{a}` on class `{c}`")
+            }
+            MethodTypeError::UnknownExtent(e) => write!(f, "unknown extent `{e}`"),
+            MethodTypeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            MethodTypeError::BadNew(c) => {
+                write!(f, "new {c}(…) must initialise exactly the declared attributes")
+            }
+            MethodTypeError::ExtendedFeatureInReadOnlyMode(c, m) => write!(
+                f,
+                "{c}::{m}: updates/creation/extent access require the extended method mode (§5)"
+            ),
+            MethodTypeError::MissingReturn(c, m) => {
+                write!(f, "{c}::{m}: not all control paths return a value")
+            }
+            MethodTypeError::NoBody(c, m) => {
+                write!(f, "{c}::{m}: method has no body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MethodTypeError {}
+
+/// A dynamic error during method execution. On schema-checked methods the
+/// only reachable variant is [`MethodError::Diverged`] — that is the
+/// method-language analogue of the progress theorem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MethodError {
+    /// Fuel exhausted: the method did not terminate within the budget.
+    /// Models genuine non-termination (§1's `loop()`), which no database
+    /// can detect in general (halting problem — paper §6.2).
+    Diverged,
+    /// A dangling oid was dereferenced.
+    DanglingOid(Oid),
+    /// The receiver's class has no body for the method.
+    NoSuchMethod(ClassName, MethodName),
+    /// Internal evaluation invariant broken (unreachable on checked
+    /// bodies; kept as an error rather than a panic so the harness can
+    /// report it).
+    Stuck(String),
+}
+
+impl fmt::Display for MethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodError::Diverged => write!(f, "method did not terminate (fuel exhausted)"),
+            MethodError::DanglingOid(o) => write!(f, "dangling oid {o}"),
+            MethodError::NoSuchMethod(c, m) => write!(f, "no method `{m}` on `{c}`"),
+            MethodError::Stuck(msg) => write!(f, "method evaluation stuck: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MethodError {}

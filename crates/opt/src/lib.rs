@@ -1,0 +1,42 @@
+//! An effect-guided query optimizer — the application §4 of the paper
+//! builds its effect system for.
+//!
+//! "We can also use the effect information to enable query optimizations.
+//! … common optimizations such as commutativity of set intersection or
+//! union are no longer straightforwardly applicable. However … if the two
+//! components of the commutative binary set operators do not interfere,
+//! then it is safe to commute their order." — paper §4.
+//!
+//! Every rewrite in this crate carries an explicit *safety guard* built
+//! from the Figure 3 effect inference:
+//!
+//! | rewrite | guard |
+//! |---|---|
+//! | constant folding | operands are literals (pure by Lemma 2.1) |
+//! | commute `∪`/`∩` by cost | operand effects pairwise non-interfering (Theorem 8) |
+//! | predicate promotion in comprehensions | moved/crossed parts effect-safe and divergence-free |
+//! | `false`-predicate collapse | skipped suffix performs no adds/updates, no method calls |
+//! | `if` with identical branches | condition pure and divergence-free |
+//! | definition inlining | value/variable args, or pure single-use args |
+//!
+//! Divergence is tracked separately from effects: a method invocation may
+//! fail to terminate even with effect ∅ (the paper's §1 `loop()`
+//! example), so any rewrite that *reduces the number of evaluations* of a
+//! subquery additionally requires that subquery to be invocation-free.
+//!
+//! The optimizer's soundness is tested by exhaustive outcome comparison
+//! (all reduction orders, equivalence modulo oid bijection) in the
+//! workspace integration tests.
+
+#![forbid(unsafe_code)]
+// Error enums carry rendered context (names, types, positions) by value;
+// they are cold-path and the ergonomics beat a Box indirection here.
+#![allow(clippy::result_large_err)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod optimizer;
+pub mod rules;
+
+pub use cost::Stats;
+pub use optimizer::{optimize, AppliedRewrite, OptOptions, Optimizer};

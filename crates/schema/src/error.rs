@@ -1,0 +1,121 @@
+//! Schema well-formedness errors.
+
+use ioql_ast::{AttrName, ClassName, ExtentName, MethodName, Type};
+use std::fmt;
+
+/// A violation of the object-schema well-formedness conditions (paper §2
+/// elides these; they mirror Java's class-table conditions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemaError {
+    /// The same class is defined twice.
+    DuplicateClass(ClassName),
+    /// A class is named `Object`, which is reserved for the built-in root.
+    RedefinesObject,
+    /// A class's declared superclass is not in the schema.
+    UnknownParent {
+        /// The class with the bad `extends` clause.
+        class: ClassName,
+        /// The missing superclass.
+        parent: ClassName,
+    },
+    /// The `extends` relation has a cycle through this class.
+    InheritanceCycle(ClassName),
+    /// Two classes declare the same extent name.
+    DuplicateExtent(ExtentName),
+    /// An attribute is declared twice in one class, or re-declares an
+    /// inherited attribute (field shadowing is rejected, as in the ODMG
+    /// model).
+    DuplicateAttr {
+        /// The declaring class.
+        class: ClassName,
+        /// The clashing attribute.
+        attr: AttrName,
+    },
+    /// An attribute's type is not a data-model type φ (paper Note 1), or
+    /// mentions an unknown class.
+    BadAttrType {
+        /// The declaring class.
+        class: ClassName,
+        /// The attribute.
+        attr: AttrName,
+        /// Its offending type.
+        ty: Type,
+    },
+    /// A method is declared twice in one class.
+    DuplicateMethod {
+        /// The declaring class.
+        class: ClassName,
+        /// The clashing method.
+        method: MethodName,
+    },
+    /// A method parameter or return type is not a data-model type φ, or
+    /// mentions an unknown class.
+    BadMethodType {
+        /// The declaring class.
+        class: ClassName,
+        /// The method.
+        method: MethodName,
+        /// The offending type.
+        ty: Type,
+    },
+    /// A method parameter name is repeated.
+    DuplicateParam {
+        /// The declaring class.
+        class: ClassName,
+        /// The method.
+        method: MethodName,
+    },
+    /// An override changes the inherited signature (invariant overriding,
+    /// as in the paper's "method inheritance and overriding" footnote).
+    BadOverride {
+        /// The overriding class.
+        class: ClassName,
+        /// The method.
+        method: MethodName,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(c) => write!(f, "class `{c}` defined more than once"),
+            SchemaError::RedefinesObject => {
+                write!(f, "class `Object` is built in and cannot be redefined")
+            }
+            SchemaError::UnknownParent { class, parent } => {
+                write!(f, "class `{class}` extends unknown class `{parent}`")
+            }
+            SchemaError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            SchemaError::DuplicateExtent(e) => {
+                write!(f, "extent `{e}` declared by more than one class")
+            }
+            SchemaError::DuplicateAttr { class, attr } => write!(
+                f,
+                "attribute `{attr}` duplicated or shadows an inherited attribute in class `{class}`"
+            ),
+            SchemaError::BadAttrType { class, attr, ty } => write!(
+                f,
+                "attribute `{class}.{attr}` has type `{ty}`, which is not a data-model type \
+                 (int, bool, or a declared class)"
+            ),
+            SchemaError::DuplicateMethod { class, method } => {
+                write!(f, "method `{method}` declared twice in class `{class}`")
+            }
+            SchemaError::BadMethodType { class, method, ty } => write!(
+                f,
+                "method `{class}.{method}` mentions type `{ty}`, which is not a data-model type"
+            ),
+            SchemaError::DuplicateParam { class, method } => {
+                write!(f, "method `{class}.{method}` repeats a parameter name")
+            }
+            SchemaError::BadOverride { class, method } => write!(
+                f,
+                "method `{class}.{method}` overrides an inherited method with a different signature"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

@@ -1,0 +1,24 @@
+//! The object data model of paper §2: object schemas, their
+//! well-formedness conditions, the `extends` (subclass) relation, the
+//! subtype relation σ ≤ σ' and its partial least-upper-bound, and the
+//! member-lookup functions `atype`, `atypes`, `mtype`, `mbody` used by the
+//! typing and reduction rules.
+//!
+//! The paper elides the well-formedness conditions "from this short paper
+//! (they are similar, for example, to those for Java)"; we implement them
+//! in full — see [`error::SchemaError`] for the complete list.
+
+#![forbid(unsafe_code)]
+// Error enums carry rendered context (names, types, positions) by value;
+// they are cold-path and the ergonomics beat a Box indirection here.
+#![allow(clippy::result_large_err)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lookup;
+pub mod resolve;
+pub mod schema;
+pub mod subtype;
+
+pub use error::SchemaError;
+pub use schema::{Schema, SchemaOptions};

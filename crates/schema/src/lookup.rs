@@ -1,0 +1,178 @@
+//! The member-lookup functions of paper §3.2:
+//!
+//! * `atype(C, a)` — the type of attribute `a` in class `C` (searching the
+//!   superclass chain),
+//! * `atypes(C)` — all attributes of `C` with their types, inherited
+//!   first,
+//! * `mtype(C, m)` — the (function) type of method `m`, "slightly more
+//!   complicated in that it has to handle method inheritance and
+//!   overriding" (paper footnote 2), and
+//! * `mbody(C, m)` — the implementing method definition used by the
+//!   `(Method)` reduction rule.
+
+use crate::schema::Schema;
+use ioql_ast::{AttrName, ClassName, FnType, MethodDef, MethodName, Type};
+
+impl Schema {
+    /// `atype(C, a)`: the declared type of attribute `a`, searching `C`
+    /// then its superclasses.
+    pub fn atype(&self, c: &ClassName, a: &AttrName) -> Option<&Type> {
+        let mut cur = c.clone();
+        loop {
+            let cd = self.class(&cur)?;
+            if let Some(ad) = cd.attr(a) {
+                return Some(&ad.ty);
+            }
+            if cd.parent.is_object() {
+                return None;
+            }
+            cur = cd.parent.clone();
+        }
+    }
+
+    /// `atypes(C)`: every attribute of `C` (inherited and declared) with
+    /// its type. Inherited attributes come first, outermost ancestor
+    /// first, matching the layout used by the `(New)` typing rule, which
+    /// requires *all* attributes to be initialised.
+    pub fn atypes(&self, c: &ClassName) -> Vec<(AttrName, Type)> {
+        let mut chain = vec![c.clone()];
+        chain.extend(self.proper_superclasses(c));
+        let mut out = Vec::new();
+        for cls in chain.iter().rev() {
+            if let Some(cd) = self.class(cls) {
+                for ad in &cd.attrs {
+                    out.push((ad.name.clone(), ad.ty.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// `mtype(C, m)`: the function type of method `m` as seen from `C`,
+    /// resolving inheritance (the nearest declaration wins — which, by the
+    /// invariant-override condition, has the same signature as any
+    /// ancestor's).
+    pub fn mtype(&self, c: &ClassName, m: &MethodName) -> Option<FnType> {
+        self.mbody(c, m).map(|(_, md)| {
+            FnType::new(
+                md.params.iter().map(|(_, t)| t.clone()).collect(),
+                md.ret.clone(),
+            )
+        })
+    }
+
+    /// `mbody(C, m)`: the implementing definition of `m` for a receiver of
+    /// dynamic class `C` — the declaration in the nearest class on `C`'s
+    /// superclass chain — together with the class that declares it (needed
+    /// to type-check the body with the right `this` type).
+    pub fn mbody(&self, c: &ClassName, m: &MethodName) -> Option<(ClassName, &MethodDef)> {
+        let mut cur = c.clone();
+        loop {
+            let cd = self.class(&cur)?;
+            if let Some(md) = cd.method(m) {
+                return Some((cur, md));
+            }
+            if cd.parent.is_object() {
+                return None;
+            }
+            cur = cd.parent.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::{AttrDef, ClassDef, MStmt, MExpr, VarName};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::new(
+                "Person",
+                ClassName::object(),
+                "Persons",
+                [AttrDef::new("age", Type::Int)],
+                [MethodDef::new(
+                    "greet",
+                    [],
+                    Type::Int,
+                    vec![MStmt::Return(MExpr::Int(1))],
+                )],
+            ),
+            ClassDef::new(
+                "Employee",
+                "Person",
+                "Employees",
+                [AttrDef::new("salary", Type::Int)],
+                [MethodDef::new(
+                    "greet",
+                    [],
+                    Type::Int,
+                    vec![MStmt::Return(MExpr::Int(2))],
+                )],
+            ),
+            ClassDef::plain("Manager", "Employee", "Managers", []),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn atype_searches_chain() {
+        let s = schema();
+        let mgr = ClassName::new("Manager");
+        assert_eq!(s.atype(&mgr, &AttrName::new("age")), Some(&Type::Int));
+        assert_eq!(s.atype(&mgr, &AttrName::new("salary")), Some(&Type::Int));
+        assert_eq!(s.atype(&mgr, &AttrName::new("ghost")), None);
+    }
+
+    #[test]
+    fn atypes_inherited_first() {
+        let s = schema();
+        let attrs = s.atypes(&ClassName::new("Employee"));
+        let names: Vec<_> = attrs.iter().map(|(a, _)| a.as_str().to_string()).collect();
+        assert_eq!(names, ["age", "salary"]);
+    }
+
+    #[test]
+    fn mbody_resolves_override() {
+        let s = schema();
+        // Manager inherits Employee's override of greet.
+        let (decl, md) = s.mbody(&ClassName::new("Manager"), &MethodName::new("greet")).unwrap();
+        assert_eq!(decl, ClassName::new("Employee"));
+        assert_eq!(md.body, vec![MStmt::Return(MExpr::Int(2))]);
+        // Person gets its own.
+        let (decl_p, md_p) = s.mbody(&ClassName::new("Person"), &MethodName::new("greet")).unwrap();
+        assert_eq!(decl_p, ClassName::new("Person"));
+        assert_eq!(md_p.body, vec![MStmt::Return(MExpr::Int(1))]);
+    }
+
+    #[test]
+    fn mtype_from_nearest_decl() {
+        let s = schema();
+        let t = s
+            .mtype(&ClassName::new("Manager"), &MethodName::new("greet"))
+            .unwrap();
+        assert_eq!(t, FnType::new(vec![], Type::Int));
+        assert!(s.mtype(&ClassName::new("Person"), &MethodName::new("none")).is_none());
+    }
+
+    #[test]
+    fn params_preserved_in_mtype() {
+        let s = Schema::new(vec![ClassDef::new(
+            "C",
+            ClassName::object(),
+            "Cs",
+            [],
+            [MethodDef::new(
+                "m",
+                [(VarName::new("x"), Type::Int), (VarName::new("y"), Type::Bool)],
+                Type::Bool,
+                vec![MStmt::Return(MExpr::Bool(true))],
+            )],
+        )])
+        .unwrap();
+        let t = s.mtype(&ClassName::new("C"), &MethodName::new("m")).unwrap();
+        assert_eq!(t.params, vec![Type::Int, Type::Bool]);
+        assert_eq!(t.result, Type::Bool);
+    }
+}

@@ -1,0 +1,518 @@
+//! Object schemas and their well-formedness conditions.
+
+use crate::error::SchemaError;
+use ioql_ast::{ClassDef, ClassName, ExtentName, Type};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Design-space options for the data model. The paper repeatedly points
+/// out that a formal treatment "allows us to consider the design space of
+/// various features"; these flags reify the choices it discusses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SchemaOptions {
+    /// ODMG semantics where a subclass object is also a member of every
+    /// superclass extent. The paper's `(New)` rule adds the fresh object
+    /// to *its own* class extent only, so this defaults to `false`. When
+    /// `true`, `new C` adds to all superclass extents and the effect
+    /// analysis must treat `A(C)` as interfering with `R(C')` for every
+    /// superclass `C'` (see `ioql-effects`).
+    pub inherited_extents: bool,
+    /// Width subtyping between record types (paper Note 3): a record with
+    /// *more* labels is a subtype of one with fewer. Off by default — the
+    /// paper's Figure gives depth subtyping only.
+    pub width_subtyping: bool,
+}
+
+/// A validated object schema: a collection of class definitions that
+/// passed the well-formedness conditions, plus derived lookup tables.
+///
+/// The paper's typing environment component `E` — "a partial function from
+/// extent names to their class" — is [`Schema::extent_class`] /
+/// [`Schema::extents`].
+#[derive(Clone, Debug)]
+pub struct Schema {
+    classes: BTreeMap<ClassName, ClassDef>,
+    /// E: extent name → class name.
+    extent_to_class: BTreeMap<ExtentName, ClassName>,
+    options: SchemaOptions,
+}
+
+impl Schema {
+    /// Validates a collection of class definitions, producing a schema or
+    /// the first well-formedness violation found.
+    pub fn new(defs: impl IntoIterator<Item = ClassDef>) -> Result<Schema, SchemaError> {
+        Schema::with_options(defs, SchemaOptions::default())
+    }
+
+    /// As [`Schema::new`] with explicit design-space options.
+    pub fn with_options(
+        defs: impl IntoIterator<Item = ClassDef>,
+        options: SchemaOptions,
+    ) -> Result<Schema, SchemaError> {
+        let mut classes: BTreeMap<ClassName, ClassDef> = BTreeMap::new();
+        for cd in defs {
+            if cd.name.is_object() {
+                return Err(SchemaError::RedefinesObject);
+            }
+            if classes.insert(cd.name.clone(), cd.clone()).is_some() {
+                return Err(SchemaError::DuplicateClass(cd.name));
+            }
+        }
+
+        // Parents exist.
+        for cd in classes.values() {
+            if !cd.parent.is_object() && !classes.contains_key(&cd.parent) {
+                return Err(SchemaError::UnknownParent {
+                    class: cd.name.clone(),
+                    parent: cd.parent.clone(),
+                });
+            }
+        }
+
+        // Acyclicity: walk each chain; it must reach Object within |classes|
+        // steps.
+        for cd in classes.values() {
+            let mut cur = cd.name.clone();
+            for _ in 0..=classes.len() {
+                if cur.is_object() {
+                    break;
+                }
+                cur = classes[&cur].parent.clone();
+            }
+            if !cur.is_object() {
+                return Err(SchemaError::InheritanceCycle(cd.name.clone()));
+            }
+        }
+
+        // Unique extents.
+        let mut extent_to_class = BTreeMap::new();
+        for cd in classes.values() {
+            if extent_to_class
+                .insert(cd.extent.clone(), cd.name.clone())
+                .is_some()
+            {
+                return Err(SchemaError::DuplicateExtent(cd.extent.clone()));
+            }
+        }
+
+        let schema = Schema {
+            classes,
+            extent_to_class,
+            options,
+        };
+        schema.check_members()?;
+        Ok(schema)
+    }
+
+    /// Member conditions: attribute types are φ over declared classes; no
+    /// duplicate/shadowed attributes; method signatures are φ; overrides
+    /// are invariant.
+    fn check_members(&self) -> Result<(), SchemaError> {
+        let type_ok = |t: &Type| -> bool {
+            match t {
+                Type::Int | Type::Bool => true,
+                Type::Class(c) => c.is_object() || self.classes.contains_key(c),
+                _ => false,
+            }
+        };
+        for cd in self.classes.values() {
+            // Attributes declared here must not clash with each other or
+            // with any inherited attribute.
+            let mut inherited: BTreeSet<_> = BTreeSet::new();
+            for anc in self.proper_superclasses(&cd.name) {
+                if let Some(anc_def) = self.classes.get(&anc) {
+                    for ad in &anc_def.attrs {
+                        inherited.insert(ad.name.clone());
+                    }
+                }
+            }
+            let mut seen = BTreeSet::new();
+            for ad in &cd.attrs {
+                if !seen.insert(ad.name.clone()) || inherited.contains(&ad.name) {
+                    return Err(SchemaError::DuplicateAttr {
+                        class: cd.name.clone(),
+                        attr: ad.name.clone(),
+                    });
+                }
+                if !type_ok(&ad.ty) {
+                    return Err(SchemaError::BadAttrType {
+                        class: cd.name.clone(),
+                        attr: ad.name.clone(),
+                        ty: ad.ty.clone(),
+                    });
+                }
+            }
+            // Methods.
+            let mut mseen = BTreeSet::new();
+            for md in &cd.methods {
+                if !mseen.insert(md.name.clone()) {
+                    return Err(SchemaError::DuplicateMethod {
+                        class: cd.name.clone(),
+                        method: md.name.clone(),
+                    });
+                }
+                for (_, t) in &md.params {
+                    if !type_ok(t) {
+                        return Err(SchemaError::BadMethodType {
+                            class: cd.name.clone(),
+                            method: md.name.clone(),
+                            ty: t.clone(),
+                        });
+                    }
+                }
+                if !type_ok(&md.ret) {
+                    return Err(SchemaError::BadMethodType {
+                        class: cd.name.clone(),
+                        method: md.name.clone(),
+                        ty: md.ret.clone(),
+                    });
+                }
+                let mut pseen = BTreeSet::new();
+                for (x, _) in &md.params {
+                    if !pseen.insert(x.clone()) {
+                        return Err(SchemaError::DuplicateParam {
+                            class: cd.name.clone(),
+                            method: md.name.clone(),
+                        });
+                    }
+                }
+                // Invariant overriding: if any proper superclass declares
+                // m, the signatures must match exactly.
+                for anc in self.proper_superclasses(&cd.name) {
+                    let Some(anc_def) = self.classes.get(&anc) else {
+                        continue;
+                    };
+                    if let Some(sup) = anc_def.method(&md.name) {
+                        let same = sup.ret == md.ret
+                            && sup.params.len() == md.params.len()
+                            && sup
+                                .params
+                                .iter()
+                                .zip(&md.params)
+                                .all(|((_, a), (_, b))| a == b);
+                        if !same {
+                            return Err(SchemaError::BadOverride {
+                                class: cd.name.clone(),
+                                method: md.name.clone(),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The design-space options this schema was validated with.
+    pub fn options(&self) -> SchemaOptions {
+        self.options
+    }
+
+    /// The class definition for `c`, if declared (`Object` is built in and
+    /// has no definition).
+    pub fn class(&self, c: &ClassName) -> Option<&ClassDef> {
+        self.classes.get(c)
+    }
+
+    /// Whether `c` is a known class (including the built-in `Object`).
+    pub fn is_class(&self, c: &ClassName) -> bool {
+        c.is_object() || self.classes.contains_key(c)
+    }
+
+    /// All declared classes, in name order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// The paper's `E`: the class whose extent is `e`.
+    pub fn extent_class(&self, e: &ExtentName) -> Option<&ClassName> {
+        self.extent_to_class.get(e)
+    }
+
+    /// All extents with their classes, in extent-name order.
+    pub fn extents(&self) -> impl Iterator<Item = (&ExtentName, &ClassName)> {
+        self.extent_to_class.iter()
+    }
+
+    /// The extent name of class `c`.
+    pub fn extent_of(&self, c: &ClassName) -> Option<&ExtentName> {
+        self.classes.get(c).map(|cd| &cd.extent)
+    }
+
+    /// The declared superclass of `c` (`None` for `Object` and unknown
+    /// classes).
+    pub fn parent(&self, c: &ClassName) -> Option<&ClassName> {
+        self.classes.get(c).map(|cd| &cd.parent)
+    }
+
+    /// The *proper* superclasses of `c`, nearest first, ending with
+    /// `Object`.
+    pub fn proper_superclasses(&self, c: &ClassName) -> Vec<ClassName> {
+        let mut out = Vec::new();
+        let mut cur = c.clone();
+        while let Some(p) = self.parent(&cur) {
+            out.push(p.clone());
+            if p.is_object() {
+                break;
+            }
+            cur = p.clone();
+        }
+        if out.is_empty() && !c.is_object() {
+            // Unknown class: no chain.
+        }
+        out
+    }
+
+    /// The reflexive-transitive `extends` relation: is `sub` a subclass of
+    /// (or equal to) `sup`? `Object` is above every known class.
+    pub fn extends(&self, sub: &ClassName, sup: &ClassName) -> bool {
+        if sub == sup {
+            return self.is_class(sub);
+        }
+        if sup.is_object() {
+            return self.is_class(sub);
+        }
+        let mut cur = sub.clone();
+        while let Some(p) = self.parent(&cur) {
+            if p == sup {
+                return true;
+            }
+            if p.is_object() {
+                return false;
+            }
+            cur = p.clone();
+        }
+        false
+    }
+
+    /// The extents a `new C` must be added to: just `C`'s extent under the
+    /// paper's rule, or the whole superclass chain's extents under the
+    /// ODMG `inherited_extents` option.
+    pub fn extents_for_new(&self, c: &ClassName) -> Vec<ExtentName> {
+        let mut out = Vec::new();
+        if let Some(e) = self.extent_of(c) {
+            out.push(e.clone());
+        }
+        if self.options.inherited_extents {
+            for anc in self.proper_superclasses(c) {
+                if let Some(e) = self.extent_of(&anc) {
+                    out.push(e.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::{AttrDef, MethodDef, VarName};
+
+    fn person_employee() -> Vec<ClassDef> {
+        vec![
+            ClassDef::plain(
+                "Person",
+                ClassName::object(),
+                "Persons",
+                [AttrDef::new("age", Type::Int)],
+            ),
+            ClassDef::new(
+                "Employee",
+                "Person",
+                "Employees",
+                [AttrDef::new("salary", Type::Int)],
+                [MethodDef::new(
+                    "NetSalary",
+                    [(VarName::new("rate"), Type::Int)],
+                    Type::Int,
+                    vec![],
+                )],
+            ),
+        ]
+    }
+
+    #[test]
+    fn valid_schema_accepted() {
+        let s = Schema::new(person_employee()).unwrap();
+        assert!(s.is_class(&ClassName::new("Person")));
+        assert!(s.is_class(&ClassName::object()));
+        assert!(!s.is_class(&ClassName::new("Nope")));
+        assert_eq!(
+            s.extent_class(&ExtentName::new("Employees")),
+            Some(&ClassName::new("Employee"))
+        );
+    }
+
+    #[test]
+    fn extends_is_reflexive_transitive() {
+        let s = Schema::new(person_employee()).unwrap();
+        let e = ClassName::new("Employee");
+        let p = ClassName::new("Person");
+        assert!(s.extends(&e, &e));
+        assert!(s.extends(&e, &p));
+        assert!(s.extends(&e, &ClassName::object()));
+        assert!(!s.extends(&p, &e));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut defs = person_employee();
+        defs.push(defs[0].clone());
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::DuplicateClass(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let defs = vec![ClassDef::plain("A", "Ghost", "As", [])];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let defs = vec![
+            ClassDef::plain("A", "B", "As", []),
+            ClassDef::plain("B", "A", "Bs", []),
+        ];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::InheritanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_extent_rejected() {
+        let defs = vec![
+            ClassDef::plain("A", ClassName::object(), "Xs", []),
+            ClassDef::plain("B", ClassName::object(), "Xs", []),
+        ];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::DuplicateExtent(_))
+        ));
+    }
+
+    #[test]
+    fn shadowed_attr_rejected() {
+        let defs = vec![
+            ClassDef::plain(
+                "A",
+                ClassName::object(),
+                "As",
+                [AttrDef::new("x", Type::Int)],
+            ),
+            ClassDef::plain("B", "A", "Bs", [AttrDef::new("x", Type::Int)]),
+        ];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::DuplicateAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn set_typed_attr_rejected() {
+        // Paper Note 1: only φ types in class definitions.
+        let defs = vec![ClassDef::plain(
+            "A",
+            ClassName::object(),
+            "As",
+            [AttrDef::new("xs", Type::set(Type::Int))],
+        )];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::BadAttrType { .. })
+        ));
+    }
+
+    #[test]
+    fn covariant_override_rejected() {
+        let defs = vec![
+            ClassDef::new(
+                "A",
+                ClassName::object(),
+                "As",
+                [],
+                [MethodDef::new("m", [], Type::Int, vec![])],
+            ),
+            ClassDef::new(
+                "B",
+                "A",
+                "Bs",
+                [],
+                [MethodDef::new("m", [], Type::Bool, vec![])],
+            ),
+        ];
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::BadOverride { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_override_accepted() {
+        let defs = vec![
+            ClassDef::new(
+                "A",
+                ClassName::object(),
+                "As",
+                [],
+                [MethodDef::new("m", [], Type::Int, vec![])],
+            ),
+            ClassDef::new(
+                "B",
+                "A",
+                "Bs",
+                [],
+                [MethodDef::new("m", [], Type::Int, vec![])],
+            ),
+        ];
+        assert!(Schema::new(defs).is_ok());
+    }
+
+    #[test]
+    fn object_redefinition_rejected() {
+        let defs = vec![ClassDef::plain(
+            "Object",
+            ClassName::object(),
+            "Objects",
+            [],
+        )];
+        assert!(matches!(Schema::new(defs), Err(SchemaError::RedefinesObject)));
+    }
+
+    #[test]
+    fn extents_for_new_follows_option() {
+        let s = Schema::new(person_employee()).unwrap();
+        let e = ClassName::new("Employee");
+        assert_eq!(s.extents_for_new(&e), vec![ExtentName::new("Employees")]);
+
+        let s2 = Schema::with_options(
+            person_employee(),
+            SchemaOptions {
+                inherited_extents: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            s2.extents_for_new(&e),
+            vec![ExtentName::new("Employees"), ExtentName::new("Persons")]
+        );
+    }
+
+    #[test]
+    fn proper_superclasses_chain() {
+        let s = Schema::new(person_employee()).unwrap();
+        let chain = s.proper_superclasses(&ClassName::new("Employee"));
+        assert_eq!(
+            chain,
+            vec![ClassName::new("Person"), ClassName::object()]
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The subtype relation σ ≤ σ' of paper §3.2, and its (partial) least
+//! upper bound.
+//!
+//! The paper's rules: class subtyping from `extends`, reflexivity,
+//! transitivity, and depth subtyping on records. Two engineering
+//! additions:
+//!
+//! * **Covariant set subtyping** `set(σ) ≤ set(σ')` when `σ ≤ σ'`. The
+//!   paper's §4 example intersects `Persons` with `Employees` — typable
+//!   only if set types relate covariantly (sound here because query
+//!   results are immutable). The rule is the evident one the short paper
+//!   elides.
+//! * **`⊥ ≤ σ` for every σ**, supporting the `set(⊥)` type of `{}` (see
+//!   `ioql-ast::types`).
+//!
+//! Width subtyping on records (paper Note 3) is available behind
+//! [`SchemaOptions::width_subtyping`](crate::SchemaOptions).
+//!
+//! The paper's §1 makes a point of lubs being *partial* in general (ODMG
+//! classes + interfaces); with single inheritance a lub of two *classes*
+//! always exists (`Object` tops the hierarchy) but e.g.
+//! `lub(int, bool)` or `lub(int, set(int))` does not — [`Schema::lub`]
+//! returns `None` there, and the conditional typing rule reports it.
+
+use crate::schema::Schema;
+use ioql_ast::{ClassName, Type};
+use std::collections::BTreeMap;
+
+impl Schema {
+    /// The subtype relation σ ≤ σ'.
+    pub fn subtype(&self, a: &Type, b: &Type) -> bool {
+        match (a, b) {
+            (Type::Bottom, _) => true,
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) => true,
+            (Type::Class(c1), Type::Class(c2)) => self.extends(c1, c2),
+            (Type::Set(t1), Type::Set(t2)) => self.subtype(t1, t2),
+            (Type::Record(f1), Type::Record(f2)) => {
+                let width = self.options().width_subtyping;
+                // Every label demanded by the supertype must be present at
+                // a subtype; without width subtyping the label sets must
+                // coincide.
+                if !width && f1.len() != f2.len() {
+                    return false;
+                }
+                f2.iter().all(|(l, t2)| match f1.get(l) {
+                    Some(t1) => self.subtype(t1, t2),
+                    None => false,
+                })
+            }
+            _ => false,
+        }
+    }
+
+    /// The least common superclass of two classes. Always defined for
+    /// known classes (single inheritance; `Object` at the top).
+    pub fn class_lub(&self, a: &ClassName, b: &ClassName) -> Option<ClassName> {
+        if !self.is_class(a) || !self.is_class(b) {
+            return None;
+        }
+        // Chain of a (inclusive), nearest first.
+        let mut a_chain = vec![a.clone()];
+        a_chain.extend(self.proper_superclasses(a));
+        if a.is_object() {
+            a_chain = vec![ClassName::object()];
+        }
+        let mut b_chain = vec![b.clone()];
+        b_chain.extend(self.proper_superclasses(b));
+        if b.is_object() {
+            b_chain = vec![ClassName::object()];
+        }
+        a_chain.into_iter().find(|c| b_chain.contains(c))
+    }
+
+    /// The partial least upper bound of two types.
+    pub fn lub(&self, a: &Type, b: &Type) -> Option<Type> {
+        match (a, b) {
+            (Type::Bottom, t) | (t, Type::Bottom) => Some(t.clone()),
+            (Type::Int, Type::Int) => Some(Type::Int),
+            (Type::Bool, Type::Bool) => Some(Type::Bool),
+            (Type::Class(c1), Type::Class(c2)) => self.class_lub(c1, c2).map(Type::Class),
+            (Type::Set(t1), Type::Set(t2)) => self.lub(t1, t2).map(Type::set),
+            (Type::Record(f1), Type::Record(f2)) => {
+                let width = self.options().width_subtyping;
+                if width {
+                    // Labels common to both; pointwise lub must exist for
+                    // each retained label.
+                    let mut out = BTreeMap::new();
+                    for (l, t1) in f1 {
+                        if let Some(t2) = f2.get(l) {
+                            out.insert(l.clone(), self.lub(t1, t2)?);
+                        }
+                    }
+                    Some(Type::Record(out))
+                } else {
+                    if f1.len() != f2.len() || !f1.keys().eq(f2.keys()) {
+                        return None;
+                    }
+                    let mut out = BTreeMap::new();
+                    for (l, t1) in f1 {
+                        out.insert(l.clone(), self.lub(t1, &f2[l])?);
+                    }
+                    Some(Type::Record(out))
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaOptions;
+    use ioql_ast::ClassDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::plain("Person", ClassName::object(), "Persons", []),
+            ClassDef::plain("Employee", "Person", "Employees", []),
+            ClassDef::plain("Customer", "Person", "Customers", []),
+            ClassDef::plain("Robot", ClassName::object(), "Robots", []),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn class_subtyping_follows_extends() {
+        let s = schema();
+        assert!(s.subtype(&Type::class("Employee"), &Type::class("Person")));
+        assert!(s.subtype(&Type::class("Employee"), &Type::Class(ClassName::object())));
+        assert!(!s.subtype(&Type::class("Person"), &Type::class("Employee")));
+        assert!(!s.subtype(&Type::class("Robot"), &Type::class("Person")));
+    }
+
+    #[test]
+    fn reflexivity() {
+        let s = schema();
+        for t in [
+            Type::Int,
+            Type::Bool,
+            Type::class("Person"),
+            Type::set(Type::class("Employee")),
+            Type::record([("a", Type::Int)]),
+        ] {
+            assert!(s.subtype(&t, &t), "{t} ≤ {t} should hold");
+        }
+    }
+
+    #[test]
+    fn set_covariance() {
+        let s = schema();
+        assert!(s.subtype(
+            &Type::set(Type::class("Employee")),
+            &Type::set(Type::class("Person"))
+        ));
+        assert!(!s.subtype(
+            &Type::set(Type::class("Person")),
+            &Type::set(Type::class("Employee"))
+        ));
+    }
+
+    #[test]
+    fn record_depth_subtyping() {
+        let s = schema();
+        let sub = Type::record([("who", Type::class("Employee")), ("n", Type::Int)]);
+        let sup = Type::record([("who", Type::class("Person")), ("n", Type::Int)]);
+        assert!(s.subtype(&sub, &sup));
+        // Different label sets: unrelated without width subtyping.
+        let wider = Type::record([
+            ("who", Type::class("Employee")),
+            ("n", Type::Int),
+            ("extra", Type::Bool),
+        ]);
+        assert!(!s.subtype(&wider, &sup));
+    }
+
+    #[test]
+    fn record_width_subtyping_opt_in() {
+        let defs = vec![ClassDef::plain("A", ClassName::object(), "As", [])];
+        let s = Schema::with_options(
+            defs,
+            SchemaOptions {
+                width_subtyping: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let wider = Type::record([("a", Type::Int), ("b", Type::Bool)]);
+        let narrower = Type::record([("a", Type::Int)]);
+        assert!(s.subtype(&wider, &narrower));
+        assert!(!s.subtype(&narrower, &wider));
+    }
+
+    #[test]
+    fn bottom_below_everything() {
+        let s = schema();
+        assert!(s.subtype(&Type::Bottom, &Type::Int));
+        assert!(s.subtype(&Type::set(Type::Bottom), &Type::set(Type::class("Person"))));
+        assert!(!s.subtype(&Type::Int, &Type::Bottom));
+    }
+
+    #[test]
+    fn class_lub_least_common_ancestor() {
+        let s = schema();
+        assert_eq!(
+            s.class_lub(&ClassName::new("Employee"), &ClassName::new("Customer")),
+            Some(ClassName::new("Person"))
+        );
+        assert_eq!(
+            s.class_lub(&ClassName::new("Employee"), &ClassName::new("Robot")),
+            Some(ClassName::object())
+        );
+        assert_eq!(
+            s.class_lub(&ClassName::new("Employee"), &ClassName::new("Person")),
+            Some(ClassName::new("Person"))
+        );
+    }
+
+    #[test]
+    fn lub_partiality() {
+        let s = schema();
+        assert_eq!(s.lub(&Type::Int, &Type::Bool), None);
+        assert_eq!(s.lub(&Type::Int, &Type::set(Type::Int)), None);
+        assert_eq!(
+            s.lub(
+                &Type::record([("a", Type::Int)]),
+                &Type::record([("b", Type::Int)])
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn lub_structural() {
+        let s = schema();
+        assert_eq!(
+            s.lub(
+                &Type::set(Type::class("Employee")),
+                &Type::set(Type::class("Customer"))
+            ),
+            Some(Type::set(Type::class("Person")))
+        );
+        assert_eq!(
+            s.lub(&Type::Bottom, &Type::class("Person")),
+            Some(Type::class("Person"))
+        );
+        assert_eq!(
+            s.lub(
+                &Type::record([("x", Type::class("Employee"))]),
+                &Type::record([("x", Type::class("Robot"))])
+            ),
+            Some(Type::record([("x", Type::Class(ClassName::object()))]))
+        );
+    }
+
+    #[test]
+    fn lub_agrees_with_subtype() {
+        // lub(a, b) = c implies a ≤ c and b ≤ c.
+        let s = schema();
+        let cases = [
+            (Type::class("Employee"), Type::class("Customer")),
+            (Type::set(Type::class("Employee")), Type::set(Type::class("Person"))),
+            (Type::Int, Type::Int),
+        ];
+        for (a, b) in cases {
+            let c = s.lub(&a, &b).unwrap();
+            assert!(s.subtype(&a, &c));
+            assert!(s.subtype(&b, &c));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Order-theoretic laws of the subtype relation σ ≤ σ' and its partial
+//! least upper bound — the paper's §3.2 rules state reflexivity and
+//! transitivity outright; antisymmetry and the lub's universal property
+//! follow from the implementation and are checked here over generated
+//! types.
+
+use ioql_ast::{ClassDef, ClassName, Type};
+use ioql_schema::Schema;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    // A small diamond-free hierarchy plus an unrelated chain:
+    //   Object ─ A ─ B ─ D,  A ─ C,  Object ─ X
+    Schema::new(vec![
+        ClassDef::plain("A", ClassName::object(), "As", []),
+        ClassDef::plain("B", "A", "Bs", []),
+        ClassDef::plain("C", "A", "Cs", []),
+        ClassDef::plain("D", "B", "Ds", []),
+        ClassDef::plain("X", ClassName::object(), "Xs", []),
+    ])
+    .unwrap()
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let class = prop_oneof![
+        Just(Type::class("A")),
+        Just(Type::class("B")),
+        Just(Type::class("C")),
+        Just(Type::class("D")),
+        Just(Type::class("X")),
+        Just(Type::Class(ClassName::object())),
+    ];
+    let leaf = prop_oneof![
+        Just(Type::Int),
+        Just(Type::Bool),
+        Just(Type::Bottom),
+        class
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::set),
+            prop::collection::btree_map(
+                prop_oneof![Just("l1".to_string()), Just("l2".to_string())],
+                inner,
+                0..3
+            )
+            .prop_map(|m| Type::record(m.into_iter())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn subtype_reflexive(t in arb_type()) {
+        let s = schema();
+        prop_assert!(s.subtype(&t, &t));
+    }
+
+    #[test]
+    fn subtype_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+        let s = schema();
+        if s.subtype(&a, &b) && s.subtype(&b, &c) {
+            prop_assert!(s.subtype(&a, &c), "{a} ≤ {b} ≤ {c} but not {a} ≤ {c}");
+        }
+    }
+
+    #[test]
+    fn subtype_antisymmetric(a in arb_type(), b in arb_type()) {
+        let s = schema();
+        if s.subtype(&a, &b) && s.subtype(&b, &a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bottom_is_least(t in arb_type()) {
+        let s = schema();
+        prop_assert!(s.subtype(&Type::Bottom, &t));
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound(a in arb_type(), b in arb_type()) {
+        let s = schema();
+        if let Some(j) = s.lub(&a, &b) {
+            prop_assert!(s.subtype(&a, &j), "lub({a},{b}) = {j} not above {a}");
+            prop_assert!(s.subtype(&b, &j));
+        }
+    }
+
+    #[test]
+    fn lub_is_least_among_sampled_bounds(a in arb_type(), b in arb_type(), c in arb_type()) {
+        let s = schema();
+        if let Some(j) = s.lub(&a, &b) {
+            if s.subtype(&a, &c) && s.subtype(&b, &c) {
+                prop_assert!(s.subtype(&j, &c), "lub({a},{b}) = {j} ⊀ bound {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn lub_commutative_and_idempotent(a in arb_type(), b in arb_type()) {
+        let s = schema();
+        prop_assert_eq!(s.lub(&a, &b), s.lub(&b, &a));
+        prop_assert_eq!(s.lub(&a, &a), Some(a.clone()));
+    }
+
+    #[test]
+    fn lub_absorbs_subtypes(a in arb_type(), b in arb_type()) {
+        let s = schema();
+        if s.subtype(&a, &b) {
+            prop_assert_eq!(s.lub(&a, &b), Some(b.clone()));
+        }
+    }
+
+    #[test]
+    fn lub_defined_iff_common_bound_exists(a in arb_type(), b in arb_type()) {
+        // With single inheritance the hierarchy is a forest + Object top,
+        // so two types have a lub exactly when they have any common
+        // supertype among the sampled candidates; in particular lub(None)
+        // must mean no candidate bounds both.
+        let s = schema();
+        if s.lub(&a, &b).is_none() {
+            for c in [
+                Type::Int,
+                Type::Bool,
+                Type::Class(ClassName::object()),
+                Type::set(Type::Class(ClassName::object())),
+            ] {
+                prop_assert!(
+                    !(s.subtype(&a, &c) && s.subtype(&b, &c)),
+                    "lub({a},{b}) undefined yet {c} bounds both"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_covariance_consistent(a in arb_type(), b in arb_type()) {
+        let s = schema();
+        prop_assert_eq!(
+            s.subtype(&Type::set(a.clone()), &Type::set(b.clone())),
+            s.subtype(&a, &b)
+        );
+    }
+}
+
+#[test]
+fn class_lub_is_nearest_common_ancestor() {
+    let s = schema();
+    let lub = |x: &str, y: &str| {
+        s.class_lub(&ClassName::new(x), &ClassName::new(y))
+            .unwrap()
+            .as_str()
+            .to_string()
+    };
+    assert_eq!(lub("B", "C"), "A");
+    assert_eq!(lub("D", "C"), "A");
+    assert_eq!(lub("D", "B"), "B");
+    assert_eq!(lub("D", "X"), "Object");
+    assert_eq!(lub("A", "A"), "A");
+}

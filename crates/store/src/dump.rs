@@ -1,0 +1,277 @@
+//! Store persistence: a compact, human-readable text format.
+//!
+//! The data model restricts attribute values to φ types (`int`, `bool`,
+//! object references — paper Note 1), so a store serialises as one line
+//! per object:
+//!
+//! ```text
+//! ioql-store v1
+//! @0 P name=1
+//! @1 P name=2
+//! @2 F name=0 pal=@0
+//! ```
+//!
+//! Extent membership is *not* stored: it is reconstructed from each
+//! object's class through the schema on load (which also revalidates
+//! class and attribute names). Oids are preserved verbatim so external
+//! references remain stable; the allocator resumes above the maximum.
+
+use crate::env::Object;
+use crate::store::Store;
+use ioql_ast::{AttrName, ClassName, Oid, Value};
+use std::fmt;
+
+/// A failure while parsing a store dump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DumpError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store dump, line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DumpError> {
+    Err(DumpError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Serialises the store's objects (extents are derivable — see module
+/// docs).
+pub fn dump_store(store: &Store) -> String {
+    let mut out = String::from("ioql-store v1\n");
+    for (o, obj) in store.objects.iter() {
+        out.push_str(&format!("{o} {}", obj.class));
+        for (a, v) in &obj.attrs {
+            let rendered = match v {
+                Value::Int(i) => i.to_string(),
+                Value::Bool(b) => b.to_string(),
+                Value::Oid(p) => p.to_string(),
+                // Unreachable for schema-conformant stores; kept total so
+                // dumps never panic on hand-built test stores.
+                other => format!("<{other}>"),
+            };
+            out.push_str(&format!(" {a}={rendered}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reconstructs a store from a dump, validating against the schema:
+/// every class must exist, every attribute must be declared (at its
+/// class or an ancestor), and object references must resolve. Extent
+/// membership is rebuilt via `extents_for_new` (so the schema's
+/// `inherited_extents` option applies).
+pub fn load_store(schema: &ioql_schema::Schema, text: &str) -> Result<Store, DumpError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "ioql-store v1")) => {}
+        _ => return err(1, "missing `ioql-store v1` header"),
+    }
+    let mut store = Store::new();
+    for (e, c) in schema.extents() {
+        store.declare_extent(e.clone(), c.clone());
+    }
+    type PendingObject = (usize, Oid, ClassName, Vec<(AttrName, Value)>);
+    let mut max_oid = 0u64;
+    let mut pending: Vec<PendingObject> = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let oid_txt = parts.next().unwrap_or_default();
+        let oid = parse_oid(oid_txt)
+            .ok_or(())
+            .or_else(|_| err(lineno, format!("bad oid `{oid_txt}`")))?;
+        let class_txt = parts
+            .next()
+            .ok_or(())
+            .or_else(|_| err(lineno, "missing class name"))?;
+        let class = ClassName::new(class_txt);
+        if schema.class(&class).is_none() {
+            return err(lineno, format!("unknown class `{class}`"));
+        }
+        let mut attrs = Vec::new();
+        for kv in parts {
+            let Some((a, v)) = kv.split_once('=') else {
+                return err(lineno, format!("expected attr=value, found `{kv}`"));
+            };
+            let attr = AttrName::new(a);
+            if schema.atype(&class, &attr).is_none() {
+                return err(lineno, format!("class `{class}` has no attribute `{a}`"));
+            }
+            let value = if v == "true" {
+                Value::Bool(true)
+            } else if v == "false" {
+                Value::Bool(false)
+            } else if let Some(o) = parse_oid(v) {
+                Value::Oid(o)
+            } else if let Ok(i) = v.parse::<i64>() {
+                Value::Int(i)
+            } else {
+                return err(lineno, format!("bad value `{v}`"));
+            };
+            attrs.push((attr, value));
+        }
+        max_oid = max_oid.max(oid.raw() + 1);
+        pending.push((lineno, oid, class, attrs));
+    }
+    // Insert all objects, then validate references (forward refs are
+    // legal) and rebuild extents.
+    for (_, oid, class, attrs) in &pending {
+        if store.objects.contains(*oid) {
+            return err(0, format!("duplicate oid {oid}"));
+        }
+        store
+            .objects
+            .insert(*oid, Object::new(class.clone(), attrs.clone()));
+    }
+    for (lineno, oid, class, attrs) in &pending {
+        for (a, v) in attrs {
+            if let Value::Oid(target) = v {
+                if !store.objects.contains(*target) {
+                    return err(
+                        *lineno,
+                        format!("object {oid} attribute `{a}` references missing {target}"),
+                    );
+                }
+            }
+        }
+        for e in schema.extents_for_new(class) {
+            store.extents.add(&e, *oid);
+        }
+    }
+    // Resume oid allocation above everything loaded.
+    store.bump_oid_floor(max_oid);
+    Ok(store)
+}
+
+fn parse_oid(s: &str) -> Option<Oid> {
+    s.strip_prefix('@')
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(Oid::from_raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::ClassDef;
+    use ioql_schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::plain(
+                "P",
+                ClassName::object(),
+                "Ps",
+                [ioql_ast::AttrDef::new("name", ioql_ast::Type::Int)],
+            ),
+            ClassDef::plain(
+                "F",
+                ClassName::object(),
+                "Fs",
+                [
+                    ioql_ast::AttrDef::new("name", ioql_ast::Type::Int),
+                    ioql_ast::AttrDef::new("pal", ioql_ast::Type::class("P")),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn sample_store(schema: &Schema) -> Store {
+        let mut store = Store::new();
+        for (e, c) in schema.extents() {
+            store.declare_extent(e.clone(), c.clone());
+        }
+        let p = store
+            .create(
+                Object::new("P", [("name", Value::Int(1))]),
+                [ioql_ast::ExtentName::new("Ps")],
+            )
+            .unwrap();
+        store
+            .create(
+                Object::new("F", [("name", Value::Int(0)), ("pal", Value::Oid(p))]),
+                [ioql_ast::ExtentName::new("Fs")],
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn roundtrip() {
+        let schema = schema();
+        let store = sample_store(&schema);
+        let text = dump_store(&store);
+        let loaded = load_store(&schema, &text).unwrap();
+        assert_eq!(store.objects, loaded.objects);
+        assert_eq!(store.extents, loaded.extents);
+        // Fresh oids resume above loaded ones.
+        let mut l2 = loaded;
+        let fresh = l2.fresh_oid();
+        assert!(!l2.objects.contains(fresh));
+        assert!(fresh.raw() >= 2);
+    }
+
+    #[test]
+    fn header_required() {
+        let schema = schema();
+        assert!(load_store(&schema, "@0 P name=1\n").is_err());
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let schema = schema();
+        let r = load_store(&schema, "ioql-store v1\n@0 Ghost name=1\n");
+        assert!(r.unwrap_err().message.contains("unknown class"));
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let schema = schema();
+        let r = load_store(&schema, "ioql-store v1\n@0 P ghost=1\n");
+        assert!(r.unwrap_err().message.contains("no attribute"));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let schema = schema();
+        let r = load_store(&schema, "ioql-store v1\n@0 F name=0 pal=@9\n");
+        assert!(r.unwrap_err().message.contains("missing @9"));
+    }
+
+    #[test]
+    fn forward_references_ok() {
+        let schema = schema();
+        let text = "ioql-store v1\n@5 F name=0 pal=@9\n@9 P name=1\n";
+        let loaded = load_store(&schema, text).unwrap();
+        assert_eq!(loaded.objects.len(), 2);
+        assert!(loaded
+            .extents
+            .members(&ioql_ast::ExtentName::new("Fs"))
+            .unwrap()
+            .contains(&Oid::from_raw(5)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let schema = schema();
+        let text = "ioql-store v1\n\n# a comment\n@0 P name=3\n";
+        let loaded = load_store(&schema, text).unwrap();
+        assert_eq!(loaded.objects.len(), 1);
+    }
+}

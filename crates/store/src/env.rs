@@ -1,0 +1,209 @@
+//! The extent and object environments of paper §3.3.
+
+use ioql_ast::{AttrName, ClassName, ExtentName, Oid, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The runtime representation of an object, written
+/// `≪C, a₁: v₁, …, a_k: v_k≫` in the paper: its dynamic class and the
+/// values of all its attributes (inherited included).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Object {
+    /// The dynamic class `C`.
+    pub class: ClassName,
+    /// Attribute values, keyed by attribute name.
+    pub attrs: BTreeMap<AttrName, Value>,
+}
+
+impl Object {
+    /// Builds an object.
+    pub fn new<A: Into<AttrName>>(
+        class: impl Into<ClassName>,
+        attrs: impl IntoIterator<Item = (A, Value)>,
+    ) -> Self {
+        Object {
+            class: class.into(),
+            attrs: attrs.into_iter().map(|(a, v)| (a.into(), v)).collect(),
+        }
+    }
+
+    /// The value of attribute `a`, if present.
+    pub fn attr(&self, a: &AttrName) -> Option<&Value> {
+        self.attrs.get(a)
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<{}", self.class)?;
+        for (a, v) in &self.attrs {
+            write!(f, ", {a}: {v}")?;
+        }
+        write!(f, ">>")
+    }
+}
+
+/// The object environment `OE`: oid ↦ object.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObjectEnv {
+    map: BTreeMap<Oid, Object>,
+}
+
+impl ObjectEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `OE(o)`.
+    pub fn get(&self, o: Oid) -> Option<&Object> {
+        self.map.get(&o)
+    }
+
+    /// Mutable access to an object, for the §5 extended (update) mode.
+    pub fn get_mut(&mut self, o: Oid) -> Option<&mut Object> {
+        self.map.get_mut(&o)
+    }
+
+    /// `OE[o ↦ obj]`. Returns the previous binding, if any (fresh-oid
+    /// discipline means there never is one during evaluation).
+    pub fn insert(&mut self, o: Oid, obj: Object) -> Option<Object> {
+        self.map.insert(o, obj)
+    }
+
+    /// Whether `o` is bound.
+    pub fn contains(&self, o: Oid) -> bool {
+        self.map.contains_key(&o)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates bindings in oid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &Object)> {
+        self.map.iter().map(|(o, obj)| (*o, obj))
+    }
+
+    /// Per-class object counts — used by the equivalence check for
+    /// unreachable objects and by the optimizer's statistics.
+    pub fn class_counts(&self) -> BTreeMap<ClassName, usize> {
+        let mut out = BTreeMap::new();
+        for obj in self.map.values() {
+            *out.entry(obj.class.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// The extent environment `EE`: extent name ↦ (class, set of member oids).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExtentEnv {
+    map: BTreeMap<ExtentName, (ClassName, BTreeSet<Oid>)>,
+}
+
+impl ExtentEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an (initially empty) extent for a class. Overwrites any
+    /// previous declaration of the same name.
+    pub fn declare(&mut self, e: impl Into<ExtentName>, class: impl Into<ClassName>) {
+        self.map.insert(e.into(), (class.into(), BTreeSet::new()));
+    }
+
+    /// `EE(e)`: the class and current members of extent `e`.
+    pub fn get(&self, e: &ExtentName) -> Option<(&ClassName, &BTreeSet<Oid>)> {
+        self.map.get(e).map(|(c, s)| (c, s))
+    }
+
+    /// The member oids of extent `e`.
+    pub fn members(&self, e: &ExtentName) -> Option<&BTreeSet<Oid>> {
+        self.map.get(e).map(|(_, s)| s)
+    }
+
+    /// Adds an oid to extent `e`. Returns `false` if the extent is
+    /// undeclared.
+    pub fn add(&mut self, e: &ExtentName, o: Oid) -> bool {
+        match self.map.get_mut(e) {
+            Some((_, s)) => {
+                s.insert(o);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `e` is declared.
+    pub fn contains(&self, e: &ExtentName) -> bool {
+        self.map.contains_key(e)
+    }
+
+    /// Iterates extents in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ExtentName, &ClassName, &BTreeSet<Oid>)> {
+        self.map.iter().map(|(e, (c, s))| (e, c, s))
+    }
+
+    /// Number of declared extents.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no extents are declared.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_display_and_lookup() {
+        let o = Object::new("P", [("name", Value::Int(1))]);
+        assert_eq!(o.to_string(), "<<P, name: 1>>");
+        assert_eq!(o.attr(&AttrName::new("name")), Some(&Value::Int(1)));
+        assert_eq!(o.attr(&AttrName::new("ghost")), None);
+    }
+
+    #[test]
+    fn object_env_basics() {
+        let mut oe = ObjectEnv::new();
+        let o = Oid::from_raw(1);
+        assert!(oe.insert(o, Object::new("P", [("a", Value::Int(1))])).is_none());
+        assert!(oe.contains(o));
+        assert_eq!(oe.len(), 1);
+        assert_eq!(oe.get(o).unwrap().class, ClassName::new("P"));
+    }
+
+    #[test]
+    fn extent_env_add_and_members() {
+        let mut ee = ExtentEnv::new();
+        ee.declare("Ps", "P");
+        assert!(ee.add(&ExtentName::new("Ps"), Oid::from_raw(3)));
+        assert!(!ee.add(&ExtentName::new("Ghost"), Oid::from_raw(3)));
+        assert_eq!(ee.members(&ExtentName::new("Ps")).unwrap().len(), 1);
+        let (c, _) = ee.get(&ExtentName::new("Ps")).unwrap();
+        assert_eq!(c, &ClassName::new("P"));
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut oe = ObjectEnv::new();
+        oe.insert(Oid::from_raw(1), Object::new("P", Vec::<(&str, Value)>::new()));
+        oe.insert(Oid::from_raw(2), Object::new("P", Vec::<(&str, Value)>::new()));
+        oe.insert(Oid::from_raw(3), Object::new("Q", Vec::<(&str, Value)>::new()));
+        let counts = oe.class_counts();
+        assert_eq!(counts[&ClassName::new("P")], 2);
+        assert_eq!(counts[&ClassName::new("Q")], 1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Equivalence of evaluation outcomes *up to a bijection on oids*.
+//!
+//! Theorems 4, 7 and 8 state determinism results "up to a possible
+//! bijection on the oids": two runs that differ only in which fresh oids
+//! `(New)` happened to mint are considered the same. This module decides
+//! that relation: given two outcomes `(EE, OE, v)` and `(EE', OE', v')`,
+//! it searches for a bijection `∼` with `EE ∼ EE'`, `OE ∼ OE'` and
+//! `v ∼ v'`.
+//!
+//! The matcher is a complete backtracking search in continuation-passing
+//! style: every choice point (which element of one set matches which
+//! element of the other) can be revisited when a *later* goal fails, so a
+//! greedy early pairing never causes a spurious "not equivalent". The
+//! worst case is exponential (sets of interchangeable objects), which is
+//! irrelevant at theorem-checking scale; completeness is what matters —
+//! canonical-form hashing cannot canonicalize arbitrary object graphs
+//! cheaply.
+
+use crate::env::ObjectEnv;
+use crate::store::Store;
+use ioql_ast::{Oid, Value};
+use std::collections::BTreeMap;
+
+/// A terminated evaluation's observable result: the final store and value.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Final store (`EE'`, `OE'`).
+    pub store: Store,
+    /// Final value `v`.
+    pub value: Value,
+}
+
+impl Outcome {
+    /// Builds an outcome.
+    pub fn new(store: Store, value: Value) -> Self {
+        Outcome { store, value }
+    }
+}
+
+type Kont<'m, 'a> = &'m mut dyn FnMut(&mut Matcher<'a>) -> bool;
+
+struct Matcher<'a> {
+    oe1: &'a ObjectEnv,
+    oe2: &'a ObjectEnv,
+    fwd: BTreeMap<Oid, Oid>,
+    bwd: BTreeMap<Oid, Oid>,
+    trail: Vec<Oid>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(oe1: &'a ObjectEnv, oe2: &'a ObjectEnv) -> Self {
+        Matcher {
+            oe1,
+            oe2,
+            fwd: BTreeMap::new(),
+            bwd: BTreeMap::new(),
+            trail: Vec::new(),
+        }
+    }
+
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let o1 = self.trail.pop().expect("trail underflow");
+            if let Some(o2) = self.fwd.remove(&o1) {
+                self.bwd.remove(&o2);
+            }
+        }
+    }
+
+    /// Relates `o1 ∼ o2` and, if the pairing is new, their stored objects,
+    /// then runs the continuation. Leaves any partial trail for the caller
+    /// to roll back on failure.
+    fn pair(&mut self, o1: Oid, o2: Oid, k: Kont<'_, 'a>) -> bool {
+        match (self.fwd.get(&o1), self.bwd.get(&o2)) {
+            (Some(m), _) if *m == o2 => return k(self),
+            (Some(_), _) | (_, Some(_)) => return false,
+            (None, None) => {}
+        }
+        self.fwd.insert(o1, o2);
+        self.bwd.insert(o2, o1);
+        self.trail.push(o1);
+        match (self.oe1.get(o1), self.oe2.get(o2)) {
+            (None, None) => k(self),
+            (Some(a), Some(b)) => {
+                if a.class != b.class
+                    || a.attrs.len() != b.attrs.len()
+                    || !a.attrs.keys().eq(b.attrs.keys())
+                {
+                    return false;
+                }
+                let pairs: Vec<(&Value, &Value)> = a
+                    .attrs
+                    .values()
+                    .zip(b.attrs.values())
+                    .collect();
+                self.match_pairs(&pairs, k)
+            }
+            _ => false,
+        }
+    }
+
+    /// Matches a sequence of value goals, all of which must succeed under
+    /// a single consistent bijection.
+    fn match_pairs(&mut self, pairs: &[(&Value, &Value)], k: Kont<'_, 'a>) -> bool {
+        match pairs.split_first() {
+            None => k(self),
+            Some((&(a, b), rest)) => {
+                let mut kont = |m: &mut Matcher<'a>| m.match_pairs(rest, &mut *k);
+                self.match_v(a, b, &mut kont)
+            }
+        }
+    }
+
+    fn match_v(&mut self, a: &Value, b: &Value, k: Kont<'_, 'a>) -> bool {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => x == y && k(self),
+            (Value::Bool(x), Value::Bool(y)) => x == y && k(self),
+            (Value::Oid(x), Value::Oid(y)) => {
+                let m0 = self.mark();
+                if self.pair(*x, *y, k) {
+                    true
+                } else {
+                    self.rollback(m0);
+                    false
+                }
+            }
+            (Value::Record(x), Value::Record(y)) => {
+                if x.len() != y.len() || !x.keys().eq(y.keys()) {
+                    return false;
+                }
+                let pairs: Vec<(&Value, &Value)> = x.values().zip(y.values()).collect();
+                self.match_pairs(&pairs, k)
+            }
+            (Value::Set(x), Value::Set(y)) => {
+                if x.len() != y.len() {
+                    return false;
+                }
+                let xs: Vec<&Value> = x.iter().collect();
+                let ys: Vec<&Value> = y.iter().collect();
+                let mut used = vec![false; ys.len()];
+                self.match_set(&xs, &ys, &mut used, 0, k)
+            }
+            _ => false,
+        }
+    }
+
+    /// Matches multiset `xs` against `ys` element-by-element with full
+    /// backtracking over the assignment.
+    fn match_set(
+        &mut self,
+        xs: &[&Value],
+        ys: &[&Value],
+        used: &mut Vec<bool>,
+        i: usize,
+        k: Kont<'_, 'a>,
+    ) -> bool {
+        if i == xs.len() {
+            return k(self);
+        }
+        for j in 0..ys.len() {
+            if used[j] {
+                continue;
+            }
+            let m0 = self.mark();
+            used[j] = true;
+            let ok = {
+                let k2: &mut dyn FnMut(&mut Matcher<'a>) -> bool = &mut *k;
+                let used_cell = &mut *used;
+                let mut kont =
+                    move |m: &mut Matcher<'a>| m.match_set(xs, ys, used_cell, i + 1, k2);
+                self.match_v(xs[i], ys[j], &mut kont)
+            };
+            if ok {
+                return true;
+            }
+            used[j] = false;
+            self.rollback(m0);
+        }
+        false
+    }
+}
+
+/// Decides `(EE, OE, v) ∼ (EE', OE', v')`: is there a bijection on oids
+/// relating the extents, the (reachable) object graphs, and the result
+/// values?
+///
+/// Objects unreachable from any extent or from the result value are
+/// unobservable in IOQL; they only contribute per-class counts, which must
+/// agree (they always do for states produced by the reducer, where every
+/// created object enters its extent immediately).
+pub fn equiv_outcomes(a: &Outcome, b: &Outcome) -> bool {
+    if a.store.objects.class_counts() != b.store.objects.class_counts() {
+        return false;
+    }
+    // Extents must agree in name, class, and cardinality; encode each
+    // member set as a set value so one CPS search covers extents and the
+    // result value jointly.
+    let (ee1, ee2) = (&a.store.extents, &b.store.extents);
+    if ee1.len() != ee2.len() {
+        return false;
+    }
+    let mut lhs: Vec<Value> = Vec::with_capacity(ee1.len() + 1);
+    let mut rhs: Vec<Value> = Vec::with_capacity(ee2.len() + 1);
+    for ((e1, c1, s1), (e2, c2, s2)) in ee1.iter().zip(ee2.iter()) {
+        if e1 != e2 || c1 != c2 || s1.len() != s2.len() {
+            return false;
+        }
+        lhs.push(Value::Set(s1.iter().map(|o| Value::Oid(*o)).collect()));
+        rhs.push(Value::Set(s2.iter().map(|o| Value::Oid(*o)).collect()));
+    }
+    lhs.push(a.value.clone());
+    rhs.push(b.value.clone());
+
+    let pairs: Vec<(&Value, &Value)> = lhs.iter().zip(rhs.iter()).collect();
+    let mut m = Matcher::new(&a.store.objects, &b.store.objects);
+    let mut done = |_: &mut Matcher| true;
+    m.match_pairs(&pairs, &mut done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Object;
+    use ioql_ast::ExtentName;
+
+    fn mk(vals: &[(u64, i64)]) -> Store {
+        // A store with extent Ps of class P, objects with a `name` attr.
+        let mut s = Store::new();
+        s.declare_extent("Ps", "P");
+        for (raw, name) in vals {
+            let o = Oid::from_raw(*raw);
+            s.objects
+                .insert(o, Object::new("P", [("name", Value::Int(*name))]));
+            s.extents.add(&ExtentName::new("Ps"), o);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_outcomes_equiv() {
+        let a = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Int(5));
+        let b = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Int(5));
+        assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn renamed_oids_equiv() {
+        let a = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Oid(Oid::from_raw(0)));
+        let b = Outcome::new(mk(&[(10, 1), (20, 2)]), Value::Oid(Oid::from_raw(10)));
+        assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn renaming_must_be_consistent() {
+        // Result value names the object whose `name` is 2; in the second
+        // outcome the result names the one whose `name` is 1: no bijection
+        // makes both the extents *and* the value line up.
+        let a = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Oid(Oid::from_raw(1)));
+        let b = Outcome::new(mk(&[(10, 1), (20, 2)]), Value::Oid(Oid::from_raw(10)));
+        assert!(!equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn value_constrains_extent_pairing() {
+        // The extents alone could pair either way; the result value forces
+        // the pairing, exercising cross-goal backtracking.
+        let a = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Oid(Oid::from_raw(1)));
+        let b = Outcome::new(mk(&[(10, 1), (20, 2)]), Value::Oid(Oid::from_raw(20)));
+        assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn different_attr_values_not_equiv() {
+        let a = Outcome::new(mk(&[(0, 1)]), Value::Bool(true));
+        let b = Outcome::new(mk(&[(0, 9)]), Value::Bool(true));
+        assert!(!equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn different_extent_sizes_not_equiv() {
+        let a = Outcome::new(mk(&[(0, 1)]), Value::Bool(true));
+        let b = Outcome::new(mk(&[(0, 1), (1, 2)]), Value::Bool(true));
+        assert!(!equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn object_valued_attrs_followed() {
+        // Two stores with a pal pointer; bijection must respect pointers.
+        let mut s1 = Store::new();
+        s1.declare_extent("Fs", "F");
+        let a1 = Oid::from_raw(0);
+        let b1 = Oid::from_raw(1);
+        s1.objects.insert(a1, Object::new("F", [("pal", Value::Oid(b1))]));
+        s1.objects.insert(b1, Object::new("F", [("pal", Value::Oid(a1))]));
+        s1.extents.add(&ExtentName::new("Fs"), a1);
+        s1.extents.add(&ExtentName::new("Fs"), b1);
+
+        let mut s2 = Store::new();
+        s2.declare_extent("Fs", "F");
+        let a2 = Oid::from_raw(5);
+        let b2 = Oid::from_raw(6);
+        s2.objects.insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
+        s2.objects.insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
+        s2.extents.add(&ExtentName::new("Fs"), a2);
+        s2.extents.add(&ExtentName::new("Fs"), b2);
+
+        let out1 = Outcome::new(s1, Value::Oid(a1));
+        let out2 = Outcome::new(s2, Value::Oid(b2));
+        assert!(equiv_outcomes(&out1, &out2));
+    }
+
+    #[test]
+    fn self_loop_vs_two_cycle_not_equiv() {
+        let mut s1 = Store::new();
+        s1.declare_extent("Fs", "F");
+        let a1 = Oid::from_raw(0);
+        let b1 = Oid::from_raw(1);
+        // a -> a, b -> b (two self loops)
+        s1.objects.insert(a1, Object::new("F", [("pal", Value::Oid(a1))]));
+        s1.objects.insert(b1, Object::new("F", [("pal", Value::Oid(b1))]));
+        s1.extents.add(&ExtentName::new("Fs"), a1);
+        s1.extents.add(&ExtentName::new("Fs"), b1);
+
+        let mut s2 = Store::new();
+        s2.declare_extent("Fs", "F");
+        let a2 = Oid::from_raw(0);
+        let b2 = Oid::from_raw(1);
+        // a -> b, b -> a (a 2-cycle)
+        s2.objects.insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
+        s2.objects.insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
+        s2.extents.add(&ExtentName::new("Fs"), a2);
+        s2.extents.add(&ExtentName::new("Fs"), b2);
+
+        let out1 = Outcome::new(s1, Value::Bool(true));
+        let out2 = Outcome::new(s2, Value::Bool(true));
+        assert!(!equiv_outcomes(&out1, &out2));
+    }
+
+    #[test]
+    fn sets_of_oids_matched_up_to_permutation() {
+        let a = Outcome::new(
+            mk(&[(0, 1), (1, 2)]),
+            Value::set([Value::Oid(Oid::from_raw(0)), Value::Oid(Oid::from_raw(1))]),
+        );
+        let b = Outcome::new(
+            mk(&[(7, 2), (9, 1)]),
+            Value::set([Value::Oid(Oid::from_raw(7)), Value::Oid(Oid::from_raw(9))]),
+        );
+        assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn class_count_guard() {
+        // Same extents (empty) but differing unreachable objects.
+        let mut s1 = Store::new();
+        s1.declare_extent("Ps", "P");
+        s1.objects
+            .insert(Oid::from_raw(0), Object::new("Q", Vec::<(&str, Value)>::new()));
+        let mut s2 = Store::new();
+        s2.declare_extent("Ps", "P");
+        let a = Outcome::new(s1, Value::Int(0));
+        let b = Outcome::new(s2, Value::Int(0));
+        assert!(!equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn nested_set_backtracking() {
+        // {{1,2},{2,3}} vs {{2,3},{1,2}} — needs assignment search.
+        let v1 = Value::set([
+            Value::set([Value::Int(1), Value::Int(2)]),
+            Value::set([Value::Int(2), Value::Int(3)]),
+        ]);
+        let v2 = Value::set([
+            Value::set([Value::Int(2), Value::Int(3)]),
+            Value::set([Value::Int(1), Value::Int(2)]),
+        ]);
+        let a = Outcome::new(Store::new(), v1);
+        let b = Outcome::new(Store::new(), v2);
+        assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn record_value_match() {
+        let a = Outcome::new(
+            mk(&[(0, 1)]),
+            Value::record([("who", Value::Oid(Oid::from_raw(0)))]),
+        );
+        let b = Outcome::new(
+            mk(&[(4, 1)]),
+            Value::record([("who", Value::Oid(Oid::from_raw(4)))]),
+        );
+        assert!(equiv_outcomes(&a, &b));
+        let c = Outcome::new(
+            mk(&[(4, 1)]),
+            Value::record([("other", Value::Oid(Oid::from_raw(4)))]),
+        );
+        assert!(!equiv_outcomes(&a, &c));
+    }
+}

@@ -1,0 +1,223 @@
+//! The combined store: `EE` + `OE` + a fresh-oid source.
+
+use crate::env::{ExtentEnv, Object, ObjectEnv};
+use ioql_ast::{AttrName, ClassName, ExtentName, Oid, Value};
+use std::fmt;
+
+/// Errors raised by direct store manipulation (population helpers). Query
+/// evaluation proper cannot hit these on well-typed programs — that is the
+/// progress theorem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// The named extent is not declared.
+    UnknownExtent(ExtentName),
+    /// The oid is not bound in `OE`.
+    UnknownOid(Oid),
+    /// The object has no such attribute.
+    UnknownAttr(Oid, AttrName),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownExtent(e) => write!(f, "unknown extent `{e}`"),
+            StoreError::UnknownOid(o) => write!(f, "dangling oid {o}"),
+            StoreError::UnknownAttr(o, a) => write!(f, "object {o} has no attribute `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The mutable database state a query runs against: the extent and object
+/// environments plus a monotone oid allocator.
+///
+/// [`Store`] is `Clone`; reduction-outcome exploration and the optimizer's
+/// equivalence harness snapshot it freely.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Store {
+    /// The extent environment `EE`.
+    pub extents: ExtentEnv,
+    /// The object environment `OE`.
+    pub objects: ObjectEnv,
+    next_oid: u64,
+}
+
+impl Store {
+    /// An empty store with no extents declared.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an extent (used by schema loading; one per class).
+    pub fn declare_extent(&mut self, e: impl Into<ExtentName>, class: impl Into<ClassName>) {
+        self.extents.declare(e, class);
+    }
+
+    /// Raises the allocator so every future fresh oid is ≥ `floor` —
+    /// used when loading a dump that contains explicit oids.
+    pub fn bump_oid_floor(&mut self, floor: u64) {
+        self.next_oid = self.next_oid.max(floor);
+    }
+
+    /// Allocates a fresh oid — `fresh o ∉ dom(OE)` in the `(New)` rule.
+    pub fn fresh_oid(&mut self) -> Oid {
+        let o = Oid::from_raw(self.next_oid);
+        self.next_oid += 1;
+        o
+    }
+
+    /// The `(New)` rule's store update: binds a fresh oid to the object
+    /// and inserts it into each of the given extents (the paper's rule
+    /// uses exactly the object's class extent; the ODMG
+    /// `inherited_extents` option passes the whole chain).
+    pub fn create(
+        &mut self,
+        obj: Object,
+        extents: impl IntoIterator<Item = ExtentName>,
+    ) -> Result<Oid, StoreError> {
+        let o = self.fresh_oid();
+        debug_assert!(!self.objects.contains(o));
+        self.objects.insert(o, obj);
+        for e in extents {
+            if !self.extents.add(&e, o) {
+                return Err(StoreError::UnknownExtent(e));
+            }
+        }
+        Ok(o)
+    }
+
+    /// Reads `OE(o).a` — the `(Attribute)` rule.
+    pub fn attr(&self, o: Oid, a: &AttrName) -> Result<&Value, StoreError> {
+        let obj = self.objects.get(o).ok_or(StoreError::UnknownOid(o))?;
+        obj.attr(a)
+            .ok_or_else(|| StoreError::UnknownAttr(o, a.clone()))
+    }
+
+    /// Updates `OE(o).a` — §5 extended (update) mode only.
+    pub fn set_attr(&mut self, o: Oid, a: &AttrName, v: Value) -> Result<(), StoreError> {
+        let obj = self.objects.get_mut(o).ok_or(StoreError::UnknownOid(o))?;
+        match obj.attrs.get_mut(a) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(StoreError::UnknownAttr(o, a.clone())),
+        }
+    }
+
+    /// The dynamic class of `o`.
+    pub fn class_of(&self, o: Oid) -> Result<&ClassName, StoreError> {
+        self.objects
+            .get(o)
+            .map(|obj| &obj.class)
+            .ok_or(StoreError::UnknownOid(o))
+    }
+
+    /// The members of extent `e` as a set value — the `(Extent)` rule.
+    pub fn extent_value(&self, e: &ExtentName) -> Result<Value, StoreError> {
+        let members = self
+            .extents
+            .members(e)
+            .ok_or_else(|| StoreError::UnknownExtent(e.clone()))?;
+        Ok(Value::Set(members.iter().map(|o| Value::Oid(*o)).collect()))
+    }
+
+    /// Number of objects currently stored.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.declare_extent("Ps", "P");
+        s
+    }
+
+    #[test]
+    fn fresh_oids_are_distinct() {
+        let mut s = store();
+        let a = s.fresh_oid();
+        let b = s.fresh_oid();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn create_inserts_into_extent_and_objects() {
+        let mut s = store();
+        let o = s
+            .create(
+                Object::new("P", [("name", Value::Int(7))]),
+                [ExtentName::new("Ps")],
+            )
+            .unwrap();
+        assert!(s.objects.contains(o));
+        assert!(s.extents.members(&ExtentName::new("Ps")).unwrap().contains(&o));
+        assert_eq!(s.attr(o, &AttrName::new("name")).unwrap(), &Value::Int(7));
+        assert_eq!(s.class_of(o).unwrap(), &ClassName::new("P"));
+    }
+
+    #[test]
+    fn create_into_unknown_extent_fails() {
+        let mut s = store();
+        let r = s.create(
+            Object::new("Q", Vec::<(&str, Value)>::new()),
+            [ExtentName::new("Qs")],
+        );
+        assert!(matches!(r, Err(StoreError::UnknownExtent(_))));
+    }
+
+    #[test]
+    fn extent_value_is_a_set_of_oids() {
+        let mut s = store();
+        let o1 = s
+            .create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
+            .unwrap();
+        let o2 = s
+            .create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
+            .unwrap();
+        let v = s.extent_value(&ExtentName::new("Ps")).unwrap();
+        assert_eq!(v, Value::set([Value::Oid(o1), Value::Oid(o2)]));
+    }
+
+    #[test]
+    fn attr_errors() {
+        let s = store();
+        assert!(matches!(
+            s.attr(Oid::from_raw(99), &AttrName::new("a")),
+            Err(StoreError::UnknownOid(_))
+        ));
+    }
+
+    #[test]
+    fn set_attr_updates() {
+        let mut s = store();
+        let o = s
+            .create(
+                Object::new("P", [("name", Value::Int(1))]),
+                [ExtentName::new("Ps")],
+            )
+            .unwrap();
+        s.set_attr(o, &AttrName::new("name"), Value::Int(2)).unwrap();
+        assert_eq!(s.attr(o, &AttrName::new("name")).unwrap(), &Value::Int(2));
+        assert!(matches!(
+            s.set_attr(o, &AttrName::new("ghost"), Value::Int(0)),
+            Err(StoreError::UnknownAttr(_, _))
+        ));
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut s = store();
+        let snap = s.clone();
+        s.create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
+            .unwrap();
+        assert_eq!(snap.object_count(), 0);
+        assert_eq!(s.object_count(), 1);
+    }
+}

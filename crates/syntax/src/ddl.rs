@@ -1,0 +1,469 @@
+//! The data-definition language: ODL-style class definitions (paper §2)
+//! with method bodies in the Java-like method language.
+//!
+//! ```text
+//! class Employee extends Person (extent Employees) {
+//!     attribute int EmpID;
+//!     attribute int GrossSalary;
+//!     int NetSalary(int TaxRate) {
+//!         return this.GrossSalary - this.GrossSalary * TaxRate;
+//!     }
+//! }
+//! ```
+//!
+//! Statement forms: locals `φ x = e;` (with `φ x = new C(a: e, …);` for
+//! object creation), assignment, attribute update `e.a = e';`,
+//! `if (e) { … } else { … }`, `while (e) { … }`, extent iteration
+//! `for (x in Extent) { … }`, and `return e;`. As in IOQL proper, `=` is
+//! integer equality and `==` object identity.
+
+use crate::error::ParseError;
+use crate::lexer::Tok;
+use crate::parser::{ty, Cursor};
+use ioql_ast::{
+    AttrDef, ClassDef, ExtentName, MBinOp, MExpr, MStmt, MUnOp, MethodDef, VarName,
+};
+
+/// Parses a sequence of class definitions.
+pub fn parse_schema(input: &str) -> Result<Vec<ClassDef>, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let mut out = Vec::new();
+    while !c.at_eof() {
+        out.push(class_def(&mut c)?);
+    }
+    Ok(out)
+}
+
+fn class_def(c: &mut Cursor) -> Result<ClassDef, ParseError> {
+    c.expect(Tok::Class)?;
+    let name = c.ident()?;
+    c.expect(Tok::Extends)?;
+    let parent = c.ident()?;
+    c.expect(Tok::LParen)?;
+    c.expect(Tok::Extent)?;
+    let extent = c.ident()?;
+    c.expect(Tok::RParen)?;
+    c.expect(Tok::LBrace)?;
+    let mut attrs = Vec::new();
+    let mut methods = Vec::new();
+    while !c.eat(Tok::RBrace) {
+        if c.eat(Tok::Attribute) {
+            let t = ty(c)?;
+            let a = c.ident()?;
+            c.expect(Tok::Semi)?;
+            attrs.push(AttrDef::new(a, t));
+        } else {
+            methods.push(method_def(c)?);
+        }
+    }
+    Ok(ClassDef::new(name, parent, extent, attrs, methods))
+}
+
+fn method_def(c: &mut Cursor) -> Result<MethodDef, ParseError> {
+    let ret = ty(c)?;
+    let name = c.ident()?;
+    c.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    if !c.eat(Tok::RParen) {
+        loop {
+            let t = ty(c)?;
+            let x = c.ident()?;
+            params.push((VarName::new(x), t));
+            if !c.eat(Tok::Comma) {
+                break;
+            }
+        }
+        c.expect(Tok::RParen)?;
+    }
+    let body = block(c)?;
+    Ok(MethodDef::new(name, params, ret, body))
+}
+
+fn block(c: &mut Cursor) -> Result<Vec<MStmt>, ParseError> {
+    c.expect(Tok::LBrace)?;
+    let mut out = Vec::new();
+    while !c.eat(Tok::RBrace) {
+        out.push(stmt(c)?);
+    }
+    Ok(out)
+}
+
+fn stmt(c: &mut Cursor) -> Result<MStmt, ParseError> {
+    match c.peek().clone() {
+        Tok::Return => {
+            c.bump();
+            let e = mexpr(c)?;
+            c.expect(Tok::Semi)?;
+            Ok(MStmt::Return(e))
+        }
+        Tok::If => {
+            c.bump();
+            c.expect(Tok::LParen)?;
+            let cond = mexpr(c)?;
+            c.expect(Tok::RParen)?;
+            let then = block(c)?;
+            let els = if c.eat(Tok::Else) { block(c)? } else { vec![] };
+            Ok(MStmt::If(cond, then, els))
+        }
+        Tok::While => {
+            c.bump();
+            c.expect(Tok::LParen)?;
+            let cond = mexpr(c)?;
+            c.expect(Tok::RParen)?;
+            let body = block(c)?;
+            Ok(MStmt::While(cond, body))
+        }
+        Tok::For => {
+            c.bump();
+            c.expect(Tok::LParen)?;
+            let x = c.ident()?;
+            c.expect(Tok::In)?;
+            let e = c.ident()?;
+            c.expect(Tok::RParen)?;
+            let body = block(c)?;
+            Ok(MStmt::ForExtent(
+                VarName::new(x),
+                ExtentName::new(e),
+                body,
+            ))
+        }
+        // Local declaration: a type keyword, or `Ident Ident` (class-typed
+        // local).
+        Tok::TyInt | Tok::TyBool => local_decl(c),
+        Tok::Ident(_) if matches!(c.peek_at(1), Tok::Ident(_)) => local_decl(c),
+        // Assignment to a local: `Ident = …;`
+        Tok::Ident(x) if c.peek_at(1) == &Tok::Eq => {
+            c.bump();
+            c.bump();
+            let e = mexpr(c)?;
+            c.expect(Tok::Semi)?;
+            Ok(MStmt::Assign(VarName::new(x), e))
+        }
+        // Attribute update: `expr.a = e;` (starts with `this` or an
+        // identifier followed by a dot).
+        Tok::This | Tok::Ident(_) => {
+            let target = mpostfix(c)?;
+            match target {
+                MExpr::Attr(recv, a) if c.peek() == &Tok::Eq => {
+                    c.bump();
+                    let e = mexpr(c)?;
+                    c.expect(Tok::Semi)?;
+                    Ok(MStmt::SetAttr(*recv, a, e))
+                }
+                _ => c.err("expected a statement (assignment, update, return, …)"),
+            }
+        }
+        other => c.err(format!("expected a statement, found `{other}`")),
+    }
+}
+
+fn local_decl(c: &mut Cursor) -> Result<MStmt, ParseError> {
+    let t = ty(c)?;
+    let x = c.ident()?;
+    c.expect(Tok::Eq)?;
+    if c.peek() == &Tok::New {
+        c.bump();
+        let class = c.ident()?;
+        c.expect(Tok::LParen)?;
+        let mut attrs = Vec::new();
+        if !c.eat(Tok::RParen) {
+            loop {
+                let a = c.ident()?;
+                c.expect(Tok::Colon)?;
+                attrs.push((ioql_ast::AttrName::new(a), mexpr(c)?));
+                if !c.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            c.expect(Tok::RParen)?;
+        }
+        c.expect(Tok::Semi)?;
+        // The declared type must be the created class; the method checker
+        // verifies assignability, we keep the creation's class.
+        let _ = t;
+        Ok(MStmt::NewLocal(
+            VarName::new(x),
+            ioql_ast::ClassName::new(class),
+            attrs,
+        ))
+    } else {
+        let e = mexpr(c)?;
+        c.expect(Tok::Semi)?;
+        Ok(MStmt::Local(VarName::new(x), t, e))
+    }
+}
+
+fn mexpr(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    mor(c)
+}
+
+fn mor(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let mut l = mand(c)?;
+    while c.eat(Tok::Or) {
+        let r = mand(c)?;
+        l = MExpr::bin(MBinOp::Or, l, r);
+    }
+    Ok(l)
+}
+
+fn mand(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let mut l = mnot(c)?;
+    while c.eat(Tok::And) {
+        let r = mnot(c)?;
+        l = MExpr::bin(MBinOp::And, l, r);
+    }
+    Ok(l)
+}
+
+fn mnot(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    if c.eat(Tok::Not) {
+        Ok(MExpr::Un(MUnOp::Not, Box::new(mnot(c)?)))
+    } else {
+        mcmp(c)
+    }
+}
+
+fn mcmp(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let l = madd(c)?;
+    let op = match c.peek() {
+        Tok::Eq => MBinOp::EqInt,
+        Tok::EqEq => MBinOp::EqObj,
+        Tok::Lt => MBinOp::Lt,
+        Tok::Le => MBinOp::Le,
+        _ => return Ok(l),
+    };
+    c.bump();
+    let r = madd(c)?;
+    Ok(MExpr::bin(op, l, r))
+}
+
+fn madd(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let mut l = mmul(c)?;
+    loop {
+        let op = match c.peek() {
+            Tok::Plus => MBinOp::Add,
+            Tok::Minus => MBinOp::Sub,
+            _ => break,
+        };
+        c.bump();
+        let r = mmul(c)?;
+        l = MExpr::bin(op, l, r);
+    }
+    Ok(l)
+}
+
+fn mmul(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let mut l = munary(c)?;
+    while c.eat(Tok::Star) {
+        let r = munary(c)?;
+        l = MExpr::bin(MBinOp::Mul, l, r);
+    }
+    Ok(l)
+}
+
+fn munary(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    if c.eat(Tok::Minus) {
+        Ok(MExpr::Un(MUnOp::Neg, Box::new(munary(c)?)))
+    } else {
+        mpostfix(c)
+    }
+}
+
+fn mpostfix(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    let mut e = matom(c)?;
+    while c.eat(Tok::Dot) {
+        let name = c.ident()?;
+        if c.peek() == &Tok::LParen {
+            c.bump();
+            let mut args = Vec::new();
+            if !c.eat(Tok::RParen) {
+                loop {
+                    args.push(mexpr(c)?);
+                    if !c.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                c.expect(Tok::RParen)?;
+            }
+            e = e.call(name, args);
+        } else {
+            e = e.attr(name);
+        }
+    }
+    Ok(e)
+}
+
+fn matom(c: &mut Cursor) -> Result<MExpr, ParseError> {
+    match c.peek().clone() {
+        Tok::Int(i) => {
+            c.bump();
+            Ok(MExpr::Int(i))
+        }
+        Tok::True => {
+            c.bump();
+            Ok(MExpr::Bool(true))
+        }
+        Tok::False => {
+            c.bump();
+            Ok(MExpr::Bool(false))
+        }
+        Tok::This => {
+            c.bump();
+            Ok(MExpr::This)
+        }
+        Tok::Ident(x) => {
+            c.bump();
+            Ok(MExpr::Var(VarName::new(x)))
+        }
+        Tok::LParen => {
+            c.bump();
+            let e = mexpr(c)?;
+            c.expect(Tok::RParen)?;
+            Ok(e)
+        }
+        other => c.err(format!("expected a method expression, found `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::{ClassName, Type};
+
+    #[test]
+    fn paper_employee_class_parses() {
+        let src = "
+            class Employee extends Person (extent Employees) {
+                attribute int EmpID;
+                attribute int GrossSalary;
+                attribute Manager UniqueManager;
+                int NetSalary(int TaxRate) {
+                    return this.GrossSalary - this.GrossSalary * TaxRate;
+                }
+            }";
+        let defs = parse_schema(src).unwrap();
+        assert_eq!(defs.len(), 1);
+        let cd = &defs[0];
+        assert_eq!(cd.name, ClassName::new("Employee"));
+        assert_eq!(cd.parent, ClassName::new("Person"));
+        assert_eq!(cd.extent, ExtentName::new("Employees"));
+        assert_eq!(cd.attrs.len(), 3);
+        assert_eq!(cd.attrs[2].ty, Type::class("Manager"));
+        assert_eq!(cd.methods.len(), 1);
+        let m = &cd.methods[0];
+        assert_eq!(m.params.len(), 1);
+        assert_eq!(m.ret, Type::Int);
+        assert!(matches!(m.body[0], MStmt::Return(_)));
+    }
+
+    #[test]
+    fn loop_method_parses() {
+        let src = "
+            class P extends Object (extent Ps) {
+                attribute int name;
+                int loop() { while (true) { } return 0; }
+            }";
+        let defs = parse_schema(src).unwrap();
+        let m = &defs[0].methods[0];
+        assert!(matches!(m.body[0], MStmt::While(MExpr::Bool(true), _)));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let src = "
+            class C extends Object (extent Cs) {
+                attribute int n;
+                int work(int k) {
+                    int acc = 0;
+                    bool flag = true;
+                    if (k < 10) { acc = k; } else { acc = 10; }
+                    while (0 < acc) { acc = acc - 1; }
+                    this.n = acc;
+                    C other = new C(n: 5);
+                    for (x in Cs) { acc = acc + x.n; }
+                    return acc + other.n;
+                }
+            }";
+        let defs = parse_schema(src).unwrap();
+        let body = &defs[0].methods[0].body;
+        assert!(matches!(body[0], MStmt::Local(_, Type::Int, _)));
+        assert!(matches!(body[1], MStmt::Local(_, Type::Bool, _)));
+        assert!(matches!(body[2], MStmt::If(_, _, _)));
+        assert!(matches!(body[3], MStmt::While(_, _)));
+        assert!(matches!(body[4], MStmt::SetAttr(MExpr::This, _, _)));
+        assert!(matches!(body[5], MStmt::NewLocal(_, _, _)));
+        assert!(matches!(body[6], MStmt::ForExtent(_, _, _)));
+        assert!(matches!(body[7], MStmt::Return(_)));
+    }
+
+    #[test]
+    fn method_calls_and_precedence() {
+        let src = "
+            class C extends Object (extent Cs) {
+                int f(int k) { return k; }
+                int g() { return this.f(1) + 2 * 3; }
+            }";
+        let defs = parse_schema(src).unwrap();
+        let body = &defs[0].methods[1].body;
+        if let MStmt::Return(MExpr::Bin(MBinOp::Add, l, r)) = &body[0] {
+            assert!(matches!(**l, MExpr::Call(_, _, _)));
+            assert!(matches!(**r, MExpr::Bin(MBinOp::Mul, _, _)));
+        } else {
+            panic!("unexpected shape: {body:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_classes() {
+        let src = "
+            class A extends Object (extent As) { attribute int x; }
+            class B extends A (extent Bs) { attribute bool y; }";
+        let defs = parse_schema(src).unwrap();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[1].parent, ClassName::new("A"));
+    }
+
+    #[test]
+    fn malformed_class_forms_rejected() {
+        // Missing extent clause.
+        assert!(parse_schema("class A extends Object { }").is_err());
+        // Missing extends clause.
+        assert!(parse_schema("class A (extent As) { }").is_err());
+        // Garbage member.
+        assert!(parse_schema(
+            "class A extends Object (extent As) { banana }"
+        )
+        .is_err());
+        // Unterminated body.
+        assert!(parse_schema("class A extends Object (extent As) {").is_err());
+        // Method without body braces.
+        assert!(parse_schema(
+            "class A extends Object (extent As) { int m(); }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn malformed_statements_rejected() {
+        let wrap = |stmt: &str| {
+            format!("class A extends Object (extent As) {{ int m() {{ {stmt} }} }}")
+        };
+        for bad in [
+            "return ;",
+            "x = ;",
+            "if true { return 1; }",       // missing parens
+            "while (true) return 1;",       // missing braces
+            "for (x in) { }",
+            "this.x 1;",
+        ] {
+            assert!(parse_schema(&wrap(bad)).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn errors_located() {
+        let e = parse_schema("class A extends Object (extent As) { attribute int ; }")
+            .unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

@@ -1,0 +1,454 @@
+//! The lexer.
+//!
+//! Whitespace and `//`-to-end-of-line comments are skipped. Keywords are
+//! reserved (they never lex as identifiers).
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (class/extent/variable/definition/attribute name).
+    Ident(String),
+
+    // Keywords.
+    /// `define`
+    Define,
+    /// `as`
+    As,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `new`
+    New,
+    /// `size`
+    Size,
+    /// `sum`
+    SumKw,
+    /// `struct`
+    Struct,
+    /// `union`
+    Union,
+    /// `intersect`
+    Intersect,
+    /// `except`
+    Except,
+    /// `select`
+    Select,
+    /// `from`
+    From,
+    /// `in`
+    In,
+    /// `where`
+    Where,
+    /// `exists`
+    Exists,
+    /// `forall`
+    Forall,
+    /// `group`
+    Group,
+    /// `by`
+    By,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `extent`
+    Extent,
+    /// `attribute`
+    Attribute,
+    /// `return`
+    Return,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `this`
+    This,
+    /// `int`
+    TyInt,
+    /// `bool`
+    TyBool,
+    /// `set`
+    TySet,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `<-`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Eof => write!(f, "<eof>"),
+            other => {
+                let s = match other {
+                    Tok::Define => "define",
+                    Tok::As => "as",
+                    Tok::If => "if",
+                    Tok::Then => "then",
+                    Tok::Else => "else",
+                    Tok::True => "true",
+                    Tok::False => "false",
+                    Tok::New => "new",
+                    Tok::Size => "size",
+                    Tok::SumKw => "sum",
+                    Tok::Struct => "struct",
+                    Tok::Union => "union",
+                    Tok::Intersect => "intersect",
+                    Tok::Except => "except",
+                    Tok::Select => "select",
+                    Tok::From => "from",
+                    Tok::In => "in",
+                    Tok::Where => "where",
+                    Tok::Exists => "exists",
+                    Tok::Forall => "forall",
+                    Tok::Group => "group",
+                    Tok::By => "by",
+                    Tok::And => "and",
+                    Tok::Or => "or",
+                    Tok::Not => "not",
+                    Tok::Class => "class",
+                    Tok::Extends => "extends",
+                    Tok::Extent => "extent",
+                    Tok::Attribute => "attribute",
+                    Tok::Return => "return",
+                    Tok::While => "while",
+                    Tok::For => "for",
+                    Tok::This => "this",
+                    Tok::TyInt => "int",
+                    Tok::TyBool => "bool",
+                    Tok::TySet => "set",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::Pipe => "|",
+                    Tok::Arrow => "<-",
+                    Tok::Eq => "=",
+                    Tok::EqEq => "==",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Int(_) | Tok::Ident(_) | Tok::Eof => unreachable!(),
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "define" => Tok::Define,
+        "as" => Tok::As,
+        "if" => Tok::If,
+        "then" => Tok::Then,
+        "else" => Tok::Else,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "new" => Tok::New,
+        "size" => Tok::Size,
+        "sum" => Tok::SumKw,
+        "struct" => Tok::Struct,
+        "union" => Tok::Union,
+        "intersect" => Tok::Intersect,
+        "except" => Tok::Except,
+        "select" => Tok::Select,
+        "from" => Tok::From,
+        "in" => Tok::In,
+        "where" => Tok::Where,
+        "exists" => Tok::Exists,
+        "forall" => Tok::Forall,
+        "group" => Tok::Group,
+        "by" => Tok::By,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "class" => Tok::Class,
+        "extends" => Tok::Extends,
+        "extent" => Tok::Extent,
+        "attribute" => Tok::Attribute,
+        "return" => Tok::Return,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "this" => Tok::This,
+        "int" => Tok::TyInt,
+        "bool" => Tok::TyBool,
+        "set" => Tok::TySet,
+        _ => return None,
+    })
+}
+
+/// Tokenises `input`, ending with an [`Tok::Eof`] entry.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(1, &mut i, &mut col),
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ')' => {
+                push!(Tok::RParen, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '{' => {
+                push!(Tok::LBrace, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '}' => {
+                push!(Tok::RBrace, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ',' => {
+                push!(Tok::Comma, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ';' => {
+                push!(Tok::Semi, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ':' => {
+                push!(Tok::Colon, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '.' => {
+                push!(Tok::Dot, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '|' => {
+                push!(Tok::Pipe, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '+' => {
+                push!(Tok::Plus, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '-' => {
+                push!(Tok::Minus, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '*' => {
+                push!(Tok::Star, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::EqEq, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Eq, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some('-') => {
+                    push!(Tok::Arrow, tl, tc);
+                    advance(2, &mut i, &mut col);
+                }
+                Some('=') => {
+                    push!(Tok::Le, tl, tc);
+                    advance(2, &mut i, &mut col);
+                }
+                _ => {
+                    push!(Tok::Lt, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            },
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance(1, &mut i, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: i64 = text.parse().map_err(|_| {
+                    ParseError::new(tl, tc, format!("integer literal `{text}` out of range"))
+                })?;
+                push!(Tok::Int(n), tl, tc);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    advance(1, &mut i, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match keyword(&text) {
+                    Some(t) => push!(t, tl, tc),
+                    None => push!(Tok::Ident(text), tl, tc),
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    tl,
+                    tc,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("x <- {1, 2}"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Arrow,
+                Tok::LBrace,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_disambiguated() {
+        assert_eq!(
+            toks("< <= <- = =="),
+            vec![Tok::Lt, Tok::Le, Tok::Arrow, Tok::Eq, Tok::EqEq, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("select selects"),
+            vec![Tok::Select, Tok::Ident("selects".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let ts = lex("1 // comment\n  2").unwrap();
+        assert_eq!(ts[0].tok, Tok::Int(1));
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!(ts[1].tok, Tok::Int(2));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let e = lex("a $ b").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 3));
+    }
+}

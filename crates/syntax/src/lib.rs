@@ -1,0 +1,37 @@
+//! Concrete syntax for IOQL and its ODL-style data-definition language.
+//!
+//! The paper presents IOQL abstractly; this crate supplies the concrete
+//! syntax a user types, in two layers:
+//!
+//! * **DDL** — `class C extends D (extent e) { attribute int a; … }` with
+//!   method bodies in the Java-like method language (§2, §5), parsed by
+//!   [`parse_schema`];
+//! * **QL** — `define d(x: σ) as q;` definitions followed by a query
+//!   (§3.1), parsed by [`parse_program`] / [`parse_query`]. Queries use
+//!   the paper's comprehension syntax `{ q | x <- e, p }` plus OQL's
+//!   `select … from … where …` as pure sugar, and boolean connectives
+//!   `and`/`or`/`not` desugared into conditionals (the core calculus has
+//!   none).
+//!
+//! The pretty-printer in `ioql-ast` emits this same grammar; a proptest
+//! round-trip (`parse ∘ print = id`) keeps the two in sync.
+//!
+//! Names are *not* resolved here: extent names parse as plain variables
+//! ([`ioql_ast::Query::Var`]) and projections as record-field access;
+//! `ioql-schema::resolve` and the elaborating checker in `ioql-types`
+//! finish the job. This keeps the parser schema-independent.
+
+#![forbid(unsafe_code)]
+// Error enums carry rendered context (names, types, positions) by value;
+// they are cold-path and the ergonomics beat a Box indirection here.
+#![allow(clippy::result_large_err)]
+#![warn(missing_docs)]
+
+pub mod ddl;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ddl::parse_schema;
+pub use error::ParseError;
+pub use parser::{parse_definitions, parse_program, parse_query, parse_type};

@@ -1,0 +1,87 @@
+//! Property test: `parse ∘ pretty-print = id` on source-level query ASTs.
+//!
+//! "Source-level" means the shapes the parser can produce: variables (not
+//! yet resolved to extents), `Field` projections (not yet elaborated to
+//! `Attr`), and scalar literals only inside `Lit`. The strategy below
+//! generates exactly that fragment.
+
+use ioql_ast::{IntOp, Qualifier, Query, SetOp};
+use ioql_syntax::parse_query;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing.
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v{s}"))
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Query::int),
+        any::<bool>().prop_map(Query::bool),
+        ident().prop_map(Query::var),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Query::SetLit),
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(SetOp::Union),
+                Just(SetOp::Intersect),
+                Just(SetOp::Diff)
+            ])
+                .prop_map(|(a, b, op)| Query::SetBin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(IntOp::Add),
+                Just(IntOp::Sub),
+                Just(IntOp::Mul),
+                Just(IntOp::Lt),
+                Just(IntOp::Le)
+            ])
+                .prop_map(|(a, b, op)| Query::IntBin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::IntEq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::ObjEq(Box::new(a), Box::new(b))),
+            prop::collection::vec((ident(), inner.clone()), 0..3)
+                .prop_map(Query::record),
+            (inner.clone(), ident()).prop_map(|(q, l)| q.field(l)),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(d, args)| Query::call(d, args)),
+            inner.clone().prop_map(|q| q.size_of()),
+            inner.clone().prop_map(|q| q.sum_of()),
+            (inner.clone(), ident()).prop_map(|(q, c)| q.cast(format!("C{c}"))),
+            (inner.clone(), ident(), prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(q, m, args)| q.invoke(m, args)),
+            (ident(), prop::collection::vec((ident(), inner.clone()), 0..3))
+                .prop_map(|(c, attrs)| Query::new_obj(format!("C{c}"), attrs)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Query::ite(c, t, e)),
+            (
+                inner.clone(),
+                prop::collection::vec(
+                    prop_oneof![
+                        inner.clone().prop_map(Qualifier::Pred),
+                        (ident(), inner.clone())
+                            .prop_map(|(x, src)| Qualifier::Gen(x.into(), src)),
+                    ],
+                    0..3
+                )
+            )
+                .prop_map(|(h, qs)| Query::comp(h, qs)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Printing any source-level query and re-parsing it yields the same
+    /// AST — the printer's parenthesisation agrees with the parser's
+    /// precedence table.
+    #[test]
+    fn print_parse_roundtrip(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, q, "printed form: {}", printed);
+    }
+}

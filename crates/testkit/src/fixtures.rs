@@ -1,0 +1,367 @@
+//! The paper's running examples as ready-made schemas and stores.
+//!
+//! IOQL has no string type (the paper's data model is `int`/`bool`/
+//! classes), so the names in the §1 example are encoded as integers:
+//! [`PETER`] = 0, [`JACK`] = 1, [`JILL`] = 2. Nothing in the example
+//! depends on stringiness — only on equality and freshness.
+
+use ioql_ast::{AttrName, ClassName, ExtentName, Oid, Query, Value};
+use ioql_schema::Schema;
+use ioql_store::{Object, Store};
+use ioql_syntax::{parse_query, parse_schema};
+use std::collections::BTreeMap;
+
+/// Name code for "Peter".
+pub const PETER: i64 = 0;
+/// Name code for "Jack".
+pub const JACK: i64 = 1;
+/// Name code for "Jill".
+pub const JILL: i64 = 2;
+
+/// A schema with a populated store and a directory of named oids.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// The validated schema.
+    pub schema: Schema,
+    /// The populated store.
+    pub store: Store,
+    /// Named objects for assertions (`"jack"`, `"jill"`, …).
+    pub oids: BTreeMap<String, Oid>,
+}
+
+impl Fixture {
+    /// Creates an object of `class`, inserting it into the extents the
+    /// schema mandates, and optionally names it for later lookup.
+    pub fn create(
+        &mut self,
+        class: &str,
+        attrs: Vec<(&str, Value)>,
+        name: Option<&str>,
+    ) -> Oid {
+        let cn = ClassName::new(class);
+        let extents = self.schema.extents_for_new(&cn);
+        assert!(!extents.is_empty(), "class `{class}` has no extent");
+        let obj = Object::new(
+            cn,
+            attrs
+                .into_iter()
+                .map(|(a, v)| (AttrName::new(a), v))
+                .collect::<Vec<_>>(),
+        );
+        let o = self.store.create(obj, extents).expect("fixture create");
+        if let Some(n) = name {
+            self.oids.insert(n.to_string(), o);
+        }
+        o
+    }
+
+    /// Looks up a named oid.
+    pub fn oid(&self, name: &str) -> Oid {
+        self.oids[name]
+    }
+
+    /// Parses a query against this fixture (resolution and elaboration
+    /// are the caller's business — usually via the `ioql` facade).
+    pub fn query(&self, src: &str) -> Query {
+        let q = parse_query(src).expect("fixture query parses");
+        self.schema.resolve_query(&q)
+    }
+
+    /// Current size of an extent.
+    pub fn extent_len(&self, e: &str) -> usize {
+        self.store
+            .extents
+            .members(&ExtentName::new(e))
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+}
+
+fn fixture_from_ddl(ddl: &str) -> Fixture {
+    let classes = parse_schema(ddl).expect("fixture DDL parses");
+    let schema = Schema::new(classes).expect("fixture schema well-formed");
+    let mut store = Store::new();
+    for (e, c) in schema.extents() {
+        store.declare_extent(e.clone(), c.clone());
+    }
+    Fixture {
+        schema,
+        store,
+        oids: BTreeMap::new(),
+    }
+}
+
+/// The §1 example: class `P` with a `name` attribute (extent `Ps`,
+/// inhabited by "Jack" and "Jill"), and class `F` with `name` and `pal`
+/// attributes (extent `Fs`, initially empty). `P` also carries the
+/// non-terminating `loop()` method for the second §1 example.
+pub fn jack_jill() -> Fixture {
+    let mut fx = fixture_from_ddl(
+        "
+        class P extends Object (extent Ps) {
+            attribute int name;
+            int loop() { while (true) { } return 0; }
+        }
+        class F extends Object (extent Fs) {
+            attribute int name;
+            attribute P pal;
+        }
+        ",
+    );
+    fx.create("P", vec![("name", Value::Int(JACK))], Some("jack"));
+    fx.create("P", vec![("name", Value::Int(JILL))], Some("jill"));
+    fx
+}
+
+/// The §1 non-deterministic query, reconstructed: for each `p` in `Ps`,
+/// if no `F` exists yet, create one (named "Peter", befriending `p`) and
+/// yield its name; otherwise yield `p`'s name.
+///
+/// Visiting "Jack" first yields `{PETER, JILL}`; visiting "Jill" first
+/// yields `{PETER, JACK}` — the paper's two observable outcomes. The
+/// body both reads (`size(Fs)`) and adds to (`new F`) the extent of `F`,
+/// which is exactly the interference the effect system reports.
+pub fn jack_jill_query() -> &'static str {
+    "{ if size(Fs) = 0 \
+       then (new F(name: 0, pal: p)).name \
+       else p.name \
+       | p <- Ps }"
+}
+
+/// The §1 variant with the non-terminating method: if "Jack" is visited
+/// while `Fs` is still empty the query calls `p.loop()` and diverges;
+/// visiting "Jill" first creates an `F`, after which "Jack" takes the
+/// terminating branch.
+pub fn jack_jill_loop_query() -> &'static str {
+    "{ if size(Fs) = 0 \
+       then (if p.name = 1 \
+             then p.loop() \
+             else (new F(name: 0, pal: p)).name) \
+       else p.name \
+       | p <- Ps }"
+}
+
+/// The §2 payroll schema: `Person`, `Employee extends Person` with
+/// `EmpID`, `GrossSalary`, `UniqueManager` and a `NetSalary` method, and
+/// `Manager extends Employee`. The store holds one manager and two
+/// employees reporting to her.
+///
+/// The paper's `NetSalary(int TaxRate)` returns a net amount; with an
+/// integer-only data model we compute `GrossSalary * (100 - TaxRate)`
+/// (net salary in basis points) — division is excluded from IOQL to keep
+/// every operator total (progress theorem).
+pub fn payroll() -> Fixture {
+    let mut fx = fixture_from_ddl(
+        "
+        class Person extends Object (extent Persons) {
+            attribute int name;
+        }
+        class Employee extends Person (extent Employees) {
+            attribute int EmpID;
+            attribute int GrossSalary;
+            attribute Manager UniqueManager;
+            int NetSalary(int TaxRate) {
+                return this.GrossSalary * (100 - TaxRate);
+            }
+        }
+        class Manager extends Employee (extent Managers) {
+        }
+        ",
+    );
+    // Bootstrap the manager (her UniqueManager is herself).
+    let mgr = {
+        let cn = ClassName::new("Manager");
+        let extents = fx.schema.extents_for_new(&cn);
+        let o = fx.store.fresh_oid();
+        fx.store.objects.insert(
+            o,
+            Object::new(
+                cn,
+                [
+                    (AttrName::new("name"), Value::Int(100)),
+                    (AttrName::new("EmpID"), Value::Int(1)),
+                    (AttrName::new("GrossSalary"), Value::Int(9000)),
+                    (AttrName::new("UniqueManager"), Value::Oid(o)),
+                ],
+            ),
+        );
+        for e in extents {
+            fx.store.extents.add(&e, o);
+        }
+        fx.oids.insert("boss".into(), o);
+        o
+    };
+    fx.create(
+        "Employee",
+        vec![
+            ("name", Value::Int(101)),
+            ("EmpID", Value::Int(2)),
+            ("GrossSalary", Value::Int(5000)),
+            ("UniqueManager", Value::Oid(mgr)),
+        ],
+        Some("alice"),
+    );
+    fx.create(
+        "Employee",
+        vec![
+            ("name", Value::Int(102)),
+            ("EmpID", Value::Int(3)),
+            ("GrossSalary", Value::Int(6000)),
+            ("UniqueManager", Value::Oid(mgr)),
+        ],
+        Some("bob"),
+    );
+    fx
+}
+
+/// The §4 optimization example: a database with one `Person` ("Jack",
+/// "Utah") and one `Employee` ("Jill", "NYC"), `Employee ≤ Person`.
+pub fn persons_employees() -> Fixture {
+    let mut fx = fixture_from_ddl(
+        "
+        class Person extends Object (extent Persons) {
+            attribute int name;
+            attribute int address;
+        }
+        class Employee extends Person (extent Employees) {
+        }
+        ",
+    );
+    // Address codes: Utah = 10, NYC = 20.
+    fx.create(
+        "Person",
+        vec![("name", Value::Int(JACK)), ("address", Value::Int(10))],
+        Some("jack"),
+    );
+    fx.create(
+        "Employee",
+        vec![("name", Value::Int(JILL)), ("address", Value::Int(20))],
+        Some("jill"),
+    );
+    fx
+}
+
+/// A §4-style side-effecting intersection whose operands interfere: the
+/// left operand's value depends on how many `Person`s exist, the right
+/// operand creates one. Evaluated as written it yields `{1}` (one person
+/// before the `new`); commuted it yields `{}` — the paper's point that
+/// commuting set operators is unsound without the effect guard.
+pub fn commute_counterexample_query() -> &'static str {
+    "{ size(Persons) } intersect { (new Person(name: 1, address: 1)).name }"
+}
+
+/// A four-level hierarchy with class-valued attributes and methods at
+/// several levels — stresses subsumption paths (inherited attributes,
+/// overridden methods, upcasts) in the generated-query theorem suites.
+///
+/// ```text
+/// Object ─ Asset ─ Vehicle ─ Car ─ Taxi       Asset ─ Building
+/// ```
+pub fn deep_hierarchy() -> Fixture {
+    let mut fx = fixture_from_ddl(
+        "
+        class Asset extends Object (extent Assets) {
+            attribute int value;
+            int worth() { return this.value; }
+        }
+        class Vehicle extends Asset (extent Vehicles) {
+            attribute int wheels;
+            int worth() { return this.value + this.wheels; }
+        }
+        class Car extends Vehicle (extent Cars) {
+            attribute bool electric;
+        }
+        class Taxi extends Car (extent Taxis) {
+            attribute int fares;
+            attribute Car spare;
+            int worth() { return this.value + this.fares; }
+        }
+        class Building extends Asset (extent Buildings) {
+            attribute int floors;
+        }
+        ",
+    );
+    fx.create("Asset", vec![("value", Value::Int(10))], Some("gold"));
+    fx.create(
+        "Vehicle",
+        vec![("value", Value::Int(20)), ("wheels", Value::Int(2))],
+        Some("bike"),
+    );
+    let car = fx.create(
+        "Car",
+        vec![
+            ("value", Value::Int(30)),
+            ("wheels", Value::Int(4)),
+            ("electric", Value::Bool(true)),
+        ],
+        Some("car"),
+    );
+    fx.create(
+        "Taxi",
+        vec![
+            ("value", Value::Int(40)),
+            ("wheels", Value::Int(4)),
+            ("electric", Value::Bool(false)),
+            ("fares", Value::Int(7)),
+            ("spare", Value::Oid(car)),
+        ],
+        Some("taxi"),
+    );
+    fx.create(
+        "Building",
+        vec![("value", Value::Int(1000)), ("floors", Value::Int(3))],
+        Some("office"),
+    );
+    fx
+}
+
+/// Parse helper for tests/benches that want a raw (unresolved) query.
+pub fn raw_query(src: &str) -> Query {
+    parse_query(src).expect("query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jack_jill_fixture_shape() {
+        let fx = jack_jill();
+        assert_eq!(fx.extent_len("Ps"), 2);
+        assert_eq!(fx.extent_len("Fs"), 0);
+        assert_ne!(fx.oid("jack"), fx.oid("jill"));
+        let jack = fx.store.objects.get(fx.oid("jack")).unwrap();
+        assert_eq!(jack.attr(&AttrName::new("name")), Some(&Value::Int(JACK)));
+    }
+
+    #[test]
+    fn payroll_fixture_shape() {
+        let fx = payroll();
+        assert_eq!(fx.extent_len("Managers"), 1);
+        assert_eq!(fx.extent_len("Employees"), 2);
+        // Inherited extents are off by default: Persons has nobody.
+        assert_eq!(fx.extent_len("Persons"), 0);
+        let boss = fx.store.objects.get(fx.oid("boss")).unwrap();
+        assert_eq!(
+            boss.attr(&AttrName::new("UniqueManager")),
+            Some(&Value::Oid(fx.oid("boss")))
+        );
+    }
+
+    #[test]
+    fn queries_parse_and_resolve() {
+        let fx = jack_jill();
+        let q = fx.query(jack_jill_query());
+        // Ps and Fs resolved to extents.
+        let mut extents = 0;
+        q.for_each_node(&mut |n| {
+            if matches!(n, Query::Extent(_)) {
+                extents += 1;
+            }
+        });
+        assert!(extents >= 2);
+        let _ = fx.query(jack_jill_loop_query());
+        let fx2 = persons_employees();
+        let _ = fx2.query(commute_counterexample_query());
+    }
+}

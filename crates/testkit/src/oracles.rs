@@ -1,0 +1,295 @@
+//! Executable statements of the paper's meta-theorems, applied along a
+//! reduction sequence.
+//!
+//! * **Theorems 1–3** (subject reduction, progress, type soundness):
+//!   [`progress_and_preservation_hold`] types the state before each step
+//!   (`E, D, Q ⊢ EE, DE, OE, q : σ`), takes a step, re-types, and checks
+//!   `σ' ≤ σ` — aborting on any stuck state.
+//! * **Theorems 5–6** (effect subject reduction/progress):
+//!   [`effect_soundness_holds`] checks every step's runtime effect label
+//!   ε' is a subeffect of the statically inferred ε, and that the
+//!   residual query's inferred effect stays within ε.
+//! * **Systems agreement**: [`systems_agree`] cross-checks the Figure 1
+//!   checker and the Figure 3 effect system — both must assign the same
+//!   type to every well-typed query.
+
+use ioql_ast::Query;
+use ioql_effects::{infer_runtime_query, EffectEnv};
+use ioql_eval::{step, Chooser, DefEnv, EvalConfig, EvalError};
+use ioql_store::Store;
+use ioql_types::{check_query, check_runtime_query, TypeEnv};
+use std::fmt;
+
+/// An oracle violation — a counterexample to one of the theorems (i.e. a
+/// bug in this reproduction, never expected to fire).
+#[derive(Clone, Debug)]
+pub struct OracleError {
+    /// Which check failed.
+    pub what: &'static str,
+    /// The state at failure.
+    pub state: String,
+    /// Details.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated at `{}`: {}", self.what, self.state, self.detail)
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+fn fail(what: &'static str, state: &Query, detail: impl Into<String>) -> OracleError {
+    OracleError {
+        what,
+        state: state.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Theorems 1–3 for one reduction sequence: every intermediate state is
+/// well-typed at a subtype of the initial type, and no well-typed
+/// non-value state is stuck. Divergent method calls and fuel exhaustion
+/// are *allowed* (soundness says nothing about termination); stuckness
+/// is not.
+pub fn progress_and_preservation_hold(
+    tenv: &TypeEnv<'_>,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &Store,
+    q: &Query,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+) -> Result<(), OracleError> {
+    let mut store = store.clone();
+    let mut cur = q.clone();
+    let mut ty = check_runtime_query(tenv, &store, &cur)
+        .map_err(|e| fail("initial typing", &cur, e.to_string()))?;
+    for _ in 0..max_steps {
+        match step(cfg, defs, &mut store, &cur, chooser) {
+            Ok(None) => return Ok(()), // value reached
+            Ok(Some(out)) => {
+                let ty2 = check_runtime_query(tenv, &store, &out.query)
+                    .map_err(|e| fail("subject reduction (typing)", &out.query, e.to_string()))?;
+                if !tenv.schema.subtype(&ty2, &ty) {
+                    return Err(fail(
+                        "subject reduction (subtyping)",
+                        &out.query,
+                        format!("stepped from type `{ty}` to unrelated `{ty2}`"),
+                    ));
+                }
+                ty = ty2;
+                cur = out.query;
+            }
+            Err(EvalError::Stuck { query, reason }) => {
+                return Err(OracleError {
+                    what: "progress",
+                    state: query,
+                    detail: reason,
+                });
+            }
+            // Divergence is not a soundness violation.
+            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => {
+                return Ok(())
+            }
+            Err(e) => return Err(fail("progress", &cur, e.to_string())),
+        }
+    }
+    Ok(()) // step budget spent without violation
+}
+
+/// Theorems 5–6 for one reduction sequence: with `ε` the statically
+/// inferred effect of the initial state, every step's runtime label
+/// `ε' ⊆ ε` and the residual state's inferred effect stays `⊆ ε`.
+pub fn effect_soundness_holds(
+    eenv: &EffectEnv<'_>,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &Store,
+    q: &Query,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+) -> Result<(), OracleError> {
+    let mut store = store.clone();
+    let mut cur = q.clone();
+    let (_, budget) = infer_runtime_query(eenv, &store, &cur)
+        .map_err(|e| fail("initial effect typing", &cur, e.to_string()))?;
+    for _ in 0..max_steps {
+        match step(cfg, defs, &mut store, &cur, chooser) {
+            Ok(None) => return Ok(()),
+            Ok(Some(out)) => {
+                if !out.effect.covered_by(&budget, eenv.schema) {
+                    return Err(fail(
+                        "effect subject reduction (step label)",
+                        &out.query,
+                        format!(
+                            "runtime effect {{{}}} escapes inferred {{{budget}}}",
+                            out.effect
+                        ),
+                    ));
+                }
+                let (_, residual) = infer_runtime_query(eenv, &store, &out.query)
+                    .map_err(|e| fail("effect preservation (typing)", &out.query, e.to_string()))?;
+                if !residual.covered_by(&budget, eenv.schema) {
+                    return Err(fail(
+                        "effect preservation (residual)",
+                        &out.query,
+                        format!("residual effect {{{residual}}} escapes {{{budget}}}"),
+                    ));
+                }
+                cur = out.query;
+            }
+            Err(EvalError::Stuck { query, reason }) => {
+                return Err(OracleError {
+                    what: "effect progress",
+                    state: query,
+                    detail: reason,
+                });
+            }
+            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => {
+                return Ok(())
+            }
+            Err(e) => return Err(fail("effect progress", &cur, e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Cross-checks Figure 1 against Figure 3 on a *source* query: both
+/// systems accept it with the same type (the effect system embeds the
+/// type system).
+pub fn systems_agree(
+    tenv: &TypeEnv<'_>,
+    eenv: &EffectEnv<'_>,
+    q: &Query,
+) -> Result<(), OracleError> {
+    let (_, t1) = check_query(tenv, q).map_err(|e| fail("plain typing", q, e.to_string()))?;
+    let (t2, _) = ioql_effects::infer_query(eenv, q)
+        .map_err(|e| fail("effect typing", q, e.to_string()))?;
+    if t1 != t2 {
+        return Err(fail(
+            "system agreement",
+            q,
+            format!("Figure 1 says `{t1}`, Figure 3 says `{t2}`"),
+        ));
+    }
+    Ok(())
+}
+
+/// An executable approximation of the *contextual equivalence* the
+/// paper's §7 names as future work: two queries are observationally
+/// equivalent on a store when their full outcome *sets* (all `(ND comp)`
+/// orders, compared up to oid bijection) coincide. Quantifying over a
+/// family of stores approximates quantification over contexts: a context
+/// can only influence a closed query through the store it runs against.
+pub fn observationally_equivalent(
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    stores: &[Store],
+    q1: &Query,
+    q2: &Query,
+    max_steps: u64,
+    max_runs: usize,
+) -> Result<(), OracleError> {
+    use ioql_eval::explore_outcomes;
+    use ioql_store::equiv_outcomes;
+    for (i, store) in stores.iter().enumerate() {
+        let a = explore_outcomes(cfg, defs, store, q1, max_steps, max_runs);
+        let b = explore_outcomes(cfg, defs, store, q2, max_steps, max_runs);
+        if a.truncated || b.truncated {
+            return Err(fail(
+                "observational equivalence",
+                q1,
+                format!("store #{i}: exploration truncated"),
+            ));
+        }
+        let fa = a.runs.iter().filter(|r| r.is_err()).count();
+        let fb = b.runs.iter().filter(|r| r.is_err()).count();
+        if (fa > 0) != (fb > 0) {
+            return Err(fail(
+                "observational equivalence",
+                q1,
+                format!("store #{i}: one side can fail/diverge, the other cannot"),
+            ));
+        }
+        let da = a.distinct_outcomes();
+        let db = b.distinct_outcomes();
+        let covered = da.iter().all(|x| db.iter().any(|y| equiv_outcomes(x, y)))
+            && db.iter().all(|y| da.iter().any(|x| equiv_outcomes(x, y)));
+        if !covered {
+            return Err(fail(
+                "observational equivalence",
+                q1,
+                format!(
+                    "store #{i}: outcome sets differ ({} vs {} distinct)",
+                    da.len(),
+                    db.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use ioql_eval::RandomChooser;
+
+    #[test]
+    fn observational_equivalence_on_stores() {
+        use crate::workloads::p_store;
+        let fx = fixtures::jack_jill();
+        let stores: Vec<ioql_store::Store> = (0..3)
+            .map(|i| p_store(2 + i as usize, i).store)
+            .collect();
+        let tenv = TypeEnv::new(&fx.schema);
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        let prep = |src: &str| {
+            let q = fx.query(src);
+            check_query(&tenv, &q).unwrap().0
+        };
+        // A tautological rewrite is equivalent…
+        let q1 = prep("{ p.name | p <- Ps }");
+        let q2 = prep("{ p.name | p <- Ps, true }");
+        observationally_equivalent(&cfg, &defs, &stores, &q1, &q2, 100_000, 5_000)
+            .unwrap();
+        // …a strict filter is not.
+        let q3 = prep("{ p.name | p <- Ps, p.name < 2 }");
+        assert!(observationally_equivalent(
+            &cfg, &defs, &stores, &q1, &q3, 100_000, 5_000
+        )
+        .is_err());
+        // And commuting the §1 query's interfering operands is caught on
+        // outcome *sets*, not just single runs.
+        let nd1 = prep(fixtures::jack_jill_query());
+        observationally_equivalent(&cfg, &defs, &stores, &nd1, &nd1, 100_000, 5_000)
+            .unwrap();
+    }
+
+    #[test]
+    fn oracles_pass_on_paper_query() {
+        let fx = fixtures::jack_jill();
+        let q = fx.query(fixtures::jack_jill_query());
+        let tenv = TypeEnv::new(&fx.schema);
+        // The parsed query uses Field projections; elaborate first.
+        let (elab, _) = check_query(&tenv, &q).unwrap();
+        let eenv = EffectEnv::new(&fx.schema);
+        let cfg = EvalConfig::new(&fx.schema);
+        let defs = DefEnv::new();
+        for seed in 0..10 {
+            let mut ch = RandomChooser::seeded(seed);
+            progress_and_preservation_hold(
+                &tenv, &cfg, &defs, &fx.store, &elab, &mut ch, 10_000,
+            )
+            .unwrap();
+            let mut ch2 = RandomChooser::seeded(seed);
+            effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut ch2, 10_000)
+                .unwrap();
+        }
+        systems_agree(&tenv, &eenv, &elab).unwrap();
+    }
+}

@@ -1,0 +1,953 @@
+//! The Figure 1 typing rules, implemented as an elaborating checker.
+
+use crate::env::{TypeEnv, TypeOptions};
+use crate::error::TypeError;
+use crate::value_type::type_of_value;
+use ioql_ast::{
+    AttrName, ClassName, Definition, FnType, Label, Program, Qualifier, Query, Type, Value,
+};
+use ioql_schema::Schema;
+use ioql_store::Store;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of checking a whole program.
+#[derive(Clone, Debug)]
+pub struct CheckedProgram {
+    /// The elaborated program (projections resolved, otherwise identical).
+    pub program: Program,
+    /// Each definition's function type, in scope order.
+    pub def_types: BTreeMap<ioql_ast::DefName, FnType>,
+    /// The main query's type.
+    pub ty: Type,
+}
+
+/// Types a *source* query (no reduced values): `E; D; Q ⊢ q : σ`.
+/// Returns the elaborated query alongside its type.
+pub fn check_query(env: &TypeEnv<'_>, q: &Query) -> Result<(Query, Type), TypeError> {
+    check(env, None, q)
+}
+
+/// Types a *runtime* query — an intermediate state of the reducer, which
+/// may embed oids and realised sets — against a store. This is the
+/// correspondence `E, D, Q ⊢ EE, DE, OE, q : σ` used by the soundness
+/// theorems.
+pub fn check_runtime_query(
+    env: &TypeEnv<'_>,
+    store: &Store,
+    q: &Query,
+) -> Result<Type, TypeError> {
+    check(env, Some(store), q).map(|(_, t)| t)
+}
+
+/// Types a definition: `E; D ⊢ define d(x⃗: σ⃗) as q : σ⃗ → σ'`.
+pub fn check_definition(
+    env: &TypeEnv<'_>,
+    def: &Definition,
+) -> Result<(Definition, FnType), TypeError> {
+    let mut seen = BTreeSet::new();
+    let mut inner = env.clone();
+    for (x, t) in &def.params {
+        if !seen.insert(x.clone()) {
+            return Err(TypeError::DuplicateParam(x.clone()));
+        }
+        check_type_wf(env.schema, t)?;
+        inner = inner.bind(x.clone(), t.clone());
+    }
+    let (body, result) = check(&inner, None, &def.body)?;
+    let fnty = FnType::new(
+        def.params.iter().map(|(_, t)| t.clone()).collect(),
+        result,
+    );
+    Ok((
+        Definition {
+            name: def.name.clone(),
+            params: def.params.clone(),
+            body,
+        },
+        fnty,
+    ))
+}
+
+/// Types a program: `E ⊢ def₀ … def_k q : σ`, threading each definition's
+/// type into the scope of the next (definitions are non-recursive).
+pub fn check_program(
+    schema: &Schema,
+    program: &Program,
+    options: TypeOptions,
+) -> Result<CheckedProgram, TypeError> {
+    let mut env = TypeEnv::with_options(schema, options);
+    let mut defs = Vec::with_capacity(program.defs.len());
+    let mut def_types = BTreeMap::new();
+    for def in &program.defs {
+        if env.defs.contains_key(&def.name) {
+            return Err(TypeError::DuplicateDef(def.name.clone()));
+        }
+        let (elab, fnty) = check_definition(&env, def)?;
+        env.defs.insert(def.name.clone(), fnty.clone());
+        def_types.insert(def.name.clone(), fnty);
+        defs.push(elab);
+    }
+    let (query, ty) = check(&env, None, &program.query)?;
+    Ok(CheckedProgram {
+        program: Program { defs, query },
+        def_types,
+        ty,
+    })
+}
+
+/// A declared parameter type must be well-formed over the schema: every
+/// class it mentions must exist, and `⊥` must not appear (it is internal).
+fn check_type_wf(schema: &Schema, t: &Type) -> Result<(), TypeError> {
+    match t {
+        Type::Int | Type::Bool => Ok(()),
+        Type::Class(c) => {
+            if schema.is_class(c) {
+                Ok(())
+            } else {
+                Err(TypeError::UnknownClass(c.clone()))
+            }
+        }
+        Type::Set(inner) => check_type_wf(schema, inner),
+        Type::Record(fields) => {
+            for ft in fields.values() {
+                check_type_wf(schema, ft)?;
+            }
+            Ok(())
+        }
+        Type::Bottom => Err(TypeError::Mismatch {
+            expected: "a surface type".into(),
+            got: Type::Bottom,
+            context: "parameter type",
+        }),
+    }
+}
+
+fn require_subtype(
+    schema: &Schema,
+    got: &Type,
+    want: &Type,
+    context: &'static str,
+) -> Result<(), TypeError> {
+    if schema.subtype(got, want) {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            expected: format!("a subtype of `{want}`"),
+            got: got.clone(),
+            context,
+        })
+    }
+}
+
+fn as_set(t: &Type, context: &'static str) -> Result<Type, TypeError> {
+    match t {
+        Type::Set(inner) => Ok((**inner).clone()),
+        // ⊥ ≤ set(⊥): a ⊥-typed subject (drawn from an empty set, hence
+        // never an actual value) eliminates vacuously.
+        Type::Bottom => Ok(Type::Bottom),
+        other => Err(TypeError::Mismatch {
+            expected: "a set type".into(),
+            got: other.clone(),
+            context,
+        }),
+    }
+}
+
+fn as_class(t: &Type, context: &'static str) -> Result<ClassName, TypeError> {
+    match t {
+        Type::Class(c) => Ok(c.clone()),
+        other => Err(TypeError::Mismatch {
+            expected: "an object (class) type".into(),
+            got: other.clone(),
+            context,
+        }),
+    }
+}
+
+/// The rule dispatcher. `store` is `Some` only when typing runtime states.
+fn check(
+    env: &TypeEnv<'_>,
+    store: Option<&Store>,
+    q: &Query,
+) -> Result<(Query, Type), TypeError> {
+    let schema = env.schema;
+    match q {
+        // (Int), (Bool) — and the runtime-value extension.
+        Query::Lit(v) => {
+            let t = match v {
+                Value::Int(_) => Type::Int,
+                Value::Bool(_) => Type::Bool,
+                other => match store {
+                    Some(st) => type_of_value(schema, st, other)?,
+                    None => {
+                        let mut bad = None;
+                        let mut probe = other.oids();
+                        if let Some(o) = probe.pop() {
+                            bad = Some(TypeError::OidNeedsStore(o));
+                        }
+                        match bad {
+                            Some(e) => return Err(e),
+                            // Oid-free composite literal (e.g. an already
+                            // realised set of ints): type it structurally
+                            // with a throwaway empty store.
+                            None => type_of_value(schema, &Store::new(), other)?,
+                        }
+                    }
+                },
+            };
+            Ok((q.clone(), t))
+        }
+
+        // (Ident) — Q(x).
+        Query::Var(x) => match env.vars.get(x) {
+            Some(t) => Ok((q.clone(), t.clone())),
+            None => Err(TypeError::Unbound(x.clone())),
+        },
+
+        // (Extent) — E(e) = C gives e : set(C).
+        Query::Extent(e) => match schema.extent_class(e) {
+            Some(c) => Ok((q.clone(), Type::set(Type::Class(c.clone())))),
+            None => Err(TypeError::UnknownExtent(e.clone())),
+        },
+
+        // (Set) — elementwise, joined by lub; {} : set(⊥).
+        Query::SetLit(items) => {
+            let mut elab = Vec::with_capacity(items.len());
+            let mut elem = Type::Bottom;
+            for item in items {
+                let (e, t) = check(env, store, item)?;
+                elem = schema
+                    .lub(&elem, &t)
+                    .ok_or_else(|| TypeError::NoLub(elem.clone(), t.clone()))?;
+                elab.push(e);
+            }
+            Ok((Query::SetLit(elab), Type::set(elem)))
+        }
+
+        // (Sop) — both operands sets; result element type is the lub.
+        Query::SetBin(op, a, b) => {
+            let (ea, ta) = check(env, store, a)?;
+            let (eb, tb) = check(env, store, b)?;
+            let ea_t = as_set(&ta, "set operator")?;
+            let eb_t = as_set(&tb, "set operator")?;
+            let elem = schema
+                .lub(&ea_t, &eb_t)
+                .ok_or(TypeError::NoLub(ea_t, eb_t))?;
+            Ok((
+                Query::SetBin(*op, Box::new(ea), Box::new(eb)),
+                Type::set(elem),
+            ))
+        }
+
+        // (Iop) — int × int → int (comparisons → bool).
+        Query::IntBin(op, a, b) => {
+            let (ea, ta) = check(env, store, a)?;
+            let (eb, tb) = check(env, store, b)?;
+            require_subtype(schema, &ta, &Type::Int, "integer operator")?;
+            require_subtype(schema, &tb, &Type::Int, "integer operator")?;
+            let result = if op.yields_bool() { Type::Bool } else { Type::Int };
+            Ok((Query::IntBin(*op, Box::new(ea), Box::new(eb)), result))
+        }
+
+        // (IntEq).
+        Query::IntEq(a, b) => {
+            let (ea, ta) = check(env, store, a)?;
+            let (eb, tb) = check(env, store, b)?;
+            require_subtype(schema, &ta, &Type::Int, "integer equality")?;
+            require_subtype(schema, &tb, &Type::Int, "integer equality")?;
+            Ok((Query::IntEq(Box::new(ea), Box::new(eb)), Type::Bool))
+        }
+
+        // (ObjEq) — both operands object-typed (⊥ passes vacuously).
+        Query::ObjEq(a, b) => {
+            let (ea, ta) = check(env, store, a)?;
+            let (eb, tb) = check(env, store, b)?;
+            for t in [&ta, &tb] {
+                if !matches!(t, Type::Class(_) | Type::Bottom) {
+                    return Err(TypeError::Mismatch {
+                        expected: "an object (class) type".into(),
+                        got: t.clone(),
+                        context: "object equality",
+                    });
+                }
+            }
+            Ok((Query::ObjEq(Box::new(ea), Box::new(eb)), Type::Bool))
+        }
+
+        // (Record) — distinct labels, pointwise.
+        Query::Record(fields) => {
+            let mut seen = BTreeSet::new();
+            let mut elab = Vec::with_capacity(fields.len());
+            let mut tys = BTreeMap::new();
+            for (l, fq) in fields {
+                if !seen.insert(l.clone()) {
+                    return Err(TypeError::DuplicateLabel(l.clone()));
+                }
+                let (e, t) = check(env, store, fq)?;
+                tys.insert(l.clone(), t);
+                elab.push((l.clone(), e));
+            }
+            Ok((Query::Record(elab), Type::Record(tys)))
+        }
+
+        // (Field)/(Attr) — a projection, resolved by the subject's type.
+        Query::Field(subject, l) => {
+            let (es, ts) = check(env, store, subject)?;
+            project(schema, es, ts, l.clone())
+        }
+        Query::Attr(subject, a) => {
+            let (es, ts) = check(env, store, subject)?;
+            project(schema, es, ts, Label::new(a.as_str()))
+        }
+
+        // (Defn) — D(d), call-by-value argument subtyping.
+        Query::Call(d, args) => {
+            let fnty = env
+                .defs
+                .get(d)
+                .cloned()
+                .ok_or_else(|| TypeError::UnknownDef(d.clone()))?;
+            if fnty.params.len() != args.len() {
+                return Err(TypeError::Arity {
+                    expected: fnty.params.len(),
+                    got: args.len(),
+                    context: "definition call",
+                });
+            }
+            let mut elab = Vec::with_capacity(args.len());
+            for (arg, want) in args.iter().zip(&fnty.params) {
+                let (e, t) = check(env, store, arg)?;
+                require_subtype(schema, &t, want, "definition argument")?;
+                elab.push(e);
+            }
+            Ok((Query::Call(d.clone(), elab), fnty.result))
+        }
+
+        // (Size).
+        Query::Size(inner) => {
+            let (e, t) = check(env, store, inner)?;
+            as_set(&t, "size")?;
+            Ok((Query::Size(Box::new(e)), Type::Int))
+        }
+
+        // (Sum) — extension: the operand must be a set of integers.
+        Query::Sum(inner) => {
+            let (e, t) = check(env, store, inner)?;
+            let elem = as_set(&t, "sum")?;
+            require_subtype(schema, &elem, &Type::Int, "sum")?;
+            Ok((Query::Sum(Box::new(e)), Type::Int))
+        }
+
+        // (Cast) — upcast only (paper Note 2); downcast behind a flag.
+        Query::Cast(c, inner) => {
+            if !schema.is_class(c) {
+                return Err(TypeError::UnknownClass(c.clone()));
+            }
+            let (e, t) = check(env, store, inner)?;
+            if t == Type::Bottom {
+                return Ok((Query::Cast(c.clone(), Box::new(e)), Type::Class(c.clone())));
+            }
+            let from = as_class(&t, "cast")?;
+            let upcast = schema.extends(&from, c);
+            let downcast_ok = env.options.allow_downcast && schema.extends(c, &from);
+            if upcast || downcast_ok {
+                Ok((Query::Cast(c.clone(), Box::new(e)), Type::Class(c.clone())))
+            } else {
+                Err(TypeError::BadCast {
+                    to: c.clone(),
+                    from,
+                })
+            }
+        }
+
+        // (Method) — mtype(C, m) with call-by-value argument subtyping.
+        Query::Invoke(recv, m, args) => {
+            let (er, tr) = check(env, store, recv)?;
+            if tr == Type::Bottom {
+                // Vacuous receiver: type the arguments, result ⊥.
+                let mut elab = Vec::with_capacity(args.len());
+                for arg in args {
+                    elab.push(check(env, store, arg)?.0);
+                }
+                return Ok((Query::Invoke(Box::new(er), m.clone(), elab), Type::Bottom));
+            }
+            let c = as_class(&tr, "method receiver")?;
+            let fnty = schema
+                .mtype(&c, m)
+                .ok_or_else(|| TypeError::UnknownMethod(c.clone(), m.clone()))?;
+            if fnty.params.len() != args.len() {
+                return Err(TypeError::Arity {
+                    expected: fnty.params.len(),
+                    got: args.len(),
+                    context: "method call",
+                });
+            }
+            let mut elab = Vec::with_capacity(args.len());
+            for (arg, want) in args.iter().zip(&fnty.params) {
+                let (e, t) = check(env, store, arg)?;
+                require_subtype(schema, &t, want, "method argument")?;
+                elab.push(e);
+            }
+            Ok((Query::Invoke(Box::new(er), m.clone(), elab), fnty.result))
+        }
+
+        // (New) — every attribute (inherited included) initialised exactly
+        // once, at a subtype of its declared type.
+        Query::New(c, attrs) => {
+            if c.is_object() || schema.class(c).is_none() {
+                return Err(TypeError::CannotInstantiate(c.clone()));
+            }
+            let declared: BTreeMap<AttrName, Type> = schema.atypes(c).into_iter().collect();
+            let mut supplied = BTreeSet::new();
+            let mut elab = Vec::with_capacity(attrs.len());
+            for (a, aq) in attrs {
+                let want = declared
+                    .get(a)
+                    .ok_or_else(|| TypeError::UnexpectedAttr(c.clone(), a.clone()))?;
+                if !supplied.insert(a.clone()) {
+                    return Err(TypeError::UnexpectedAttr(c.clone(), a.clone()));
+                }
+                let (e, t) = check(env, store, aq)?;
+                require_subtype(schema, &t, want, "new attribute")?;
+                elab.push((a.clone(), e));
+            }
+            for a in declared.keys() {
+                if !supplied.contains(a) {
+                    return Err(TypeError::MissingAttr(c.clone(), a.clone()));
+                }
+            }
+            Ok((Query::New(c.clone(), elab), Type::Class(c.clone())))
+        }
+
+        // (Cond) — condition bool; branch types joined by lub, which is
+        // *partial* (the paper's §1 point about lubs).
+        Query::If(cond, then, els) => {
+            let (ec, tc) = check(env, store, cond)?;
+            require_subtype(schema, &tc, &Type::Bool, "if condition")?;
+            let (et, tt) = check(env, store, then)?;
+            let (ee, te) = check(env, store, els)?;
+            let t = schema.lub(&tt, &te).ok_or(TypeError::NoLub(tt, te))?;
+            Ok((
+                Query::If(Box::new(ec), Box::new(et), Box::new(ee)),
+                t,
+            ))
+        }
+
+        // (Comp1)/(Comp2)/(Comp3) — qualifiers left-to-right; generators
+        // extend Q; the head is typed under all binders.
+        Query::Comp(head, quals) => {
+            let mut cur = env.clone();
+            let mut elab = Vec::with_capacity(quals.len());
+            for cq in quals {
+                match cq {
+                    Qualifier::Pred(p) => {
+                        let (e, t) = check(&cur, store, p)?;
+                        require_subtype(schema, &t, &Type::Bool, "comprehension predicate")?;
+                        elab.push(Qualifier::Pred(e));
+                    }
+                    Qualifier::Gen(x, src) => {
+                        let (e, t) = check(&cur, store, src)?;
+                        let elem = as_set(&t, "comprehension generator")?;
+                        cur = cur.bind(x.clone(), elem);
+                        elab.push(Qualifier::Gen(x.clone(), e));
+                    }
+                }
+            }
+            let (eh, th) = check(&cur, store, head)?;
+            Ok((Query::Comp(Box::new(eh), elab), Type::set(th)))
+        }
+    }
+}
+
+/// Resolves a projection `subject.x` by the subject's type: record field
+/// or object attribute.
+fn project(
+    schema: &Schema,
+    subject: Query,
+    subject_ty: Type,
+    label: Label,
+) -> Result<(Query, Type), TypeError> {
+    if subject_ty == Type::Bottom {
+        // Vacuous projection: the subject was drawn from an empty set and
+        // this position will never be evaluated.
+        return Ok((Query::Field(Box::new(subject), label), Type::Bottom));
+    }
+    match &subject_ty {
+        Type::Record(fields) => match fields.get(&label) {
+            Some(t) => Ok((Query::Field(Box::new(subject), label), t.clone())),
+            None => Err(TypeError::UnknownField(subject_ty.clone(), label)),
+        },
+        Type::Class(c) => {
+            let a = AttrName::new(label.as_str());
+            match schema.atype(c, &a) {
+                Some(t) => {
+                    let t = t.clone();
+                    Ok((Query::Attr(Box::new(subject), a), t))
+                }
+                None => Err(TypeError::UnknownAttr(c.clone(), a)),
+            }
+        }
+        other => Err(TypeError::BadProjection(other.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::{AttrDef, ClassDef, IntOp, MethodDef, VarName};
+    use ioql_ast::{MExpr, MStmt};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::new(
+                "Person",
+                ClassName::object(),
+                "Persons",
+                [AttrDef::new("age", Type::Int)],
+                [MethodDef::new(
+                    "older",
+                    [(VarName::new("n"), Type::Int)],
+                    Type::Bool,
+                    vec![MStmt::Return(MExpr::Bool(true))],
+                )],
+            ),
+            ClassDef::new(
+                "Employee",
+                "Person",
+                "Employees",
+                [AttrDef::new("salary", Type::Int)],
+                [],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn env(schema: &Schema) -> TypeEnv<'_> {
+        TypeEnv::new(schema)
+    }
+
+    #[test]
+    fn literals() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(check_query(&e, &Query::int(1)).unwrap().1, Type::Int);
+        assert_eq!(check_query(&e, &Query::bool(true)).unwrap().1, Type::Bool);
+    }
+
+    #[test]
+    fn unbound_var_rejected() {
+        let s = schema();
+        let e = env(&s);
+        assert!(matches!(
+            check_query(&e, &Query::var("x")),
+            Err(TypeError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn extent_rule() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(
+            check_query(&e, &Query::extent("Persons")).unwrap().1,
+            Type::set(Type::class("Person"))
+        );
+        assert!(matches!(
+            check_query(&e, &Query::extent("Ghost")),
+            Err(TypeError::UnknownExtent(_))
+        ));
+    }
+
+    #[test]
+    fn set_literal_lub() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(
+            check_query(&e, &Query::set_lit([Query::int(1), Query::int(2)]))
+                .unwrap()
+                .1,
+            Type::set(Type::Int)
+        );
+        assert_eq!(
+            check_query(&e, &Query::set_lit([])).unwrap().1,
+            Type::empty_set()
+        );
+        assert!(matches!(
+            check_query(&e, &Query::set_lit([Query::int(1), Query::bool(true)])),
+            Err(TypeError::NoLub(_, _))
+        ));
+    }
+
+    #[test]
+    fn union_of_extents_takes_lub() {
+        // Persons ∪ Employees : set(Person) — needs set-element lub.
+        let s = schema();
+        let e = env(&s);
+        let q = Query::extent("Persons").union(Query::extent("Employees"));
+        assert_eq!(
+            check_query(&e, &q).unwrap().1,
+            Type::set(Type::class("Person"))
+        );
+    }
+
+    #[test]
+    fn empty_set_unions_with_anything() {
+        let s = schema();
+        let e = env(&s);
+        let q = Query::set_lit([]).union(Query::extent("Persons"));
+        assert_eq!(
+            check_query(&e, &q).unwrap().1,
+            Type::set(Type::class("Person"))
+        );
+    }
+
+    #[test]
+    fn int_ops() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(
+            check_query(&e, &Query::int(1).add(Query::int(2))).unwrap().1,
+            Type::Int
+        );
+        let cmp = Query::IntBin(IntOp::Lt, Box::new(Query::int(1)), Box::new(Query::int(2)));
+        assert_eq!(check_query(&e, &cmp).unwrap().1, Type::Bool);
+        assert!(check_query(&e, &Query::bool(true).add(Query::int(1))).is_err());
+    }
+
+    #[test]
+    fn equality_rules() {
+        let s = schema();
+        let e = env(&s).bind(VarName::new("p"), Type::class("Person"));
+        assert_eq!(
+            check_query(&e, &Query::int(1).int_eq(Query::int(2))).unwrap().1,
+            Type::Bool
+        );
+        assert_eq!(
+            check_query(&e, &Query::var("p").obj_eq(Query::var("p")))
+                .unwrap()
+                .1,
+            Type::Bool
+        );
+        // Int equality on objects rejected, object equality on ints rejected.
+        assert!(check_query(&e, &Query::var("p").int_eq(Query::var("p"))).is_err());
+        assert!(check_query(&e, &Query::int(1).obj_eq(Query::int(2))).is_err());
+    }
+
+    #[test]
+    fn record_and_projection() {
+        let s = schema();
+        let e = env(&s);
+        let q = Query::record([("a", Query::int(1))]).field("a");
+        let (elab, t) = check_query(&e, &q).unwrap();
+        assert_eq!(t, Type::Int);
+        assert!(matches!(elab, Query::Field(_, _)));
+        assert!(matches!(
+            check_query(&e, &Query::record([("a", Query::int(1))]).field("zz")),
+            Err(TypeError::UnknownField(_, _))
+        ));
+        let dup = Query::record([("a", Query::int(1)), ("a", Query::int(2))]);
+        assert!(matches!(
+            check_query(&e, &dup),
+            Err(TypeError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn projection_elaborates_to_attr_on_objects() {
+        let s = schema();
+        let e = env(&s).bind(VarName::new("p"), Type::class("Employee"));
+        // Written `p.age` — parser produces Field; checker resolves to Attr
+        // via the superclass chain.
+        let q = Query::var("p").field("age");
+        let (elab, t) = check_query(&e, &q).unwrap();
+        assert_eq!(t, Type::Int);
+        assert!(matches!(elab, Query::Attr(_, _)));
+    }
+
+    #[test]
+    fn projection_on_int_rejected() {
+        let s = schema();
+        let e = env(&s);
+        assert!(matches!(
+            check_query(&e, &Query::int(1).field("a")),
+            Err(TypeError::BadProjection(_))
+        ));
+    }
+
+    #[test]
+    fn size_rule() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(
+            check_query(&e, &Query::extent("Persons").size_of()).unwrap().1,
+            Type::Int
+        );
+        assert!(check_query(&e, &Query::int(1).size_of()).is_err());
+    }
+
+    #[test]
+    fn sum_rule() {
+        let s = schema();
+        let e = env(&s);
+        assert_eq!(
+            check_query(&e, &Query::set_lit([Query::int(1)]).sum_of())
+                .unwrap()
+                .1,
+            Type::Int
+        );
+        // Empty set: set(⊥) sums fine.
+        assert_eq!(
+            check_query(&e, &Query::set_lit([]).sum_of()).unwrap().1,
+            Type::Int
+        );
+        // Sets of non-integers are rejected.
+        assert!(check_query(&e, &Query::extent("Persons").sum_of()).is_err());
+        assert!(check_query(&e, &Query::int(1).sum_of()).is_err());
+    }
+
+    #[test]
+    fn upcast_ok_downcast_rejected_by_default() {
+        let s = schema();
+        let e = env(&s).bind(VarName::new("emp"), Type::class("Employee"));
+        assert_eq!(
+            check_query(&e, &Query::var("emp").cast("Person")).unwrap().1,
+            Type::class("Person")
+        );
+        let e2 = env(&s).bind(VarName::new("p"), Type::class("Person"));
+        assert!(matches!(
+            check_query(&e2, &Query::var("p").cast("Employee")),
+            Err(TypeError::BadCast { .. })
+        ));
+    }
+
+    #[test]
+    fn downcast_allowed_with_flag() {
+        let s = schema();
+        let mut e = TypeEnv::with_options(
+            &s,
+            TypeOptions {
+                allow_downcast: true,
+            },
+        );
+        e = e.bind(VarName::new("p"), Type::class("Person"));
+        assert_eq!(
+            check_query(&e, &Query::var("p").cast("Employee")).unwrap().1,
+            Type::class("Employee")
+        );
+        // Cross-cast still rejected.
+        assert!(check_query(&e, &Query::int(1).cast("Employee")).is_err());
+    }
+
+    #[test]
+    fn method_invocation() {
+        let s = schema();
+        let e = env(&s).bind(VarName::new("emp"), Type::class("Employee"));
+        // Inherited method.
+        let q = Query::var("emp").invoke("older", [Query::int(30)]);
+        assert_eq!(check_query(&e, &q).unwrap().1, Type::Bool);
+        // Wrong arity.
+        assert!(matches!(
+            check_query(&e, &Query::var("emp").invoke("older", [])),
+            Err(TypeError::Arity { .. })
+        ));
+        // Wrong arg type.
+        assert!(check_query(
+            &e,
+            &Query::var("emp").invoke("older", [Query::bool(true)])
+        )
+        .is_err());
+        // Unknown method.
+        assert!(matches!(
+            check_query(&e, &Query::var("emp").invoke("fly", [])),
+            Err(TypeError::UnknownMethod(_, _))
+        ));
+    }
+
+    #[test]
+    fn new_requires_all_attrs_exactly() {
+        let s = schema();
+        let e = env(&s);
+        // Employee has inherited `age` plus `salary`.
+        let ok = Query::new_obj(
+            "Employee",
+            [("age", Query::int(30)), ("salary", Query::int(100))],
+        );
+        assert_eq!(check_query(&e, &ok).unwrap().1, Type::class("Employee"));
+        let missing = Query::new_obj("Employee", [("salary", Query::int(100))]);
+        assert!(matches!(
+            check_query(&e, &missing),
+            Err(TypeError::MissingAttr(_, _))
+        ));
+        let extra = Query::new_obj(
+            "Employee",
+            [
+                ("age", Query::int(30)),
+                ("salary", Query::int(100)),
+                ("ghost", Query::int(0)),
+            ],
+        );
+        assert!(matches!(
+            check_query(&e, &extra),
+            Err(TypeError::UnexpectedAttr(_, _))
+        ));
+        assert!(matches!(
+            check_query(&e, &Query::new_obj("Object", Vec::<(&str, Query)>::new())),
+            Err(TypeError::CannotInstantiate(_))
+        ));
+    }
+
+    #[test]
+    fn conditional_lub_and_partiality() {
+        let s = schema();
+        let e = env(&s)
+            .bind(VarName::new("emp"), Type::class("Employee"))
+            .bind(VarName::new("p"), Type::class("Person"));
+        let q = Query::ite(Query::bool(true), Query::var("emp"), Query::var("p"));
+        assert_eq!(check_query(&e, &q).unwrap().1, Type::class("Person"));
+        let bad = Query::ite(Query::bool(true), Query::int(1), Query::bool(false));
+        assert!(matches!(check_query(&e, &bad), Err(TypeError::NoLub(_, _))));
+        let bad_cond = Query::ite(Query::int(1), Query::int(1), Query::int(2));
+        assert!(check_query(&e, &bad_cond).is_err());
+    }
+
+    #[test]
+    fn comprehension_rules() {
+        let s = schema();
+        let e = env(&s);
+        // { p.age | p <- Persons, p.age = 3 } : set(int)
+        let q = Query::comp(
+            Query::var("p").field("age"),
+            [
+                Qualifier::Gen(VarName::new("p"), Query::extent("Persons")),
+                Qualifier::Pred(Query::var("p").field("age").int_eq(Query::int(3))),
+            ],
+        );
+        assert_eq!(check_query(&e, &q).unwrap().1, Type::set(Type::Int));
+        // Generator over a non-set.
+        let bad = Query::comp(
+            Query::int(1),
+            [Qualifier::Gen(VarName::new("p"), Query::int(1))],
+        );
+        assert!(check_query(&e, &bad).is_err());
+        // Non-bool predicate.
+        let bad2 = Query::comp(
+            Query::int(1),
+            [
+                Qualifier::Gen(VarName::new("p"), Query::extent("Persons")),
+                Qualifier::Pred(Query::int(1)),
+            ],
+        );
+        assert!(check_query(&e, &bad2).is_err());
+    }
+
+    #[test]
+    fn generator_binding_scope() {
+        let s = schema();
+        let e = env(&s);
+        // Head sees the binder; source does not.
+        let bad = Query::comp(
+            Query::int(1),
+            [Qualifier::Gen(VarName::new("p"), Query::var("p"))],
+        );
+        assert!(matches!(check_query(&e, &bad), Err(TypeError::Unbound(_))));
+    }
+
+    #[test]
+    fn definition_and_program() {
+        let s = schema();
+        let def = Definition::new(
+            "adults",
+            [(VarName::new("min"), Type::Int)],
+            Query::comp(
+                Query::var("p"),
+                [
+                    Qualifier::Gen(VarName::new("p"), Query::extent("Persons")),
+                    Qualifier::Pred(Query::IntBin(
+                        IntOp::Le,
+                        Box::new(Query::var("min")),
+                        Box::new(Query::var("p").field("age")),
+                    )),
+                ],
+            ),
+        );
+        let prog = Program::new([def], Query::call("adults", [Query::int(18)]).size_of());
+        let checked = check_program(&s, &prog, TypeOptions::default()).unwrap();
+        assert_eq!(checked.ty, Type::Int);
+        assert_eq!(
+            checked.def_types[&ioql_ast::DefName::new("adults")],
+            FnType::new(vec![Type::Int], Type::set(Type::class("Person")))
+        );
+    }
+
+    #[test]
+    fn definitions_are_non_recursive() {
+        let s = schema();
+        let def = Definition::new("f", [], Query::call("f", []));
+        let prog = Program::new([def], Query::int(1));
+        assert!(matches!(
+            check_program(&s, &prog, TypeOptions::default()),
+            Err(TypeError::UnknownDef(_))
+        ));
+    }
+
+    #[test]
+    fn later_defs_see_earlier_ones() {
+        let s = schema();
+        let f = Definition::new("f", [], Query::int(1));
+        let g = Definition::new("g", [], Query::call("f", []).add(Query::int(1)));
+        let prog = Program::new([f, g], Query::call("g", []));
+        let checked = check_program(&s, &prog, TypeOptions::default()).unwrap();
+        assert_eq!(checked.ty, Type::Int);
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let s = schema();
+        let f1 = Definition::new("f", [], Query::int(1));
+        let f2 = Definition::new("f", [], Query::int(2));
+        let prog = Program::new([f1, f2], Query::int(0));
+        assert!(matches!(
+            check_program(&s, &prog, TypeOptions::default()),
+            Err(TypeError::DuplicateDef(_))
+        ));
+    }
+
+    #[test]
+    fn call_argument_subtyping() {
+        let s = schema();
+        let f = Definition::new(
+            "anyone",
+            [(VarName::new("p"), Type::class("Person"))],
+            Query::var("p").field("age"),
+        );
+        // Passing an Employee where a Person is expected is fine.
+        let q = Query::comp(
+            Query::call("anyone", [Query::var("e")]),
+            [Qualifier::Gen(VarName::new("e"), Query::extent("Employees"))],
+        );
+        let prog = Program::new([f], q);
+        let checked = check_program(&s, &prog, TypeOptions::default()).unwrap();
+        assert_eq!(checked.ty, Type::set(Type::Int));
+    }
+
+    #[test]
+    fn runtime_oid_typing() {
+        let s = schema();
+        let mut store = Store::new();
+        store.declare_extent("Persons", "Person");
+        let o = store
+            .create(
+                ioql_store::Object::new("Person", [("age", Value::Int(3))]),
+                [ioql_ast::ExtentName::new("Persons")],
+            )
+            .unwrap();
+        let e = env(&s);
+        let q = Query::Lit(Value::Oid(o)).attr("age");
+        assert_eq!(check_runtime_query(&e, &store, &q).unwrap(), Type::Int);
+        // Without a store the oid cannot be typed.
+        assert!(matches!(
+            check_query(&e, &Query::Lit(Value::Oid(o))),
+            Err(TypeError::OidNeedsStore(_))
+        ));
+    }
+}

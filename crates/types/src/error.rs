@@ -1,0 +1,131 @@
+//! Type errors, each carrying enough context to explain the rejected rule.
+
+use ioql_ast::{AttrName, ClassName, DefName, ExtentName, Label, MethodName, Oid, Type, VarName};
+use std::fmt;
+
+/// A violation of the Figure 1 typing rules (or of the runtime
+/// correspondence, for queries containing reduced values).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// An identifier is neither bound, nor an extent, nor a definition.
+    Unbound(VarName),
+    /// An extent node refers to an undeclared extent.
+    UnknownExtent(ExtentName),
+    /// A definition call names an unknown (or not-yet-defined) definition.
+    UnknownDef(DefName),
+    /// A class name does not appear in the schema.
+    UnknownClass(ClassName),
+    /// `atype(C, a)` is undefined.
+    UnknownAttr(ClassName, AttrName),
+    /// `mtype(C, m)` is undefined.
+    UnknownMethod(ClassName, MethodName),
+    /// A record has no such label.
+    UnknownField(Type, Label),
+    /// A projection `q.x` was applied to a non-record, non-object subject.
+    BadProjection(Type),
+    /// Two types needed a least upper bound that does not exist — the
+    /// situation the paper's §1 calls out against the ODMG's informal lub.
+    NoLub(Type, Type),
+    /// An expression has the wrong type for its context.
+    Mismatch {
+        /// What the rule required.
+        expected: String,
+        /// What the expression actually has.
+        got: Type,
+        /// Which rule/position complained.
+        context: &'static str,
+    },
+    /// Wrong number of arguments to a definition or method.
+    Arity {
+        /// What was declared.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+        /// Callee description.
+        context: &'static str,
+    },
+    /// A record expression repeats a label.
+    DuplicateLabel(Label),
+    /// A definition repeats a parameter name.
+    DuplicateParam(VarName),
+    /// A program defines the same definition name twice.
+    DuplicateDef(DefName),
+    /// An upcast `(C) q` where the subject's class is not a subclass of
+    /// `C` (and, unless `allow_downcast` is set, also not a superclass).
+    BadCast {
+        /// Cast target.
+        to: ClassName,
+        /// Subject's static class.
+        from: ClassName,
+    },
+    /// `new C(…)` omits a declared attribute.
+    MissingAttr(ClassName, AttrName),
+    /// `new C(…)` supplies an attribute the class does not declare, or
+    /// repeats one.
+    UnexpectedAttr(ClassName, AttrName),
+    /// `new Object(…)` or `new` of an undeclared class.
+    CannotInstantiate(ClassName),
+    /// A reduced value contains an oid but no store was supplied to type
+    /// it against.
+    OidNeedsStore(Oid),
+    /// A reduced value contains an oid that is not bound in the store.
+    DanglingOid(Oid),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unbound(x) => write!(f, "unbound identifier `{x}`"),
+            TypeError::UnknownExtent(e) => write!(f, "unknown extent `{e}`"),
+            TypeError::UnknownDef(d) => write!(f, "unknown definition `{d}`"),
+            TypeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            TypeError::UnknownAttr(c, a) => {
+                write!(f, "class `{c}` has no attribute `{a}`")
+            }
+            TypeError::UnknownMethod(c, m) => write!(f, "class `{c}` has no method `{m}`"),
+            TypeError::UnknownField(t, l) => {
+                write!(f, "record type `{t}` has no field `{l}`")
+            }
+            TypeError::BadProjection(t) => write!(
+                f,
+                "projection applied to `{t}`, which is neither a record nor an object"
+            ),
+            TypeError::NoLub(a, b) => write!(
+                f,
+                "types `{a}` and `{b}` have no least upper bound (cf. paper §1 on the \
+                 ODMG's informal lub)"
+            ),
+            TypeError::Mismatch {
+                expected,
+                got,
+                context,
+            } => write!(f, "{context}: expected {expected}, got `{got}`"),
+            TypeError::Arity {
+                expected,
+                got,
+                context,
+            } => write!(f, "{context}: expected {expected} argument(s), got {got}"),
+            TypeError::DuplicateLabel(l) => write!(f, "record repeats label `{l}`"),
+            TypeError::DuplicateParam(x) => write!(f, "parameter `{x}` repeated"),
+            TypeError::DuplicateDef(d) => write!(f, "definition `{d}` given twice"),
+            TypeError::BadCast { to, from } => write!(
+                f,
+                "cannot cast `{from}` to `{to}`: only upcasts are permitted (paper Note 2)"
+            ),
+            TypeError::MissingAttr(c, a) => write!(
+                f,
+                "new {c}(…) must initialise every attribute; `{a}` is missing"
+            ),
+            TypeError::UnexpectedAttr(c, a) => {
+                write!(f, "new {c}(…) supplies `{a}`, which `{c}` does not declare (or repeats it)")
+            }
+            TypeError::CannotInstantiate(c) => write!(f, "cannot instantiate `{c}`"),
+            TypeError::OidNeedsStore(o) => {
+                write!(f, "oid {o} can only be typed against a store")
+            }
+            TypeError::DanglingOid(o) => write!(f, "oid {o} is not bound in the store"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

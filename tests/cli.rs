@@ -1,0 +1,195 @@
+//! End-to-end tests of the `ioql` interactive shell, driving the real
+//! binary over pipes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const DDL: &str = "
+class P extends Object (extent Ps) {
+    attribute int name;
+}
+class F extends Object (extent Fs) {
+    attribute int name;
+    attribute P pal;
+}
+";
+
+fn run_session(args: &[&str], script: &str) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ioql"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn ioql");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("wait ioql");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn schema_file() -> tempfile::TempPath {
+    let mut f = tempfile::Builder::new()
+        .suffix(".odl")
+        .tempfile()
+        .expect("tempfile");
+    f.write_all(DDL.as_bytes()).unwrap();
+    f.into_temp_path()
+}
+
+// Minimal tempfile shim: std-only (no external crate) — write to a
+// unique path under the target tmpdir.
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct Builder {
+        suffix: String,
+    }
+
+    pub struct NamedTemp {
+        pub path: PathBuf,
+        file: std::fs::File,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder {
+                suffix: String::new(),
+            }
+        }
+        pub fn suffix(mut self, s: &str) -> Self {
+            self.suffix = s.to_string();
+            self
+        }
+        pub fn tempfile(self) -> std::io::Result<NamedTemp> {
+            let pid = std::process::id();
+            let n = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos();
+            let path =
+                std::env::temp_dir().join(format!("ioql-cli-{pid}-{n}{}", self.suffix));
+            let file = std::fs::File::create(&path)?;
+            Ok(NamedTemp { path, file })
+        }
+    }
+
+    impl NamedTemp {
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl std::io::Write for NamedTemp {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = std::path::Path;
+        fn deref(&self) -> &Self::Target {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn repl_session_evaluates_and_analyzes() {
+    let schema = schema_file();
+    let script = "\
+{ new P(name: n) | n <- {1, 2} }
+size(Ps)
+:analyze { if size(Fs) = 0 then (new F(name: 0, pal: p)).name else p.name | p <- Ps }
+:quit
+";
+    let (stdout, stderr, ok) =
+        run_session(&[schema.to_str().unwrap()], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains(": int   effect {R(P)}"), "{stdout}");
+    assert!(stdout.contains("deterministic : false"), "{stdout}");
+    assert!(stdout.contains("reads and adds"), "{stdout}");
+}
+
+#[test]
+fn one_shot_query_mode() {
+    let schema = schema_file();
+    let (stdout, _, ok) = run_session(
+        &[schema.to_str().unwrap(), "-e", "sum({1, 2, 3})"],
+        "",
+    );
+    assert!(ok);
+    assert!(stdout.contains('6'), "{stdout}");
+}
+
+#[test]
+fn one_shot_error_exits_nonzero() {
+    let schema = schema_file();
+    let (_, stderr, ok) =
+        run_session(&[schema.to_str().unwrap(), "-e", "1 + true"], "");
+    assert!(!ok);
+    assert!(stderr.contains("type error"), "{stderr}");
+}
+
+#[test]
+fn explore_and_trace_commands() {
+    let schema = schema_file();
+    let script = "\
+{ new P(name: n) | n <- {1, 2} }
+:explore { if size(Fs) = 0 then (new F(name: 0, pal: p)).name else p.name | p <- Ps }
+:trace size(Ps)
+:quit
+";
+    let (stdout, _, ok) = run_session(&[schema.to_str().unwrap()], script);
+    assert!(ok);
+    assert!(stdout.contains("2 distinct outcome(s)"), "{stdout}");
+    assert!(stdout.contains("─(Extent) [R(P)]→"), "{stdout}");
+    assert!(stdout.contains("─(Size)→"), "{stdout}");
+}
+
+#[test]
+fn save_and_load_roundtrip_via_cli() {
+    let schema = schema_file();
+    let dump = std::env::temp_dir().join(format!(
+        "ioql-cli-dump-{}-{}.txt",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let script = format!(
+        "{{ new P(name: 7) }}\n:save {d}\n:load {d}\nsize(Ps)\n:quit\n",
+        d = dump.display()
+    );
+    let (stdout, _, ok) = run_session(&[schema.to_str().unwrap()], &script);
+    assert!(ok);
+    assert!(stdout.contains("saved."), "{stdout}");
+    assert!(stdout.contains("loaded."), "{stdout}");
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
+fn bad_schema_file_is_reported() {
+    let (_, stderr, ok) = run_session(&["/definitely/missing.odl"], "");
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,145 @@
+//! Differential testing: the small-step machine (Figure 2, the
+//! *specification*) against the independent big-step evaluator (the
+//! "normalization" presentation the paper's §3.3 mentions).
+//!
+//! For identical `Chooser` decisions the two must produce the same value,
+//! the same final store, and the same accumulated effect trace on every
+//! well-typed query. The choosers are driven sequence-identically: the
+//! small-step machine asks at its `(ND comp)` steps, the big-step one at
+//! its generator loop — same choice points in the same order by
+//! construction (leftmost-innermost evaluation on both sides).
+
+use ioql_eval::{eval_big, evaluate, DefEnv, EvalConfig, FirstChooser, LastChooser, RandomChooser};
+use ioql_testkit::fixtures::{jack_jill, payroll};
+use ioql_testkit::gen::{GenConfig, QueryGen};
+use ioql_types::{check_query, TypeEnv};
+
+fn agree_on(
+    fx: &ioql_testkit::fixtures::Fixture,
+    q: &ioql_ast::Query,
+    seed: u64,
+    note: &str,
+) {
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+
+    for strategy in 0..3u8 {
+        let mut s1 = fx.store.clone();
+        let mut s2 = fx.store.clone();
+        let (small, big) = match strategy {
+            0 => (
+                evaluate(&cfg, &defs, &mut s1, q, &mut FirstChooser, 1_000_000),
+                eval_big(&cfg, &defs, &mut s2, q, &mut FirstChooser, 1_000_000)
+                    .map(|r| (r.value, r.effect)),
+            ),
+            1 => (
+                evaluate(&cfg, &defs, &mut s1, q, &mut LastChooser, 1_000_000),
+                eval_big(&cfg, &defs, &mut s2, q, &mut LastChooser, 1_000_000)
+                    .map(|r| (r.value, r.effect)),
+            ),
+            _ => (
+                evaluate(
+                    &cfg,
+                    &defs,
+                    &mut s1,
+                    q,
+                    &mut RandomChooser::seeded(seed),
+                    1_000_000,
+                ),
+                eval_big(
+                    &cfg,
+                    &defs,
+                    &mut s2,
+                    q,
+                    &mut RandomChooser::seeded(seed),
+                    1_000_000,
+                )
+                .map(|r| (r.value, r.effect)),
+            ),
+        };
+        let small = small.map(|r| (r.value, r.effect));
+        match (small, big) {
+            (Ok((v1, e1)), Ok((v2, e2))) => {
+                assert_eq!(v1, v2, "{note} strategy {strategy}: values differ for {q}");
+                assert_eq!(e1, e2, "{note} strategy {strategy}: effects differ for {q}");
+                assert_eq!(
+                    s1, s2,
+                    "{note} strategy {strategy}: final stores differ for {q}"
+                );
+            }
+            (Err(a), Err(b)) => {
+                // Both fail: the *kind* of failure must agree (fuel limits
+                // are budgeted differently, so only compare classes).
+                let class = |e: &ioql_eval::EvalError| match e {
+                    ioql_eval::EvalError::Stuck { .. } => "stuck",
+                    ioql_eval::EvalError::MethodDiverged { .. } => "diverged",
+                    ioql_eval::EvalError::FuelExhausted => "fuel",
+                    ioql_eval::EvalError::Store(_) => "store",
+                };
+                assert_eq!(class(&a), class(&b), "{note}: {a} vs {b} for {q}");
+            }
+            (a, b) => panic!("{note} strategy {strategy}: disagreement for {q}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn evaluators_agree_on_generated_queries() {
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    for seed in 0..400u64 {
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
+        agree_on(&fx, &elab, seed, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn evaluators_agree_with_method_calls() {
+    let fx = payroll();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..150u64 {
+        let mut g = QueryGen::new(&fx.schema, seed, cfg);
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
+        agree_on(&fx, &elab, seed, &format!("payroll seed {seed}"));
+    }
+}
+
+#[test]
+fn evaluators_agree_on_deep_hierarchy() {
+    let fx = ioql_testkit::fixtures::deep_hierarchy();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..150u64 {
+        let mut g = QueryGen::new(&fx.schema, seed, cfg);
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
+        agree_on(&fx, &elab, seed, &format!("deep seed {seed}"));
+    }
+}
+
+#[test]
+fn evaluators_agree_on_paper_queries() {
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    for src in [
+        ioql_testkit::fixtures::jack_jill_query(),
+        "{ (new F(name: p.name, pal: p)).name | p <- Ps }",
+        "{ x + y | x <- { p.name | p <- Ps }, y <- {10, 20} }",
+        "size(Ps union Ps) + size(Fs)",
+    ] {
+        let (elab, _) = check_query(&tenv, &fx.query(src)).unwrap();
+        agree_on(&fx, &elab, 7, src);
+    }
+}

@@ -1,0 +1,142 @@
+//! Effect-system correctness (paper Theorems 5–6, DESIGN.md T5–T6), and
+//! the Figure 1 / Figure 3 agreement property.
+//!
+//! For each generated well-typed query we infer its static effect ε, then
+//! reduce it under a random `(ND comp)` strategy checking, per step, that
+//! the instrumented semantics' label ε' and the residual state's inferred
+//! effect both stay within ε (up to `Ra`/`U` subsumption — see
+//! `Effect::covered_by`).
+
+use ioql_effects::{infer_query, EffectEnv};
+use ioql_eval::{DefEnv, EvalConfig, RandomChooser};
+use ioql_testkit::fixtures::{jack_jill, payroll};
+use ioql_testkit::gen::{GenConfig, QueryGen};
+use ioql_testkit::oracles::{effect_soundness_holds, systems_agree};
+use ioql_types::{check_query, TypeEnv};
+
+const SEEDS: u64 = 250;
+
+#[test]
+fn t5_t6_effect_soundness_over_generated_queries() {
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = EffectEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for seed in 0..SEEDS {
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed.wrapping_mul(31));
+        effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn t5_t6_effect_soundness_with_methods() {
+    let fx = payroll();
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = EffectEnv::new(&fx.schema)
+        .with_method_effects(ioql_methods::effect_table(&fx.schema));
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let gen_cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..100 {
+        let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed);
+        effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn t5_t6_effect_soundness_on_deep_hierarchy() {
+    let fx = ioql_testkit::fixtures::deep_hierarchy();
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = EffectEnv::new(&fx.schema)
+        .with_method_effects(ioql_methods::effect_table(&fx.schema));
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let gen_cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..150 {
+        let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed.wrapping_mul(41));
+        effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn figure1_and_figure3_assign_identical_types() {
+    // The effect system's type component must coincide with the plain
+    // type system on every generated query.
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = EffectEnv::new(&fx.schema);
+    for seed in 0..SEEDS {
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        let target = g.target_type();
+        let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
+        systems_agree(&tenv, &eenv, &elab)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn inferred_effect_is_least_among_runs() {
+    // Sanity direction: the union of runtime traces over many sampled
+    // runs stays inside the static effect; for `new`-free extent scans it
+    // is *equal* (the analysis is exact there).
+    let fx = jack_jill();
+    let db_q = fx.query("{ p.name | p <- Ps }");
+    let tenv = TypeEnv::new(&fx.schema);
+    let (elab, _) = check_query(&tenv, &db_q).unwrap();
+    let eenv = EffectEnv::new(&fx.schema);
+    let (_, static_eff) = infer_query(&eenv, &elab).unwrap();
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let mut union = ioql_effects::Effect::empty();
+    for seed in 0..20 {
+        let mut store = fx.store.clone();
+        let mut ch = RandomChooser::seeded(seed);
+        let out =
+            ioql_eval::evaluate(&cfg, &defs, &mut store, &elab, &mut ch, 10_000).unwrap();
+        union.union_with(&out.effect);
+    }
+    assert_eq!(union, static_eff, "scan effect should be exact");
+}
+
+#[test]
+fn values_have_empty_effect_lemma() {
+    // Lemma 2(1): every value types with effect ∅.
+    use ioql_ast::{Query, Value};
+    let fx = jack_jill();
+    let eenv = EffectEnv::new(&fx.schema);
+    let values = [
+        Query::int(42),
+        Query::bool(false),
+        Query::set_lit([Query::int(1), Query::int(2)]),
+        Query::record([("a", Query::int(1))]),
+        Query::Lit(Value::set([Value::record([("k", Value::Bool(true))])])),
+    ];
+    for v in values {
+        let (_, eff) = infer_query(&eenv, &v).unwrap();
+        assert!(eff.is_empty(), "value {v} has effect {{{eff}}}");
+    }
+}

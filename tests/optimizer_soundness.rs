@@ -1,0 +1,208 @@
+//! Optimizer soundness (paper Theorem 8 and the §4 discussion,
+//! DESIGN.md T8): every rewrite preserves the *set of outcomes* of the
+//! non-deterministic semantics, up to oid bijection.
+//!
+//! The harness exhaustively explores original and optimized queries and
+//! compares outcome sets both ways. This subsumes Theorem 8 (commutation
+//! is one of the guarded rewrites) and covers predicate promotion,
+//! inlining, folding, and the `false`-collapse.
+
+use ioql_eval::{explore_outcomes, DefEnv, EvalConfig};
+use ioql_opt::{optimize, OptOptions, Stats};
+use ioql_store::{equiv_outcomes, Outcome};
+use ioql_testkit::fixtures::{jack_jill, persons_employees, Fixture};
+use ioql_testkit::gen::{GenConfig, QueryGen};
+use ioql_types::{check_query, TypeEnv};
+
+/// Outcome-set equivalence: every distinct outcome of `a` has an
+/// ∼-equivalent in `b` and vice versa.
+fn same_outcome_sets(a: &[&Outcome], b: &[&Outcome]) -> bool {
+    a.iter().all(|x| b.iter().any(|y| equiv_outcomes(x, y)))
+        && b.iter().all(|y| a.iter().any(|x| equiv_outcomes(x, y)))
+}
+
+fn assert_optimization_sound(fx: &Fixture, src_or_query: &ioql_ast::Query, seed_note: &str) {
+    let tenv = TypeEnv::new(&fx.schema);
+    let (elab, _) = check_query(&tenv, src_or_query).unwrap();
+    let mut stats = Stats::new();
+    for (e, _, members) in fx.store.extents.iter() {
+        stats.set(e.clone(), members.len());
+    }
+    let (optimized, applied) = optimize(
+        &fx.schema,
+        &ioql_ast::Program::query_only(elab.clone()),
+        stats,
+        OptOptions::default(),
+    );
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let before = explore_outcomes(&cfg, &defs, &fx.store, &elab, 200_000, 3_000);
+    let after = explore_outcomes(&cfg, &defs, &fx.store, &optimized.query, 200_000, 3_000);
+    assert!(
+        !before.truncated && !after.truncated,
+        "{seed_note}: exploration truncated"
+    );
+    assert!(!before.any_failure() && !after.any_failure(), "{seed_note}");
+    let b: Vec<&Outcome> = before.distinct_outcomes();
+    let a: Vec<&Outcome> = after.distinct_outcomes();
+    assert!(
+        same_outcome_sets(&b, &a),
+        "{seed_note}: outcome sets diverge after {:?}\noriginal:  {elab}\noptimized: {}",
+        applied.iter().map(|r| r.rule).collect::<Vec<_>>(),
+        optimized.query,
+    );
+}
+
+#[test]
+fn optimizer_preserves_outcomes_on_generated_queries() {
+    let fx = jack_jill();
+    let gen_cfg = GenConfig {
+        max_depth: 4,
+        ..Default::default()
+    };
+    let mut optimized_count = 0;
+    for seed in 0..200u64 {
+        let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
+        let target = g.target_type();
+        let q = g.query(&target);
+        if q.size() > 50 {
+            continue;
+        }
+        assert_optimization_sound(&fx, &q, &format!("seed {seed}"));
+        optimized_count += 1;
+    }
+    assert!(optimized_count > 100);
+}
+
+#[test]
+fn t8_commutation_preserves_outcomes_when_guard_passes() {
+    // Theorem 8, directly: q ∪ q' vs q' ∪ q for noninterfering pairs —
+    // including pairs that *create objects* (A/A does not interfere).
+    let fx = jack_jill();
+    let pairs = [
+        ("{ p.name | p <- Ps }", "{ 99 }"),
+        (
+            "{ (new F(name: 1, pal: p)).name | p <- Ps }",
+            "{ p.name | p <- Ps }",
+        ),
+        (
+            "{ (new F(name: 1, pal: p)).name | p <- Ps }",
+            "{ (new F(name: 2, pal: p)).name | p <- Ps }",
+        ),
+    ];
+    let tenv = TypeEnv::new(&fx.schema);
+    let eenv = ioql_effects::EffectEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for (ls, rs) in pairs {
+        let l = fx.query(ls);
+        let r = fx.query(rs);
+        let (l, _) = check_query(&tenv, &l).unwrap();
+        let (r, _) = check_query(&tenv, &r).unwrap();
+        let (_, el) = ioql_effects::infer_query(&eenv, &l).unwrap();
+        let (_, er) = ioql_effects::infer_query(&eenv, &r).unwrap();
+        assert!(
+            el.noninterfering_with(&er, &fx.schema),
+            "guard unexpectedly failed for {ls} / {rs}"
+        );
+        let fwd = l.clone().union(r.clone());
+        let bwd = r.union(l);
+        let a = explore_outcomes(&cfg, &defs, &fx.store, &fwd, 200_000, 3_000);
+        let b = explore_outcomes(&cfg, &defs, &fx.store, &bwd, 200_000, 3_000);
+        assert!(same_outcome_sets(
+            &a.distinct_outcomes(),
+            &b.distinct_outcomes()
+        ));
+    }
+}
+
+#[test]
+fn t8_guard_failure_matches_actual_divergence() {
+    // The §4 counterexample: the guard fails AND the outcome really
+    // changes under commutation — the analysis is not crying wolf.
+    let fx = persons_employees();
+    let l = fx.query("{ size(Persons) }");
+    let r = fx.query("{ (new Person(name: 1, address: 1)).name }");
+    let tenv = TypeEnv::new(&fx.schema);
+    let (l, _) = check_query(&tenv, &l).unwrap();
+    let (r, _) = check_query(&tenv, &r).unwrap();
+    let eenv = ioql_effects::EffectEnv::new(&fx.schema);
+    let (_, el) = ioql_effects::infer_query(&eenv, &l).unwrap();
+    let (_, er) = ioql_effects::infer_query(&eenv, &r).unwrap();
+    assert!(!el.noninterfering_with(&er, &fx.schema));
+
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let fwd = ioql_ast::Query::SetBin(
+        ioql_ast::SetOp::Intersect,
+        Box::new(l.clone()),
+        Box::new(r.clone()),
+    );
+    let bwd = ioql_ast::Query::SetBin(ioql_ast::SetOp::Intersect, Box::new(r), Box::new(l));
+    let a = explore_outcomes(&cfg, &defs, &fx.store, &fwd, 200_000, 3_000);
+    let b = explore_outcomes(&cfg, &defs, &fx.store, &bwd, 200_000, 3_000);
+    assert!(!same_outcome_sets(
+        &a.distinct_outcomes(),
+        &b.distinct_outcomes()
+    ));
+}
+
+#[test]
+fn targeted_rewrites_preserve_results() {
+    // Hand-picked shapes hitting each rule.
+    let fx = jack_jill();
+    let cases = [
+        // fold-constants
+        "{ 1 + 2 * 3 }",
+        // promote-predicates (independent predicate after second gen)
+        "{ x.name + y.name | x <- Ps, y <- Ps, x.name < 2 }",
+        // drop-true / collapse-false
+        "{ x.name | x <- Ps, true }",
+        "{ x.name | x <- Ps, false }",
+        // collapse-same-branches guard (reads — must NOT fire) + folding
+        "if size(Ps) = 0 then 7 else 7",
+        // commute-by-cost on pure operands
+        "{ x.name | x <- Ps } intersect { 1 }",
+        // unnest-generator (pure inner comprehension)
+        "{ x + 1 | x <- { p.name | p <- Ps } }",
+        "{ x + y | x <- { p.name | p <- Ps }, y <- { q.name | q <- Ps } }",
+        // unnest refused (inner creates objects) — identity must hold
+        "{ x | x <- { (new F(name: p.name, pal: p)).name | p <- Ps } }",
+        // interfering comprehension: rewrites must preserve BOTH outcomes
+        ioql_testkit::fixtures::jack_jill_query(),
+    ];
+    for src in cases {
+        let q = fx.query(src);
+        assert_optimization_sound(&fx, &q, src);
+    }
+}
+
+#[test]
+fn inlining_preserves_program_results() {
+    use ioql_ast::Program;
+    let fx = jack_jill();
+    let program_src = "define inc(x: int) as x + 1; \
+                       define names() as { p.name | p <- Ps }; \
+                       { inc(n) | n <- names() }";
+    let parsed = ioql_syntax::parse_program(program_src).unwrap();
+    let resolved = fx.schema.resolve_program(&parsed);
+    let checked = ioql_types::check_program(&fx.schema, &resolved, Default::default()).unwrap();
+    let (optimized, applied) = optimize(
+        &fx.schema,
+        &checked.program,
+        Stats::new(),
+        OptOptions::default(),
+    );
+    assert!(applied.iter().any(|r| r.rule == "inline-definition"));
+
+    let cfg = EvalConfig::new(&fx.schema);
+    let mut s1 = fx.store.clone();
+    let r1 = ioql_eval::run_program(&cfg, &checked.program, &mut s1, 100_000).unwrap();
+    let mut s2 = fx.store.clone();
+    let r2 = ioql_eval::run_program(&cfg, &optimized, &mut s2, 100_000).unwrap();
+    assert_eq!(r1.value, r2.value);
+    // And the optimized main query is cheaper to run.
+    let p2: Program = optimized;
+    assert!(p2.query.size() > 0);
+    assert!(r2.steps <= r1.steps);
+}

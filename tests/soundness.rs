@@ -1,0 +1,182 @@
+//! Type soundness (paper Theorems 1–3, DESIGN.md T1–T3), checked over a
+//! large generated population of well-typed queries.
+//!
+//! For each seed we generate a closed well-typed query over the §1
+//! schema, then drive it through the reducer with a random `(ND comp)`
+//! strategy while the oracle re-types every intermediate state:
+//!
+//! * **T1 subject reduction** — each step preserves the type up to
+//!   subtyping;
+//! * **T2 progress** — no well-typed non-value state is stuck;
+//! * **T3 soundness** — the two together along every run.
+//!
+//! A negative control confirms the oracle *can* fail: ill-typed queries
+//! get stuck, and the unsound downcast of paper Note 2 breaks progress.
+
+use ioql_eval::{redex, DefEnv, EvalConfig, FirstChooser, RandomChooser};
+use ioql_testkit::fixtures::jack_jill;
+use ioql_testkit::gen::{GenConfig, QueryGen};
+use ioql_testkit::oracles::progress_and_preservation_hold;
+use ioql_types::{check_query, TypeEnv};
+
+const SEEDS: u64 = 250;
+
+#[test]
+fn t1_t3_soundness_over_generated_queries() {
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for seed in 0..SEEDS {
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        let target = g.target_type();
+        let q = g.query(&target);
+        let (elab, _) = check_query(&tenv, &q)
+            .unwrap_or_else(|e| panic!("seed {seed}: generator emitted ill-typed {q}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed.wrapping_mul(7919));
+        progress_and_preservation_hold(
+            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn t1_t3_soundness_with_method_calls() {
+    // The payroll schema has real (terminating) method bodies; enable
+    // invocation in the generator.
+    let fx = ioql_testkit::fixtures::payroll();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let gen_cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..100 {
+        let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
+        let target = g.target_type();
+        let q = g.query(&target);
+        let (elab, _) = check_query(&tenv, &q)
+            .unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed);
+        progress_and_preservation_hold(
+            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn t1_t3_soundness_on_deep_hierarchy() {
+    // Four inheritance levels, overridden methods, class-valued
+    // attributes: the population where subsumption bugs would hide.
+    let fx = ioql_testkit::fixtures::deep_hierarchy();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let gen_cfg = GenConfig {
+        allow_invoke: true,
+        max_depth: 4,
+        ..Default::default()
+    };
+    for seed in 0..150 {
+        let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
+        let target = g.target_type();
+        let q = g.query(&target);
+        let (elab, _) = check_query(&tenv, &q)
+            .unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
+        let mut chooser = RandomChooser::seeded(seed.wrapping_mul(13));
+        progress_and_preservation_hold(
+            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+    }
+}
+
+#[test]
+fn unique_decomposition_along_reductions() {
+    // The evaluation-context lemma: every reachable state is a value XOR
+    // has a redex position.
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for seed in 0..60 {
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        let target = g.target_type();
+        let (mut cur, _) = check_query(&tenv, &g.query(&target)).unwrap();
+        let mut store = fx.store.clone();
+        let mut chooser = RandomChooser::seeded(seed);
+        for _ in 0..2_000 {
+            let decomposed = redex(&cur);
+            assert_eq!(
+                cur.is_value(),
+                decomposed.is_none(),
+                "value/redex disagree at {cur}"
+            );
+            match ioql_eval::step(&cfg, &defs, &mut store, &cur, &mut chooser).unwrap() {
+                None => break,
+                Some(out) => cur = out.query,
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_control_ill_typed_queries_get_stuck() {
+    use ioql_ast::Query;
+    let fx = jack_jill();
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let broken = [
+        Query::bool(true).add(Query::int(1)),
+        Query::int(1).field("x"),
+        Query::int(3).size_of(),
+        Query::ite(Query::int(1), Query::int(1), Query::int(2)),
+    ];
+    for q in broken {
+        let mut store = fx.store.clone();
+        let r = ioql_eval::evaluate(&cfg, &defs, &mut store, &q, &mut FirstChooser, 1_000);
+        assert!(
+            matches!(r, Err(ioql_eval::EvalError::Stuck { .. })),
+            "expected stuck for {q}, got {r:?}"
+        );
+    }
+}
+
+#[test]
+fn negative_control_downcast_breaks_progress() {
+    // Paper Note 2: downcasting "is an inherently unsafe operation, and
+    // leads to an insecure type system". With the design-space flag on,
+    // the checker accepts a query whose evaluation sticks.
+    use ioql_ast::{Qualifier, Query, VarName};
+    use ioql_types::TypeOptions;
+
+    let fx = ioql_testkit::fixtures::persons_employees();
+    let tenv = TypeEnv::with_options(
+        &fx.schema,
+        TypeOptions {
+            allow_downcast: true,
+        },
+    );
+    // { ((Employee) p).name | p <- Persons } — Jack is a plain Person, so
+    // the downcast fails at runtime.
+    let q = Query::comp(
+        Query::var("p").cast("Employee").field("name"),
+        [Qualifier::Gen(VarName::new("p"), Query::extent("Persons"))],
+    );
+    let (elab, _) = check_query(&tenv, &q).expect("downcast mode accepts the query");
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    let mut store = fx.store.clone();
+    let r = ioql_eval::evaluate(&cfg, &defs, &mut store, &elab, &mut FirstChooser, 10_000);
+    assert!(
+        matches!(r, Err(ioql_eval::EvalError::Stuck { .. })),
+        "the unsound downcast should strand evaluation, got {r:?}"
+    );
+    // The sound default rejects the same query statically.
+    let sound = TypeEnv::new(&fx.schema);
+    assert!(check_query(&sound, &q).is_err());
+}
