@@ -125,10 +125,12 @@ mod tests {
 
     #[test]
     fn plain_class() {
-        let cd = ClassDef::plain("P", ClassName::object(), "Ps", [AttrDef::new(
-            "name",
-            Type::Int,
-        )]);
+        let cd = ClassDef::plain(
+            "P",
+            ClassName::object(),
+            "Ps",
+            [AttrDef::new("name", Type::Int)],
+        );
         assert!(cd.methods.is_empty());
         assert!(cd.parent.is_object());
     }

@@ -170,12 +170,7 @@ impl MethodDef {
     /// The paper's `loop` method: `while (true) {}` — never returns.
     /// Used throughout the test suite to exercise non-termination.
     pub fn looping(name: impl Into<MethodName>, ret: Type) -> Self {
-        MethodDef::new(
-            name,
-            [],
-            ret,
-            vec![MStmt::While(MExpr::Bool(true), vec![])],
-        )
+        MethodDef::new(name, [], ret, vec![MStmt::While(MExpr::Bool(true), vec![])])
     }
 
     /// Whether the body syntactically contains an extended-mode construct

@@ -272,7 +272,9 @@ mod tests {
 
     #[test]
     fn set_ops_left_assoc() {
-        let q = Query::var("a").union(Query::var("b")).union(Query::var("c"));
+        let q = Query::var("a")
+            .union(Query::var("b"))
+            .union(Query::var("c"));
         assert_eq!(q.to_string(), "a union b union c");
         let q2 = Query::var("a").union(Query::var("b").union(Query::var("c")));
         assert_eq!(q2.to_string(), "a union (b union c)");
@@ -287,10 +289,7 @@ mod tests {
                 Qualifier::Pred(Query::var("x").attr("age").int_eq(Query::int(3))),
             ],
         );
-        assert_eq!(
-            q.to_string(),
-            "{ struct(n: x.name) | x <- Ps, x.age = 3 }"
-        );
+        assert_eq!(q.to_string(), "{ struct(n: x.name) | x <- Ps, x.age = 3 }");
     }
 
     #[test]
@@ -347,8 +346,7 @@ mod tests {
 
     #[test]
     fn if_in_operand_parenthesised() {
-        let q = Query::ite(Query::bool(true), Query::int(1), Query::int(2))
-            .add(Query::int(3));
+        let q = Query::ite(Query::bool(true), Query::int(1), Query::int(2)).add(Query::int(3));
         assert_eq!(q.to_string(), "(if true then 1 else 2) + 3");
     }
 }

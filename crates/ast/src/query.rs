@@ -271,11 +271,7 @@ impl Query {
     }
 
     /// Method invocation `self.m(args)`.
-    pub fn invoke(
-        self,
-        m: impl Into<MethodName>,
-        args: impl IntoIterator<Item = Query>,
-    ) -> Query {
+    pub fn invoke(self, m: impl Into<MethodName>, args: impl IntoIterator<Item = Query>) -> Query {
         Query::Invoke(Box::new(self), m.into(), args.into_iter().collect())
     }
 
@@ -610,10 +606,7 @@ mod tests {
     #[test]
     fn generator_source_sees_outer_binding() {
         // {1 | x <- x} : the generator source `x` is *outside* the binder.
-        let q = Query::comp(
-            Query::int(1),
-            [Qualifier::Gen("x".into(), Query::var("x"))],
-        );
+        let q = Query::comp(Query::int(1), [Qualifier::Gen("x".into(), Query::var("x"))]);
         assert!(q.free_vars().contains(&VarName::new("x")));
     }
 

@@ -24,25 +24,15 @@ impl Query {
                     self.clone()
                 }
             }
-            Query::SetLit(items) => {
-                Query::SetLit(items.iter().map(|q| q.subst(x, v)).collect())
+            Query::SetLit(items) => Query::SetLit(items.iter().map(|q| q.subst(x, v)).collect()),
+            Query::SetBin(op, a, b) => {
+                Query::SetBin(*op, Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
             }
-            Query::SetBin(op, a, b) => Query::SetBin(
-                *op,
-                Box::new(a.subst(x, v)),
-                Box::new(b.subst(x, v)),
-            ),
-            Query::IntBin(op, a, b) => Query::IntBin(
-                *op,
-                Box::new(a.subst(x, v)),
-                Box::new(b.subst(x, v)),
-            ),
-            Query::IntEq(a, b) => {
-                Query::IntEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            Query::IntBin(op, a, b) => {
+                Query::IntBin(*op, Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
             }
-            Query::ObjEq(a, b) => {
-                Query::ObjEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
-            }
+            Query::IntEq(a, b) => Query::IntEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Query::ObjEq(a, b) => Query::ObjEq(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
             Query::Record(fields) => Query::Record(
                 fields
                     .iter()
@@ -50,10 +40,9 @@ impl Query {
                     .collect(),
             ),
             Query::Field(q, l) => Query::Field(Box::new(q.subst(x, v)), l.clone()),
-            Query::Call(d, args) => Query::Call(
-                d.clone(),
-                args.iter().map(|q| q.subst(x, v)).collect(),
-            ),
+            Query::Call(d, args) => {
+                Query::Call(d.clone(), args.iter().map(|q| q.subst(x, v)).collect())
+            }
             Query::Size(q) => Query::Size(Box::new(q.subst(x, v))),
             Query::Sum(q) => Query::Sum(Box::new(q.subst(x, v))),
             Query::Cast(c, q) => Query::Cast(c.clone(), Box::new(q.subst(x, v))),
@@ -140,10 +129,7 @@ mod tests {
     #[test]
     fn respects_shadowing_in_head() {
         // {x | x <- x}[x := 3] = {x | x <- 3}: source substituted, head not.
-        let q = Query::comp(
-            Query::var("x"),
-            [Qualifier::Gen(x(), Query::var("x"))],
-        );
+        let q = Query::comp(Query::var("x"), [Qualifier::Gen(x(), Query::var("x"))]);
         let r = q.subst(&x(), &Value::Int(3));
         // Generator source substituted; head still the bound x.
         assert_eq!(

@@ -6,7 +6,7 @@
 //! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
 //! ```
 //!
-//! REPL commands:
+//! REPL commands (same list as `:help`):
 //!
 //! ```text
 //! <query>            evaluate (type- and effect-checked first)
@@ -15,11 +15,16 @@
 //! :explore <query>   enumerate every (ND comp) order; list outcomes
 //! :trace <query>     step-by-step derivation with rule names
 //! :optimize <query>  show the effect-guided rewrite result
+//! :save <file>       dump the store to a file (atomic write + checksum)
+//! :load <file>       load a store dump (replaces current contents)
 //! :schema            list classes, attributes, methods
 //! :extents           list extents and their sizes
 //! :help              this text
 //! :quit              exit
 //! ```
+//!
+//! In one-shot mode (`-e`) any failure — including a failed `:save` or
+//! `:load` — exits with a nonzero status.
 
 #![allow(clippy::result_large_err)] // cold-path REPL errors
 
@@ -34,7 +39,7 @@ commands:
   :explore <query>   enumerate every (ND comp) order; list outcomes
   :trace <query>     step-by-step derivation with rule names
   :optimize <query>  show the effect-guided rewrite result
-  :save <file>       dump the store to a file
+  :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
   :schema            list classes, attributes, methods
   :extents           list extents and their sizes
@@ -87,9 +92,7 @@ fn main() {
         return;
     }
 
-    println!(
-        "ioql — executable semantics of object queries (SIGMOD 2003). :help for commands."
-    );
+    println!("ioql — executable semantics of object queries (SIGMOD 2003). :help for commands.");
     if ddl_path.is_none() {
         println!("(no schema loaded — start with `ioql schema.odl` to get extents)");
     }
@@ -123,16 +126,16 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
     }
     if line == ":schema" {
         for cd in db.schema().classes() {
-            println!("class {} extends {} (extent {})", cd.name, cd.parent, cd.extent);
+            println!(
+                "class {} extends {} (extent {})",
+                cd.name, cd.parent, cd.extent
+            );
             for ad in &cd.attrs {
                 println!("    attribute {} {};", ad.ty, ad.name);
             }
             for md in &cd.methods {
-                let params: Vec<String> = md
-                    .params
-                    .iter()
-                    .map(|(x, t)| format!("{t} {x}"))
-                    .collect();
+                let params: Vec<String> =
+                    md.params.iter().map(|(x, t)| format!("{t} {x}")).collect();
                 println!("    {} {}({});", md.ret, md.name, params.join(", "));
             }
         }
@@ -145,20 +148,17 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix(":save ") {
-        match std::fs::write(rest.trim(), db.dump()) {
-            Ok(()) => println!("saved."),
-            Err(e) => println!("cannot write `{rest}`: {e}"),
-        }
+        // Atomic: temp file + fsync + rename, so a crash mid-save never
+        // leaves a torn dump behind.
+        db.save_to(std::path::Path::new(rest.trim()))?;
+        println!("saved.");
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix(":load ") {
-        match std::fs::read_to_string(rest.trim()) {
-            Ok(text) => {
-                db.load(&text)?;
-                println!("loaded.");
-            }
-            Err(e) => println!("cannot read `{rest}`: {e}"),
-        }
+        // Validated before swap-in: a truncated/corrupt/mismatched dump
+        // is rejected here and the current store stays as it was.
+        db.load_from(std::path::Path::new(rest.trim()))?;
+        println!("loaded.");
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix(":analyze ") {

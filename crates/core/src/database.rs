@@ -4,11 +4,11 @@
 
 use crate::analysis::{collect_commutations, Analysis};
 use crate::error::DbError;
-use ioql_ast::{Definition, DefName, FnType, Program, Query, Type, Value};
+use ioql_ast::{DefName, Definition, FnType, Program, Query, Type, Value};
 use ioql_effects::{infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects};
 use ioql_eval::{
-    eval_big, evaluate, explore_outcomes, Chooser, DefEnv, EvalConfig, Exploration,
-    FirstChooser,
+    eval_big, evaluate, explore_outcomes, Chooser, DefEnv, EvalConfig, Exploration, FirstChooser,
+    Governor, Limits,
 };
 use ioql_methods::{check_schema_methods, effect_table, Mode};
 use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
@@ -51,6 +51,12 @@ pub struct DbOptions {
     pub require_deterministic: bool,
     /// Which evaluator executes queries.
     pub engine: Engine,
+    /// Resource limits enforced per query (deadline, cell/cardinality/
+    /// growth budgets). [`Limits::none()`] by default. Each `query*`
+    /// call runs under a fresh [`Governor`] built from these limits;
+    /// use [`Database::query_governed`] to share one governor (and its
+    /// cancellation token) across calls.
+    pub limits: Limits,
 }
 
 impl Default for DbOptions {
@@ -63,6 +69,7 @@ impl Default for DbOptions {
             optimize: false,
             require_deterministic: false,
             engine: Engine::default(),
+            limits: Limits::none(),
         }
     }
 }
@@ -162,8 +169,7 @@ impl Database {
             let eenv = self.effect_env(Discipline::permissive());
             let (_, eff) = ioql_effects::infer_definition(&eenv, &elab)?;
             self.def_types.insert(elab.name.clone(), fnty.clone());
-            self.def_effects
-                .insert(elab.name.clone(), (fnty, eff));
+            self.def_effects.insert(elab.name.clone(), (fnty, eff));
             self.defs.push(elab);
         }
         Ok(())
@@ -221,22 +227,49 @@ impl Database {
         self.query_with(src, &mut FirstChooser)
     }
 
-    /// Runs a query end-to-end with an explicit `(ND comp)` strategy.
+    /// Runs a query end-to-end with an explicit `(ND comp)` strategy,
+    /// under a fresh per-query [`Governor`] built from
+    /// [`DbOptions::limits`].
     pub fn query_with(
         &mut self,
         src: &str,
         chooser: &mut dyn Chooser,
+    ) -> Result<QueryResult, DbError> {
+        let governor = Governor::new(self.options.limits);
+        self.query_governed(src, chooser, &governor)
+    }
+
+    /// Runs a query under a caller-supplied [`Governor`] — the caller
+    /// keeps the [`CancelToken`](ioql_eval::CancelToken) and can meter a
+    /// whole session with one budget.
+    ///
+    /// Failure atomicity: if evaluation fails (or panics) after the
+    /// query started mutating the store via `new`, the store is rolled
+    /// back to its pre-query snapshot — a query is all-or-nothing. A
+    /// panic in either engine is contained and surfaced as
+    /// [`DbError::Internal`]; the database stays usable.
+    pub fn query_governed(
+        &mut self,
+        src: &str,
+        chooser: &mut dyn Chooser,
+        governor: &Governor,
     ) -> Result<QueryResult, DbError> {
         let (mut elab, ty, static_effect) = self.prepare(src)?;
         if self.options.optimize {
             let (optimized, _) = self.optimize_prepared(&elab);
             elab = optimized;
         }
+        // Snapshot only when the query can actually mutate the store —
+        // the static effect tells us up front (Theorem 5: the runtime
+        // trace is covered by it), so read-only queries pay nothing.
+        let snapshot = (!static_effect.adds.is_empty() || !static_effect.updates.is_empty())
+            .then(|| self.store.clone());
         // Split field borrows: the config borrows only the schema, so the
         // store can be taken mutably.
         let cfg = EvalConfig::new(&self.schema)
             .with_method_mode(self.options.method_mode)
-            .with_method_fuel(self.options.method_fuel);
+            .with_method_fuel(self.options.method_fuel)
+            .with_governor(governor);
         let defs = {
             let mut de = DefEnv::new();
             for d in &self.defs {
@@ -244,29 +277,41 @@ impl Database {
             }
             de
         };
-        let out = match self.options.engine {
-            Engine::SmallStep => evaluate(
-                &cfg,
-                &defs,
-                &mut self.store,
-                &elab,
-                chooser,
-                self.options.max_steps,
-            )?,
-            Engine::BigStep => {
-                let r = eval_big(
-                    &cfg,
-                    &defs,
-                    &mut self.store,
-                    &elab,
-                    chooser,
-                    self.options.max_steps,
-                )?;
+        let engine = self.options.engine;
+        let max_steps = self.options.max_steps;
+        let store = &mut self.store;
+        // Contain engine panics: a bug in either evaluator must not
+        // tear down the caller. `AssertUnwindSafe` is justified because
+        // on `Err` the only witness of the broken invariants — the
+        // store — is discarded and replaced by the snapshot below.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match engine {
+            Engine::SmallStep => evaluate(&cfg, &defs, store, &elab, chooser, max_steps),
+            Engine::BigStep => eval_big(&cfg, &defs, store, &elab, chooser, max_steps).map(|r| {
                 ioql_eval::Evaluated {
                     value: r.value,
                     effect: r.effect,
                     steps: 0,
                 }
+            }),
+        }));
+        let result = match outcome {
+            Ok(r) => r.map_err(DbError::from),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "evaluator panicked".to_string());
+                Err(DbError::Internal(msg))
+            }
+        };
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                if let Some(snap) = snapshot {
+                    self.store = snap;
+                }
+                return Err(e);
             }
         };
         debug_assert!(
@@ -333,10 +378,11 @@ impl Database {
             Err(e) => (false, Some(e.to_string())),
         };
         let functional = !elab.contains_new()
-            && elab
-                .called_defs()
-                .iter()
-                .all(|d| self.defs.iter().any(|def| &def.name == d && !def.contains_new()));
+            && elab.called_defs().iter().all(|d| {
+                self.defs
+                    .iter()
+                    .any(|def| &def.name == d && !def.contains_new())
+            });
         let eenv = self.effect_env(Discipline::permissive());
         let mut commutations = Vec::new();
         collect_commutations(&eenv, &elab, &mut commutations);
@@ -391,9 +437,23 @@ impl Database {
     }
 
     /// Replaces the current store with one loaded from a dump, validated
-    /// against this database's schema.
+    /// against this database's schema. On any error — truncated, corrupt,
+    /// or schema-mismatched dump — the in-memory store is untouched.
     pub fn load(&mut self, text: &str) -> Result<(), DbError> {
         self.store = ioql_store::load_store(&self.schema, text)?;
+        Ok(())
+    }
+
+    /// Atomically saves the current store to `path` (temp file + fsync +
+    /// rename — see [`ioql_store::save_store`]).
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), DbError> {
+        ioql_store::save_store(&self.store, path).map_err(DbError::from)
+    }
+
+    /// Replaces the current store with one loaded from a dump file. As
+    /// with [`Database::load`], a failed load leaves the store untouched.
+    pub fn load_from(&mut self, path: &std::path::Path) -> Result<(), DbError> {
+        self.store = ioql_store::load_store_file(&self.schema, path)?;
         Ok(())
     }
 
@@ -523,9 +583,7 @@ mod tests {
     #[test]
     fn commutation_verdicts() {
         let db = db();
-        let a = db
-            .analyze("Persons union { e | e <- Employees }")
-            .unwrap();
+        let a = db.analyze("Persons union { e | e <- Employees }").unwrap();
         assert_eq!(a.commutations.len(), 1);
         assert!(a.commutations[0].safe);
         let b = db
@@ -567,7 +625,8 @@ mod tests {
             ..DbOptions::default()
         };
         let mut db = Database::from_ddl_with(DDL, opts).unwrap();
-        db.query("{ new Person(name: 1, age: 1) | n <- {1} }").unwrap();
+        db.query("{ new Person(name: 1, age: 1) | n <- {1} }")
+            .unwrap();
         let r = db.query(
             "{ if size(Persons) = 1 then 1 else (new Person(name: 2, age: 2)).age \
              | n <- {1, 2} }",

@@ -20,6 +20,12 @@ pub enum DbError {
     Eval(ioql_eval::EvalError),
     /// A store dump could not be parsed or validated.
     Dump(ioql_store::DumpError),
+    /// An I/O operation (saving/loading a dump file) failed.
+    Io(String),
+    /// An engine bug: evaluation panicked. The panic is contained by
+    /// `Database::query_with` and the store rolled back to its
+    /// pre-query snapshot, so the database stays usable.
+    Internal(String),
 }
 
 impl fmt::Display for DbError {
@@ -32,6 +38,8 @@ impl fmt::Display for DbError {
             DbError::Effect(e) => write!(f, "effect error: {e}"),
             DbError::Eval(e) => write!(f, "evaluation error: {e}"),
             DbError::Dump(e) => write!(f, "{e}"),
+            DbError::Io(msg) => write!(f, "io error: {msg}"),
+            DbError::Internal(msg) => write!(f, "internal error (engine bug): {msg}"),
         }
     }
 }

@@ -72,5 +72,8 @@ pub use ioql_types as types;
 
 pub use ioql_ast::{Program, Query, Type, Value};
 pub use ioql_effects::{Discipline, Effect};
-pub use ioql_eval::{Chooser, FirstChooser, LastChooser, RandomChooser};
+pub use ioql_eval::{
+    CancelToken, Chooser, EvalError, FirstChooser, Governor, LastChooser, Limits, RandomChooser,
+    ResourceKind,
+};
 pub use ioql_methods::Mode;

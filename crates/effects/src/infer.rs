@@ -111,10 +111,7 @@ pub fn infer_definition(
     }
     let (result, eff) = infer(&inner, None, &def.body)?;
     Ok((
-        FnType::new(
-            def.params.iter().map(|(_, t)| t.clone()).collect(),
-            result,
-        ),
+        FnType::new(def.params.iter().map(|(_, t)| t.clone()).collect(), result),
         eff,
     ))
 }
@@ -232,10 +229,7 @@ fn infer(
 
         // (Extent): e : set(C) ! R(C).
         Query::Extent(e) => match schema.extent_class(e) {
-            Some(c) => Ok((
-                Type::set(Type::Class(c.clone())),
-                Effect::read(c.clone()),
-            )),
+            Some(c) => Ok((Type::set(Type::Class(c.clone())), Effect::read(c.clone()))),
             None => Err(TypeError::UnknownExtent(e.clone()).into()),
         },
 
@@ -265,7 +259,10 @@ fn infer(
                 && op.is_commutative()
                 && !ea.noninterfering_with(&eb, schema)
             {
-                return Err(EffectError::InterferingOperands { left: ea, right: eb });
+                return Err(EffectError::InterferingOperands {
+                    left: ea,
+                    right: eb,
+                });
             }
             Ok((Type::set(elem), ea.union(&eb)))
         }
@@ -275,7 +272,11 @@ fn infer(
             let (tb, eb) = infer(env, store, b)?;
             require_subtype(schema, &ta, &Type::Int, "integer operator")?;
             require_subtype(schema, &tb, &Type::Int, "integer operator")?;
-            let t = if op.yields_bool() { Type::Bool } else { Type::Int };
+            let t = if op.yields_bool() {
+                Type::Bool
+            } else {
+                Type::Int
+            };
             Ok((t, ea.union(&eb)))
         }
 
@@ -523,10 +524,7 @@ fn project(
         Type::Class(c) => {
             let a = AttrName::new(label.as_str());
             match schema.atype(c, &a) {
-                Some(t) => Ok((
-                    t.clone(),
-                    subject_eff.union(&Effect::attr_read(c.clone())),
-                )),
+                Some(t) => Ok((t.clone(), subject_eff.union(&Effect::attr_read(c.clone())))),
                 None => Err(TypeError::UnknownAttr(c.clone(), a).into()),
             }
         }
@@ -552,7 +550,10 @@ mod tests {
                 "F",
                 ClassName::object(),
                 "Fs",
-                [AttrDef::new("name", Type::Int), AttrDef::new("boss", Type::Int)],
+                [
+                    AttrDef::new("name", Type::Int),
+                    AttrDef::new("boss", Type::Int),
+                ],
             ),
         ])
         .unwrap()
@@ -568,11 +569,7 @@ mod tests {
         let e = env(&s);
         let (_, eff) = infer_query(&e, &Query::int(3)).unwrap();
         assert!(eff.is_empty());
-        let (_, eff) = infer_query(
-            &e,
-            &Query::set_lit([Query::int(1), Query::int(2)]),
-        )
-        .unwrap();
+        let (_, eff) = infer_query(&e, &Query::set_lit([Query::int(1), Query::int(2)])).unwrap();
         assert!(eff.is_empty());
     }
 
@@ -614,7 +611,10 @@ mod tests {
         let q = Query::comp(
             Query::new_obj(
                 "F",
-                [("name", Query::var("x").attr("name")), ("boss", Query::int(0))],
+                [
+                    ("name", Query::var("x").attr("name")),
+                    ("boss", Query::int(0)),
+                ],
             )
             .attr("name"),
             [
@@ -655,8 +655,7 @@ mod tests {
         let s = schema();
         let det = env(&s).with_discipline(Discipline::deterministic());
         let q = Query::comp(
-            Query::new_obj("F", [("name", Query::int(1)), ("boss", Query::int(2))])
-                .attr("name"),
+            Query::new_obj("F", [("name", Query::int(1)), ("boss", Query::int(2))]).attr("name"),
             [Qualifier::Gen(VarName::new("x"), Query::extent("Fs"))],
         );
         // Body effect: A(F), Ra(F) — no R(F), so nonint holds.
@@ -697,8 +696,7 @@ mod tests {
         let mut e = env(&s);
         let (fnty, latent) = infer_definition(&e, &def).unwrap();
         assert_eq!(latent, Effect::read("P"));
-        e.defs
-            .insert(def.name.clone(), (fnty, latent.clone()));
+        e.defs.insert(def.name.clone(), (fnty, latent.clone()));
         // Calling the definition surfaces its latent effect.
         let (_, eff) = infer_query(&e, &Query::call("allPs", [])).unwrap();
         assert_eq!(eff, Effect::read("P"));
@@ -742,8 +740,14 @@ mod tests {
         let strict = env(&s).with_discipline(Discipline::strict());
         // Fails the ⊢' half.
         let comp = Query::comp(
-            Query::new_obj("F", [("name", Query::extent("Fs").size_of()), ("boss", Query::int(0))])
-                .attr("name"),
+            Query::new_obj(
+                "F",
+                [
+                    ("name", Query::extent("Fs").size_of()),
+                    ("boss", Query::int(0)),
+                ],
+            )
+            .attr("name"),
             [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
         );
         assert!(matches!(

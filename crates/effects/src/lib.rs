@@ -38,7 +38,6 @@ pub mod method_effects;
 pub use effect::Effect;
 pub use env::{Discipline, EffectEnv};
 pub use infer::{
-    infer_definition, infer_program, infer_query, infer_runtime_query, EffectError,
-    InferredProgram,
+    infer_definition, infer_program, infer_query, infer_runtime_query, EffectError, InferredProgram,
 };
 pub use method_effects::MethodEffects;

@@ -76,7 +76,7 @@ impl MethodEffects {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ioql_ast::{ClassDef, MethodDef, MExpr, MStmt, Type};
+    use ioql_ast::{ClassDef, MExpr, MStmt, MethodDef, Type};
 
     #[test]
     fn lookup_resolves_declaring_class() {

@@ -77,6 +77,11 @@ pub fn eval_big(
 
 impl Ev<'_, '_> {
     fn burn(&mut self, q: &Query) -> Result<(), EvalError> {
+        // Same cadence as the small-step driver's per-step checkpoint:
+        // cancellation and deadline are noticed once per recursion.
+        if let Some(gov) = self.cfg.governor {
+            gov.checkpoint()?;
+        }
         if self.fuel == 0 {
             return Err(EvalError::FuelExhausted);
         }
@@ -124,9 +129,15 @@ impl Ev<'_, '_> {
                     None => return self.stuck(q, format!("unknown extent `{e}`")),
                 };
                 self.effect.union_with(&Effect::read(class));
-                store
+                let v = store
                     .extent_value(e)
-                    .map_err(|err| EvalError::Store(err.to_string()))
+                    .map_err(|err| EvalError::Store(err.to_string()))?;
+                if let Some(gov) = self.cfg.governor {
+                    if let Value::Set(s) = &v {
+                        gov.observe_set_card(s.len() as u64)?;
+                    }
+                }
+                Ok(v)
             }
             Query::SetLit(items) => {
                 let mut out = BTreeSet::new();
@@ -138,7 +149,11 @@ impl Ev<'_, '_> {
             Query::SetBin(op, a, b) => {
                 let va = self.set(store, a)?;
                 let vb = self.set(store, b)?;
-                Ok(Value::Set(op.apply(&va, &vb)))
+                let result = op.apply(&va, &vb);
+                if let Some(gov) = self.cfg.governor {
+                    gov.observe_set_card(result.len() as u64)?;
+                }
+                Ok(Value::Set(result))
             }
             Query::IntBin(op, a, b) => {
                 let ia = self.int(store, a)?;
@@ -247,11 +262,9 @@ impl Ev<'_, '_> {
                         self.effect.union_with(&r.effect);
                         Ok(r.value)
                     }
-                    Err(ioql_methods::MethodError::Diverged) => {
-                        Err(EvalError::MethodDiverged {
-                            method: m.to_string(),
-                        })
-                    }
+                    Err(ioql_methods::MethodError::Diverged) => Err(EvalError::MethodDiverged {
+                        method: m.to_string(),
+                    }),
                     Err(e) => self.stuck(q, e.to_string()),
                 }
             }
@@ -263,6 +276,9 @@ impl Ev<'_, '_> {
                 let extents = self.cfg.schema.extents_for_new(c);
                 if extents.is_empty() {
                     return self.stuck(q, format!("class `{c}` has no extent"));
+                }
+                if let Some(gov) = self.cfg.governor {
+                    gov.charge_growth(1)?;
                 }
                 self.effect.union_with(&Effect::add(c.clone()));
                 if self.cfg.schema.options().inherited_extents {
@@ -285,6 +301,13 @@ impl Ev<'_, '_> {
             Query::Comp(head, quals) => {
                 let mut out = BTreeSet::new();
                 self.comp(store, head, quals, &mut out)?;
+                // The small-step engine's outermost (Union) observes the
+                // completed comprehension; intermediate unions are
+                // subsets of it, so one observation of the final set
+                // trips exactly when the machine's observations do.
+                if let Some(gov) = self.cfg.governor {
+                    gov.observe_set_card(out.len() as u64)?;
+                }
                 Ok(Value::Set(out))
             }
         }
@@ -319,9 +342,11 @@ impl Ev<'_, '_> {
                 };
                 while !remaining.is_empty() {
                     let i = self.chooser.choose(remaining.len());
+                    if let Some(gov) = self.cfg.governor {
+                        gov.charge_cells(1)?;
+                    }
                     let picked = remaining.remove(i);
-                    let body = Query::Comp(Box::new(head.clone()), rest.to_vec())
-                        .subst(x, &picked);
+                    let body = Query::Comp(Box::new(head.clone()), rest.to_vec()).subst(x, &picked);
                     let Query::Comp(h2, r2) = body else {
                         unreachable!("substitution preserves the constructor")
                     };
@@ -374,8 +399,7 @@ mod tests {
         let big = eval_big(&cfg, &defs, &mut s1, &q, &mut FirstChooser, 100_000).unwrap();
         let mut s2 = store.clone();
         let small =
-            crate::machine::evaluate(&cfg, &defs, &mut s2, &q, &mut FirstChooser, 100_000)
-                .unwrap();
+            crate::machine::evaluate(&cfg, &defs, &mut s2, &q, &mut FirstChooser, 100_000).unwrap();
         assert_eq!(big.value, small.value);
         assert_eq!(big.effect, small.effect);
         assert_eq!(s1, s2);

@@ -6,8 +6,7 @@
 //! samples one path through the relation and the scripted chooser lets
 //! the [`explore`](crate::explore) module enumerate them all.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ioql_rng::SmallRng;
 
 /// Resolves `(ND comp)` choice points: given `n ≥ 1` candidates, return
 /// an index in `0..n`.

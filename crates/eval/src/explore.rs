@@ -173,19 +173,14 @@ pub fn explore_outcomes_parallel(
                 let store = store.clone();
                 let q = q.clone();
                 scope.spawn(move || {
-                    explore_with_prefix(
-                        cfg,
-                        &defs,
-                        &store,
-                        &q,
-                        max_steps,
-                        per_branch,
-                        vec![i],
-                    )
+                    explore_with_prefix(cfg, &defs, &store, &q, max_steps, per_branch, vec![i])
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("explorer thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer thread panicked"))
+            .collect()
     });
     let mut runs = Vec::new();
     let mut effects = Vec::new();
@@ -278,7 +273,14 @@ mod tests {
         assert!(!ex.truncated);
         // ...but all equivalent (Theorem 4).
         assert_eq!(ex.distinct_outcomes().len(), 1);
-        assert!(all_outcomes_equivalent(&cfg, &DefEnv::new(), &st, &q, 10_000, 10_000));
+        assert!(all_outcomes_equivalent(
+            &cfg,
+            &DefEnv::new(),
+            &st,
+            &q,
+            10_000,
+            10_000
+        ));
     }
 
     #[test]
@@ -304,7 +306,14 @@ mod tests {
         // Visiting 10 first: {10+1, 20+2} = {11, 22}; visiting 20 first:
         // {20+1, 10+2} = {21, 12}.
         assert_eq!(ex.distinct_outcomes().len(), 2);
-        assert!(!all_outcomes_equivalent(&cfg, &DefEnv::new(), &st, &q, 10_000, 10_000));
+        assert!(!all_outcomes_equivalent(
+            &cfg,
+            &DefEnv::new(),
+            &st,
+            &q,
+            10_000,
+            10_000
+        ));
     }
 
     #[test]
@@ -321,7 +330,14 @@ mod tests {
                 Query::set_lit([Query::int(1), Query::int(2)]),
             )],
         );
-        assert!(all_outcomes_equivalent(&cfg, &DefEnv::new(), &st, &q, 10_000, 10_000));
+        assert!(all_outcomes_equivalent(
+            &cfg,
+            &DefEnv::new(),
+            &st,
+            &q,
+            10_000,
+            10_000
+        ));
     }
 
     #[test]
@@ -336,8 +352,7 @@ mod tests {
             [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
         );
         let seq = explore_outcomes(&cfg, &DefEnv::new(), &st, &q, 100_000, 10_000);
-        let par =
-            explore_outcomes_parallel(&cfg, &DefEnv::new(), &st, &q, 100_000, 10_000, 4);
+        let par = explore_outcomes_parallel(&cfg, &DefEnv::new(), &st, &q, 100_000, 10_000, 4);
         assert_eq!(seq.runs.len(), par.runs.len());
         assert_eq!(seq.truncated, par.truncated);
         // Same distinct outcome sets.
@@ -355,8 +370,7 @@ mod tests {
         let cfg = EvalConfig::new(&s);
         let st = store_with(&[]);
         let q = Query::int(1).add(Query::int(2));
-        let par =
-            explore_outcomes_parallel(&cfg, &DefEnv::new(), &st, &q, 1_000, 100, 4);
+        let par = explore_outcomes_parallel(&cfg, &DefEnv::new(), &st, &q, 1_000, 100, 4);
         assert_eq!(par.runs.len(), 1);
     }
 

@@ -1,0 +1,348 @@
+//! Resource governance for query evaluation.
+//!
+//! The paper's semantics is happy to diverge (`loop()`, §1) or to
+//! materialise sets of any size; a production engine is not. The
+//! [`Governor`] bounds a single evaluation along four independent axes —
+//! wall-clock time, materialised comprehension cells, set cardinality,
+//! and store growth — and carries a cooperative [`CancelToken`] so a
+//! supervisor (another thread, a REPL signal handler, a chaos harness)
+//! can abort an evaluation mid-flight.
+//!
+//! # Engine parity
+//!
+//! Both evaluators — the small-step machine and the big-step
+//! normaliser — consult the governor at *semantically aligned* points,
+//! so that for a given query, store, and chooser the two engines either
+//! both succeed or both fail with the same
+//! [`EvalError`](crate::EvalError) class:
+//!
+//! * **Cells** are charged once per element drawn from a comprehension
+//!   generator, immediately after the [`Chooser`](crate::Chooser) call.
+//!   Both engines issue the identical sequence of chooser calls (that is
+//!   the differential-testing invariant), so the cell meter advances in
+//!   lock-step.
+//! * **Set cardinality** is observed where a set *value* comes into
+//!   existence through a rule: reading an extent, applying a binary set
+//!   operator, and completing a comprehension. Set literals are *not*
+//!   observed — in the small-step machine a `SetLit` of values becomes a
+//!   value without any rule firing, so the big-step evaluator skips them
+//!   too. A comprehension's intermediate unions (small-step) are subsets
+//!   of its final result, so "some observation exceeds the cap" agrees
+//!   with the big-step engine's single observation of the final set.
+//! * **Store growth** is charged at `(New)`, one unit per object.
+//! * **Deadline and cancellation** are checked once per reduction step
+//!   (small-step) / once per recursive evaluation (big-step's fuel
+//!   `burn`). The engines may notice at slightly different `spent`
+//!   values but always produce the same error class.
+//!
+//! When several limits are exceeded by the same query the engines agree
+//! on *failing* but may report whichever limit their evaluation order
+//! trips first; the robustness suite therefore injects one fault at a
+//! time.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::machine::EvalError;
+
+/// The resource axis that was exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ResourceKind {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// Too many comprehension cells were materialised.
+    Cells,
+    /// A set value exceeded the cardinality cap.
+    SetCardinality,
+    /// The query created too many objects.
+    StoreGrowth,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResourceKind::WallClock => "wall-clock",
+            ResourceKind::Cells => "cells",
+            ResourceKind::SetCardinality => "set-cardinality",
+            ResourceKind::StoreGrowth => "store-growth",
+        })
+    }
+}
+
+/// Per-evaluation resource limits. `None` on any axis means unlimited;
+/// [`Limits::none`] (the default) governs nothing.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Limits {
+    /// Wall-clock budget for the whole evaluation.
+    pub deadline: Option<Duration>,
+    /// Maximum comprehension cells (generator elements drawn).
+    pub max_cells: Option<u64>,
+    /// Maximum cardinality of any set value produced by a rule.
+    pub max_set_card: Option<u64>,
+    /// Maximum number of objects the query may create.
+    pub max_store_growth: Option<u64>,
+}
+
+impl Limits {
+    /// No limits on any axis.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the comprehension-cell budget.
+    pub fn with_max_cells(mut self, n: u64) -> Self {
+        self.max_cells = Some(n);
+        self
+    }
+
+    /// Sets the set-cardinality cap.
+    pub fn with_max_set_card(mut self, n: u64) -> Self {
+        self.max_set_card = Some(n);
+        self
+    }
+
+    /// Sets the store-growth budget.
+    pub fn with_max_store_growth(mut self, n: u64) -> Self {
+        self.max_store_growth = Some(n);
+        self
+    }
+}
+
+/// A shared, thread-safe cancellation flag.
+///
+/// Clones share the flag: hand one to a supervisor, keep the governor
+/// on the evaluating thread. Cancellation is cooperative — the engines
+/// notice at their next checkpoint and return
+/// [`EvalError::Cancelled`].
+#[derive(Clone, Default, Debug)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Meters one evaluation against a set of [`Limits`].
+///
+/// The governor is cheap to consult (atomic counters, a cached start
+/// instant) and is threaded through both engines by reference via
+/// [`EvalConfig::with_governor`](crate::EvalConfig::with_governor).
+/// Counters persist across queries run under the same governor, so a
+/// session-wide budget is a single long-lived instance and a
+/// per-query budget is a fresh one.
+#[derive(Debug)]
+pub struct Governor {
+    limits: Limits,
+    started: Instant,
+    cells: AtomicU64,
+    growth: AtomicU64,
+    cancel: CancelToken,
+}
+
+impl Governor {
+    /// A governor enforcing `limits`, with the deadline clock starting
+    /// now and a fresh cancellation token.
+    pub fn new(limits: Limits) -> Self {
+        Governor {
+            limits,
+            started: Instant::now(),
+            cells: AtomicU64::new(0),
+            growth: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The limits being enforced.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// A handle that cancels evaluations running under this governor.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Comprehension cells charged so far.
+    pub fn cells_spent(&self) -> u64 {
+        self.cells.load(Ordering::Relaxed)
+    }
+
+    /// Objects created so far.
+    pub fn growth_spent(&self) -> u64 {
+        self.growth.load(Ordering::Relaxed)
+    }
+
+    /// The per-step / per-recursion checkpoint: cancellation first, then
+    /// the wall-clock deadline.
+    pub fn checkpoint(&self) -> Result<(), EvalError> {
+        if self.cancel.is_cancelled() {
+            return Err(EvalError::Cancelled);
+        }
+        if let Some(deadline) = self.limits.deadline {
+            let spent = self.started.elapsed();
+            if spent > deadline {
+                return Err(EvalError::ResourceExhausted {
+                    kind: ResourceKind::WallClock,
+                    spent: spent.as_millis() as u64,
+                    limit: deadline.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` comprehension cells (one per generator element drawn).
+    pub fn charge_cells(&self, n: u64) -> Result<(), EvalError> {
+        let spent = self.cells.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(limit) = self.limits.max_cells {
+            if spent > limit {
+                return Err(EvalError::ResourceExhausted {
+                    kind: ResourceKind::Cells,
+                    spent,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Observes the cardinality of a set value produced by a rule.
+    pub fn observe_set_card(&self, card: u64) -> Result<(), EvalError> {
+        if let Some(limit) = self.limits.max_set_card {
+            if card > limit {
+                return Err(EvalError::ResourceExhausted {
+                    kind: ResourceKind::SetCardinality,
+                    spent: card,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` objects of store growth (one per `(New)`).
+    pub fn charge_growth(&self, n: u64) -> Result<(), EvalError> {
+        let spent = self.growth.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(limit) = self.limits.max_store_growth {
+            if spent > limit {
+                return Err(EvalError::ResourceExhausted {
+                    kind: ResourceKind::StoreGrowth,
+                    spent,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_governor_never_trips() {
+        let g = Governor::new(Limits::none());
+        assert!(g.checkpoint().is_ok());
+        assert!(g.charge_cells(1_000_000).is_ok());
+        assert!(g.observe_set_card(u64::MAX).is_ok());
+        assert!(g.charge_growth(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn cell_budget_trips_at_limit() {
+        let g = Governor::new(Limits::none().with_max_cells(3));
+        assert!(g.charge_cells(3).is_ok());
+        let err = g.charge_cells(1).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::ResourceExhausted {
+                kind: ResourceKind::Cells,
+                spent: 4,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn set_card_is_an_observation_not_a_meter() {
+        let g = Governor::new(Limits::none().with_max_set_card(5));
+        // Repeated small sets are fine — only a single too-large set trips.
+        for _ in 0..100 {
+            assert!(g.observe_set_card(5).is_ok());
+        }
+        assert!(matches!(
+            g.observe_set_card(6),
+            Err(EvalError::ResourceExhausted {
+                kind: ResourceKind::SetCardinality,
+                spent: 6,
+                limit: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn growth_budget_accumulates() {
+        let g = Governor::new(Limits::none().with_max_store_growth(2));
+        assert!(g.charge_growth(1).is_ok());
+        assert!(g.charge_growth(1).is_ok());
+        assert!(matches!(
+            g.charge_growth(1),
+            Err(EvalError::ResourceExhausted {
+                kind: ResourceKind::StoreGrowth,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_trips_checkpoint() {
+        let g = Governor::new(Limits::none().with_deadline(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            g.checkpoint(),
+            Err(EvalError::ResourceExhausted {
+                kind: ResourceKind::WallClock,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let g = Governor::new(Limits::none().with_deadline(Duration::ZERO));
+        g.cancel_token().cancel();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(g.checkpoint(), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let g = Governor::new(Limits::none());
+        let t1 = g.cancel_token();
+        let t2 = g.cancel_token();
+        assert!(!t2.is_cancelled());
+        t1.cancel();
+        assert!(t2.is_cancelled());
+        assert_eq!(g.checkpoint(), Err(EvalError::Cancelled));
+    }
+}

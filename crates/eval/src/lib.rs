@@ -30,13 +30,17 @@
 pub mod bigstep;
 pub mod chooser;
 pub mod explore;
+pub mod governor;
 pub mod machine;
 pub mod step;
 pub mod trace;
 
 pub use bigstep::{eval_big, BigStepResult};
 pub use chooser::{Chooser, FirstChooser, LastChooser, RandomChooser, ScriptedChooser};
-pub use explore::{all_outcomes_equivalent, explore_outcomes, explore_outcomes_parallel, Exploration};
+pub use explore::{
+    all_outcomes_equivalent, explore_outcomes, explore_outcomes_parallel, Exploration,
+};
+pub use governor::{CancelToken, Governor, Limits, ResourceKind};
 pub use machine::{evaluate, run_program, DefEnv, EvalConfig, EvalError, Evaluated};
 pub use step::{redex, step, StepOutcome};
 pub use trace::{trace, Trace, TraceStep};

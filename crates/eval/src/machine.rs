@@ -3,6 +3,7 @@
 //! the instrumented semantics.
 
 use crate::chooser::{Chooser, FirstChooser};
+use crate::governor::{Governor, ResourceKind};
 use crate::step::step;
 use ioql_ast::{DefName, Definition, Program, Query, Value};
 use ioql_effects::Effect;
@@ -65,6 +66,10 @@ pub struct EvalConfig<'s> {
     /// Fuel budget per method invocation — non-termination shows up as
     /// [`EvalError::MethodDiverged`] instead of a hang.
     pub method_fuel: u64,
+    /// Optional resource governor (deadline, budgets, cancellation).
+    /// Both engines consult it at aligned points — see
+    /// [`governor`](crate::governor) for the parity contract.
+    pub governor: Option<&'s Governor>,
 }
 
 impl<'s> EvalConfig<'s> {
@@ -75,6 +80,7 @@ impl<'s> EvalConfig<'s> {
             schema,
             method_mode: Mode::ReadOnly,
             method_fuel: 1_000_000,
+            governor: None,
         }
     }
 
@@ -87,6 +93,14 @@ impl<'s> EvalConfig<'s> {
     /// Sets the per-invocation method fuel.
     pub fn with_method_fuel(mut self, fuel: u64) -> Self {
         self.method_fuel = fuel;
+        self
+    }
+
+    /// Attaches a resource governor. The governor outlives the config
+    /// (it is borrowed), so one instance can meter a whole session or a
+    /// single query.
+    pub fn with_governor(mut self, governor: &'s Governor) -> Self {
+        self.governor = Some(governor);
         self
     }
 }
@@ -115,6 +129,21 @@ pub enum EvalError {
     },
     /// The query-level step budget was exhausted.
     FuelExhausted,
+    /// A [`Governor`] limit was exceeded (deadline, cell/cardinality/
+    /// growth budget). Both engines report the same `kind` for the same
+    /// over-budget query; `spent` is informational and may differ.
+    ResourceExhausted {
+        /// The axis that was exhausted.
+        kind: ResourceKind,
+        /// How much had been consumed when the limit tripped
+        /// (milliseconds for the wall clock, counts otherwise).
+        spent: u64,
+        /// The configured limit on that axis.
+        limit: u64,
+    },
+    /// The evaluation's [`CancelToken`](crate::governor::CancelToken)
+    /// was triggered.
+    Cancelled,
     /// A store invariant was violated (dangling oid etc.) — unreachable
     /// on checked programs.
     Store(String),
@@ -130,6 +159,10 @@ impl fmt::Display for EvalError {
                 write!(f, "method `{method}` did not terminate")
             }
             EvalError::FuelExhausted => write!(f, "query step budget exhausted"),
+            EvalError::ResourceExhausted { kind, spent, limit } => {
+                write!(f, "{kind} budget exhausted ({spent} spent, limit {limit})")
+            }
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
             EvalError::Store(msg) => write!(f, "store error: {msg}"),
         }
     }
@@ -163,6 +196,9 @@ pub fn evaluate(
     let mut effect = Effect::empty();
     let mut steps = 0u64;
     loop {
+        if let Some(gov) = cfg.governor {
+            gov.checkpoint()?;
+        }
         match step(cfg, defs, store, &cur, chooser)? {
             None => {
                 let value = cur.as_value().expect("step returned None on a non-value");
@@ -264,7 +300,15 @@ mod tests {
             [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
         );
         let mut st1 = store_with(&s, &[5, 7]);
-        let r1 = evaluate(&cfg, &DefEnv::new(), &mut st1, &q, &mut FirstChooser, 10_000).unwrap();
+        let r1 = evaluate(
+            &cfg,
+            &DefEnv::new(),
+            &mut st1,
+            &q,
+            &mut FirstChooser,
+            10_000,
+        )
+        .unwrap();
         let mut st2 = store_with(&s, &[5, 7]);
         let r2 = evaluate(&cfg, &DefEnv::new(), &mut st2, &q, &mut LastChooser, 10_000).unwrap();
         assert_eq!(r1.value, r2.value);
@@ -287,7 +331,15 @@ mod tests {
                 ),
             ],
         );
-        let r = evaluate(&cfg, &DefEnv::new(), &mut st, &q, &mut FirstChooser, 100_000).unwrap();
+        let r = evaluate(
+            &cfg,
+            &DefEnv::new(),
+            &mut st,
+            &q,
+            &mut FirstChooser,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(
             r.value,
             Value::set([
@@ -316,7 +368,15 @@ mod tests {
                 )),
             ],
         );
-        let r = evaluate(&cfg, &DefEnv::new(), &mut st, &q, &mut FirstChooser, 100_000).unwrap();
+        let r = evaluate(
+            &cfg,
+            &DefEnv::new(),
+            &mut st,
+            &q,
+            &mut FirstChooser,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(r.value, Value::set([Value::Int(1), Value::Int(2)]));
     }
 
@@ -351,13 +411,26 @@ mod tests {
         let mut st = store_with(&s, &[1, 2]);
         // { new P(n: x.n + 100).n | x <- Ps } — creates one P per element.
         let q = Query::comp(
-            Query::new_obj("P", [("n", Query::var("x").attr("n").add(Query::int(100)))])
-                .attr("n"),
+            Query::new_obj("P", [("n", Query::var("x").attr("n").add(Query::int(100)))]).attr("n"),
             [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
         );
-        let r = evaluate(&cfg, &DefEnv::new(), &mut st, &q, &mut FirstChooser, 100_000).unwrap();
+        let r = evaluate(
+            &cfg,
+            &DefEnv::new(),
+            &mut st,
+            &q,
+            &mut FirstChooser,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(r.value, Value::set([Value::Int(101), Value::Int(102)]));
-        assert_eq!(st.extents.members(&ioql_ast::ExtentName::new("Ps")).unwrap().len(), 4);
+        assert_eq!(
+            st.extents
+                .members(&ioql_ast::ExtentName::new("Ps"))
+                .unwrap()
+                .len(),
+            4
+        );
         assert!(r.effect.adds.contains(&ClassName::new("P")));
         assert!(r.effect.reads.contains(&ClassName::new("P")));
     }

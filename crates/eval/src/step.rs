@@ -111,9 +111,7 @@ pub fn redex(q: &Query) -> Option<Vec<usize>> {
     for (i, child) in children.iter().enumerate() {
         if !child.is_value() {
             let mut path = vec![i];
-            path.extend(
-                redex(child).expect("non-value child of a non-value node must decompose"),
-            );
+            path.extend(redex(child).expect("non-value child of a non-value node must decompose"));
             return Some(path);
         }
     }
@@ -271,6 +269,11 @@ fn apply_rule(
             let v = store
                 .extent_value(e)
                 .map_err(|err| EvalError::Store(err.to_string()))?;
+            if let Some(gov) = cfg.governor {
+                if let Value::Set(s) = &v {
+                    gov.observe_set_card(s.len() as u64)?;
+                }
+            }
             Ok(StepOutcome {
                 query: Query::Lit(v),
                 effect: Effect::read(class),
@@ -282,7 +285,11 @@ fn apply_rule(
         Query::SetBin(op, a, b) => {
             let va = want_set(a)?;
             let vb = want_set(b)?;
-            Ok(pure("(Union)", Query::Lit(Value::Set(op.apply(&va, &vb)))))
+            let result = op.apply(&va, &vb);
+            if let Some(gov) = cfg.governor {
+                gov.observe_set_card(result.len() as u64)?;
+            }
+            Ok(pure("(Union)", Query::Lit(Value::Set(result))))
         }
 
         // (Addition) etc.
@@ -336,12 +343,10 @@ fn apply_rule(
             }
             let mut body = def.body.clone();
             for ((x, _), arg) in def.params.iter().zip(args) {
-                let v = arg
-                    .as_value()
-                    .ok_or_else(|| EvalError::Stuck {
-                        query: q.to_string(),
-                        reason: "non-value definition argument".into(),
-                    })?;
+                let v = arg.as_value().ok_or_else(|| EvalError::Stuck {
+                    query: q.to_string(),
+                    reason: "non-value definition argument".into(),
+                })?;
                 body = body.subst(x, &v);
             }
             Ok(pure("(Definition)", body))
@@ -379,10 +384,7 @@ fn apply_rule(
             if cfg.schema.extends(dynamic, c) {
                 Ok(pure("(Upcast)", Query::Lit(Value::Oid(o))))
             } else {
-                stuck(
-                    q,
-                    format!("cast to `{c}` failed: object is a `{dynamic}`"),
-                )
+                stuck(q, format!("cast to `{c}` failed: object is a `{dynamic}`"))
             }
         }
 
@@ -459,6 +461,9 @@ fn apply_rule(
                     }
                 }
             }
+            if let Some(gov) = cfg.governor {
+                gov.charge_growth(1)?;
+            }
             let o = store
                 .create(Object::new(c.clone(), vals), extents)
                 .map_err(|e| EvalError::Store(e.to_string()))?;
@@ -484,9 +489,10 @@ fn apply_rule(
 
             // (True comp)/(False comp).
             Some((Qualifier::Pred(p), rest)) => match p.as_value() {
-                Some(Value::Bool(true)) => {
-                    Ok(pure("(True comp)", Query::Comp(head.clone(), rest.to_vec())))
-                }
+                Some(Value::Bool(true)) => Ok(pure(
+                    "(True comp)",
+                    Query::Comp(head.clone(), rest.to_vec()),
+                )),
                 Some(Value::Bool(false)) => {
                     Ok(pure("(False comp)", Query::Lit(Value::empty_set())))
                 }
@@ -504,6 +510,12 @@ fn apply_rule(
                 // processed first.
                 let elems: Vec<Value> = elems.into_iter().collect();
                 let i = chooser.choose(elems.len());
+                // One comprehension cell per drawn element — charged
+                // right after the chooser call so both engines' meters
+                // advance in lock-step (see `governor`'s parity notes).
+                if let Some(gov) = cfg.governor {
+                    gov.charge_cells(1)?;
+                }
                 let picked = elems[i].clone();
                 let rest_set: BTreeSet<Value> = elems
                     .into_iter()
@@ -513,10 +525,7 @@ fn apply_rule(
                 let body = Query::Comp(head.clone(), rest.to_vec()).subst(x, &picked);
                 let remaining = {
                     let mut qs = Vec::with_capacity(rest.len() + 1);
-                    qs.push(Qualifier::Gen(
-                        x.clone(),
-                        Query::Lit(Value::Set(rest_set)),
-                    ));
+                    qs.push(Qualifier::Gen(x.clone(), Query::Lit(Value::Set(rest_set))));
                     qs.extend(rest.iter().cloned());
                     Query::Comp(head.clone(), qs)
                 };
@@ -568,9 +577,11 @@ mod tests {
     fn values_do_not_step() {
         let s = schema();
         let (cfg, defs, mut store) = setup(&s);
-        assert!(step(&cfg, &defs, &mut store, &Query::int(1), &mut FirstChooser)
-            .unwrap()
-            .is_none());
+        assert!(
+            step(&cfg, &defs, &mut store, &Query::int(1), &mut FirstChooser)
+                .unwrap()
+                .is_none()
+        );
         assert!(step(
             &cfg,
             &defs,
@@ -600,7 +611,10 @@ mod tests {
             .add(Query::int(2))
             .add(Query::int(3).add(Query::int(4)));
         let out = one(&cfg, &defs, &mut store, &q);
-        assert_eq!(out.query, Query::int(3).add(Query::int(3).add(Query::int(4))));
+        assert_eq!(
+            out.query,
+            Query::int(3).add(Query::int(3).add(Query::int(4)))
+        );
     }
 
     #[test]
@@ -620,7 +634,10 @@ mod tests {
         let out = one(&cfg, &defs, &mut store, &q);
         assert!(matches!(out.query, Query::Lit(Value::Oid(_))));
         assert_eq!(out.effect, Effect::add("P"));
-        assert_eq!(store.extents.members(&ExtentName::new("Ps")).unwrap().len(), 1);
+        assert_eq!(
+            store.extents.members(&ExtentName::new("Ps")).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -679,7 +696,10 @@ mod tests {
         let (cfg, defs, mut store) = setup(&s);
         let q = Query::comp(Query::int(1).add(Query::int(2)), []);
         let out = one(&cfg, &defs, &mut store, &q);
-        assert_eq!(out.query, Query::set_lit([Query::int(1).add(Query::int(2))]));
+        assert_eq!(
+            out.query,
+            Query::set_lit([Query::int(1).add(Query::int(2))])
+        );
     }
 
     #[test]
@@ -754,10 +774,7 @@ mod tests {
         // comprehension: the generator source, never the head.
         let q = Query::comp(
             Query::var("x").add(Query::int(1)),
-            [Qualifier::Gen(
-                VarName::new("x"),
-                Query::extent("Ps"),
-            )],
+            [Qualifier::Gen(VarName::new("x"), Query::extent("Ps"))],
         );
         assert_eq!(redex(&q), Some(vec![0]));
     }
@@ -775,7 +792,10 @@ mod tests {
         store.declare_extent("As", "A");
         store.declare_extent("Bs", "B");
         let o = store
-            .create(Object::new("B", Vec::<(&str, Value)>::new()), [ExtentName::new("Bs")])
+            .create(
+                Object::new("B", Vec::<(&str, Value)>::new()),
+                [ExtentName::new("Bs")],
+            )
             .unwrap();
         let q = Query::Lit(Value::Oid(o)).cast("A");
         let out = step(&cfg, &defs, &mut store, &q, &mut FirstChooser)

@@ -111,7 +111,11 @@ impl<'s> Ck<'s> {
                 let ta = self.expr(a)?;
                 let tb = self.expr(b)?;
                 match op {
-                    MBinOp::Add | MBinOp::Sub | MBinOp::Mul | MBinOp::Lt | MBinOp::Le
+                    MBinOp::Add
+                    | MBinOp::Sub
+                    | MBinOp::Mul
+                    | MBinOp::Lt
+                    | MBinOp::Le
                     | MBinOp::EqInt => {
                         if ta != Type::Int {
                             return Err(self.mismatch("int", &ta));
@@ -119,7 +123,11 @@ impl<'s> Ck<'s> {
                         if tb != Type::Int {
                             return Err(self.mismatch("int", &tb));
                         }
-                        Ok(if op.yields_bool() { Type::Bool } else { Type::Int })
+                        Ok(if op.yields_bool() {
+                            Type::Bool
+                        } else {
+                            Type::Int
+                        })
                     }
                     MBinOp::EqObj => {
                         if !matches!(ta, Type::Class(_)) {
@@ -195,16 +203,9 @@ impl<'s> Ck<'s> {
                     self.declare(x, t.clone())?;
                 }
                 MStmt::Assign(x, e) => {
-                    let tx = self
-                        .lookup(x)
-                        .cloned()
-                        .ok_or_else(|| {
-                            MethodTypeError::Unbound(
-                                self.class.clone(),
-                                self.method.clone(),
-                                x.clone(),
-                            )
-                        })?;
+                    let tx = self.lookup(x).cloned().ok_or_else(|| {
+                        MethodTypeError::Unbound(self.class.clone(), self.method.clone(), x.clone())
+                    })?;
                     let te = self.expr(e)?;
                     if !self.schema.subtype(&te, &tx) {
                         return Err(self.mismatch(format!("a subtype of `{tx}`"), &te));
@@ -389,7 +390,11 @@ mod tests {
                 MStmt::Local(
                     VarName::new("y"),
                     Type::Int,
-                    MExpr::bin(MBinOp::Add, MExpr::Var(VarName::new("x")), MExpr::Var(VarName::new("x"))),
+                    MExpr::bin(
+                        MBinOp::Add,
+                        MExpr::Var(VarName::new("x")),
+                        MExpr::Var(VarName::new("x")),
+                    ),
                 ),
                 MStmt::Return(MExpr::Var(VarName::new("y"))),
             ],
@@ -400,7 +405,12 @@ mod tests {
     #[test]
     fn unbound_var_rejected() {
         let s = schema();
-        let md = MethodDef::new("bad", [], Type::Int, vec![MStmt::Return(MExpr::Var(VarName::new("z")))]);
+        let md = MethodDef::new(
+            "bad",
+            [],
+            Type::Int,
+            vec![MStmt::Return(MExpr::Var(VarName::new("z")))],
+        );
         assert!(matches!(
             check_method(&s, &p(), &md, Mode::ReadOnly),
             Err(MethodTypeError::Unbound(_, _, _))
@@ -501,7 +511,11 @@ mod tests {
             [],
             Type::Int,
             vec![
-                MStmt::NewLocal(VarName::new("x"), p(), vec![(AttrName::new("n"), MExpr::Int(1))]),
+                MStmt::NewLocal(
+                    VarName::new("x"),
+                    p(),
+                    vec![(AttrName::new("n"), MExpr::Int(1))],
+                ),
                 MStmt::Return(MExpr::Var(VarName::new("x")).attr("n")),
             ],
         );

@@ -272,9 +272,21 @@ mod tests {
         .unwrap();
         let table = effect_table(&schema);
         let p = ClassName::new("P");
-        assert!(table.get(&p, &MethodName::new("scan")).unwrap().reads.contains(&p));
-        assert!(table.get(&p, &MethodName::new("poke")).unwrap().updates.contains(&p));
-        assert!(table.get(&p, &MethodName::new("mk")).unwrap().adds.contains(&p));
+        assert!(table
+            .get(&p, &MethodName::new("scan"))
+            .unwrap()
+            .reads
+            .contains(&p));
+        assert!(table
+            .get(&p, &MethodName::new("poke"))
+            .unwrap()
+            .updates
+            .contains(&p));
+        assert!(table
+            .get(&p, &MethodName::new("mk"))
+            .unwrap()
+            .adds
+            .contains(&p));
     }
 
     #[test]
@@ -329,9 +341,17 @@ mod tests {
         .unwrap();
         let table = effect_table(&schema);
         let p = ClassName::new("P");
-        assert!(table.get(&p, &MethodName::new("odd")).unwrap().reads.contains(&p));
+        assert!(table
+            .get(&p, &MethodName::new("odd"))
+            .unwrap()
+            .reads
+            .contains(&p));
         assert!(
-            table.get(&p, &MethodName::new("even")).unwrap().reads.contains(&p),
+            table
+                .get(&p, &MethodName::new("even"))
+                .unwrap()
+                .reads
+                .contains(&p),
             "mutual recursion must propagate effects to the caller"
         );
     }
@@ -349,7 +369,12 @@ mod tests {
                 ClassName::object(),
                 "As",
                 [],
-                [MethodDef::new("m", [], Type::Int, vec![MStmt::Return(MExpr::Int(1))])],
+                [MethodDef::new(
+                    "m",
+                    [],
+                    Type::Int,
+                    vec![MStmt::Return(MExpr::Int(1))],
+                )],
             ),
             ClassDef::new(
                 "B",

@@ -64,8 +64,15 @@ impl fmt::Display for MethodTypeError {
                 expected,
                 got,
             } => write!(f, "{class}::{method}: expected {expected}, got `{got}`"),
-            MethodTypeError::Arity { class, method, callee } => {
-                write!(f, "{class}::{method}: wrong number of arguments to `{callee}`")
+            MethodTypeError::Arity {
+                class,
+                method,
+                callee,
+            } => {
+                write!(
+                    f,
+                    "{class}::{method}: wrong number of arguments to `{callee}`"
+                )
             }
             MethodTypeError::UnknownMethod(c, m) => {
                 write!(f, "no method `{m}` on class `{c}`")
@@ -76,7 +83,10 @@ impl fmt::Display for MethodTypeError {
             MethodTypeError::UnknownExtent(e) => write!(f, "unknown extent `{e}`"),
             MethodTypeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
             MethodTypeError::BadNew(c) => {
-                write!(f, "new {c}(…) must initialise exactly the declared attributes")
+                write!(
+                    f,
+                    "new {c}(…) must initialise exactly the declared attributes"
+                )
             }
             MethodTypeError::ExtendedFeatureInReadOnlyMode(c, m) => write!(
                 f,

@@ -129,7 +129,10 @@ impl<'s> Ev<'s> {
     }
 
     fn binop(&self, op: MBinOp, a: Value, b: Value) -> Result<Value, MethodError> {
-        let int = |v: &Value| v.as_int().ok_or_else(|| MethodError::Stuck("int expected".into()));
+        let int = |v: &Value| {
+            v.as_int()
+                .ok_or_else(|| MethodError::Stuck("int expected".into()))
+        };
         let boolean = |v: &Value| {
             v.as_bool()
                 .ok_or_else(|| MethodError::Stuck("bool expected".into()))
@@ -183,9 +186,10 @@ impl<'s> Ev<'s> {
                 }
                 MStmt::If(cond, then, els) => {
                     let c = self.expr(store, env, this, cond)?;
-                    let branch = if c.as_bool().ok_or_else(|| {
-                        MethodError::Stuck("if condition not bool".into())
-                    })? {
+                    let branch = if c
+                        .as_bool()
+                        .ok_or_else(|| MethodError::Stuck("if condition not bool".into()))?
+                    {
                         then
                     } else {
                         els
@@ -279,7 +283,9 @@ impl<'s> Ev<'s> {
         let body = md.body.clone();
         match self.block(store, &mut env, receiver, &body)? {
             Flow::Returned(v) => Ok(v),
-            Flow::Normal => Err(MethodError::Stuck("method fell through without return".into())),
+            Flow::Normal => Err(MethodError::Stuck(
+                "method fell through without return".into(),
+            )),
         }
     }
 }
@@ -385,7 +391,10 @@ mod tests {
         let mut store = Store::new();
         store.declare_extent("Ps", "P");
         let o = store
-            .create(Object::new("P", [("n", Value::Int(5))]), [ExtentName::new("Ps")])
+            .create(
+                Object::new("P", [("n", Value::Int(5))]),
+                [ExtentName::new("Ps")],
+            )
             .unwrap();
         (schema, store, o)
     }
@@ -492,7 +501,10 @@ mod tests {
         let mut store = Store::new();
         store.declare_extent("Ps", "P");
         let o = store
-            .create(Object::new("P", [("n", Value::Int(1))]), [ExtentName::new("Ps")])
+            .create(
+                Object::new("P", [("n", Value::Int(1))]),
+                [ExtentName::new("Ps")],
+            )
             .unwrap();
         let r = invoke(
             &schema,
@@ -534,7 +546,11 @@ mod tests {
                             ExtentName::new("Ps"),
                             vec![MStmt::Assign(
                                 VarName::new("c"),
-                                MExpr::bin(MBinOp::Add, MExpr::Var(VarName::new("c")), MExpr::Int(1)),
+                                MExpr::bin(
+                                    MBinOp::Add,
+                                    MExpr::Var(VarName::new("c")),
+                                    MExpr::Int(1),
+                                ),
                             )],
                         ),
                         MStmt::Return(MExpr::Var(VarName::new("c"))),
@@ -559,7 +575,10 @@ mod tests {
         let mut store = Store::new();
         store.declare_extent("Ps", "P");
         let o = store
-            .create(Object::new("P", [("n", Value::Int(1))]), [ExtentName::new("Ps")])
+            .create(
+                Object::new("P", [("n", Value::Int(1))]),
+                [ExtentName::new("Ps")],
+            )
             .unwrap();
 
         let count = invoke(
@@ -591,7 +610,10 @@ mod tests {
         .unwrap();
         assert_eq!(spawned.value, Value::Int(9));
         assert!(spawned.effect.adds.contains(&ClassName::new("P")));
-        assert_eq!(store.extents.members(&ExtentName::new("Ps")).unwrap().len(), 2);
+        assert_eq!(
+            store.extents.members(&ExtentName::new("Ps")).unwrap().len(),
+            2
+        );
 
         let count2 = invoke(
             &schema,

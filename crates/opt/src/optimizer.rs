@@ -246,9 +246,9 @@ impl<'s> Optimizer<'s> {
     fn rewrite_children(&mut self, env: &EffectEnv<'s>, q: &Query) -> Query {
         match q {
             Query::Lit(_) | Query::Var(_) | Query::Extent(_) => q.clone(),
-            Query::SetLit(items) => Query::SetLit(
-                items.iter().map(|i| self.rewrite(env, i)).collect(),
-            ),
+            Query::SetLit(items) => {
+                Query::SetLit(items.iter().map(|i| self.rewrite(env, i)).collect())
+            }
             Query::SetBin(op, a, b) => Query::SetBin(
                 *op,
                 Box::new(self.rewrite(env, a)),
@@ -273,21 +273,15 @@ impl<'s> Optimizer<'s> {
                     .map(|(l, fq)| (l.clone(), self.rewrite(env, fq)))
                     .collect(),
             ),
-            Query::Field(inner, l) => {
-                Query::Field(Box::new(self.rewrite(env, inner)), l.clone())
-            }
+            Query::Field(inner, l) => Query::Field(Box::new(self.rewrite(env, inner)), l.clone()),
             Query::Call(d, args) => Query::Call(
                 d.clone(),
                 args.iter().map(|a| self.rewrite(env, a)).collect(),
             ),
             Query::Size(inner) => Query::Size(Box::new(self.rewrite(env, inner))),
             Query::Sum(inner) => Query::Sum(Box::new(self.rewrite(env, inner))),
-            Query::Cast(c, inner) => {
-                Query::Cast(c.clone(), Box::new(self.rewrite(env, inner)))
-            }
-            Query::Attr(inner, a) => {
-                Query::Attr(Box::new(self.rewrite(env, inner)), a.clone())
-            }
+            Query::Cast(c, inner) => Query::Cast(c.clone(), Box::new(self.rewrite(env, inner))),
+            Query::Attr(inner, a) => Query::Attr(Box::new(self.rewrite(env, inner)), a.clone()),
             Query::Invoke(recv, m, args) => Query::Invoke(
                 Box::new(self.rewrite(env, recv)),
                 m.clone(),
@@ -401,11 +395,7 @@ mod tests {
         );
         // Condition reads Ps — reads are not "value stable" (∅) so the
         // conservative guard refuses. A genuinely pure condition folds:
-        let pure = Query::ite(
-            Query::var("b"),
-            Query::int(7),
-            Query::int(7),
-        );
+        let pure = Query::ite(Query::var("b"), Query::int(7), Query::int(7));
         let mut env = ioql_effects::EffectEnv::new(&s);
         env = env.bind(VarName::new("b"), Type::Bool);
         let mut o = Optimizer::new(&s, Stats::new(), OptOptions::default());
@@ -422,16 +412,8 @@ mod tests {
         stats.set("Ps", 10_000);
         stats.set("Fs", 3);
         let q = Query::extent("Ps").intersect(Query::extent("Fs"));
-        let (p, applied) = optimize(
-            &s,
-            &Program::query_only(q),
-            stats,
-            OptOptions::default(),
-        );
-        assert_eq!(
-            p.query,
-            Query::extent("Fs").intersect(Query::extent("Ps"))
-        );
+        let (p, applied) = optimize(&s, &Program::query_only(q), stats, OptOptions::default());
+        assert_eq!(p.query, Query::extent("Fs").intersect(Query::extent("Ps")));
         assert!(applied.iter().any(|r| r.rule == "commute-by-cost"));
     }
 
@@ -491,9 +473,7 @@ mod tests {
             [
                 Qualifier::Gen(VarName::new("x"), Query::extent("Ps")),
                 Qualifier::Gen(VarName::new("y"), Query::extent("Fs")),
-                Qualifier::Pred(
-                    Query::var("y").attr("n").int_eq(Query::var("x").attr("n")),
-                ),
+                Qualifier::Pred(Query::var("y").attr("n").int_eq(Query::var("x").attr("n"))),
             ],
         );
         let (out, _) = opt_q(&s, &q);
@@ -605,7 +585,10 @@ mod tests {
             )],
         );
         let (out, applied) = opt_q(&s, &q);
-        assert!(applied.iter().any(|r| r.rule == "unnest-generator"), "{applied:?}");
+        assert!(
+            applied.iter().any(|r| r.rule == "unnest-generator"),
+            "{applied:?}"
+        );
         if let Query::Comp(head, quals) = &out {
             assert_eq!(quals.len(), 1);
             assert!(matches!(quals[0], Qualifier::Gen(_, Query::Extent(_))));
@@ -653,7 +636,10 @@ mod tests {
             ],
         );
         let (_, applied) = opt_q(&s, &q);
-        assert!(applied.iter().all(|r| r.rule != "unnest-generator"), "{applied:?}");
+        assert!(
+            applied.iter().all(|r| r.rule != "unnest-generator"),
+            "{applied:?}"
+        );
     }
 
     #[test]

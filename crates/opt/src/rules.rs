@@ -42,9 +42,7 @@ pub fn subst_query(q: &Query, x: &VarName, r: &Query) -> Query {
     match q {
         Query::Var(y) if y == x => r.clone(),
         Query::Lit(_) | Query::Var(_) | Query::Extent(_) => q.clone(),
-        Query::SetLit(items) => {
-            Query::SetLit(items.iter().map(|i| subst_query(i, x, r)).collect())
-        }
+        Query::SetLit(items) => Query::SetLit(items.iter().map(|i| subst_query(i, x, r)).collect()),
         Query::SetBin(op, a, b) => Query::SetBin(
             *op,
             Box::new(subst_query(a, x, r)),
@@ -289,11 +287,7 @@ pub fn collapse_same_branches(env: &EffectEnv<'_>, q: &Query) -> Option<Query> {
 /// put the cheaper operand of a commutative set operator first. Fires
 /// only when the operands' effects do not interfere — the §4
 /// `Persons ∩ Employees`-with-`new` counterexample is *refused*.
-pub fn commute_by_cost(
-    env: &EffectEnv<'_>,
-    stats: &Stats,
-    q: &Query,
-) -> Option<Query> {
+pub fn commute_by_cost(env: &EffectEnv<'_>, stats: &Stats, q: &Query) -> Option<Query> {
     match q {
         Query::SetBin(op, a, b) if op.is_commutative() => {
             if stats.work(b) >= stats.work(a) {
@@ -425,9 +419,7 @@ pub fn promote_predicates(env: &EffectEnv<'_>, q: &Query) -> Option<Query> {
                 let prev = &new_quals[i - 1];
                 let prev_idx_safe = safe[i - 1];
                 match prev {
-                    Qualifier::Gen(x, _) => {
-                        prev_idx_safe && !p.free_vars().contains(x)
-                    }
+                    Qualifier::Gen(x, _) => prev_idx_safe && !p.free_vars().contains(x),
                     Qualifier::Pred(_) => false, // no point swapping preds
                 }
             };
@@ -471,9 +463,9 @@ pub fn unnest_generator(env: &EffectEnv<'_>, q: &Query) -> Option<Query> {
         return None;
     };
     // Find the first generator whose source is itself a comprehension.
-    let idx = quals.iter().position(|cq| {
-        matches!(cq, Qualifier::Gen(_, Query::Comp(_, _)))
-    })?;
+    let idx = quals
+        .iter()
+        .position(|cq| matches!(cq, Qualifier::Gen(_, Query::Comp(_, _))))?;
     let Qualifier::Gen(x, Query::Comp(inner_head, inner_quals)) = &quals[idx] else {
         return None;
     };
@@ -559,9 +551,7 @@ pub fn unnest_generator(env: &EffectEnv<'_>, q: &Query) -> Option<Query> {
     for cq in &quals[idx + 1..] {
         new_quals.push(match cq {
             Qualifier::Pred(p) => Qualifier::Pred(subst_query(p, x, inner_head)),
-            Qualifier::Gen(y, src) => {
-                Qualifier::Gen(y.clone(), subst_query(src, x, inner_head))
-            }
+            Qualifier::Gen(y, src) => Qualifier::Gen(y.clone(), subst_query(src, x, inner_head)),
         });
     }
     let new_head = subst_query(head, x, inner_head);

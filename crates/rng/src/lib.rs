@@ -1,0 +1,183 @@
+//! A small, dependency-free seeded PRNG.
+//!
+//! The workspace needs randomness in exactly three places — the
+//! `(ND comp)` [`RandomChooser`](../ioql_eval/chooser/index.html), the
+//! well-typed query generator, and the benchmark workloads — and in all
+//! of them the only requirements are *determinism under a seed* and a
+//! reasonable distribution. Pulling the `rand` crate in for that forced
+//! a network fetch on every clean offline build, so this crate provides
+//! the tiny slice of its API the workspace uses, backed by
+//! xoshiro256++ (public-domain algorithm by Blackman & Vigna) seeded
+//! through SplitMix64.
+//!
+//! It is **not** a cryptographic generator and makes no statistical
+//! claims beyond passing the smoke tests below; it exists to keep
+//! `cargo build`/`cargo test` hermetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable generator (xoshiro256++).
+///
+/// API-compatible with the subset of `rand::rngs::SmallRng` the
+/// workspace used: [`SmallRng::seed_from_u64`], [`SmallRng::gen_range`],
+/// [`SmallRng::gen_bool`].
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion, as
+    /// `rand` does for small seeds).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from a range (`0..n`, `-5..=5`, …). Panics on an
+    /// empty range, matching `rand`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+
+    /// Uniform `u64` below `bound` (> 0), via widening multiply with a
+    /// rejection pass to remove modulo bias (Lemire's method).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            // `t = (2^64 - bound) mod bound`: reject the sliver that
+            // would bias the low buckets.
+            let t = bound.wrapping_neg() % bound;
+            while low < t {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample a `T` from. Generic over
+/// the output type (as `rand`'s `SampleRange` is) so that integer
+/// literals in `gen_range(0..n)` infer their type from the use site.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u64;
+                ((self.start as i128) + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i128) + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0..13usize);
+            assert!(x < 13);
+            let y = r.gen_range(-20i64..=20);
+            assert!((-20..=20).contains(&y));
+            let z = r.gen_range(5..6usize);
+            assert_eq!(z, 5);
+            let w = r.gen_range(0..=0usize);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut r = SmallRng::seed_from_u64(11);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

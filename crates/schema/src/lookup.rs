@@ -83,7 +83,7 @@ impl Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ioql_ast::{AttrDef, ClassDef, MStmt, MExpr, VarName};
+    use ioql_ast::{AttrDef, ClassDef, MExpr, MStmt, VarName};
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -137,11 +137,15 @@ mod tests {
     fn mbody_resolves_override() {
         let s = schema();
         // Manager inherits Employee's override of greet.
-        let (decl, md) = s.mbody(&ClassName::new("Manager"), &MethodName::new("greet")).unwrap();
+        let (decl, md) = s
+            .mbody(&ClassName::new("Manager"), &MethodName::new("greet"))
+            .unwrap();
         assert_eq!(decl, ClassName::new("Employee"));
         assert_eq!(md.body, vec![MStmt::Return(MExpr::Int(2))]);
         // Person gets its own.
-        let (decl_p, md_p) = s.mbody(&ClassName::new("Person"), &MethodName::new("greet")).unwrap();
+        let (decl_p, md_p) = s
+            .mbody(&ClassName::new("Person"), &MethodName::new("greet"))
+            .unwrap();
         assert_eq!(decl_p, ClassName::new("Person"));
         assert_eq!(md_p.body, vec![MStmt::Return(MExpr::Int(1))]);
     }
@@ -153,7 +157,9 @@ mod tests {
             .mtype(&ClassName::new("Manager"), &MethodName::new("greet"))
             .unwrap();
         assert_eq!(t, FnType::new(vec![], Type::Int));
-        assert!(s.mtype(&ClassName::new("Person"), &MethodName::new("none")).is_none());
+        assert!(s
+            .mtype(&ClassName::new("Person"), &MethodName::new("none"))
+            .is_none());
     }
 
     #[test]
@@ -165,13 +171,18 @@ mod tests {
             [],
             [MethodDef::new(
                 "m",
-                [(VarName::new("x"), Type::Int), (VarName::new("y"), Type::Bool)],
+                [
+                    (VarName::new("x"), Type::Int),
+                    (VarName::new("y"), Type::Bool),
+                ],
                 Type::Bool,
                 vec![MStmt::Return(MExpr::Bool(true))],
             )],
         )])
         .unwrap();
-        let t = s.mtype(&ClassName::new("C"), &MethodName::new("m")).unwrap();
+        let t = s
+            .mtype(&ClassName::new("C"), &MethodName::new("m"))
+            .unwrap();
         assert_eq!(t.params, vec![Type::Int, Type::Bool]);
         assert_eq!(t.result, Type::Bool);
     }

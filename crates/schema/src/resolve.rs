@@ -130,13 +130,7 @@ mod tests {
     use ioql_ast::{ClassDef, ClassName, Type};
 
     fn schema() -> Schema {
-        Schema::new(vec![ClassDef::plain(
-            "P",
-            ClassName::object(),
-            "Ps",
-            [],
-        )])
-        .unwrap()
+        Schema::new(vec![ClassDef::plain("P", ClassName::object(), "Ps", [])]).unwrap()
     }
 
     #[test]
@@ -195,9 +189,6 @@ mod tests {
         );
         let r = s.resolve_program(&p);
         assert_eq!(r.defs[0].body, Query::extent("Ps"));
-        assert_eq!(
-            r.query,
-            Query::call("f", []).union(Query::extent("Ps"))
-        );
+        assert_eq!(r.query, Query::call("f", []).union(Query::extent("Ps")));
     }
 }

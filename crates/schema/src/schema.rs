@@ -483,7 +483,10 @@ mod tests {
             "Objects",
             [],
         )];
-        assert!(matches!(Schema::new(defs), Err(SchemaError::RedefinesObject)));
+        assert!(matches!(
+            Schema::new(defs),
+            Err(SchemaError::RedefinesObject)
+        ));
     }
 
     #[test]
@@ -510,9 +513,6 @@ mod tests {
     fn proper_superclasses_chain() {
         let s = Schema::new(person_employee()).unwrap();
         let chain = s.proper_superclasses(&ClassName::new("Employee"));
-        assert_eq!(
-            chain,
-            vec![ClassName::new("Person"), ClassName::object()]
-        );
+        assert_eq!(chain, vec![ClassName::new("Person"), ClassName::object()]);
     }
 }

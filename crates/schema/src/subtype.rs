@@ -259,7 +259,10 @@ mod tests {
         let s = schema();
         let cases = [
             (Type::class("Employee"), Type::class("Customer")),
-            (Type::set(Type::class("Employee")), Type::set(Type::class("Person"))),
+            (
+                Type::set(Type::class("Employee")),
+                Type::set(Type::class("Person")),
+            ),
             (Type::Int, Type::Int),
         ];
         for (a, b) in cases {

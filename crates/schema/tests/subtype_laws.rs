@@ -3,10 +3,13 @@
 //! transitivity outright; antisymmetry and the lub's universal property
 //! follow from the implementation and are checked here over generated
 //! types.
+//!
+//! Generation is a seeded recursive sampler (`ioql-rng`) rather than a
+//! proptest strategy: same population, no registry dependency.
 
 use ioql_ast::{ClassDef, ClassName, Type};
+use ioql_rng::SmallRng;
 use ioql_schema::Schema;
-use proptest::prelude::*;
 
 fn schema() -> Schema {
     // A small diamond-free hierarchy plus an unrelated chain:
@@ -21,106 +24,134 @@ fn schema() -> Schema {
     .unwrap()
 }
 
-fn arb_type() -> impl Strategy<Value = Type> {
-    let class = prop_oneof![
-        Just(Type::class("A")),
-        Just(Type::class("B")),
-        Just(Type::class("C")),
-        Just(Type::class("D")),
-        Just(Type::class("X")),
-        Just(Type::Class(ClassName::object())),
-    ];
-    let leaf = prop_oneof![
-        Just(Type::Int),
-        Just(Type::Bool),
-        Just(Type::Bottom),
-        class
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Type::set),
-            prop::collection::btree_map(
-                prop_oneof![Just("l1".to_string()), Just("l2".to_string())],
-                inner,
-                0..3
-            )
-            .prop_map(|m| Type::record(m.into_iter())),
-        ]
-    })
+fn arb_type(rng: &mut SmallRng, depth: usize) -> Type {
+    if depth > 0 && rng.gen_bool(0.4) {
+        // Compound layer: set or a small record over labels l1/l2.
+        if rng.gen_bool(0.5) {
+            return Type::set(arb_type(rng, depth - 1));
+        }
+        let n = rng.gen_range(0..3usize);
+        let labels = ["l1", "l2"];
+        let fields = (0..n).map(|i| (labels[i % 2].to_string(), arb_type(rng, depth - 1)));
+        return Type::record(fields);
+    }
+    match rng.gen_range(0..9usize) {
+        0 => Type::Int,
+        1 => Type::Bool,
+        2 => Type::Bottom,
+        3 => Type::class("A"),
+        4 => Type::class("B"),
+        5 => Type::class("C"),
+        6 => Type::class("D"),
+        7 => Type::class("X"),
+        _ => Type::Class(ClassName::object()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: u64 = 512;
 
-    #[test]
-    fn subtype_reflexive(t in arb_type()) {
-        let s = schema();
-        prop_assert!(s.subtype(&t, &t));
+fn for_cases(mut f: impl FnMut(&mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        f(&mut rng);
     }
+}
 
-    #[test]
-    fn subtype_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
-        let s = schema();
+#[test]
+fn subtype_reflexive() {
+    let s = schema();
+    for_cases(|rng| {
+        let t = arb_type(rng, 3);
+        assert!(s.subtype(&t, &t), "{t} not ≤ itself");
+    });
+}
+
+#[test]
+fn subtype_transitive() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b, c) = (arb_type(rng, 3), arb_type(rng, 3), arb_type(rng, 3));
         if s.subtype(&a, &b) && s.subtype(&b, &c) {
-            prop_assert!(s.subtype(&a, &c), "{a} ≤ {b} ≤ {c} but not {a} ≤ {c}");
+            assert!(s.subtype(&a, &c), "{a} ≤ {b} ≤ {c} but not {a} ≤ {c}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtype_antisymmetric(a in arb_type(), b in arb_type()) {
-        let s = schema();
+#[test]
+fn subtype_antisymmetric() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
         if s.subtype(&a, &b) && s.subtype(&b, &a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bottom_is_least(t in arb_type()) {
-        let s = schema();
-        prop_assert!(s.subtype(&Type::Bottom, &t));
-    }
+#[test]
+fn bottom_is_least() {
+    let s = schema();
+    for_cases(|rng| {
+        let t = arb_type(rng, 3);
+        assert!(s.subtype(&Type::Bottom, &t));
+    });
+}
 
-    #[test]
-    fn lub_is_an_upper_bound(a in arb_type(), b in arb_type()) {
-        let s = schema();
+#[test]
+fn lub_is_an_upper_bound() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
         if let Some(j) = s.lub(&a, &b) {
-            prop_assert!(s.subtype(&a, &j), "lub({a},{b}) = {j} not above {a}");
-            prop_assert!(s.subtype(&b, &j));
+            assert!(s.subtype(&a, &j), "lub({a},{b}) = {j} not above {a}");
+            assert!(s.subtype(&b, &j));
         }
-    }
+    });
+}
 
-    #[test]
-    fn lub_is_least_among_sampled_bounds(a in arb_type(), b in arb_type(), c in arb_type()) {
-        let s = schema();
+#[test]
+fn lub_is_least_among_sampled_bounds() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b, c) = (arb_type(rng, 3), arb_type(rng, 3), arb_type(rng, 3));
         if let Some(j) = s.lub(&a, &b) {
             if s.subtype(&a, &c) && s.subtype(&b, &c) {
-                prop_assert!(s.subtype(&j, &c), "lub({a},{b}) = {j} ⊀ bound {c}");
+                assert!(s.subtype(&j, &c), "lub({a},{b}) = {j} ⊀ bound {c}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lub_commutative_and_idempotent(a in arb_type(), b in arb_type()) {
-        let s = schema();
-        prop_assert_eq!(s.lub(&a, &b), s.lub(&b, &a));
-        prop_assert_eq!(s.lub(&a, &a), Some(a.clone()));
-    }
+#[test]
+fn lub_commutative_and_idempotent() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
+        assert_eq!(s.lub(&a, &b), s.lub(&b, &a));
+        assert_eq!(s.lub(&a, &a), Some(a.clone()));
+    });
+}
 
-    #[test]
-    fn lub_absorbs_subtypes(a in arb_type(), b in arb_type()) {
-        let s = schema();
+#[test]
+fn lub_absorbs_subtypes() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
         if s.subtype(&a, &b) {
-            prop_assert_eq!(s.lub(&a, &b), Some(b.clone()));
+            assert_eq!(s.lub(&a, &b), Some(b.clone()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn lub_defined_iff_common_bound_exists(a in arb_type(), b in arb_type()) {
-        // With single inheritance the hierarchy is a forest + Object top,
-        // so two types have a lub exactly when they have any common
-        // supertype among the sampled candidates; in particular lub(None)
-        // must mean no candidate bounds both.
-        let s = schema();
+#[test]
+fn lub_defined_iff_common_bound_exists() {
+    // With single inheritance the hierarchy is a forest + Object top,
+    // so two types have a lub exactly when they have any common
+    // supertype among the sampled candidates; in particular lub(None)
+    // must mean no candidate bounds both.
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
         if s.lub(&a, &b).is_none() {
             for c in [
                 Type::Int,
@@ -128,22 +159,25 @@ proptest! {
                 Type::Class(ClassName::object()),
                 Type::set(Type::Class(ClassName::object())),
             ] {
-                prop_assert!(
+                assert!(
                     !(s.subtype(&a, &c) && s.subtype(&b, &c)),
                     "lub({a},{b}) undefined yet {c} bounds both"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn set_covariance_consistent(a in arb_type(), b in arb_type()) {
-        let s = schema();
-        prop_assert_eq!(
+#[test]
+fn set_covariance_consistent() {
+    let s = schema();
+    for_cases(|rng| {
+        let (a, b) = (arb_type(rng, 3), arb_type(rng, 3));
+        assert_eq!(
             s.subtype(&Type::set(a.clone()), &Type::set(b.clone())),
             s.subtype(&a, &b)
         );
-    }
+    });
 }
 
 #[test]

@@ -179,7 +179,9 @@ mod tests {
     fn object_env_basics() {
         let mut oe = ObjectEnv::new();
         let o = Oid::from_raw(1);
-        assert!(oe.insert(o, Object::new("P", [("a", Value::Int(1))])).is_none());
+        assert!(oe
+            .insert(o, Object::new("P", [("a", Value::Int(1))]))
+            .is_none());
         assert!(oe.contains(o));
         assert_eq!(oe.len(), 1);
         assert_eq!(oe.get(o).unwrap().class, ClassName::new("P"));
@@ -199,9 +201,18 @@ mod tests {
     #[test]
     fn class_counts() {
         let mut oe = ObjectEnv::new();
-        oe.insert(Oid::from_raw(1), Object::new("P", Vec::<(&str, Value)>::new()));
-        oe.insert(Oid::from_raw(2), Object::new("P", Vec::<(&str, Value)>::new()));
-        oe.insert(Oid::from_raw(3), Object::new("Q", Vec::<(&str, Value)>::new()));
+        oe.insert(
+            Oid::from_raw(1),
+            Object::new("P", Vec::<(&str, Value)>::new()),
+        );
+        oe.insert(
+            Oid::from_raw(2),
+            Object::new("P", Vec::<(&str, Value)>::new()),
+        );
+        oe.insert(
+            Oid::from_raw(3),
+            Object::new("Q", Vec::<(&str, Value)>::new()),
+        );
         let counts = oe.class_counts();
         assert_eq!(counts[&ClassName::new("P")], 2);
         assert_eq!(counts[&ClassName::new("Q")], 1);

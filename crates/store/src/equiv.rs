@@ -92,11 +92,7 @@ impl<'a> Matcher<'a> {
                 {
                     return false;
                 }
-                let pairs: Vec<(&Value, &Value)> = a
-                    .attrs
-                    .values()
-                    .zip(b.attrs.values())
-                    .collect();
+                let pairs: Vec<(&Value, &Value)> = a.attrs.values().zip(b.attrs.values()).collect();
                 self.match_pairs(&pairs, k)
             }
             _ => false,
@@ -170,8 +166,7 @@ impl<'a> Matcher<'a> {
             let ok = {
                 let k2: &mut dyn FnMut(&mut Matcher<'a>) -> bool = &mut *k;
                 let used_cell = &mut *used;
-                let mut kont =
-                    move |m: &mut Matcher<'a>| m.match_set(xs, ys, used_cell, i + 1, k2);
+                let mut kont = move |m: &mut Matcher<'a>| m.match_set(xs, ys, used_cell, i + 1, k2);
                 self.match_v(xs[i], ys[j], &mut kont)
             };
             if ok {
@@ -294,8 +289,10 @@ mod tests {
         s1.declare_extent("Fs", "F");
         let a1 = Oid::from_raw(0);
         let b1 = Oid::from_raw(1);
-        s1.objects.insert(a1, Object::new("F", [("pal", Value::Oid(b1))]));
-        s1.objects.insert(b1, Object::new("F", [("pal", Value::Oid(a1))]));
+        s1.objects
+            .insert(a1, Object::new("F", [("pal", Value::Oid(b1))]));
+        s1.objects
+            .insert(b1, Object::new("F", [("pal", Value::Oid(a1))]));
         s1.extents.add(&ExtentName::new("Fs"), a1);
         s1.extents.add(&ExtentName::new("Fs"), b1);
 
@@ -303,8 +300,10 @@ mod tests {
         s2.declare_extent("Fs", "F");
         let a2 = Oid::from_raw(5);
         let b2 = Oid::from_raw(6);
-        s2.objects.insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
-        s2.objects.insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
+        s2.objects
+            .insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
+        s2.objects
+            .insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
         s2.extents.add(&ExtentName::new("Fs"), a2);
         s2.extents.add(&ExtentName::new("Fs"), b2);
 
@@ -320,8 +319,10 @@ mod tests {
         let a1 = Oid::from_raw(0);
         let b1 = Oid::from_raw(1);
         // a -> a, b -> b (two self loops)
-        s1.objects.insert(a1, Object::new("F", [("pal", Value::Oid(a1))]));
-        s1.objects.insert(b1, Object::new("F", [("pal", Value::Oid(b1))]));
+        s1.objects
+            .insert(a1, Object::new("F", [("pal", Value::Oid(a1))]));
+        s1.objects
+            .insert(b1, Object::new("F", [("pal", Value::Oid(b1))]));
         s1.extents.add(&ExtentName::new("Fs"), a1);
         s1.extents.add(&ExtentName::new("Fs"), b1);
 
@@ -330,8 +331,10 @@ mod tests {
         let a2 = Oid::from_raw(0);
         let b2 = Oid::from_raw(1);
         // a -> b, b -> a (a 2-cycle)
-        s2.objects.insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
-        s2.objects.insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
+        s2.objects
+            .insert(a2, Object::new("F", [("pal", Value::Oid(b2))]));
+        s2.objects
+            .insert(b2, Object::new("F", [("pal", Value::Oid(a2))]));
         s2.extents.add(&ExtentName::new("Fs"), a2);
         s2.extents.add(&ExtentName::new("Fs"), b2);
 
@@ -358,8 +361,10 @@ mod tests {
         // Same extents (empty) but differing unreachable objects.
         let mut s1 = Store::new();
         s1.declare_extent("Ps", "P");
-        s1.objects
-            .insert(Oid::from_raw(0), Object::new("Q", Vec::<(&str, Value)>::new()));
+        s1.objects.insert(
+            Oid::from_raw(0),
+            Object::new("Q", Vec::<(&str, Value)>::new()),
+        );
         let mut s2 = Store::new();
         s2.declare_extent("Ps", "P");
         let a = Outcome::new(s1, Value::Int(0));

@@ -20,7 +20,9 @@ pub mod env;
 pub mod equiv;
 pub mod store;
 
-pub use dump::{dump_store, load_store, DumpError};
+pub use dump::{
+    crc32, dump_store, load_store, load_store_file, save_store, DumpError, DumpErrorKind,
+};
 pub use env::{ExtentEnv, Object, ObjectEnv};
 pub use equiv::{equiv_outcomes, Outcome};
 pub use store::{Store, StoreError};

@@ -157,7 +157,11 @@ mod tests {
             )
             .unwrap();
         assert!(s.objects.contains(o));
-        assert!(s.extents.members(&ExtentName::new("Ps")).unwrap().contains(&o));
+        assert!(s
+            .extents
+            .members(&ExtentName::new("Ps"))
+            .unwrap()
+            .contains(&o));
         assert_eq!(s.attr(o, &AttrName::new("name")).unwrap(), &Value::Int(7));
         assert_eq!(s.class_of(o).unwrap(), &ClassName::new("P"));
     }
@@ -176,10 +180,16 @@ mod tests {
     fn extent_value_is_a_set_of_oids() {
         let mut s = store();
         let o1 = s
-            .create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
+            .create(
+                Object::new("P", Vec::<(&str, Value)>::new()),
+                [ExtentName::new("Ps")],
+            )
             .unwrap();
         let o2 = s
-            .create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
+            .create(
+                Object::new("P", Vec::<(&str, Value)>::new()),
+                [ExtentName::new("Ps")],
+            )
             .unwrap();
         let v = s.extent_value(&ExtentName::new("Ps")).unwrap();
         assert_eq!(v, Value::set([Value::Oid(o1), Value::Oid(o2)]));
@@ -203,7 +213,8 @@ mod tests {
                 [ExtentName::new("Ps")],
             )
             .unwrap();
-        s.set_attr(o, &AttrName::new("name"), Value::Int(2)).unwrap();
+        s.set_attr(o, &AttrName::new("name"), Value::Int(2))
+            .unwrap();
         assert_eq!(s.attr(o, &AttrName::new("name")).unwrap(), &Value::Int(2));
         assert!(matches!(
             s.set_attr(o, &AttrName::new("ghost"), Value::Int(0)),
@@ -215,8 +226,11 @@ mod tests {
     fn clone_is_a_snapshot() {
         let mut s = store();
         let snap = s.clone();
-        s.create(Object::new("P", Vec::<(&str, Value)>::new()), [ExtentName::new("Ps")])
-            .unwrap();
+        s.create(
+            Object::new("P", Vec::<(&str, Value)>::new()),
+            [ExtentName::new("Ps")],
+        )
+        .unwrap();
         assert_eq!(snap.object_count(), 0);
         assert_eq!(s.object_count(), 1);
     }

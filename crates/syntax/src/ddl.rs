@@ -20,9 +20,7 @@
 use crate::error::ParseError;
 use crate::lexer::Tok;
 use crate::parser::{ty, Cursor};
-use ioql_ast::{
-    AttrDef, ClassDef, ExtentName, MBinOp, MExpr, MStmt, MUnOp, MethodDef, VarName,
-};
+use ioql_ast::{AttrDef, ClassDef, ExtentName, MBinOp, MExpr, MStmt, MUnOp, MethodDef, VarName};
 
 /// Parses a sequence of class definitions.
 pub fn parse_schema(input: &str) -> Result<Vec<ClassDef>, ParseError> {
@@ -121,11 +119,7 @@ fn stmt(c: &mut Cursor) -> Result<MStmt, ParseError> {
             let e = c.ident()?;
             c.expect(Tok::RParen)?;
             let body = block(c)?;
-            Ok(MStmt::ForExtent(
-                VarName::new(x),
-                ExtentName::new(e),
-                body,
-            ))
+            Ok(MStmt::ForExtent(VarName::new(x), ExtentName::new(e), body))
         }
         // Local declaration: a type keyword, or `Ident Ident` (class-typed
         // local).
@@ -430,29 +424,22 @@ mod tests {
         // Missing extends clause.
         assert!(parse_schema("class A (extent As) { }").is_err());
         // Garbage member.
-        assert!(parse_schema(
-            "class A extends Object (extent As) { banana }"
-        )
-        .is_err());
+        assert!(parse_schema("class A extends Object (extent As) { banana }").is_err());
         // Unterminated body.
         assert!(parse_schema("class A extends Object (extent As) {").is_err());
         // Method without body braces.
-        assert!(parse_schema(
-            "class A extends Object (extent As) { int m(); }"
-        )
-        .is_err());
+        assert!(parse_schema("class A extends Object (extent As) { int m(); }").is_err());
     }
 
     #[test]
     fn malformed_statements_rejected() {
-        let wrap = |stmt: &str| {
-            format!("class A extends Object (extent As) {{ int m() {{ {stmt} }} }}")
-        };
+        let wrap =
+            |stmt: &str| format!("class A extends Object (extent As) {{ int m() {{ {stmt} }} }}");
         for bad in [
             "return ;",
             "x = ;",
-            "if true { return 1; }",       // missing parens
-            "while (true) return 1;",       // missing braces
+            "if true { return 1; }",  // missing parens
+            "while (true) return 1;", // missing braces
             "for (x in) { }",
             "this.x 1;",
         ] {
@@ -462,8 +449,7 @@ mod tests {
 
     #[test]
     fn errors_located() {
-        let e = parse_schema("class A extends Object (extent As) { attribute int ; }")
-            .unwrap_err();
+        let e = parse_schema("class A extends Object (extent As) { attribute int ; }").unwrap_err();
         assert_eq!(e.line, 1);
     }
 }

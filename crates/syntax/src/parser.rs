@@ -537,10 +537,7 @@ fn atom(c: &mut Cursor) -> Result<Query, ParseError> {
             let pred = if is_exists { p } else { p.not() };
             let witness = Query::comp(
                 Query::int(1),
-                [
-                    Qualifier::Gen(VarName::new(x), src),
-                    Qualifier::Pred(pred),
-                ],
+                [Qualifier::Gen(VarName::new(x), src), Qualifier::Pred(pred)],
             );
             let count = witness.size_of();
             Ok(if is_exists {
@@ -621,9 +618,7 @@ fn subst_var(q: &Query, x: &VarName, replacement: &Query) -> Query {
         Query::Cast(cn, inner) => {
             Query::Cast(cn.clone(), Box::new(subst_var(inner, x, replacement)))
         }
-        Query::Attr(inner, a) => {
-            Query::Attr(Box::new(subst_var(inner, x, replacement)), a.clone())
-        }
+        Query::Attr(inner, a) => Query::Attr(Box::new(subst_var(inner, x, replacement)), a.clone()),
         Query::Invoke(recv, m, args) => Query::Invoke(
             Box::new(subst_var(recv, x, replacement)),
             m.clone(),
@@ -735,7 +730,9 @@ mod tests {
         assert_eq!(parse_query("{}").unwrap(), Query::set_lit([]));
         assert_eq!(
             parse_query("a union b intersect c").unwrap(),
-            Query::var("a").union(Query::var("b")).intersect(Query::var("c"))
+            Query::var("a")
+                .union(Query::var("b"))
+                .intersect(Query::var("c"))
         );
     }
 
@@ -807,10 +804,7 @@ mod tests {
             parse_query("struct(a: 1, b: true)").unwrap(),
             Query::record([("a", Query::int(1)), ("b", Query::bool(true))])
         );
-        assert_eq!(
-            parse_query("size(Ps)").unwrap(),
-            Query::var("Ps").size_of()
-        );
+        assert_eq!(parse_query("size(Ps)").unwrap(), Query::var("Ps").size_of());
         assert_eq!(
             parse_query("e.NetSalary(40)").unwrap(),
             Query::var("e").invoke("NetSalary", [Query::int(40)])
@@ -844,10 +838,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.defs.len(), 2);
         assert_eq!(p.defs[0].name, ioql_ast::DefName::new("inc"));
-        assert_eq!(
-            p.defs[1].params[0].1,
-            Type::set(Type::Int)
-        );
+        assert_eq!(p.defs[1].params[0].1, Type::set(Type::Int));
         assert_eq!(
             p.query,
             Query::call("pals", [Query::set_lit([Query::int(1), Query::int(2)])])

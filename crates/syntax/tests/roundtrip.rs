@@ -2,86 +2,102 @@
 //!
 //! "Source-level" means the shapes the parser can produce: variables (not
 //! yet resolved to extents), `Field` projections (not yet elaborated to
-//! `Attr`), and scalar literals only inside `Lit`. The strategy below
-//! generates exactly that fragment.
+//! `Attr`), and scalar literals only inside `Lit`. The seeded sampler
+//! below (`ioql-rng`) generates exactly that fragment, with a depth
+//! budget standing in for proptest's recursive-strategy size control.
 
 use ioql_ast::{IntOp, Qualifier, Query, SetOp};
+use ioql_rng::SmallRng;
 use ioql_syntax::parse_query;
-use proptest::prelude::*;
 
-fn ident() -> impl Strategy<Value = String> {
+fn ident(rng: &mut SmallRng) -> String {
     // Avoid keywords by prefixing.
-    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v{s}"))
+    let first = b'a' + rng.gen_range(0..26u32) as u8;
+    let mut s = format!("v{}", first as char);
+    for _ in 0..rng.gen_range(0..5usize) {
+        let c = match rng.gen_range(0..36u32) {
+            d @ 0..=9 => b'0' + d as u8,
+            l => b'a' + (l - 10) as u8,
+        };
+        s.push(c as char);
+    }
+    s
 }
 
-fn arb_query() -> impl Strategy<Value = Query> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Query::int),
-        any::<bool>().prop_map(Query::bool),
-        ident().prop_map(Query::var),
-    ];
-    leaf.prop_recursive(4, 48, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Query::SetLit),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(SetOp::Union),
-                Just(SetOp::Intersect),
-                Just(SetOp::Diff)
-            ])
-                .prop_map(|(a, b, op)| Query::SetBin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(IntOp::Add),
-                Just(IntOp::Sub),
-                Just(IntOp::Mul),
-                Just(IntOp::Lt),
-                Just(IntOp::Le)
-            ])
-                .prop_map(|(a, b, op)| Query::IntBin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Query::IntEq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Query::ObjEq(Box::new(a), Box::new(b))),
-            prop::collection::vec((ident(), inner.clone()), 0..3)
-                .prop_map(Query::record),
-            (inner.clone(), ident()).prop_map(|(q, l)| q.field(l)),
-            (ident(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(d, args)| Query::call(d, args)),
-            inner.clone().prop_map(|q| q.size_of()),
-            inner.clone().prop_map(|q| q.sum_of()),
-            (inner.clone(), ident()).prop_map(|(q, c)| q.cast(format!("C{c}"))),
-            (inner.clone(), ident(), prop::collection::vec(inner.clone(), 0..2))
-                .prop_map(|(q, m, args)| q.invoke(m, args)),
-            (ident(), prop::collection::vec((ident(), inner.clone()), 0..3))
-                .prop_map(|(c, attrs)| Query::new_obj(format!("C{c}"), attrs)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Query::ite(c, t, e)),
-            (
-                inner.clone(),
-                prop::collection::vec(
-                    prop_oneof![
-                        inner.clone().prop_map(Qualifier::Pred),
-                        (ident(), inner.clone())
-                            .prop_map(|(x, src)| Qualifier::Gen(x.into(), src)),
-                    ],
-                    0..3
-                )
-            )
-                .prop_map(|(h, qs)| Query::comp(h, qs)),
-        ]
-    })
+fn arb_vec<T>(rng: &mut SmallRng, max: usize, mut f: impl FnMut(&mut SmallRng) -> T) -> Vec<T> {
+    (0..rng.gen_range(0..max)).map(|_| f(rng)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_query(rng: &mut SmallRng, depth: usize) -> Query {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..3usize) {
+            0 => Query::int(rng.gen_range(-1000i64..1000)),
+            1 => Query::bool(rng.gen_bool(0.5)),
+            _ => Query::var(ident(rng)),
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..15usize) {
+        0 => Query::SetLit(arb_vec(rng, 4, |r| arb_query(r, d))),
+        1 => {
+            let op = [SetOp::Union, SetOp::Intersect, SetOp::Diff][rng.gen_range(0..3usize)];
+            Query::SetBin(op, Box::new(arb_query(rng, d)), Box::new(arb_query(rng, d)))
+        }
+        2 => {
+            let op = [IntOp::Add, IntOp::Sub, IntOp::Mul, IntOp::Lt, IntOp::Le]
+                [rng.gen_range(0..5usize)];
+            Query::IntBin(op, Box::new(arb_query(rng, d)), Box::new(arb_query(rng, d)))
+        }
+        3 => Query::IntEq(Box::new(arb_query(rng, d)), Box::new(arb_query(rng, d))),
+        4 => Query::ObjEq(Box::new(arb_query(rng, d)), Box::new(arb_query(rng, d))),
+        5 => Query::record(arb_vec(rng, 3, |r| (ident(r), arb_query(r, d)))),
+        6 => arb_query(rng, d).field(ident(rng)),
+        7 => {
+            let name = ident(rng);
+            Query::call(name, arb_vec(rng, 3, |r| arb_query(r, d)))
+        }
+        8 => arb_query(rng, d).size_of(),
+        9 => arb_query(rng, d).sum_of(),
+        10 => {
+            let c = format!("C{}", ident(rng));
+            arb_query(rng, d).cast(c)
+        }
+        11 => {
+            let recv = arb_query(rng, d);
+            let m = ident(rng);
+            let args = arb_vec(rng, 2, |r| arb_query(r, d));
+            recv.invoke(m, args)
+        }
+        12 => {
+            let c = format!("C{}", ident(rng));
+            Query::new_obj(c, arb_vec(rng, 3, |r| (ident(r), arb_query(r, d))))
+        }
+        13 => Query::ite(arb_query(rng, d), arb_query(rng, d), arb_query(rng, d)),
+        _ => {
+            let head = arb_query(rng, d);
+            let quals = arb_vec(rng, 3, |r| {
+                if r.gen_bool(0.5) {
+                    Qualifier::Pred(arb_query(r, d))
+                } else {
+                    Qualifier::Gen(ident(r).into(), arb_query(r, d))
+                }
+            });
+            Query::comp(head, quals)
+        }
+    }
+}
 
-    /// Printing any source-level query and re-parsing it yields the same
-    /// AST — the printer's parenthesisation agrees with the parser's
-    /// precedence table.
-    #[test]
-    fn print_parse_roundtrip(q in arb_query()) {
+/// Printing any source-level query and re-parsing it yields the same
+/// AST — the printer's parenthesisation agrees with the parser's
+/// precedence table.
+#[test]
+fn print_parse_roundtrip() {
+    for seed in 0..512u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let q = arb_query(&mut rng, 4);
         let printed = q.to_string();
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
-        prop_assert_eq!(reparsed, q, "printed form: {}", printed);
+        let reparsed =
+            parse_query(&printed).unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        assert_eq!(reparsed, q, "printed form: {printed}");
     }
 }

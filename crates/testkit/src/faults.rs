@@ -1,0 +1,242 @@
+//! Deterministic fault injection for the robustness suite.
+//!
+//! Every fault the engines must survive gracefully — deadline expiry,
+//! budget exhaustion, mid-evaluation cancellation, damaged dump files —
+//! is generated here from a seed, so a failing case reproduces from one
+//! integer. Three pieces:
+//!
+//! * [`FaultPlan::from_seed`] — a seed-indexed catalogue of governor
+//!   faults, each rendered as the [`Limits`] that provoke it.
+//! * [`ChaosChooser`] — a seeded random [`Chooser`] that can pull a
+//!   [`CancelToken`] after a scheduled number of choice points,
+//!   modelling a supervisor killing the query mid-flight. Because both
+//!   engines issue the identical chooser-call sequence, the cancellation
+//!   lands at the same semantic point in each.
+//! * [`corrupt_dump`] — seed-driven bit flips and truncations of a dump
+//!   file's text, for exercising the loader's damage detection.
+
+use ioql_eval::{CancelToken, Chooser, Limits};
+use ioql_rng::SmallRng;
+use std::time::Duration;
+
+/// One injectable evaluation fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// The wall-clock deadline is already expired when evaluation
+    /// starts — the first checkpoint must trip.
+    DeadlineExpiry,
+    /// The comprehension-cell budget is capped at the carried value.
+    BudgetCells(u64),
+    /// The set-cardinality cap is the carried value.
+    BudgetSetCard(u64),
+    /// The store-growth budget is capped at the carried value.
+    BudgetGrowth(u64),
+    /// Cancellation fires after the carried number of chooser calls.
+    CancelAfter(u64),
+}
+
+/// A seed plus the fault it selects — everything a test needs to
+/// reproduce one injected failure.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// The generating seed (also seeds the [`ChaosChooser`]).
+    pub seed: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+impl FaultPlan {
+    /// Derives a fault deterministically from `seed`. Consecutive seeds
+    /// cycle through the catalogue with varying budget parameters, so a
+    /// range `0..n` of seeds covers every fault kind many times.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let fault = match seed % 5 {
+            0 => Fault::DeadlineExpiry,
+            1 => Fault::BudgetCells(rng.gen_range(0..4u64)),
+            2 => Fault::BudgetSetCard(rng.gen_range(0..3u64)),
+            3 => Fault::BudgetGrowth(rng.gen_range(0..3u64)),
+            _ => Fault::CancelAfter(rng.gen_range(0..5u64)),
+        };
+        FaultPlan { seed, fault }
+    }
+
+    /// The [`Limits`] that inject this plan's fault (unlimited on every
+    /// other axis, so exactly one failure mode is armed at a time —
+    /// the engine-parity contract only fixes the error *kind* when a
+    /// single limit is in play).
+    pub fn limits(&self) -> Limits {
+        match self.fault {
+            Fault::DeadlineExpiry => Limits::none().with_deadline(Duration::ZERO),
+            Fault::BudgetCells(n) => Limits::none().with_max_cells(n),
+            Fault::BudgetSetCard(n) => Limits::none().with_max_set_card(n),
+            Fault::BudgetGrowth(n) => Limits::none().with_max_store_growth(n),
+            Fault::CancelAfter(_) => Limits::none(),
+        }
+    }
+
+    /// The chooser-call count after which a [`ChaosChooser`] built for
+    /// this plan pulls the cancel token (`None` for non-cancel faults).
+    pub fn cancel_after(&self) -> Option<u64> {
+        match self.fault {
+            Fault::CancelAfter(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// A chooser wired to this plan: seeded from the plan's seed and —
+    /// for [`Fault::CancelAfter`] — armed with `token`.
+    pub fn chooser(&self, token: CancelToken) -> ChaosChooser {
+        ChaosChooser::new(self.seed, self.cancel_after().map(|n| (n, token)))
+    }
+}
+
+/// A seeded random chooser that can cancel the evaluation after a fixed
+/// number of choice points.
+#[derive(Clone, Debug)]
+pub struct ChaosChooser {
+    rng: SmallRng,
+    calls: u64,
+    cancel: Option<(u64, CancelToken)>,
+}
+
+impl ChaosChooser {
+    /// A chooser drawing from `seed`; if `cancel` is `Some((n, token))`
+    /// the token is triggered as the `n`-th choice (0-based) is drawn.
+    pub fn new(seed: u64, cancel: Option<(u64, CancelToken)>) -> Self {
+        ChaosChooser {
+            rng: SmallRng::seed_from_u64(seed),
+            calls: 0,
+            cancel,
+        }
+    }
+
+    /// How many choices have been drawn.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl Chooser for ChaosChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        if let Some((after, token)) = &self.cancel {
+            if self.calls >= *after {
+                token.cancel();
+            }
+        }
+        self.calls += 1;
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// How [`corrupt_dump`] damaged the text — returned so tests can assert
+/// the loader's diagnostic matches the injury.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Corruption {
+    /// A single character inside the body was altered.
+    BitFlip,
+    /// The text was cut short (whole lines or mid-line).
+    Truncation,
+}
+
+/// Damages a dump deterministically: even seeds flip one body character,
+/// odd seeds truncate the text. Returns the damaged text and what was
+/// done. The header line is left intact so the loader exercises its
+/// *integrity* checks (count/checksum), not just header parsing.
+pub fn corrupt_dump(dump: &str, seed: u64) -> (String, Corruption) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let header_end = dump.find('\n').map(|i| i + 1).unwrap_or(0);
+    let body = &dump[header_end..];
+    if seed % 2 == 0 && !body.is_empty() {
+        // Flip one byte of the body to a different printable character.
+        let bytes = body.as_bytes();
+        let mut idx = rng.gen_range(0..bytes.len());
+        // Avoid newlines: changing line structure is truncation's job.
+        while bytes[idx] == b'\n' {
+            idx = (idx + 1) % bytes.len();
+        }
+        let old = bytes[idx];
+        let mut new = b'0' + (rng.gen_range(0..10u32) as u8);
+        if new == old {
+            new = b'x';
+        }
+        let mut damaged = dump.as_bytes().to_vec();
+        damaged[header_end + idx] = new;
+        (
+            String::from_utf8(damaged).expect("ascii-safe flip"),
+            Corruption::BitFlip,
+        )
+    } else {
+        // Cut somewhere strictly inside the body (keep the header).
+        let cut = if body.is_empty() {
+            header_end
+        } else {
+            header_end + rng.gen_range(0..body.len())
+        };
+        (dump[..cut].to_string(), Corruption::Truncation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible_and_cover_all_faults() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..50 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a.fault, b.fault);
+            kinds.insert(match a.fault {
+                Fault::DeadlineExpiry => 0,
+                Fault::BudgetCells(_) => 1,
+                Fault::BudgetSetCard(_) => 2,
+                Fault::BudgetGrowth(_) => 3,
+                Fault::CancelAfter(_) => 4,
+            });
+        }
+        assert_eq!(kinds.len(), 5, "seed sweep must cover every fault kind");
+    }
+
+    #[test]
+    fn chaos_chooser_is_seed_deterministic() {
+        let mut a = ChaosChooser::new(7, None);
+        let mut b = ChaosChooser::new(7, None);
+        for n in [3usize, 5, 2, 9, 4] {
+            assert_eq!(a.choose(n), b.choose(n));
+        }
+        assert_eq!(a.calls(), 5);
+    }
+
+    #[test]
+    fn chaos_chooser_cancels_on_schedule() {
+        let token = CancelToken::new();
+        let mut c = ChaosChooser::new(1, Some((2, token.clone())));
+        c.choose(3);
+        assert!(!token.is_cancelled());
+        c.choose(3);
+        assert!(!token.is_cancelled());
+        c.choose(3); // third call — index 2 — pulls the token
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn corrupt_dump_changes_text_and_keeps_header() {
+        let dump = "ioql-store v2 objects=1 crc32=00000000\n@0 P name=1\n";
+        for seed in 0..20 {
+            let (damaged, kind) = corrupt_dump(dump, seed);
+            assert_ne!(damaged, dump, "seed {seed} produced identical text");
+            match kind {
+                Corruption::BitFlip => {
+                    assert!(damaged.starts_with("ioql-store v2 objects=1"));
+                    assert_eq!(damaged.len(), dump.len());
+                }
+                Corruption::Truncation => {
+                    assert!(damaged.len() < dump.len());
+                    assert!(dump.starts_with(&damaged));
+                }
+            }
+        }
+    }
+}

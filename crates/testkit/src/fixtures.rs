@@ -32,12 +32,7 @@ pub struct Fixture {
 impl Fixture {
     /// Creates an object of `class`, inserting it into the extents the
     /// schema mandates, and optionally names it for later lookup.
-    pub fn create(
-        &mut self,
-        class: &str,
-        attrs: Vec<(&str, Value)>,
-        name: Option<&str>,
-    ) -> Oid {
+    pub fn create(&mut self, class: &str, attrs: Vec<(&str, Value)>, name: Option<&str>) -> Oid {
         let cn = ClassName::new(class);
         let extents = self.schema.extents_for_new(&cn);
         assert!(!extents.is_empty(), "class `{class}` has no extent");

@@ -14,12 +14,9 @@
 //! A generator-soundness test in the workspace checks every emitted
 //! query against the Figure 1 checker.
 
-use ioql_ast::{
-    AttrName, ClassName, ExtentName, MethodName, Qualifier, Query, Type, VarName,
-};
+use ioql_ast::{AttrName, ClassName, ExtentName, MethodName, Qualifier, Query, Type, VarName};
+use ioql_rng::SmallRng;
 use ioql_schema::Schema;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Generator tuning.
@@ -140,7 +137,7 @@ impl<'s> QueryGen<'s> {
         }
         match target {
             Type::Int => Query::int(self.rng.gen_range(-self.cfg.int_range..=self.cfg.int_range)),
-            Type::Bool => Query::bool(self.rng.gen()),
+            Type::Bool => Query::bool(self.rng.gen_bool(0.5)),
             Type::Set(_) => Query::set_lit([]),
             Type::Record(fields) => {
                 let fs: Vec<(ioql_ast::Label, Query)> = fields
@@ -226,8 +223,11 @@ impl<'s> QueryGen<'s> {
                 2 | 3 => {
                     let a = self.gen(scope, &Type::Int, d);
                     let b = self.gen(scope, &Type::Int, d);
-                    let op = [ioql_ast::IntOp::Add, ioql_ast::IntOp::Sub, ioql_ast::IntOp::Mul]
-                        [self.rng.gen_range(0..3)];
+                    let op = [
+                        ioql_ast::IntOp::Add,
+                        ioql_ast::IntOp::Sub,
+                        ioql_ast::IntOp::Mul,
+                    ][self.rng.gen_range(0..3usize)];
                     Some(Query::IntBin(op, Box::new(a), Box::new(b)))
                 }
                 4 | 5 => {
@@ -253,8 +253,8 @@ impl<'s> QueryGen<'s> {
                 3 => {
                     let a = self.gen(scope, &Type::Int, d);
                     let b = self.gen(scope, &Type::Int, d);
-                    let op = [ioql_ast::IntOp::Lt, ioql_ast::IntOp::Le]
-                        [self.rng.gen_range(0..2)];
+                    let op =
+                        [ioql_ast::IntOp::Lt, ioql_ast::IntOp::Le][self.rng.gen_range(0..2usize)];
                     Some(Query::IntBin(op, Box::new(a), Box::new(b)))
                 }
                 4 => {
@@ -298,9 +298,7 @@ impl<'s> QueryGen<'s> {
                         }
                     }
                     let n = self.rng.gen_range(0..3);
-                    let items: Vec<Query> = (0..n)
-                        .map(|_| self.gen(scope, elem, d))
-                        .collect();
+                    let items: Vec<Query> = (0..n).map(|_| self.gen(scope, elem, d)).collect();
                     Some(Query::SetLit(items))
                 }
                 3 | 4 => {
@@ -310,7 +308,7 @@ impl<'s> QueryGen<'s> {
                         ioql_ast::SetOp::Union,
                         ioql_ast::SetOp::Intersect,
                         ioql_ast::SetOp::Diff,
-                    ][self.rng.gen_range(0..3)];
+                    ][self.rng.gen_range(0..3usize)];
                     Some(Query::SetBin(op, Box::new(a), Box::new(b)))
                 }
                 5 => {
@@ -318,9 +316,7 @@ impl<'s> QueryGen<'s> {
                     let fitting: Vec<ExtentName> = self
                         .schema
                         .extents()
-                        .filter(|(_, c)| {
-                            self.schema.subtype(&Type::Class((*c).clone()), elem)
-                        })
+                        .filter(|(_, c)| self.schema.subtype(&Type::Class((*c).clone()), elem))
                         .map(|(e, _)| e.clone())
                         .collect();
                     if fitting.is_empty() {
@@ -449,11 +445,7 @@ impl<'s> QueryGen<'s> {
         scope
             .iter()
             .any(|(_, t)| matches!(t, Type::Class(d) if self.schema.extends(d, c)))
-            || (self.cfg.allow_new
-                && self
-                    .constructible
-                    .keys()
-                    .any(|d| self.schema.extends(d, c)))
+            || (self.cfg.allow_new && self.constructible.keys().any(|d| self.schema.extends(d, c)))
     }
 
     fn any_generable_class(&mut self, scope: &[(VarName, Type)]) -> Option<ClassName> {

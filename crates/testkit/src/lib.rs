@@ -10,15 +10,19 @@
 //!   applied per reduction step.
 //! * [`workloads`] — parameterised stores and queries for the Criterion
 //!   benchmarks.
+//! * [`faults`] — seed-driven fault injection (deadline/budget/cancel
+//!   plans, a chaos chooser, dump corruption) for the robustness suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fixtures;
 pub mod gen;
 pub mod oracles;
 pub mod workloads;
 
+pub use faults::{corrupt_dump, ChaosChooser, Corruption, Fault, FaultPlan};
 pub use fixtures::{deep_hierarchy, jack_jill, payroll, persons_employees, Fixture};
 pub use gen::{GenConfig, QueryGen};
 pub use oracles::{

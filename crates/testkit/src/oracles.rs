@@ -34,7 +34,11 @@ pub struct OracleError {
 
 impl fmt::Display for OracleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violated at `{}`: {}", self.what, self.state, self.detail)
+        write!(
+            f,
+            "{} violated at `{}`: {}",
+            self.what, self.state, self.detail
+        )
     }
 }
 
@@ -90,9 +94,7 @@ pub fn progress_and_preservation_hold(
                 });
             }
             // Divergence is not a soundness violation.
-            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => {
-                return Ok(())
-            }
+            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => return Ok(()),
             Err(e) => return Err(fail("progress", &cur, e.to_string())),
         }
     }
@@ -147,9 +149,7 @@ pub fn effect_soundness_holds(
                     detail: reason,
                 });
             }
-            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => {
-                return Ok(())
-            }
+            Err(EvalError::MethodDiverged { .. }) | Err(EvalError::FuelExhausted) => return Ok(()),
             Err(e) => return Err(fail("effect progress", &cur, e.to_string())),
         }
     }
@@ -165,8 +165,8 @@ pub fn systems_agree(
     q: &Query,
 ) -> Result<(), OracleError> {
     let (_, t1) = check_query(tenv, q).map_err(|e| fail("plain typing", q, e.to_string()))?;
-    let (t2, _) = ioql_effects::infer_query(eenv, q)
-        .map_err(|e| fail("effect typing", q, e.to_string()))?;
+    let (t2, _) =
+        ioql_effects::infer_query(eenv, q).map_err(|e| fail("effect typing", q, e.to_string()))?;
     if t1 != t2 {
         return Err(fail(
             "system agreement",
@@ -242,9 +242,8 @@ mod tests {
     fn observational_equivalence_on_stores() {
         use crate::workloads::p_store;
         let fx = fixtures::jack_jill();
-        let stores: Vec<ioql_store::Store> = (0..3)
-            .map(|i| p_store(2 + i as usize, i).store)
-            .collect();
+        let stores: Vec<ioql_store::Store> =
+            (0..3).map(|i| p_store(2 + i as usize, i).store).collect();
         let tenv = TypeEnv::new(&fx.schema);
         let cfg = EvalConfig::new(&fx.schema);
         let defs = DefEnv::new();
@@ -255,19 +254,16 @@ mod tests {
         // A tautological rewrite is equivalent…
         let q1 = prep("{ p.name | p <- Ps }");
         let q2 = prep("{ p.name | p <- Ps, true }");
-        observationally_equivalent(&cfg, &defs, &stores, &q1, &q2, 100_000, 5_000)
-            .unwrap();
+        observationally_equivalent(&cfg, &defs, &stores, &q1, &q2, 100_000, 5_000).unwrap();
         // …a strict filter is not.
         let q3 = prep("{ p.name | p <- Ps, p.name < 2 }");
-        assert!(observationally_equivalent(
-            &cfg, &defs, &stores, &q1, &q3, 100_000, 5_000
-        )
-        .is_err());
+        assert!(
+            observationally_equivalent(&cfg, &defs, &stores, &q1, &q3, 100_000, 5_000).is_err()
+        );
         // And commuting the §1 query's interfering operands is caught on
         // outcome *sets*, not just single runs.
         let nd1 = prep(fixtures::jack_jill_query());
-        observationally_equivalent(&cfg, &defs, &stores, &nd1, &nd1, 100_000, 5_000)
-            .unwrap();
+        observationally_equivalent(&cfg, &defs, &stores, &nd1, &nd1, 100_000, 5_000).unwrap();
     }
 
     #[test]
@@ -282,13 +278,10 @@ mod tests {
         let defs = DefEnv::new();
         for seed in 0..10 {
             let mut ch = RandomChooser::seeded(seed);
-            progress_and_preservation_hold(
-                &tenv, &cfg, &defs, &fx.store, &elab, &mut ch, 10_000,
-            )
-            .unwrap();
-            let mut ch2 = RandomChooser::seeded(seed);
-            effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut ch2, 10_000)
+            progress_and_preservation_hold(&tenv, &cfg, &defs, &fx.store, &elab, &mut ch, 10_000)
                 .unwrap();
+            let mut ch2 = RandomChooser::seeded(seed);
+            effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut ch2, 10_000).unwrap();
         }
         systems_agree(&tenv, &eenv, &elab).unwrap();
     }

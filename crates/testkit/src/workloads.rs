@@ -4,8 +4,7 @@
 
 use crate::fixtures::{jack_jill, persons_employees, Fixture};
 use ioql_ast::{Query, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ioql_rng::SmallRng;
 
 /// A `jack_jill`-schema store with `n` `P` objects (names drawn from a
 /// seeded RNG) and an empty `F` extent.

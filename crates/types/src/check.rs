@@ -31,11 +31,7 @@ pub fn check_query(env: &TypeEnv<'_>, q: &Query) -> Result<(Query, Type), TypeEr
 /// may embed oids and realised sets — against a store. This is the
 /// correspondence `E, D, Q ⊢ EE, DE, OE, q : σ` used by the soundness
 /// theorems.
-pub fn check_runtime_query(
-    env: &TypeEnv<'_>,
-    store: &Store,
-    q: &Query,
-) -> Result<Type, TypeError> {
+pub fn check_runtime_query(env: &TypeEnv<'_>, store: &Store, q: &Query) -> Result<Type, TypeError> {
     check(env, Some(store), q).map(|(_, t)| t)
 }
 
@@ -54,10 +50,7 @@ pub fn check_definition(
         inner = inner.bind(x.clone(), t.clone());
     }
     let (body, result) = check(&inner, None, &def.body)?;
-    let fnty = FnType::new(
-        def.params.iter().map(|(_, t)| t.clone()).collect(),
-        result,
-    );
+    let fnty = FnType::new(def.params.iter().map(|(_, t)| t.clone()).collect(), result);
     Ok((
         Definition {
             name: def.name.clone(),
@@ -165,11 +158,7 @@ fn as_class(t: &Type, context: &'static str) -> Result<ClassName, TypeError> {
 }
 
 /// The rule dispatcher. `store` is `Some` only when typing runtime states.
-fn check(
-    env: &TypeEnv<'_>,
-    store: Option<&Store>,
-    q: &Query,
-) -> Result<(Query, Type), TypeError> {
+fn check(env: &TypeEnv<'_>, store: Option<&Store>, q: &Query) -> Result<(Query, Type), TypeError> {
     let schema = env.schema;
     match q {
         // (Int), (Bool) — and the runtime-value extension.
@@ -245,7 +234,11 @@ fn check(
             let (eb, tb) = check(env, store, b)?;
             require_subtype(schema, &ta, &Type::Int, "integer operator")?;
             require_subtype(schema, &tb, &Type::Int, "integer operator")?;
-            let result = if op.yields_bool() { Type::Bool } else { Type::Int };
+            let result = if op.yields_bool() {
+                Type::Bool
+            } else {
+                Type::Int
+            };
             Ok((Query::IntBin(*op, Box::new(ea), Box::new(eb)), result))
         }
 
@@ -427,10 +420,7 @@ fn check(
             let (et, tt) = check(env, store, then)?;
             let (ee, te) = check(env, store, els)?;
             let t = schema.lub(&tt, &te).ok_or(TypeError::NoLub(tt, te))?;
-            Ok((
-                Query::If(Box::new(ec), Box::new(et), Box::new(ee)),
-                t,
-            ))
+            Ok((Query::If(Box::new(ec), Box::new(et), Box::new(ee)), t))
         }
 
         // (Comp1)/(Comp2)/(Comp3) — qualifiers left-to-right; generators
@@ -606,7 +596,9 @@ mod tests {
         let s = schema();
         let e = env(&s);
         assert_eq!(
-            check_query(&e, &Query::int(1).add(Query::int(2))).unwrap().1,
+            check_query(&e, &Query::int(1).add(Query::int(2)))
+                .unwrap()
+                .1,
             Type::Int
         );
         let cmp = Query::IntBin(IntOp::Lt, Box::new(Query::int(1)), Box::new(Query::int(2)));
@@ -619,7 +611,9 @@ mod tests {
         let s = schema();
         let e = env(&s).bind(VarName::new("p"), Type::class("Person"));
         assert_eq!(
-            check_query(&e, &Query::int(1).int_eq(Query::int(2))).unwrap().1,
+            check_query(&e, &Query::int(1).int_eq(Query::int(2)))
+                .unwrap()
+                .1,
             Type::Bool
         );
         assert_eq!(
@@ -679,7 +673,9 @@ mod tests {
         let s = schema();
         let e = env(&s);
         assert_eq!(
-            check_query(&e, &Query::extent("Persons").size_of()).unwrap().1,
+            check_query(&e, &Query::extent("Persons").size_of())
+                .unwrap()
+                .1,
             Type::Int
         );
         assert!(check_query(&e, &Query::int(1).size_of()).is_err());
@@ -710,7 +706,9 @@ mod tests {
         let s = schema();
         let e = env(&s).bind(VarName::new("emp"), Type::class("Employee"));
         assert_eq!(
-            check_query(&e, &Query::var("emp").cast("Person")).unwrap().1,
+            check_query(&e, &Query::var("emp").cast("Person"))
+                .unwrap()
+                .1,
             Type::class("Person")
         );
         let e2 = env(&s).bind(VarName::new("p"), Type::class("Person"));
@@ -731,7 +729,9 @@ mod tests {
         );
         e = e.bind(VarName::new("p"), Type::class("Person"));
         assert_eq!(
-            check_query(&e, &Query::var("p").cast("Employee")).unwrap().1,
+            check_query(&e, &Query::var("p").cast("Employee"))
+                .unwrap()
+                .1,
             Type::class("Employee")
         );
         // Cross-cast still rejected.
@@ -751,11 +751,7 @@ mod tests {
             Err(TypeError::Arity { .. })
         ));
         // Wrong arg type.
-        assert!(check_query(
-            &e,
-            &Query::var("emp").invoke("older", [Query::bool(true)])
-        )
-        .is_err());
+        assert!(check_query(&e, &Query::var("emp").invoke("older", [Query::bool(true)])).is_err());
         // Unknown method.
         assert!(matches!(
             check_query(&e, &Query::var("emp").invoke("fly", [])),
@@ -923,7 +919,10 @@ mod tests {
         // Passing an Employee where a Person is expected is fine.
         let q = Query::comp(
             Query::call("anyone", [Query::var("e")]),
-            [Qualifier::Gen(VarName::new("e"), Query::extent("Employees"))],
+            [Qualifier::Gen(
+                VarName::new("e"),
+                Query::extent("Employees"),
+            )],
         );
         let prog = Program::new([f], q);
         let checked = check_program(&s, &prog, TypeOptions::default()).unwrap();

@@ -117,7 +117,10 @@ impl fmt::Display for TypeError {
                 "new {c}(…) must initialise every attribute; `{a}` is missing"
             ),
             TypeError::UnexpectedAttr(c, a) => {
-                write!(f, "new {c}(…) supplies `{a}`, which `{c}` does not declare (or repeats it)")
+                write!(
+                    f,
+                    "new {c}(…) supplies `{a}`, which `{c}` does not declare (or repeats it)"
+                )
             }
             TypeError::CannotInstantiate(c) => write!(f, "cannot instantiate `{c}`"),
             TypeError::OidNeedsStore(o) => {

@@ -30,7 +30,9 @@ pub mod env;
 pub mod error;
 pub mod value_type;
 
-pub use check::{check_definition, check_program, check_query, check_runtime_query, CheckedProgram};
+pub use check::{
+    check_definition, check_program, check_query, check_runtime_query, CheckedProgram,
+};
 pub use env::{TypeEnv, TypeOptions};
 pub use error::TypeError;
 pub use value_type::type_of_value;

@@ -26,9 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Populate through IOQL itself: `new` returns the fresh object and
     //    registers it in its class extent (paper §3.1).
-    db.query(
-        "{ new Book(title: n, year: 1990 + n, pages: n * 100) | n <- {1, 2, 3, 4, 5, 6} }",
-    )?;
+    db.query("{ new Book(title: n, year: 1990 + n, pages: n * 100) | n <- {1, 2, 3, 4, 5, 6} }")?;
     db.query("{ new Novel(title: 100, year: 2001, pages: 900, protagonist: 7) }")?;
 
     // 3. Query with comprehensions (the paper's core syntax) …
@@ -36,9 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("long books       = {}", long_books.value);
 
     // … or with OQL's select-from-where, which is pure sugar:
-    let recent = db.query(
-        "select struct(t: b.title, y: b.year) from b in Books where 1993 <= b.year",
-    )?;
+    let recent =
+        db.query("select struct(t: b.title, y: b.year) from b in Books where 1993 <= b.year")?;
     println!("recent books     = {}", recent.value);
 
     // 4. Every query is statically typed (Figure 1) and effect-analysed

@@ -76,8 +76,7 @@ mod tempfile {
                 .duration_since(std::time::UNIX_EPOCH)
                 .unwrap()
                 .as_nanos();
-            let path =
-                std::env::temp_dir().join(format!("ioql-cli-{pid}-{n}{}", self.suffix));
+            let path = std::env::temp_dir().join(format!("ioql-cli-{pid}-{n}{}", self.suffix));
             let file = std::fs::File::create(&path)?;
             Ok(NamedTemp { path, file })
         }
@@ -121,8 +120,7 @@ size(Ps)
 :analyze { if size(Fs) = 0 then (new F(name: 0, pal: p)).name else p.name | p <- Ps }
 :quit
 ";
-    let (stdout, stderr, ok) =
-        run_session(&[schema.to_str().unwrap()], script);
+    let (stdout, stderr, ok) = run_session(&[schema.to_str().unwrap()], script);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains(": int   effect {R(P)}"), "{stdout}");
     assert!(stdout.contains("deterministic : false"), "{stdout}");
@@ -132,10 +130,7 @@ size(Ps)
 #[test]
 fn one_shot_query_mode() {
     let schema = schema_file();
-    let (stdout, _, ok) = run_session(
-        &[schema.to_str().unwrap(), "-e", "sum({1, 2, 3})"],
-        "",
-    );
+    let (stdout, _, ok) = run_session(&[schema.to_str().unwrap(), "-e", "sum({1, 2, 3})"], "");
     assert!(ok);
     assert!(stdout.contains('6'), "{stdout}");
 }
@@ -143,8 +138,7 @@ fn one_shot_query_mode() {
 #[test]
 fn one_shot_error_exits_nonzero() {
     let schema = schema_file();
-    let (_, stderr, ok) =
-        run_session(&[schema.to_str().unwrap(), "-e", "1 + true"], "");
+    let (_, stderr, ok) = run_session(&[schema.to_str().unwrap(), "-e", "1 + true"], "");
     assert!(!ok);
     assert!(stderr.contains("type error"), "{stderr}");
 }

@@ -14,12 +14,7 @@ use ioql_testkit::fixtures::{jack_jill, payroll};
 use ioql_testkit::gen::{GenConfig, QueryGen};
 use ioql_types::{check_query, TypeEnv};
 
-fn agree_on(
-    fx: &ioql_testkit::fixtures::Fixture,
-    q: &ioql_ast::Query,
-    seed: u64,
-    note: &str,
-) {
+fn agree_on(fx: &ioql_testkit::fixtures::Fixture, q: &ioql_ast::Query, seed: u64, note: &str) {
     let cfg = EvalConfig::new(&fx.schema);
     let defs = DefEnv::new();
 
@@ -71,10 +66,14 @@ fn agree_on(
                 // Both fail: the *kind* of failure must agree (fuel limits
                 // are budgeted differently, so only compare classes).
                 let class = |e: &ioql_eval::EvalError| match e {
-                    ioql_eval::EvalError::Stuck { .. } => "stuck",
-                    ioql_eval::EvalError::MethodDiverged { .. } => "diverged",
-                    ioql_eval::EvalError::FuelExhausted => "fuel",
-                    ioql_eval::EvalError::Store(_) => "store",
+                    ioql_eval::EvalError::Stuck { .. } => "stuck".to_string(),
+                    ioql_eval::EvalError::MethodDiverged { .. } => "diverged".to_string(),
+                    ioql_eval::EvalError::FuelExhausted => "fuel".to_string(),
+                    ioql_eval::EvalError::ResourceExhausted { kind, .. } => {
+                        format!("resource:{kind}")
+                    }
+                    ioql_eval::EvalError::Cancelled => "cancelled".to_string(),
+                    ioql_eval::EvalError::Store(_) => "store".to_string(),
                 };
                 assert_eq!(class(&a), class(&b), "{note}: {a} vs {b} for {q}");
             }
@@ -126,6 +125,55 @@ fn evaluators_agree_on_deep_hierarchy() {
         let target = g.target_type();
         let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
         agree_on(&fx, &elab, seed, &format!("deep seed {seed}"));
+    }
+}
+
+#[test]
+fn fuel_exhaustion_same_class_in_both_engines() {
+    // The step budget is metered differently by the two engines (machine
+    // steps vs burn calls), but exhausting it must surface as the same
+    // error class from both — at the raw-evaluator layer and through the
+    // `Database` facade's `max_steps` option.
+    let fx = jack_jill();
+    let tenv = TypeEnv::new(&fx.schema);
+    let src = "{ p.name + q.name | p <- Ps, q <- Ps }";
+    let (elab, _) = check_query(&tenv, &fx.query(src)).unwrap();
+    let cfg = EvalConfig::new(&fx.schema);
+    let defs = DefEnv::new();
+    for fuel in [1u64, 2, 5, 10] {
+        let mut s1 = fx.store.clone();
+        let mut s2 = fx.store.clone();
+        let small = evaluate(&cfg, &defs, &mut s1, &elab, &mut FirstChooser, fuel);
+        let big = eval_big(&cfg, &defs, &mut s2, &elab, &mut FirstChooser, fuel);
+        assert!(
+            matches!(small, Err(ioql_eval::EvalError::FuelExhausted)),
+            "fuel {fuel}: small-step returned {small:?}"
+        );
+        assert!(
+            matches!(big, Err(ioql_eval::EvalError::FuelExhausted)),
+            "fuel {fuel}: big-step returned {big:?}"
+        );
+    }
+    // Through the facade: both engines report the evaluation-error class.
+    for engine in [ioql::Engine::SmallStep, ioql::Engine::BigStep] {
+        let opts = ioql::DbOptions {
+            engine,
+            max_steps: 3,
+            ..ioql::DbOptions::default()
+        };
+        let mut db = ioql::Database::from_ddl_with(
+            "class P extends Object (extent Ps) { attribute int name; }",
+            opts,
+        )
+        .unwrap();
+        let r = db.query("{ n + 1 | n <- {1, 2, 3, 4, 5} }");
+        assert!(
+            matches!(
+                r,
+                Err(ioql::DbError::Eval(ioql_eval::EvalError::FuelExhausted))
+            ),
+            "{engine:?}: expected fuel exhaustion, got {r:?}"
+        );
     }
 }
 

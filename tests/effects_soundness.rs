@@ -26,8 +26,8 @@ fn t5_t6_effect_soundness_over_generated_queries() {
     for seed in 0..SEEDS {
         let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
         let target = g.target_type();
-        let (elab, _) = check_query(&tenv, &g.query(&target))
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let (elab, _) =
+            check_query(&tenv, &g.query(&target)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let mut chooser = RandomChooser::seeded(seed.wrapping_mul(31));
         effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
@@ -38,8 +38,8 @@ fn t5_t6_effect_soundness_over_generated_queries() {
 fn t5_t6_effect_soundness_with_methods() {
     let fx = payroll();
     let tenv = TypeEnv::new(&fx.schema);
-    let eenv = EffectEnv::new(&fx.schema)
-        .with_method_effects(ioql_methods::effect_table(&fx.schema));
+    let eenv =
+        EffectEnv::new(&fx.schema).with_method_effects(ioql_methods::effect_table(&fx.schema));
     let cfg = EvalConfig::new(&fx.schema);
     let defs = DefEnv::new();
     let gen_cfg = GenConfig {
@@ -50,8 +50,8 @@ fn t5_t6_effect_soundness_with_methods() {
     for seed in 0..100 {
         let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
         let target = g.target_type();
-        let (elab, _) = check_query(&tenv, &g.query(&target))
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let (elab, _) =
+            check_query(&tenv, &g.query(&target)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let mut chooser = RandomChooser::seeded(seed);
         effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
@@ -62,8 +62,8 @@ fn t5_t6_effect_soundness_with_methods() {
 fn t5_t6_effect_soundness_on_deep_hierarchy() {
     let fx = ioql_testkit::fixtures::deep_hierarchy();
     let tenv = TypeEnv::new(&fx.schema);
-    let eenv = EffectEnv::new(&fx.schema)
-        .with_method_effects(ioql_methods::effect_table(&fx.schema));
+    let eenv =
+        EffectEnv::new(&fx.schema).with_method_effects(ioql_methods::effect_table(&fx.schema));
     let cfg = EvalConfig::new(&fx.schema);
     let defs = DefEnv::new();
     let gen_cfg = GenConfig {
@@ -74,8 +74,8 @@ fn t5_t6_effect_soundness_on_deep_hierarchy() {
     for seed in 0..150 {
         let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
         let target = g.target_type();
-        let (elab, _) = check_query(&tenv, &g.query(&target))
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let (elab, _) =
+            check_query(&tenv, &g.query(&target)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let mut chooser = RandomChooser::seeded(seed.wrapping_mul(41));
         effect_soundness_holds(&eenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
@@ -93,8 +93,7 @@ fn figure1_and_figure3_assign_identical_types() {
         let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
         let target = g.target_type();
         let (elab, _) = check_query(&tenv, &g.query(&target)).unwrap();
-        systems_agree(&tenv, &eenv, &elab)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        systems_agree(&tenv, &eenv, &elab).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -115,8 +114,7 @@ fn inferred_effect_is_least_among_runs() {
     for seed in 0..20 {
         let mut store = fx.store.clone();
         let mut ch = RandomChooser::seeded(seed);
-        let out =
-            ioql_eval::evaluate(&cfg, &defs, &mut store, &elab, &mut ch, 10_000).unwrap();
+        let out = ioql_eval::evaluate(&cfg, &defs, &mut store, &elab, &mut ch, 10_000).unwrap();
         union.union_with(&out.effect);
     }
     assert_eq!(union, static_eff, "scan effect should be exact");

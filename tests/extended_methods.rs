@@ -64,10 +64,16 @@ fn method_latent_effects_flow_into_query_effects() {
     let a = db.analyze("{ c.countPeers() | c <- Counters }").unwrap();
     // countPeers reads the Counters extent from *inside* the method; the
     // static query effect must include R(Counter).
-    assert!(a.effect.reads.contains(&ioql::ast::ClassName::new("Counter")));
+    assert!(a
+        .effect
+        .reads
+        .contains(&ioql::ast::ClassName::new("Counter")));
 
     let b = db.analyze("{ c.spawn(5) | c <- Counters }").unwrap();
-    assert!(b.effect.adds.contains(&ioql::ast::ClassName::new("Counter")));
+    assert!(b
+        .effect
+        .adds
+        .contains(&ioql::ast::ClassName::new("Counter")));
     // spawn-per-element reads nothing but adds; ⊢' accepts (A alone is
     // fine). countPeers-per-element after a spawn would interfere:
     let c = db

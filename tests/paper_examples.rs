@@ -38,8 +38,14 @@ fn x1_both_outcomes_exist_and_no_others() {
     let values: Vec<&Value> = distinct.iter().map(|o| &o.value).collect();
     let expect_a = int_set(&[PETER, JILL]); // visited Jack first
     let expect_b = int_set(&[PETER, JACK]); // visited Jill first
-    assert!(values.contains(&&expect_a), "missing {{Peter, Jill}}: {values:?}");
-    assert!(values.contains(&&expect_b), "missing {{Peter, Jack}}: {values:?}");
+    assert!(
+        values.contains(&&expect_a),
+        "missing {{Peter, Jill}}: {values:?}"
+    );
+    assert!(
+        values.contains(&&expect_b),
+        "missing {{Peter, Jack}}: {values:?}"
+    );
 }
 
 #[test]
@@ -101,7 +107,9 @@ fn x2_termination_depends_on_visit_order() {
     assert!(
         matches!(
             r,
-            Err(ioql::DbError::Eval(ioql_eval::EvalError::MethodDiverged { .. }))
+            Err(ioql::DbError::Eval(
+                ioql_eval::EvalError::MethodDiverged { .. }
+            ))
         ),
         "visiting Jack first must diverge, got {r:?}"
     );
@@ -187,8 +195,7 @@ fn x4_commuting_changes_the_result() {
     // Hand-commuted: the new Person exists by the time the count is
     // taken → {2} ∩ {1} = {} — the paper's "different result: the empty
     // set!".
-    let commuted =
-        "{ (new Person(name: 1, address: 1)).name } intersect { size(Persons) }";
+    let commuted = "{ (new Person(name: 1, address: 1)).name } intersect { size(Persons) }";
     let mut db2 = db_from(&fx);
     let r2 = db2.query(commuted).unwrap();
     assert_eq!(r2.value, Value::empty_set());

@@ -55,7 +55,9 @@ fn upcast_and_heterogeneous_union() {
         .query("{ ((Person) e).age | e <- Employees } union { p.age | p <- Persons }")
         .unwrap();
     assert_eq!(r.value, int_set(&[31, 32, 40]));
-    let a = d.analyze("Persons union { (Person) e | e <- Employees }").unwrap();
+    let a = d
+        .analyze("Persons union { (Person) e | e <- Employees }")
+        .unwrap();
     assert_eq!(a.ty.to_string(), "set(Person)");
 }
 
@@ -66,7 +68,10 @@ fn lub_partiality_reported() {
     let r = d.analyze("if true then 1 else false");
     match r {
         Err(ioql::DbError::Type(ioql_types::TypeError::NoLub(a, b))) => {
-            assert_eq!((a.to_string(), b.to_string()), ("int".into(), "bool".into()));
+            assert_eq!(
+                (a.to_string(), b.to_string()),
+                ("int".into(), "bool".into())
+            );
         }
         other => panic!("expected NoLub, got {other:?}"),
     }
@@ -131,7 +136,10 @@ fn definitions_compose_and_carry_effects() {
     let r2 = d.query("size(olderThan(30))").unwrap();
     assert_eq!(r2.value, Value::Int(2));
     let a = d.analyze("olderThan(0)").unwrap();
-    assert!(a.effect.reads.contains(&ioql::ast::ClassName::new("Person")));
+    assert!(a
+        .effect
+        .reads
+        .contains(&ioql::ast::ClassName::new("Person")));
     // Duplicate definition rejected.
     assert!(d.define("define ages() as {1};").is_err());
 }
@@ -173,7 +181,10 @@ fn inherited_extents_design_point() {
     let body_reads_persons =
         "{ (new Employee(name: size(Persons), age: 1, salary: 1)).salary | p <- Persons }";
     let a = db.analyze(body_reads_persons).unwrap();
-    assert!(!a.deterministic, "A(Employee) closes to A(Person) vs R(Person)");
+    assert!(
+        !a.deterministic,
+        "A(Employee) closes to A(Person) vs R(Person)"
+    );
     // …whereas under the paper's default rule the same query is accepted:
     // new Employee touches only the Employees extent.
     let plain = {
@@ -252,7 +263,8 @@ fn deep_path_expressions() {
             attribute int v;
         }";
     let mut d = Database::from_ddl(ddl).unwrap();
-    d.query("{ new Node(v: 1, next: new Leaf(v: 42)) }").unwrap();
+    d.query("{ new Node(v: 1, next: new Leaf(v: 42)) }")
+        .unwrap();
     let r = d.query("{ n.next.v | n <- Nodes }").unwrap();
     assert_eq!(r.value, int_set(&[42]));
 }
@@ -321,10 +333,7 @@ fn parallel_exploration_through_the_facade() {
     let seq = d.explore(q, 10_000).unwrap();
     let par = d.explore_parallel(q, 10_000, 4).unwrap();
     assert_eq!(seq.runs.len(), par.runs.len());
-    assert_eq!(
-        seq.distinct_outcomes().len(),
-        par.distinct_outcomes().len()
-    );
+    assert_eq!(seq.distinct_outcomes().len(), par.distinct_outcomes().len());
 }
 
 #[test]

@@ -88,7 +88,10 @@ fn named_definitions_compose_across_queries() {
     assert_eq!(loads.value, int_set(&[3]));
     let a = d.analyze("{ deptLoad(dd) | dd <- Depts }").unwrap();
     assert!(a.deterministic && a.functional);
-    assert!(a.effect.reads.contains(&ioql::ast::ClassName::new("Student")));
+    assert!(a
+        .effect
+        .reads
+        .contains(&ioql::ast::ClassName::new("Student")));
     assert!(a.effect.reads.contains(&ioql::ast::ClassName::new("Dept")));
 }
 
@@ -96,9 +99,7 @@ fn named_definitions_compose_across_queries() {
 fn quantifiers_grouping_and_aggregates_together() {
     let mut d = db();
     // Every lecturer out-earns 5000?
-    let all = d
-        .query("forall l in Lecturers : 5000 < l.salary")
-        .unwrap();
+    let all = d.query("forall l in Lecturers : 5000 < l.salary").unwrap();
     assert_eq!(all.value, Value::Bool(true));
     // Any student already graduable at age 21?
     let any = d
@@ -132,10 +133,7 @@ fn upcasts_unify_people() {
              { ((Person) l).age | l <- Lecturers }",
         )
         .unwrap();
-    assert_eq!(
-        everyone.value,
-        int_set(&[21, 22, 23, 41, 42, 43])
-    );
+    assert_eq!(everyone.value, int_set(&[21, 22, 23, 41, 42, 43]));
 }
 
 #[test]

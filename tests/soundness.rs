@@ -34,10 +34,8 @@ fn t1_t3_soundness_over_generated_queries() {
         let (elab, _) = check_query(&tenv, &q)
             .unwrap_or_else(|e| panic!("seed {seed}: generator emitted ill-typed {q}: {e}"));
         let mut chooser = RandomChooser::seeded(seed.wrapping_mul(7919));
-        progress_and_preservation_hold(
-            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
-        )
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+        progress_and_preservation_hold(&tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
     }
 }
 
@@ -58,13 +56,11 @@ fn t1_t3_soundness_with_method_calls() {
         let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
         let target = g.target_type();
         let q = g.query(&target);
-        let (elab, _) = check_query(&tenv, &q)
-            .unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
+        let (elab, _) =
+            check_query(&tenv, &q).unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
         let mut chooser = RandomChooser::seeded(seed);
-        progress_and_preservation_hold(
-            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
-        )
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+        progress_and_preservation_hold(&tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
     }
 }
 
@@ -85,13 +81,11 @@ fn t1_t3_soundness_on_deep_hierarchy() {
         let mut g = QueryGen::new(&fx.schema, seed, gen_cfg);
         let target = g.target_type();
         let q = g.query(&target);
-        let (elab, _) = check_query(&tenv, &q)
-            .unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
+        let (elab, _) =
+            check_query(&tenv, &q).unwrap_or_else(|e| panic!("seed {seed}: ill-typed {q}: {e}"));
         let mut chooser = RandomChooser::seeded(seed.wrapping_mul(13));
-        progress_and_preservation_hold(
-            &tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000,
-        )
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
+        progress_and_preservation_hold(&tenv, &cfg, &defs, &fx.store, &elab, &mut chooser, 50_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nquery: {elab}"));
     }
 }
 
