@@ -399,6 +399,18 @@ impl Query {
         found
     }
 
+    /// Whether the query contains a comprehension (and hence, at runtime,
+    /// `(ND comp)` choice points).
+    pub fn contains_comp(&self) -> bool {
+        let mut found = false;
+        self.for_each_node(&mut |q| {
+            if matches!(q, Query::Comp(_, _)) {
+                found = true;
+            }
+        });
+        found
+    }
+
     /// The definitions the query calls (directly).
     pub fn called_defs(&self) -> BTreeSet<DefName> {
         let mut out = BTreeSet::new();

@@ -1,0 +1,116 @@
+//! B6 — the effect-keyed query-result cache and the indexed-generator
+//! fast path (ISSUE 2).
+//!
+//! Headline: a repeated read-only workload served from the cache must be
+//! ≥ 10× faster than cold evaluation (the acceptance criterion; the
+//! in-workspace `tests/cache.rs` pins the same bound offline). The
+//! supporting measurements show what the cache costs when it can never
+//! hit (a mutating workload bumping versions every query) and what the
+//! big-step evaluator's one-shot hash index buys on equality-filtered
+//! scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioql::{Database, DbOptions, Engine};
+
+const DDL: &str = "
+    class Person extends Object (extent Persons) {
+        attribute int name;
+        attribute int age;
+    }";
+
+/// A database with `n` persons, built through the query language so the
+/// extent version counters advance exactly as production traffic would.
+fn persons(n: usize, opts: DbOptions) -> Database {
+    let mut db = Database::from_ddl_with(DDL, opts).unwrap();
+    let elems: Vec<String> = (1..=n as i64).map(|i| i.to_string()).collect();
+    db.query(&format!(
+        "{{ new Person(name: n, age: n) | n <- {{{}}} }}",
+        elems.join(", ")
+    ))
+    .unwrap();
+    db
+}
+
+fn bench_cache(c: &mut Criterion) {
+    // --- cold vs hit on a repeated read-only workload --------------------
+    let mut group = c.benchmark_group("B6-cache");
+    group.sample_size(20);
+    let join = "sum({ p.age + q.age | p <- Persons, q <- Persons })";
+    for n in [30usize, 120] {
+        let opts = DbOptions {
+            engine: Engine::BigStep,
+            ..DbOptions::default()
+        };
+        // Cold: caching disabled, every run pays full evaluation.
+        let mut cold = persons(
+            n,
+            DbOptions {
+                cache_capacity: 0,
+                ..opts
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("join-cold", n), &join, |b, q| {
+            b.iter(|| cold.query(q).unwrap().value)
+        });
+        // Hit: warmed once, then served from the cache. The ≥ 10×
+        // acceptance bound compares these two series.
+        let mut warm = persons(n, opts);
+        warm.query(join).unwrap();
+        group.bench_with_input(BenchmarkId::new("join-hit", n), &join, |b, q| {
+            b.iter(|| {
+                let r = warm.query(q).unwrap();
+                assert!(r.cached);
+                r.value
+            })
+        });
+    }
+    // Worst case: a workload that invalidates its own read set every
+    // round — measures the bookkeeping the cache adds when it never hits.
+    let opts = DbOptions {
+        engine: Engine::BigStep,
+        ..DbOptions::default()
+    };
+    let mut churn = persons(120, opts);
+    group.bench_function("scan-after-mutation", |b| {
+        b.iter(|| {
+            churn
+                .query("{ new Person(name: 0, age: 0) | z <- {1} }")
+                .unwrap();
+            let r = churn.query("sum({ p.age | p <- Persons })").unwrap();
+            assert!(!r.cached);
+            r.value
+        })
+    });
+    group.finish();
+
+    // --- indexed-generator fast path -------------------------------------
+    // `x <- Persons, x.age = k`: the big-step engine probes a one-shot
+    // hash index; the small-step machine re-evaluates the predicate per
+    // element. Caching is off so every iteration measures evaluation.
+    let mut group = c.benchmark_group("B6-indexed-generator");
+    group.sample_size(20);
+    for n in [100usize, 1_000] {
+        let probe = format!("{{ p.name | p <- Persons, p.age = {} }}", n / 2);
+        for engine in [Engine::BigStep, Engine::SmallStep] {
+            let mut db = persons(
+                n,
+                DbOptions {
+                    engine,
+                    cache_capacity: 0,
+                    ..DbOptions::default()
+                },
+            );
+            let label = match engine {
+                Engine::BigStep => "eq-probe-bigstep",
+                Engine::SmallStep => "eq-probe-smallstep",
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &probe, |b, q| {
+                b.iter(|| db.query(q).unwrap().value)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

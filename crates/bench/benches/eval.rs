@@ -58,7 +58,15 @@ fn bench_eval(c: &mut Criterion) {
     group.bench_function("first-chooser", |b| {
         b.iter(|| {
             let mut store = fx.store.clone();
-            evaluate(&cfg, &defs, &mut store, &scan, &mut FirstChooser, 100_000_000).unwrap()
+            evaluate(
+                &cfg,
+                &defs,
+                &mut store,
+                &scan,
+                &mut FirstChooser,
+                100_000_000,
+            )
+            .unwrap()
         })
     });
     group.bench_function("random-chooser", |b| {

@@ -20,10 +20,7 @@ fn stats_for(fx: &ioql_testkit::fixtures::Fixture) -> Stats {
     stats
 }
 
-fn run_steps(
-    fx: &ioql_testkit::fixtures::Fixture,
-    q: &ioql_ast::Query,
-) -> u64 {
+fn run_steps(fx: &ioql_testkit::fixtures::Fixture, q: &ioql_ast::Query) -> u64 {
     let cfg = EvalConfig::new(&fx.schema);
     let defs = DefEnv::new();
     let mut store = fx.store.clone();
@@ -64,8 +61,7 @@ fn bench_optimizer(c: &mut Criterion) {
             |b, q| {
                 b.iter(|| {
                     let mut store = fx.store.clone();
-                    evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000)
-                        .unwrap()
+                    evaluate(&cfg, &defs, &mut store, q, &mut FirstChooser, 100_000_000).unwrap()
                 })
             },
         );

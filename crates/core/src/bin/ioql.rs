@@ -224,8 +224,12 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
     let r = db.query(line)?;
     println!("{}", r.value);
     println!(
-        "  : {}   effect {{{}}} (runtime {{{}}}), {} step(s)",
-        r.ty, r.static_effect, r.runtime_effect, r.steps
+        "  : {}   effect {{{}}} (runtime {{{}}}), {} step(s){}",
+        r.ty,
+        r.static_effect,
+        r.runtime_effect,
+        r.steps,
+        if r.cached { " (cached)" } else { "" }
     );
     Ok(())
 }

@@ -1,0 +1,207 @@
+//! The effect-keyed query-result cache.
+//!
+//! Theorem 7 licenses this: a query whose inferred effect is `new`-free
+//! (no `A(C)` atom, and syntactically no `new` so even oid allocation is
+//! untouched) is *deterministic* — its value is a pure function of the
+//! store contents its effect lets it read. Translating the effect to
+//! concrete extents ([`ioql_effects::effect_extents`]) and pairing each
+//! with the store's monotonic version counter gives a fingerprint of
+//! exactly that input: while every extent in the read set still reports
+//! the version recorded at evaluation time, the cached value is the
+//! value, and no `A(C)`/`U(C)` anywhere can have invalidated it without
+//! bumping a counter. Invalidation is therefore *passive* — mutators
+//! bump versions, the cache never needs an explicit flush.
+//!
+//! Entries are keyed on the **elaborated, pre-optimization** query: the
+//! optimizer's output depends on catalogue statistics (extent sizes)
+//! which drift with the store, so post-optimization queries are not
+//! stable keys; elaborated queries are (resolution and typing depend
+//! only on the schema, which is immutable per database).
+
+use ioql_ast::{ExtentName, Query, Value};
+use ioql_effects::Effect;
+use ioql_store::Store;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One memoized result.
+#[derive(Clone, Debug)]
+pub(crate) struct CacheEntry {
+    /// The version of every extent in the query's read set at the time
+    /// the result was computed. The entry is valid while each still
+    /// matches the live store.
+    pub versions: BTreeMap<ExtentName, u64>,
+    /// The memoized value.
+    pub value: Value,
+    /// The runtime effect trace of the original run (replayed verbatim
+    /// on a hit — determinism means a re-run would trace the same).
+    pub runtime_effect: Effect,
+    /// Evaluation cells the original run charged to its governor. A hit
+    /// re-charges these so resource accounting cannot be laundered
+    /// through the cache (see `Database::query_governed`).
+    pub cells: u64,
+}
+
+/// Hit/miss counters, surfaced through `Database::cache_stats`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including stale entries lazily evicted).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// A FIFO-bounded map from elaborated query to [`CacheEntry`].
+///
+/// Stale entries (version mismatch) are evicted lazily at lookup; FIFO
+/// order bounds residency when many distinct queries flow through.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct QueryCache {
+    map: HashMap<Query, CacheEntry>,
+    /// Insertion order; may contain keys already removed from `map` by
+    /// lazy stale-eviction — skipped when they surface at the front.
+    order: VecDeque<Query>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            ..QueryCache::default()
+        }
+    }
+
+    /// Looks up `key`, validating the recorded version vector against
+    /// `store`. A stale entry is removed and counted as a miss.
+    pub fn lookup(&mut self, key: &Query, store: &Store) -> Option<CacheEntry> {
+        if self.capacity == 0 {
+            return None;
+        }
+        match self.map.get(key) {
+            Some(entry)
+                if entry
+                    .versions
+                    .iter()
+                    .all(|(e, v)| store.extent_version(e) == *v) =>
+            {
+                self.hits += 1;
+                Some(entry.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting oldest-first past
+    /// capacity.
+    pub fn insert(&mut self, key: Query, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), entry).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break, // unreachable: map entries all pass through order
+            }
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: i64) -> Query {
+        Query::Lit(Value::Int(n))
+    }
+
+    fn entry(versions: &[(&str, u64)]) -> CacheEntry {
+        CacheEntry {
+            versions: versions
+                .iter()
+                .map(|(e, v)| (ExtentName::new(*e), *v))
+                .collect(),
+            value: Value::Int(0),
+            runtime_effect: Effect::empty(),
+            cells: 0,
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_versions() {
+        let mut store = Store::new();
+        store.declare_extent(
+            ExtentName::new("Persons"),
+            ioql_ast::ClassName::new("Person"),
+        );
+        let mut cache = QueryCache::new(4);
+        cache.insert(key(1), entry(&[("Persons", 0)]));
+        assert!(cache.lookup(&key(1), &store).is_some());
+        store.bump_version(&ExtentName::new("Persons"));
+        // Stale: removed and counted as a miss.
+        assert!(cache.lookup(&key(1), &store).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 0));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_residency() {
+        let store = Store::new();
+        let mut cache = QueryCache::new(2);
+        cache.insert(key(1), entry(&[]));
+        cache.insert(key(2), entry(&[]));
+        cache.insert(key(3), entry(&[]));
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.lookup(&key(1), &store).is_none()); // oldest evicted
+        assert!(cache.lookup(&key(2), &store).is_some());
+        assert!(cache.lookup(&key(3), &store).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let store = Store::new();
+        let mut cache = QueryCache::new(0);
+        cache.insert(key(1), entry(&[]));
+        assert!(cache.lookup(&key(1), &store).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_order() {
+        let store = Store::new();
+        let mut cache = QueryCache::new(2);
+        cache.insert(key(1), entry(&[]));
+        cache.insert(key(1), entry(&[]));
+        cache.insert(key(2), entry(&[]));
+        // Capacity 2 with one logical re-insert: both keys resident.
+        assert!(cache.lookup(&key(1), &store).is_some());
+        assert!(cache.lookup(&key(2), &store).is_some());
+    }
+}

@@ -3,9 +3,12 @@
 //! (optionally optimize) → evaluate.
 
 use crate::analysis::{collect_commutations, Analysis};
+use crate::cache::{CacheEntry, CacheStats, QueryCache};
 use crate::error::DbError;
 use ioql_ast::{DefName, Definition, FnType, Program, Query, Type, Value};
-use ioql_effects::{infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects};
+use ioql_effects::{
+    effect_extents, infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects,
+};
 use ioql_eval::{
     eval_big, evaluate, explore_outcomes, Chooser, DefEnv, EvalConfig, Exploration, FirstChooser,
     Governor, Limits,
@@ -57,6 +60,12 @@ pub struct DbOptions {
     /// use [`Database::query_governed`] to share one governor (and its
     /// cancellation token) across calls.
     pub limits: Limits,
+    /// Capacity (in entries) of the effect-keyed query-result cache;
+    /// `0` disables caching. Only queries whose inferred effect passes
+    /// the Theorem 7 guard (`new`-free, no `A(C)`, no `U(C)`) are ever
+    /// cached, and entries are invalidated by extent version bumps —
+    /// see [`crate::cache`].
+    pub cache_capacity: usize,
 }
 
 impl Default for DbOptions {
@@ -70,6 +79,7 @@ impl Default for DbOptions {
             require_deterministic: false,
             engine: Engine::default(),
             limits: Limits::none(),
+            cache_capacity: 1024,
         }
     }
 }
@@ -87,8 +97,13 @@ pub struct QueryResult {
     /// `static_effect` — that is Theorem 5, and a `debug_assert` checks
     /// it on every query.
     pub runtime_effect: Effect,
-    /// Reduction steps taken.
+    /// Reduction steps taken. `0` when the result was served from the
+    /// cache.
     pub steps: u64,
+    /// Whether the result was served from the query-result cache rather
+    /// than evaluated. Cached results are value-identical to a fresh
+    /// evaluation (Theorem 7 — see [`crate::cache`]).
+    pub cached: bool,
 }
 
 /// An IOQL database: schema + store + named query definitions.
@@ -101,6 +116,7 @@ pub struct Database {
     def_effects: BTreeMap<DefName, (FnType, Effect)>,
     method_effects: MethodEffects,
     options: DbOptions,
+    cache: QueryCache,
 }
 
 impl Database {
@@ -132,6 +148,7 @@ impl Database {
             def_effects: BTreeMap::new(),
             method_effects,
             options,
+            cache: QueryCache::new(options.cache_capacity),
         })
     }
 
@@ -255,6 +272,58 @@ impl Database {
         governor: &Governor,
     ) -> Result<QueryResult, DbError> {
         let (mut elab, ty, static_effect) = self.prepare(src)?;
+        // Theorem 7 guard: only `new`-free queries with no `A(C)` (and,
+        // for the §5 extension, no `U(C)`) are deterministic, hence
+        // memoizable. The effect check is the sound one; the syntactic
+        // `contains_new` checks are belt-and-braces, mirroring
+        // `Database::analyze`'s `functional` verdict.
+        let cacheable = self.options.cache_capacity > 0
+            && static_effect.is_read_only()
+            && !elab.contains_new()
+            && elab.called_defs().iter().all(|d| {
+                self.defs
+                    .iter()
+                    .any(|def| &def.name == d && !def.contains_new())
+            });
+        // Key on the *pre-optimization* elaborated query: the optimizer's
+        // output drifts with catalogue statistics, the elaborated form
+        // does not.
+        let cache_key = cacheable.then(|| elab.clone());
+        if let Some(key) = &cache_key {
+            if let Some(entry) = self.cache.lookup(key, &self.store) {
+                // A hit still passes through the governor, so the
+                // resource-limit contract is engine-identical: the
+                // deadline and cancellation are checked, the original
+                // run's cells are re-charged against this caller's
+                // budget, and the result cardinality is re-observed.
+                governor.checkpoint()?;
+                governor.charge_cells(entry.cells)?;
+                if let Value::Set(s) = &entry.value {
+                    governor.observe_set_card(s.len() as u64)?;
+                }
+                return Ok(QueryResult {
+                    value: entry.value,
+                    ty,
+                    static_effect,
+                    runtime_effect: entry.runtime_effect,
+                    steps: 0,
+                    cached: true,
+                });
+            }
+        }
+        // Fingerprint the read set *before* evaluation; the Theorem 7
+        // guard means evaluation cannot move these counters.
+        let read_versions = cache_key.as_ref().map(|_| {
+            effect_extents(&self.schema, &static_effect)
+                .reads
+                .into_iter()
+                .map(|e| {
+                    let v = self.store.extent_version(&e);
+                    (e, v)
+                })
+                .collect::<BTreeMap<_, _>>()
+        });
+        let cells_before = governor.cells_spent();
         if self.options.optimize {
             let (optimized, _) = self.optimize_prepared(&elab);
             elab = optimized;
@@ -309,7 +378,15 @@ impl Database {
             Ok(out) => out,
             Err(e) => {
                 if let Some(snap) = snapshot {
-                    self.store = snap;
+                    // Restoring the snapshot rewinds extent *contents*
+                    // to their pre-query state, but the aborted run may
+                    // have published intermediate contents under the
+                    // snapshot's version numbers (e.g. a partial `new`
+                    // batch read back by a later governed query). Move
+                    // every counter strictly past both histories so no
+                    // cached fingerprint can collide.
+                    let dirty = std::mem::replace(&mut self.store, snap);
+                    self.store.bump_versions_from(&dirty);
                 }
                 return Err(e);
             }
@@ -319,13 +396,30 @@ impl Database {
             "Theorem 5 violated: runtime effect {{{}}} escapes static {{{static_effect}}}",
             out.effect
         );
+        if let (Some(key), Some(versions)) = (cache_key, read_versions) {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    versions,
+                    value: out.value.clone(),
+                    runtime_effect: out.effect.clone(),
+                    cells: governor.cells_spent().saturating_sub(cells_before),
+                },
+            );
+        }
         Ok(QueryResult {
             value: out.value,
             ty,
             static_effect,
             runtime_effect: out.effect,
             steps: out.steps,
+            cached: false,
         })
+    }
+
+    /// Hit/miss/occupancy counters of the query-result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Runs a full program (definitions + query) against a *clone* of the
@@ -356,6 +450,7 @@ impl Database {
                 static_effect: inferred.effect,
                 runtime_effect: out.effect,
                 steps: out.steps,
+                cached: false,
             },
             store,
         ))
@@ -440,7 +535,12 @@ impl Database {
     /// against this database's schema. On any error — truncated, corrupt,
     /// or schema-mismatched dump — the in-memory store is untouched.
     pub fn load(&mut self, text: &str) -> Result<(), DbError> {
-        self.store = ioql_store::load_store(&self.schema, text)?;
+        let mut loaded = ioql_store::load_store(&self.schema, text)?;
+        // A freshly parsed store starts all version counters at 0, which
+        // could collide with fingerprints cached against the outgoing
+        // store; move every counter strictly past both histories.
+        loaded.bump_versions_from(&self.store);
+        self.store = loaded;
         Ok(())
     }
 
@@ -453,7 +553,9 @@ impl Database {
     /// Replaces the current store with one loaded from a dump file. As
     /// with [`Database::load`], a failed load leaves the store untouched.
     pub fn load_from(&mut self, path: &std::path::Path) -> Result<(), DbError> {
-        self.store = ioql_store::load_store_file(&self.schema, path)?;
+        let mut loaded = ioql_store::load_store_file(&self.schema, path)?;
+        loaded.bump_versions_from(&self.store);
+        self.store = loaded;
         Ok(())
     }
 

@@ -51,10 +51,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod database;
 pub mod error;
 
 pub use analysis::{Analysis, CommutationVerdict};
+pub use cache::CacheStats;
 pub use database::{Database, DbOptions, Engine, QueryResult};
 pub use error::DbError;
 

@@ -158,6 +158,15 @@ impl Effect {
         true
     }
 
+    /// Whether the effect licenses result caching: no `A(C)` and no
+    /// `U(C)` atom — the query may read extents and attributes but never
+    /// changes the store, so (by Theorem 7, whose `new`-freedom the
+    /// caller checks syntactically) its result is a pure function of the
+    /// versions of its read set.
+    pub fn is_read_only(&self) -> bool {
+        self.adds.is_empty() && self.updates.is_empty()
+    }
+
     /// Number of atoms.
     pub fn len(&self) -> usize {
         self.reads.len() + self.adds.len() + self.attr_reads.len() + self.updates.len()

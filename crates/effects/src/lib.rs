@@ -34,6 +34,7 @@ pub mod effect;
 pub mod env;
 pub mod infer;
 pub mod method_effects;
+pub mod read_sets;
 
 pub use effect::Effect;
 pub use env::{Discipline, EffectEnv};
@@ -41,3 +42,4 @@ pub use infer::{
     infer_definition, infer_program, infer_query, infer_runtime_query, EffectError, InferredProgram,
 };
 pub use method_effects::MethodEffects;
+pub use read_sets::{effect_extents, EffectExtents};

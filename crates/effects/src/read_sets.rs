@@ -1,0 +1,153 @@
+//! From abstract effects to concrete extents: the read/write sets a
+//! query's inferred [`Effect`] touches.
+//!
+//! The effect atoms name *classes* (`R(C)`, `A(C)`, `Ra(C)`, `U(C)`);
+//! invalidation machinery — per-extent version counters in `ioql-store`,
+//! the result cache in `ioql` — works in *extents*. This module performs
+//! the schema-directed translation:
+//!
+//! * `R(C)` reads exactly `extent_of(C)` — the `(Extent)` rule records
+//!   the extent's own class, so no subclass closure is needed.
+//! * `Ra(C)` reads the extents of `C` **and every subclass**: the
+//!   analysis records the *static* receiver class, but at runtime the
+//!   object's dynamic class may be any `D ≤ C`, and (without the ODMG
+//!   `inherited_extents` option) such an object lives only in
+//!   `extent_of(D)`. An attribute write to it bumps `extent_of(D)`, so
+//!   the read set must include it to notice.
+//! * `A(C)` writes `extents_for_new(C)` — the same extent chain the
+//!   `(New)` rule inserts into, so the write set matches exactly the
+//!   version counters a `new C` bumps.
+//! * `U(C)` writes the extents of `C` and every subclass, mirroring
+//!   `Ra`.
+
+use crate::effect::Effect;
+use ioql_ast::{ClassName, ExtentName};
+use ioql_schema::Schema;
+use std::collections::BTreeSet;
+
+/// The concrete extents an effect may read and write.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EffectExtents {
+    /// Extents whose contents (membership or member attributes) the
+    /// effect may observe. A cached result is valid while every extent
+    /// here still reports the version recorded at evaluation time.
+    pub reads: BTreeSet<ExtentName>,
+    /// Extents the effect may mutate (by `new` or attribute update).
+    pub writes: BTreeSet<ExtentName>,
+}
+
+/// The extents of `c` and all its proper subclasses — where an object
+/// whose *static* class is `c` can actually live.
+fn self_and_subclass_extents(schema: &Schema, c: &ClassName, out: &mut BTreeSet<ExtentName>) {
+    for def in schema.classes() {
+        if schema.extends(&def.name, c) {
+            if let Some(e) = schema.extent_of(&def.name) {
+                out.insert(e.clone());
+            }
+        }
+    }
+}
+
+/// Maps an inferred [`Effect`] to the concrete extents it reads and
+/// writes under `schema` (see the module docs for the per-atom rules).
+pub fn effect_extents(schema: &Schema, effect: &Effect) -> EffectExtents {
+    let mut out = EffectExtents::default();
+    for c in &effect.reads {
+        if let Some(e) = schema.extent_of(c) {
+            out.reads.insert(e.clone());
+        }
+    }
+    for c in &effect.attr_reads {
+        self_and_subclass_extents(schema, c, &mut out.reads);
+    }
+    for c in &effect.adds {
+        out.writes.extend(schema.extents_for_new(c));
+    }
+    for c in &effect.updates {
+        self_and_subclass_extents(schema, c, &mut out.writes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_ast::ClassDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ClassDef::plain("Person", ClassName::object(), "Persons", []),
+            ClassDef::plain("Employee", "Person", "Employees", []),
+            ClassDef::plain("Robot", ClassName::object(), "Robots", []),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn extent_reads_are_exact() {
+        let s = schema();
+        let rw = effect_extents(&s, &Effect::read("Person"));
+        assert_eq!(rw.reads, [ExtentName::new("Persons")].into_iter().collect());
+        assert!(rw.writes.is_empty());
+    }
+
+    #[test]
+    fn attr_reads_close_over_subclasses() {
+        let s = schema();
+        let rw = effect_extents(&s, &Effect::attr_read("Person"));
+        assert_eq!(
+            rw.reads,
+            [ExtentName::new("Persons"), ExtentName::new("Employees")]
+                .into_iter()
+                .collect()
+        );
+        // A subclass attr-read does not reach up to the superclass extent.
+        let rw2 = effect_extents(&s, &Effect::attr_read("Employee"));
+        assert_eq!(
+            rw2.reads,
+            [ExtentName::new("Employees")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn adds_match_the_new_rule_extent_chain() {
+        let s = schema();
+        let rw = effect_extents(&s, &Effect::add("Employee"));
+        assert_eq!(
+            rw.writes,
+            s.extents_for_new(&ClassName::new("Employee"))
+                .into_iter()
+                .collect()
+        );
+        assert!(rw.reads.is_empty());
+    }
+
+    #[test]
+    fn updates_close_over_subclasses() {
+        let s = schema();
+        let rw = effect_extents(&s, &Effect::update("Person"));
+        assert_eq!(
+            rw.writes,
+            [ExtentName::new("Persons"), ExtentName::new("Employees")]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn unrelated_classes_do_not_leak() {
+        let s = schema();
+        let e = Effect::read("Robot").union(&Effect::attr_read("Robot"));
+        let rw = effect_extents(&s, &e);
+        assert_eq!(rw.reads, [ExtentName::new("Robots")].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_effect_touches_nothing() {
+        let s = schema();
+        assert_eq!(
+            effect_extents(&s, &Effect::empty()),
+            EffectExtents::default()
+        );
+    }
+}

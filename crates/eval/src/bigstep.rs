@@ -27,11 +27,11 @@
 
 use crate::chooser::Chooser;
 use crate::machine::{DefEnv, EvalConfig, EvalError};
-use ioql_ast::{Qualifier, Query, Value};
+use ioql_ast::{AttrName, Qualifier, Query, Value, VarName};
 use ioql_effects::Effect;
 use ioql_methods::{invoke, MethodCall};
 use ioql_store::{Object, Store};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// The result of a big-step evaluation.
 #[derive(Clone, Debug)]
@@ -49,6 +49,89 @@ struct Ev<'a, 'c> {
     chooser: &'c mut dyn Chooser,
     effect: Effect,
     fuel: u64,
+}
+
+/// Which equality the indexable predicate uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EqKind {
+    /// `=` — integer equality.
+    Int,
+    /// `==` — object identity.
+    Obj,
+}
+
+/// How the indexable predicate reaches the generator variable.
+#[derive(Clone, Copy, Debug)]
+enum Access<'q> {
+    /// The bare variable: `x = q` / `q == x`.
+    Bare,
+    /// One attribute hop: `x.a = q` / `q == x.a`.
+    Attr(&'q AttrName),
+}
+
+/// A recognized `x <- src, <eq-pred>, …` shape eligible for the one-shot
+/// hash index (see [`Ev::comp`]).
+struct IndexPlan<'q> {
+    kind: EqKind,
+    access: Access<'q>,
+    /// The non-variable side; closed, `new`-free, invocation-free,
+    /// call-free, and comprehension-free (so evaluating it once makes
+    /// no chooser draws and cannot change the store).
+    closed: &'q Query,
+    /// The qualifiers after the indexed predicate.
+    rest_after_pred: &'q [Qualifier],
+}
+
+/// Matches `quals` against the indexable shape: a leading equality
+/// predicate with the generator variable (or one attribute of it) on one
+/// side and a closed, pure, invocation-free query on the other. Mirrors
+/// the optimizer's divergence discipline: anything that could diverge,
+/// choose, or mutate on re-evaluation disqualifies the closed side.
+fn index_plan<'q>(x: &VarName, quals: &'q [Qualifier]) -> Option<IndexPlan<'q>> {
+    let (Qualifier::Pred(p), rest_after_pred) = quals.split_first()? else {
+        return None;
+    };
+    let (kind, lhs, rhs) = match p {
+        Query::IntEq(a, b) => (EqKind::Int, &**a, &**b),
+        Query::ObjEq(a, b) => (EqKind::Obj, &**a, &**b),
+        _ => return None,
+    };
+    let var_side = |q: &'q Query| -> Option<Access<'q>> {
+        match q {
+            Query::Var(y) if y == x => Some(Access::Bare),
+            Query::Attr(subject, a) => match &**subject {
+                Query::Var(y) if y == x => Some(Access::Attr(a)),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let closed_ok = |q: &Query| {
+        q.free_vars().is_empty()
+            && !q.contains_new()
+            && !q.contains_invoke()
+            && q.called_defs().is_empty()
+            && !q.contains_comp()
+    };
+    let (access, closed) = match (var_side(lhs), var_side(rhs)) {
+        (Some(acc), None) if closed_ok(rhs) => (acc, rhs),
+        (None, Some(acc)) if closed_ok(lhs) => (acc, lhs),
+        _ => return None,
+    };
+    Some(IndexPlan {
+        kind,
+        access,
+        closed,
+        rest_after_pred,
+    })
+}
+
+/// Whether re-running this query between generator draws could change the
+/// store (directly via `new`, via a method body, or via a definition
+/// whose body we refuse to inspect here). The index is built once, so the
+/// loop body must leave every store fact it probes untouched.
+fn loop_stable(q: &Query) -> bool {
+    !q.contains_new() && !q.contains_invoke() && q.called_defs().is_empty()
 }
 
 /// Evaluates `q` to a value in one recursive descent:
@@ -313,6 +396,59 @@ impl Ev<'_, '_> {
         }
     }
 
+    /// Builds the one-shot hash index for an [`IndexPlan`]: the set of
+    /// generator elements whose equality predicate passes.
+    ///
+    /// Entirely *speculative*: `None` on any anomaly — closed side fails
+    /// to evaluate, target has the wrong type or dangles, an element is
+    /// not the shape the equality demands — and the caller falls back to
+    /// the naive per-element path, which reproduces the exact naive
+    /// error at the exact naive position. Every anomaly implies the
+    /// naive loop eventually returns `Err` (each element's predicate is
+    /// evaluated when it is drawn, and a closed-side failure surfaces at
+    /// the first draw), so the side effects of a speculative attempt —
+    /// one closed-side evaluation's fuel/effect/governor traffic, `Ra`
+    /// unions for scanned elements — are never observable in a
+    /// successful result, and effect union is idempotent on the paths
+    /// that do succeed.
+    fn build_index<'v>(
+        &mut self,
+        store: &mut Store,
+        plan: &IndexPlan<'_>,
+        elements: impl Iterator<Item = &'v Value>,
+    ) -> Option<HashSet<Value>> {
+        let target = self.eval(store, plan.closed).ok()?;
+        let well_formed = |store: &Store, v: &Value| match (plan.kind, v) {
+            (EqKind::Int, Value::Int(_)) => true,
+            (EqKind::Obj, Value::Oid(o)) => store.objects.contains(*o),
+            _ => false,
+        };
+        if !well_formed(store, &target) {
+            return None;
+        }
+        let mut pass = HashSet::new();
+        for elem in elements {
+            let probe = match plan.access {
+                Access::Bare => elem.clone(),
+                Access::Attr(a) => {
+                    let Value::Oid(o) = elem else { return None };
+                    let class = store.class_of(*o).ok()?.clone();
+                    // The naive path records `Ra` for every drawn
+                    // element whether or not its predicate passes.
+                    self.effect.union_with(&Effect::attr_read(class));
+                    store.attr(*o, a).ok()?.clone()
+                }
+            };
+            if !well_formed(store, &probe) {
+                return None;
+            }
+            if probe == target {
+                pass.insert(elem.clone());
+            }
+        }
+        Some(pass)
+    }
+
     /// Evaluates a comprehension tail, unioning produced elements into
     /// `out`. Mirrors the small-step rules: first qualifier decides; a
     /// generator draws elements through the chooser, evaluating the rest
@@ -340,17 +476,74 @@ impl Ev<'_, '_> {
                     Value::Set(s) => s.into_iter().collect(),
                     _ => return self.stuck(src, "generator over a non-set"),
                 };
+                // Indexed-generator fast path: when the first qualifier
+                // after the generator is an equality over `x` (or one
+                // attribute of it) against a closed pure side, build a
+                // one-shot hash index of the passing elements instead of
+                // re-evaluating the whole residual comprehension per
+                // element. Every element is still *drawn* through the
+                // chooser and charged one cell, so the `(ND comp)` choice
+                // sequence — and hence engine parity with the small-step
+                // machine — is untouched; only the per-element predicate
+                // evaluation is replaced by a set probe. The loop body
+                // must not be able to move the store out from under the
+                // index, hence the `loop_stable` guard.
+                let plan = if loop_stable(head)
+                    && rest.iter().all(|qu| match qu {
+                        Qualifier::Pred(q) | Qualifier::Gen(_, q) => loop_stable(q),
+                    }) {
+                    index_plan(x, rest)
+                } else {
+                    None
+                };
+                // `None` until the first draw; `Some(None)` = plan
+                // abandoned (anomaly found — naive path reproduces the
+                // exact error), `Some(Some(idx))` = probe with `idx`.
+                let mut index: Option<Option<HashSet<Value>>> = None;
                 while !remaining.is_empty() {
                     let i = self.chooser.choose(remaining.len());
                     if let Some(gov) = self.cfg.governor {
                         gov.charge_cells(1)?;
                     }
                     let picked = remaining.remove(i);
-                    let body = Query::Comp(Box::new(head.clone()), rest.to_vec()).subst(x, &picked);
-                    let Query::Comp(h2, r2) = body else {
-                        unreachable!("substitution preserves the constructor")
-                    };
-                    self.comp(store, &h2, &r2, out)?;
+                    if index.is_none() {
+                        // Attempted exactly once, at the first draw — the
+                        // position where the naive path would first touch
+                        // the predicate, so the closed side's one
+                        // evaluation lands where naive's first would.
+                        index = Some(match &plan {
+                            Some(plan) => self.build_index(
+                                store,
+                                plan,
+                                std::iter::once(&picked).chain(remaining.iter()),
+                            ),
+                            None => None,
+                        });
+                    }
+                    match index.as_ref().expect("initialized at first draw") {
+                        Some(pass) => {
+                            if pass.contains(&picked) {
+                                let after = plan
+                                    .as_ref()
+                                    .expect("index exists only under a plan")
+                                    .rest_after_pred;
+                                let body = Query::Comp(Box::new(head.clone()), after.to_vec())
+                                    .subst(x, &picked);
+                                let Query::Comp(h2, r2) = body else {
+                                    unreachable!("substitution preserves the constructor")
+                                };
+                                self.comp(store, &h2, &r2, out)?;
+                            }
+                        }
+                        None => {
+                            let body = Query::Comp(Box::new(head.clone()), rest.to_vec())
+                                .subst(x, &picked);
+                            let Query::Comp(h2, r2) = body else {
+                                unreachable!("substitution preserves the constructor")
+                            };
+                            self.comp(store, &h2, &r2, out)?;
+                        }
+                    }
                 }
                 Ok(())
             }
@@ -403,6 +596,191 @@ mod tests {
         assert_eq!(big.value, small.value);
         assert_eq!(big.effect, small.effect);
         assert_eq!(s1, s2);
+    }
+
+    /// Runs `q` through both engines with matched choosers and asserts
+    /// value/effect/store agreement (success) or error-class agreement
+    /// (failure).
+    fn assert_engines_agree(schema: &Schema, store: &Store, q: &Query) {
+        use crate::chooser::LastChooser;
+        let cfg = EvalConfig::new(schema);
+        let defs = DefEnv::new();
+        for first in [true, false] {
+            let mut s1 = store.clone();
+            let mut s2 = store.clone();
+            let (big, small) = if first {
+                (
+                    eval_big(&cfg, &defs, &mut s1, q, &mut FirstChooser, 100_000),
+                    crate::machine::evaluate(&cfg, &defs, &mut s2, q, &mut FirstChooser, 100_000),
+                )
+            } else {
+                (
+                    eval_big(&cfg, &defs, &mut s1, q, &mut LastChooser, 100_000),
+                    crate::machine::evaluate(&cfg, &defs, &mut s2, q, &mut LastChooser, 100_000),
+                )
+            };
+            match (big, small) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.value, s.value, "value mismatch on {q}");
+                    assert_eq!(b.effect, s.effect, "effect mismatch on {q}");
+                    assert_eq!(s1, s2, "store mismatch on {q}");
+                }
+                (Err(b), Err(s)) => assert_eq!(
+                    std::mem::discriminant(&b),
+                    std::mem::discriminant(&s),
+                    "error class mismatch on {q}: big={b:?} small={s:?}"
+                ),
+                (b, s) => panic!("one engine failed on {q}: big={b:?} small={s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_attr_equality_agrees_with_small_step() {
+        let (schema, store) = setup();
+        // `{ x.n + 100 | x <- Ps, x.n = 2 }` — fires the one-shot index
+        // (attr access on the generator variable, closed int side).
+        let q = Query::comp(
+            Query::var("x").attr("n").add(Query::int(100)),
+            [
+                Qualifier::Gen(VarName::new("x"), Query::extent("Ps")),
+                Qualifier::Pred(Query::var("x").attr("n").int_eq(Query::int(2))),
+            ],
+        );
+        assert_engines_agree(&schema, &store, &q);
+    }
+
+    #[test]
+    fn indexed_bare_equality_agrees_with_small_step() {
+        let (schema, store) = setup();
+        // Closed side on the *left* — `2 = x` over a set literal.
+        let q = Query::comp(
+            Query::var("x"),
+            [
+                Qualifier::Gen(
+                    VarName::new("x"),
+                    Query::set_lit([Query::int(1), Query::int(2), Query::int(3)]),
+                ),
+                Qualifier::Pred(Query::int(2).int_eq(Query::var("x"))),
+            ],
+        );
+        assert_engines_agree(&schema, &store, &q);
+    }
+
+    #[test]
+    fn indexed_obj_equality_agrees_with_small_step() {
+        let (schema, store) = setup();
+        // `{ 1 | x <- Ps, x == x' }` with x' drawn via a nested closed
+        // scan is not closed; use identity against a literal oid instead.
+        let some_oid = {
+            let Value::Set(s) = store
+                .extent_value(&ioql_ast::ExtentName::new("Ps"))
+                .unwrap()
+            else {
+                panic!("extent is a set")
+            };
+            s.into_iter().next().unwrap()
+        };
+        let q = Query::comp(
+            Query::var("x").attr("n"),
+            [
+                Qualifier::Gen(VarName::new("x"), Query::extent("Ps")),
+                Qualifier::Pred(Query::var("x").obj_eq(Query::Lit(some_oid))),
+            ],
+        );
+        assert_engines_agree(&schema, &store, &q);
+    }
+
+    #[test]
+    fn indexed_path_falls_back_on_ill_typed_elements() {
+        let (schema, store) = setup();
+        // A boolean sneaks into the generator set: the index build
+        // abandons the plan and the naive path sticks exactly like the
+        // small-step machine does.
+        let q = Query::comp(
+            Query::var("x"),
+            [
+                Qualifier::Gen(
+                    VarName::new("x"),
+                    Query::set_lit([Query::int(1), Query::bool(true)]),
+                ),
+                Qualifier::Pred(Query::var("x").int_eq(Query::int(1))),
+            ],
+        );
+        assert_engines_agree(&schema, &store, &q);
+    }
+
+    #[test]
+    fn indexed_path_skipped_when_body_mutates() {
+        let (schema, store) = setup();
+        // The head contains `new`, so the store moves between draws —
+        // `loop_stable` must refuse the index and both engines must
+        // still agree (each pass creates an object).
+        let q = Query::comp(
+            Query::New(
+                ClassName::new("P"),
+                vec![(ioql_ast::AttrName::new("n"), Query::var("x"))],
+            ),
+            [
+                Qualifier::Gen(
+                    VarName::new("x"),
+                    Query::set_lit([Query::int(7), Query::int(8)]),
+                ),
+                Qualifier::Pred(Query::var("x").int_eq(Query::int(7))),
+            ],
+        );
+        assert_engines_agree(&schema, &store, &q);
+    }
+
+    #[test]
+    fn scripted_taken_replays_through_both_engines() {
+        use crate::chooser::ScriptedChooser;
+        let (schema, store) = setup();
+        let cfg = EvalConfig::new(&schema);
+        let defs = DefEnv::new();
+        // `new` in the head makes the outcome order-sensitive, so a
+        // wrong replay path would be visible in the produced store.
+        let q = Query::comp(
+            Query::New(
+                ClassName::new("P"),
+                vec![(ioql_ast::AttrName::new("n"), Query::var("x"))],
+            ),
+            [Qualifier::Gen(
+                VarName::new("x"),
+                Query::set_lit([Query::int(1), Query::int(2), Query::int(3)]),
+            )],
+        );
+        // Out-of-range script entries get clamped by `choose`; `taken()`
+        // must report the clamped path so it replays to this outcome.
+        let mut orig = ScriptedChooser::new(vec![99, 99, 99]);
+        let mut s0 = store.clone();
+        let r0 = eval_big(&cfg, &defs, &mut s0, &q, &mut orig, 100_000).unwrap();
+        let path = orig.taken();
+        assert_eq!(path, vec![2, 1, 0], "clamped picks, not raw 99s");
+        let mut s1 = store.clone();
+        let r1 = eval_big(
+            &cfg,
+            &defs,
+            &mut s1,
+            &q,
+            &mut ScriptedChooser::new(path.clone()),
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r0.value, r1.value);
+        assert_eq!(s0, s1);
+        let mut s2 = store.clone();
+        let r2 = crate::machine::evaluate(
+            &cfg,
+            &defs,
+            &mut s2,
+            &q,
+            &mut ScriptedChooser::new(path),
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r0.value, r2.value);
+        assert_eq!(s0, s2);
     }
 
     #[test]

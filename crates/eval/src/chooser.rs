@@ -69,6 +69,8 @@ pub struct ScriptedChooser {
     pos: usize,
     /// Arities of the choice points encountered, in order.
     pub arities: Vec<usize>,
+    /// The picks actually returned (post-clamping), in order.
+    taken: Vec<usize>,
 }
 
 impl ScriptedChooser {
@@ -78,25 +80,35 @@ impl ScriptedChooser {
             script,
             pos: 0,
             arities: Vec::new(),
+            taken: Vec::new(),
         }
     }
 
-    /// The choices actually taken (script prefix plus fallback zeros).
+    /// The choices actually taken. These are the *returned* picks —
+    /// out-of-range script entries recorded after clamping, fallback
+    /// zeros past the script's end — so replaying them through a fresh
+    /// `ScriptedChooser` reproduces the observed run exactly. (An
+    /// earlier version echoed the raw script entries, which could name a
+    /// path that does not replay to the observed outcome.)
     pub fn taken(&self) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.arities.len());
-        for (i, _) in self.arities.iter().enumerate() {
-            out.push(self.script.get(i).copied().unwrap_or(0));
-        }
-        out
+        self.taken.clone()
     }
 }
 
 impl Chooser for ScriptedChooser {
     fn choose(&mut self, n: usize) -> usize {
         self.arities.push(n);
-        let pick = self.script.get(self.pos).copied().unwrap_or(0);
+        // `n = 0` violates the trait contract (callers only ask with a
+        // non-empty candidate set), but must not underflow `n - 1`;
+        // answer 0 without consuming a script entry.
+        if n == 0 {
+            self.taken.push(0);
+            return 0;
+        }
+        let pick = self.script.get(self.pos).copied().unwrap_or(0).min(n - 1);
         self.pos += 1;
-        pick.min(n - 1)
+        self.taken.push(pick);
+        pick
     }
 }
 
@@ -137,5 +149,20 @@ mod tests {
     fn scripted_clamps_to_range() {
         let mut c = ScriptedChooser::new(vec![9]);
         assert_eq!(c.choose(3), 2);
+        // `taken()` reports the clamped pick, not the raw script entry —
+        // replaying it must reproduce this run.
+        assert_eq!(c.taken(), vec![2]);
+        let mut replay = ScriptedChooser::new(c.taken());
+        assert_eq!(replay.choose(3), 2);
+    }
+
+    #[test]
+    fn scripted_survives_zero_arity() {
+        let mut c = ScriptedChooser::new(vec![1, 1]);
+        assert_eq!(c.choose(2), 1);
+        assert_eq!(c.choose(0), 0); // no panic, no script entry consumed
+        assert_eq!(c.choose(2), 1);
+        assert_eq!(c.arities, vec![2, 0, 2]);
+        assert_eq!(c.taken(), vec![1, 0, 1]);
     }
 }

@@ -9,11 +9,20 @@ use ioql_ast::{ExtentName, Qualifier, Query};
 use std::collections::BTreeMap;
 
 /// Extent statistics: current (or estimated) extent cardinalities.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Stats {
     sizes: BTreeMap<ExtentName, usize>,
     /// Cardinality assumed for extents with no recorded statistic.
     pub default_extent_size: usize,
+}
+
+impl Default for Stats {
+    /// Same as [`Stats::new`]. (A derived `Default` would zero
+    /// `default_extent_size`, silently flattening every unrecorded
+    /// cardinality estimate and flipping commute decisions.)
+    fn default() -> Self {
+        Stats::new()
+    }
 }
 
 impl Stats {
@@ -100,6 +109,17 @@ impl Stats {
 mod tests {
     use super::*;
     use ioql_ast::VarName;
+
+    #[test]
+    fn default_is_new() {
+        let d = Stats::default();
+        let n = Stats::new();
+        assert_eq!(d.default_extent_size, n.default_extent_size);
+        assert_eq!(
+            d.extent_size(&ExtentName::new("Unseen")),
+            n.extent_size(&ExtentName::new("Unseen"))
+        );
+    }
 
     #[test]
     fn extent_sizes_seed_estimates() {

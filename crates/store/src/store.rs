@@ -2,6 +2,7 @@
 
 use crate::env::{ExtentEnv, Object, ObjectEnv};
 use ioql_ast::{AttrName, ClassName, ExtentName, Oid, Value};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Errors raised by direct store manipulation (population helpers). Query
@@ -34,14 +35,38 @@ impl std::error::Error for StoreError {}
 ///
 /// [`Store`] is `Clone`; reduction-outcome exploration and the optimizer's
 /// equivalence harness snapshot it freely.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Every extent additionally carries a monotonic **version counter**,
+/// bumped whenever the data reachable through that extent may have
+/// changed: on [`Store::create`] (for each extent the object enters), on
+/// [`Store::set_attr`] (for each extent containing the object), and —
+/// via [`Store::bump_versions_from`] — when a whole store is replaced by
+/// a dump load or a failure rollback. Version counters are *cache
+/// metadata*, not semantic state: they are excluded from `PartialEq`, so
+/// two stores holding the same objects compare equal regardless of their
+/// mutation histories.
+#[derive(Clone, Debug, Default)]
 pub struct Store {
     /// The extent environment `EE`.
     pub extents: ExtentEnv,
     /// The object environment `OE`.
     pub objects: ObjectEnv,
     next_oid: u64,
+    versions: BTreeMap<ExtentName, u64>,
 }
+
+/// Semantic equality: extents, objects, and the oid allocator. Version
+/// counters deliberately do not participate — they only describe *how
+/// often* an extent changed, not what it holds.
+impl PartialEq for Store {
+    fn eq(&self, other: &Self) -> bool {
+        self.extents == other.extents
+            && self.objects == other.objects
+            && self.next_oid == other.next_oid
+    }
+}
+
+impl Eq for Store {}
 
 impl Store {
     /// An empty store with no extents declared.
@@ -58,6 +83,38 @@ impl Store {
     /// used when loading a dump that contains explicit oids.
     pub fn bump_oid_floor(&mut self, floor: u64) {
         self.next_oid = self.next_oid.max(floor);
+    }
+
+    /// The current version of extent `e` (0 for a never-mutated or
+    /// undeclared extent). Monotonic within one store's lifetime; a cache
+    /// entry keyed on `(query, version vector of its read set)` is valid
+    /// exactly while every read extent still reports its recorded
+    /// version.
+    pub fn extent_version(&self, e: &ExtentName) -> u64 {
+        self.versions.get(e).copied().unwrap_or(0)
+    }
+
+    /// Marks extent `e` as changed (its version moves forward).
+    pub fn bump_version(&mut self, e: &ExtentName) {
+        *self.versions.entry(e.clone()).or_insert(0) += 1;
+    }
+
+    /// After replacing store *data* wholesale (a dump load installing a
+    /// new store, or a failure rollback re-installing a snapshot), move
+    /// every extent's version strictly past both histories: the new
+    /// version is `max(self, prev) + 1` per extent. Monotonicity is what
+    /// keeps stale cache entries from ever matching — a version number,
+    /// once associated with one extent state, is never reused for
+    /// another.
+    pub fn bump_versions_from(&mut self, prev: &Store) {
+        let mut names: BTreeSet<ExtentName> = self.versions.keys().cloned().collect();
+        names.extend(prev.versions.keys().cloned());
+        names.extend(self.extents.iter().map(|(e, _, _)| e.clone()));
+        names.extend(prev.extents.iter().map(|(e, _, _)| e.clone()));
+        for e in names {
+            let v = self.extent_version(&e).max(prev.extent_version(&e));
+            self.versions.insert(e, v + 1);
+        }
     }
 
     /// Allocates a fresh oid — `fresh o ∉ dom(OE)` in the `(New)` rule.
@@ -83,6 +140,7 @@ impl Store {
             if !self.extents.add(&e, o) {
                 return Err(StoreError::UnknownExtent(e));
             }
+            self.bump_version(&e);
         }
         Ok(o)
     }
@@ -94,16 +152,28 @@ impl Store {
             .ok_or_else(|| StoreError::UnknownAttr(o, a.clone()))
     }
 
-    /// Updates `OE(o).a` — §5 extended (update) mode only.
+    /// Updates `OE(o).a` — §5 extended (update) mode only. Bumps the
+    /// version of every extent containing `o`: an attribute write changes
+    /// the data reachable through those extents, so any cached result
+    /// whose read set includes them must stop matching.
     pub fn set_attr(&mut self, o: Oid, a: &AttrName, v: Value) -> Result<(), StoreError> {
         let obj = self.objects.get_mut(o).ok_or(StoreError::UnknownOid(o))?;
         match obj.attrs.get_mut(a) {
             Some(slot) => {
                 *slot = v;
-                Ok(())
             }
-            None => Err(StoreError::UnknownAttr(o, a.clone())),
+            None => return Err(StoreError::UnknownAttr(o, a.clone())),
         }
+        let touched: Vec<ExtentName> = self
+            .extents
+            .iter()
+            .filter(|(_, _, members)| members.contains(&o))
+            .map(|(e, _, _)| e.clone())
+            .collect();
+        for e in touched {
+            self.bump_version(&e);
+        }
+        Ok(())
     }
 
     /// The dynamic class of `o`.
@@ -220,6 +290,83 @@ mod tests {
             s.set_attr(o, &AttrName::new("ghost"), Value::Int(0)),
             Err(StoreError::UnknownAttr(_, _))
         ));
+    }
+
+    #[test]
+    fn create_bumps_only_touched_extent_versions() {
+        let mut s = store();
+        s.declare_extent("Qs", "Q");
+        let e_ps = ExtentName::new("Ps");
+        let e_qs = ExtentName::new("Qs");
+        assert_eq!(s.extent_version(&e_ps), 0);
+        s.create(
+            Object::new("P", Vec::<(&str, Value)>::new()),
+            [e_ps.clone()],
+        )
+        .unwrap();
+        assert_eq!(s.extent_version(&e_ps), 1);
+        assert_eq!(s.extent_version(&e_qs), 0);
+    }
+
+    #[test]
+    fn set_attr_bumps_containing_extents() {
+        let mut s = store();
+        let o = s
+            .create(
+                Object::new("P", [("name", Value::Int(1))]),
+                [ExtentName::new("Ps")],
+            )
+            .unwrap();
+        let v_after_create = s.extent_version(&ExtentName::new("Ps"));
+        s.set_attr(o, &AttrName::new("name"), Value::Int(2))
+            .unwrap();
+        assert!(s.extent_version(&ExtentName::new("Ps")) > v_after_create);
+    }
+
+    #[test]
+    fn versions_excluded_from_equality() {
+        let mut a = store();
+        let mut b = store();
+        // Same final contents, different mutation histories.
+        let o = a
+            .create(
+                Object::new("P", [("name", Value::Int(1))]),
+                [ExtentName::new("Ps")],
+            )
+            .unwrap();
+        a.set_attr(o, &AttrName::new("name"), Value::Int(5))
+            .unwrap();
+        b.create(
+            Object::new("P", [("name", Value::Int(5))]),
+            [ExtentName::new("Ps")],
+        )
+        .unwrap();
+        assert_ne!(
+            a.extent_version(&ExtentName::new("Ps")),
+            b.extent_version(&ExtentName::new("Ps"))
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bump_versions_from_moves_past_both_histories() {
+        let e = ExtentName::new("Ps");
+        let mut old = store();
+        for _ in 0..5 {
+            old.create(Object::new("P", Vec::<(&str, Value)>::new()), [e.clone()])
+                .unwrap();
+        }
+        // A freshly loaded replacement starts at version 0; adopting the
+        // discarded store's history pushes strictly past it.
+        let mut fresh = store();
+        fresh.bump_versions_from(&old);
+        assert!(fresh.extent_version(&e) > old.extent_version(&e));
+        // And the other direction: rollback to an *older* snapshot must
+        // also move forward, never back.
+        let snap = store();
+        let mut rolled = snap.clone();
+        rolled.bump_versions_from(&old);
+        assert!(rolled.extent_version(&e) > old.extent_version(&e));
     }
 
     #[test]
