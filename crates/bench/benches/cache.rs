@@ -6,8 +6,10 @@
 //! in-workspace `tests/cache.rs` pins the same bound offline). The
 //! supporting measurements show what the cache costs when it can never
 //! hit (a mutating workload bumping versions every query) and what the
-//! big-step evaluator's one-shot hash index buys on equality-filtered
-//! scans.
+//! one-shot hash index buys on equality-filtered scans. (The index
+//! originally lived in the big-step evaluator; ISSUE 3 moved it into the
+//! `ioql-plan` operator pipeline — B7 measures the plan engine, while
+//! the second group here now records the interpreters' naive baseline.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ioql::{Database, DbOptions, Engine};

@@ -15,6 +15,7 @@
 //! :explore <query>   enumerate every (ND comp) order; list outcomes
 //! :trace <query>     step-by-step derivation with rule names
 //! :optimize <query>  show the effect-guided rewrite result
+//! :plan <query>      show the physical plan (operators, costs, guard)
 //! :save <file>       dump the store to a file (atomic write + checksum)
 //! :load <file>       load a store dump (replaces current contents)
 //! :schema            list classes, attributes, methods
@@ -39,6 +40,7 @@ commands:
   :explore <query>   enumerate every (ND comp) order; list outcomes
   :trace <query>     step-by-step derivation with rule names
   :optimize <query>  show the effect-guided rewrite result
+  :plan <query>      show the physical plan (operators, costs, guard)
   :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
   :schema            list classes, attributes, methods
@@ -213,6 +215,10 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
             println!("{:<28} {}", r.rule, r.note);
         }
         println!("result: {q}");
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":plan ") {
+        print!("{}", db.explain(rest)?);
         return Ok(());
     }
     if line.starts_with("define ") {

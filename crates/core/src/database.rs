@@ -34,6 +34,13 @@ pub enum Engine {
     /// the machine on value, store, and effect trace; the differential
     /// suite keeps it honest. Step counts are not reported (0).
     BigStep,
+    /// The physical-plan executor (`ioql-plan`): Theorem-7-eligible
+    /// queries are lowered to a costed operator pipeline (scans, hash
+    /// index probes, set operators) and executed there; everything else
+    /// falls back to the big-step evaluator. Observationally identical
+    /// to the interpreters — same chooser draws, governor charges, and
+    /// effects — see `tests/plan.rs`. Step counts are not reported (0).
+    Plan,
 }
 
 /// Pipeline configuration.
@@ -348,6 +355,14 @@ impl Database {
         };
         let engine = self.options.engine;
         let max_steps = self.options.max_steps;
+        // Lower to a physical plan before taking the store mutably (the
+        // lowering reads extent sizes for its cost model). `None` — the
+        // Theorem 7 guard refused, or the engine is an interpreter —
+        // means the interpreters run the query as before.
+        let plan = match engine {
+            Engine::Plan => ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()),
+            _ => None,
+        };
         let store = &mut self.store;
         // Contain engine panics: a bug in either evaluator must not
         // tear down the caller. `AssertUnwindSafe` is justified because
@@ -362,6 +377,25 @@ impl Database {
                     steps: 0,
                 }
             }),
+            Engine::Plan => {
+                match &plan {
+                    Some(plan) => ioql_plan::execute(plan, &cfg, &defs, store, chooser, max_steps)
+                        .map(|r| ioql_eval::Evaluated {
+                            value: r.value,
+                            effect: r.effect,
+                            steps: 0,
+                        }),
+                    // Ineligible or shape-unknown: the big-step evaluator is
+                    // the plan engine's interpreter tier.
+                    None => eval_big(&cfg, &defs, store, &elab, chooser, max_steps).map(|r| {
+                        ioql_eval::Evaluated {
+                            value: r.value,
+                            effect: r.effect,
+                            steps: 0,
+                        }
+                    }),
+                }
+            }
         }));
         let result = match outcome {
             Ok(r) => r.map_err(DbError::from),
@@ -498,15 +532,67 @@ impl Database {
         Ok(self.optimize_prepared(&elab))
     }
 
-    fn optimize_prepared(&self, elab: &Query) -> (Query, Vec<AppliedRewrite>) {
+    /// Catalogue statistics seeded from the current extent sizes — shared
+    /// by the optimizer's and the plan lowering's cost models.
+    fn stats(&self) -> Stats {
         let mut stats = Stats::new();
         for (e, _, members) in self.store.extents.iter() {
             stats.set(e.clone(), members.len());
         }
+        stats
+    }
+
+    fn optimize_prepared(&self, elab: &Query) -> (Query, Vec<AppliedRewrite>) {
+        let stats = self.stats();
         let program = Program::new(self.defs.clone(), elab.clone());
         let (optimized, applied) =
             run_optimizer(&self.schema, &program, stats, OptOptions::default());
         (optimized.query, applied)
+    }
+
+    /// Renders the physical plan the `Plan` engine would execute for a
+    /// query — the chosen operators with cost estimates and the effect
+    /// guard licensing each choice — or, when the Theorem 7 guard
+    /// refuses (or the root shape has no physical operator), a
+    /// diagnosis of which condition failed. Respects
+    /// [`DbOptions::optimize`], exactly as execution does.
+    pub fn explain(&self, src: &str) -> Result<String, DbError> {
+        let (mut elab, _, static_effect) = self.prepare(src)?;
+        if self.options.optimize {
+            elab = self.optimize_prepared(&elab).0;
+        }
+        let defs = self.def_env();
+        if let Some(plan) = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()) {
+            return Ok(plan.render());
+        }
+        let yes_no = |b: bool| if b { "yes" } else { "no" };
+        let defs_ok = elab.called_defs().iter().all(|d| {
+            defs.get(d)
+                .is_some_and(|def| !def.body.contains_new() && !def.body.contains_invoke())
+        });
+        let guard_holds = static_effect.is_read_only()
+            && !elab.contains_new()
+            && !elab.contains_invoke()
+            && defs_ok;
+        Ok(format!(
+            "no physical plan — the interpreter executes this query\n  \
+             Thm 7 guard:\n    \
+             effect {{{static_effect}}} read-only: {}\n    \
+             `new`-free: {}\n    \
+             invocation-free: {}\n    \
+             called defs pure: {}\n  \
+             root shape has a physical operator: {}\n",
+            yes_no(static_effect.is_read_only()),
+            yes_no(!elab.contains_new()),
+            yes_no(!elab.contains_invoke()),
+            yes_no(defs_ok),
+            // The guard held but `lower` still declined ⇒ shape.
+            if guard_holds {
+                "no"
+            } else {
+                "not evaluated (guard failed)"
+            },
+        ))
     }
 
     /// Exhaustively explores every `(ND comp)` order of a query against a
@@ -754,6 +840,47 @@ mod tests {
         let ex = db.explore("{ p.name | p <- Persons }", 10_000).unwrap();
         assert_eq!(ex.runs.len(), 6); // 3! orders
         assert_eq!(ex.distinct_outcomes().len(), 1);
+    }
+
+    #[test]
+    fn plan_engine_runs_and_falls_back() {
+        let opts = DbOptions {
+            engine: Engine::Plan,
+            cache_capacity: 0,
+            ..DbOptions::default()
+        };
+        let mut db = Database::from_ddl_with(DDL, opts).unwrap();
+        // A mutating query is ineligible: the big-step fallback runs it.
+        db.query("{ new Person(name: n, age: n + 20) | n <- {1, 2, 3} }")
+            .unwrap();
+        assert_eq!(db.extent_len("Persons"), 3);
+        // An eligible selective scan runs on the plan executor.
+        let r = db.query("{ p.age | p <- Persons, p.name = 2 }").unwrap();
+        assert_eq!(r.value, Value::set([Value::Int(22)]));
+        assert_eq!(r.steps, 0);
+        assert!(r.runtime_effect.subeffect(&r.static_effect));
+    }
+
+    #[test]
+    fn explain_renders_plans_and_diagnoses_refusals() {
+        let mut db = db();
+        // Enough rows that the cost model picks the index over the scan.
+        db.query("{ new Person(name: n, age: n) | n <- {4, 5, 6, 7, 8, 9} }")
+            .unwrap();
+        let plan = db.explain("{ p | p <- Persons, p.name = 2 }").unwrap();
+        assert!(plan.contains("HashIndexProbe"), "{plan}");
+        assert!(plan.contains("ExtentScan"), "{plan}");
+        assert!(plan.contains("Thm 7"), "{plan}");
+        let refused = db
+            .explain("{ (new Person(name: 9, age: 9)).age | n <- {1} }")
+            .unwrap();
+        assert!(refused.contains("no physical plan"), "{refused}");
+        assert!(refused.contains("`new`-free: no"), "{refused}");
+        let shape = db.explain("size(Persons)").unwrap();
+        assert!(
+            shape.contains("root shape has a physical operator: no"),
+            "{shape}"
+        );
     }
 
     #[test]

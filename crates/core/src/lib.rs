@@ -67,6 +67,7 @@ pub use ioql_effects as effects;
 pub use ioql_eval as eval;
 pub use ioql_methods as methods;
 pub use ioql_opt as opt;
+pub use ioql_plan as plan;
 pub use ioql_schema as schema;
 pub use ioql_store as store;
 pub use ioql_syntax as syntax;

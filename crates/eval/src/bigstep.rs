@@ -27,11 +27,11 @@
 
 use crate::chooser::Chooser;
 use crate::machine::{DefEnv, EvalConfig, EvalError};
-use ioql_ast::{AttrName, Qualifier, Query, Value, VarName};
+use ioql_ast::{Qualifier, Query, Value};
 use ioql_effects::Effect;
 use ioql_methods::{invoke, MethodCall};
 use ioql_store::{Object, Store};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 /// The result of a big-step evaluation.
 #[derive(Clone, Debug)]
@@ -43,95 +43,26 @@ pub struct BigStepResult {
     pub effect: Effect,
 }
 
+/// The result of one expression evaluated through the plan-dispatch hook
+/// ([`eval_expr`]).
+#[derive(Clone, Debug)]
+pub struct ExprEval {
+    /// The final value.
+    pub value: Value,
+    /// The effect trace of this one evaluation.
+    pub effect: Effect,
+    /// Fuel units consumed (one per recursive descent), so an external
+    /// executor can meter many row-level evaluations against a single
+    /// shared budget.
+    pub fuel_spent: u64,
+}
+
 struct Ev<'a, 'c> {
     cfg: &'a EvalConfig<'a>,
     defs: &'a DefEnv,
     chooser: &'c mut dyn Chooser,
     effect: Effect,
     fuel: u64,
-}
-
-/// Which equality the indexable predicate uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum EqKind {
-    /// `=` — integer equality.
-    Int,
-    /// `==` — object identity.
-    Obj,
-}
-
-/// How the indexable predicate reaches the generator variable.
-#[derive(Clone, Copy, Debug)]
-enum Access<'q> {
-    /// The bare variable: `x = q` / `q == x`.
-    Bare,
-    /// One attribute hop: `x.a = q` / `q == x.a`.
-    Attr(&'q AttrName),
-}
-
-/// A recognized `x <- src, <eq-pred>, …` shape eligible for the one-shot
-/// hash index (see [`Ev::comp`]).
-struct IndexPlan<'q> {
-    kind: EqKind,
-    access: Access<'q>,
-    /// The non-variable side; closed, `new`-free, invocation-free,
-    /// call-free, and comprehension-free (so evaluating it once makes
-    /// no chooser draws and cannot change the store).
-    closed: &'q Query,
-    /// The qualifiers after the indexed predicate.
-    rest_after_pred: &'q [Qualifier],
-}
-
-/// Matches `quals` against the indexable shape: a leading equality
-/// predicate with the generator variable (or one attribute of it) on one
-/// side and a closed, pure, invocation-free query on the other. Mirrors
-/// the optimizer's divergence discipline: anything that could diverge,
-/// choose, or mutate on re-evaluation disqualifies the closed side.
-fn index_plan<'q>(x: &VarName, quals: &'q [Qualifier]) -> Option<IndexPlan<'q>> {
-    let (Qualifier::Pred(p), rest_after_pred) = quals.split_first()? else {
-        return None;
-    };
-    let (kind, lhs, rhs) = match p {
-        Query::IntEq(a, b) => (EqKind::Int, &**a, &**b),
-        Query::ObjEq(a, b) => (EqKind::Obj, &**a, &**b),
-        _ => return None,
-    };
-    let var_side = |q: &'q Query| -> Option<Access<'q>> {
-        match q {
-            Query::Var(y) if y == x => Some(Access::Bare),
-            Query::Attr(subject, a) => match &**subject {
-                Query::Var(y) if y == x => Some(Access::Attr(a)),
-                _ => None,
-            },
-            _ => None,
-        }
-    };
-    let closed_ok = |q: &Query| {
-        q.free_vars().is_empty()
-            && !q.contains_new()
-            && !q.contains_invoke()
-            && q.called_defs().is_empty()
-            && !q.contains_comp()
-    };
-    let (access, closed) = match (var_side(lhs), var_side(rhs)) {
-        (Some(acc), None) if closed_ok(rhs) => (acc, rhs),
-        (None, Some(acc)) if closed_ok(lhs) => (acc, lhs),
-        _ => return None,
-    };
-    Some(IndexPlan {
-        kind,
-        access,
-        closed,
-        rest_after_pred,
-    })
-}
-
-/// Whether re-running this query between generator draws could change the
-/// store (directly via `new`, via a method body, or via a definition
-/// whose body we refuse to inspect here). The index is built once, so the
-/// loop body must leave every store fact it probes untouched.
-fn loop_stable(q: &Query) -> bool {
-    !q.contains_new() && !q.contains_invoke() && q.called_defs().is_empty()
 }
 
 /// Evaluates `q` to a value in one recursive descent:
@@ -144,17 +75,45 @@ pub fn eval_big(
     chooser: &mut dyn Chooser,
     max_steps: u64,
 ) -> Result<BigStepResult, EvalError> {
+    let r = eval_expr(cfg, defs, store, q, chooser, max_steps)?;
+    Ok(BigStepResult {
+        value: r.value,
+        effect: r.effect,
+    })
+}
+
+/// The plan-dispatch hook: evaluates one expression on behalf of an
+/// external executor (the `ioql-plan` operator pipeline), reporting the
+/// fuel actually consumed.
+///
+/// The physical-plan layer drives scans, probes, and set operators
+/// itself but delegates every *row-level* expression — predicates,
+/// projection heads, generator sources — to this entry, so that nested
+/// comprehensions inside those expressions make exactly the chooser
+/// draws and governor charges the naive engines would make. This is the
+/// seam that replaced the indexed-generator fast path that used to live
+/// in this module (it moved to `ioql-plan`, generalized to a costed
+/// operator IR).
+pub fn eval_expr(
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    q: &Query,
+    chooser: &mut dyn Chooser,
+    fuel: u64,
+) -> Result<ExprEval, EvalError> {
     let mut ev = Ev {
         cfg,
         defs,
         chooser,
         effect: Effect::empty(),
-        fuel: max_steps,
+        fuel,
     };
     let value = ev.eval(store, q)?;
-    Ok(BigStepResult {
+    Ok(ExprEval {
         value,
         effect: ev.effect,
+        fuel_spent: fuel - ev.fuel,
     })
 }
 
@@ -396,59 +355,6 @@ impl Ev<'_, '_> {
         }
     }
 
-    /// Builds the one-shot hash index for an [`IndexPlan`]: the set of
-    /// generator elements whose equality predicate passes.
-    ///
-    /// Entirely *speculative*: `None` on any anomaly — closed side fails
-    /// to evaluate, target has the wrong type or dangles, an element is
-    /// not the shape the equality demands — and the caller falls back to
-    /// the naive per-element path, which reproduces the exact naive
-    /// error at the exact naive position. Every anomaly implies the
-    /// naive loop eventually returns `Err` (each element's predicate is
-    /// evaluated when it is drawn, and a closed-side failure surfaces at
-    /// the first draw), so the side effects of a speculative attempt —
-    /// one closed-side evaluation's fuel/effect/governor traffic, `Ra`
-    /// unions for scanned elements — are never observable in a
-    /// successful result, and effect union is idempotent on the paths
-    /// that do succeed.
-    fn build_index<'v>(
-        &mut self,
-        store: &mut Store,
-        plan: &IndexPlan<'_>,
-        elements: impl Iterator<Item = &'v Value>,
-    ) -> Option<HashSet<Value>> {
-        let target = self.eval(store, plan.closed).ok()?;
-        let well_formed = |store: &Store, v: &Value| match (plan.kind, v) {
-            (EqKind::Int, Value::Int(_)) => true,
-            (EqKind::Obj, Value::Oid(o)) => store.objects.contains(*o),
-            _ => false,
-        };
-        if !well_formed(store, &target) {
-            return None;
-        }
-        let mut pass = HashSet::new();
-        for elem in elements {
-            let probe = match plan.access {
-                Access::Bare => elem.clone(),
-                Access::Attr(a) => {
-                    let Value::Oid(o) = elem else { return None };
-                    let class = store.class_of(*o).ok()?.clone();
-                    // The naive path records `Ra` for every drawn
-                    // element whether or not its predicate passes.
-                    self.effect.union_with(&Effect::attr_read(class));
-                    store.attr(*o, a).ok()?.clone()
-                }
-            };
-            if !well_formed(store, &probe) {
-                return None;
-            }
-            if probe == target {
-                pass.insert(elem.clone());
-            }
-        }
-        Some(pass)
-    }
-
     /// Evaluates a comprehension tail, unioning produced elements into
     /// `out`. Mirrors the small-step rules: first qualifier decides; a
     /// generator draws elements through the chooser, evaluating the rest
@@ -476,74 +382,17 @@ impl Ev<'_, '_> {
                     Value::Set(s) => s.into_iter().collect(),
                     _ => return self.stuck(src, "generator over a non-set"),
                 };
-                // Indexed-generator fast path: when the first qualifier
-                // after the generator is an equality over `x` (or one
-                // attribute of it) against a closed pure side, build a
-                // one-shot hash index of the passing elements instead of
-                // re-evaluating the whole residual comprehension per
-                // element. Every element is still *drawn* through the
-                // chooser and charged one cell, so the `(ND comp)` choice
-                // sequence — and hence engine parity with the small-step
-                // machine — is untouched; only the per-element predicate
-                // evaluation is replaced by a set probe. The loop body
-                // must not be able to move the store out from under the
-                // index, hence the `loop_stable` guard.
-                let plan = if loop_stable(head)
-                    && rest.iter().all(|qu| match qu {
-                        Qualifier::Pred(q) | Qualifier::Gen(_, q) => loop_stable(q),
-                    }) {
-                    index_plan(x, rest)
-                } else {
-                    None
-                };
-                // `None` until the first draw; `Some(None)` = plan
-                // abandoned (anomaly found — naive path reproduces the
-                // exact error), `Some(Some(idx))` = probe with `idx`.
-                let mut index: Option<Option<HashSet<Value>>> = None;
                 while !remaining.is_empty() {
                     let i = self.chooser.choose(remaining.len());
                     if let Some(gov) = self.cfg.governor {
                         gov.charge_cells(1)?;
                     }
                     let picked = remaining.remove(i);
-                    if index.is_none() {
-                        // Attempted exactly once, at the first draw — the
-                        // position where the naive path would first touch
-                        // the predicate, so the closed side's one
-                        // evaluation lands where naive's first would.
-                        index = Some(match &plan {
-                            Some(plan) => self.build_index(
-                                store,
-                                plan,
-                                std::iter::once(&picked).chain(remaining.iter()),
-                            ),
-                            None => None,
-                        });
-                    }
-                    match index.as_ref().expect("initialized at first draw") {
-                        Some(pass) => {
-                            if pass.contains(&picked) {
-                                let after = plan
-                                    .as_ref()
-                                    .expect("index exists only under a plan")
-                                    .rest_after_pred;
-                                let body = Query::Comp(Box::new(head.clone()), after.to_vec())
-                                    .subst(x, &picked);
-                                let Query::Comp(h2, r2) = body else {
-                                    unreachable!("substitution preserves the constructor")
-                                };
-                                self.comp(store, &h2, &r2, out)?;
-                            }
-                        }
-                        None => {
-                            let body = Query::Comp(Box::new(head.clone()), rest.to_vec())
-                                .subst(x, &picked);
-                            let Query::Comp(h2, r2) = body else {
-                                unreachable!("substitution preserves the constructor")
-                            };
-                            self.comp(store, &h2, &r2, out)?;
-                        }
-                    }
+                    let body = Query::Comp(Box::new(head.clone()), rest.to_vec()).subst(x, &picked);
+                    let Query::Comp(h2, r2) = body else {
+                        unreachable!("substitution preserves the constructor")
+                    };
+                    self.comp(store, &h2, &r2, out)?;
                 }
                 Ok(())
             }
@@ -635,11 +484,16 @@ mod tests {
         }
     }
 
+    // The next four shapes used to exercise the in-evaluator hash-index
+    // fast path; that machinery now lives in `ioql-plan` (which has its
+    // own parity suite), so here they pin down plain naive agreement on
+    // exactly the shapes the plan layer lowers.
+
     #[test]
-    fn indexed_attr_equality_agrees_with_small_step() {
+    fn attr_equality_agrees_with_small_step() {
         let (schema, store) = setup();
-        // `{ x.n + 100 | x <- Ps, x.n = 2 }` — fires the one-shot index
-        // (attr access on the generator variable, closed int side).
+        // `{ x.n + 100 | x <- Ps, x.n = 2 }` — attr access on the
+        // generator variable, closed int side.
         let q = Query::comp(
             Query::var("x").attr("n").add(Query::int(100)),
             [
@@ -651,7 +505,7 @@ mod tests {
     }
 
     #[test]
-    fn indexed_bare_equality_agrees_with_small_step() {
+    fn bare_equality_agrees_with_small_step() {
         let (schema, store) = setup();
         // Closed side on the *left* — `2 = x` over a set literal.
         let q = Query::comp(
@@ -668,7 +522,7 @@ mod tests {
     }
 
     #[test]
-    fn indexed_obj_equality_agrees_with_small_step() {
+    fn obj_equality_agrees_with_small_step() {
         let (schema, store) = setup();
         // `{ 1 | x <- Ps, x == x' }` with x' drawn via a nested closed
         // scan is not closed; use identity against a literal oid instead.
@@ -692,11 +546,10 @@ mod tests {
     }
 
     #[test]
-    fn indexed_path_falls_back_on_ill_typed_elements() {
+    fn ill_typed_generator_elements_stick_identically() {
         let (schema, store) = setup();
-        // A boolean sneaks into the generator set: the index build
-        // abandons the plan and the naive path sticks exactly like the
-        // small-step machine does.
+        // A boolean sneaks into the generator set: the equality sticks
+        // at the same draw in both engines.
         let q = Query::comp(
             Query::var("x"),
             [
@@ -711,11 +564,11 @@ mod tests {
     }
 
     #[test]
-    fn indexed_path_skipped_when_body_mutates() {
+    fn mutating_body_behind_equality_agrees() {
         let (schema, store) = setup();
         // The head contains `new`, so the store moves between draws —
-        // `loop_stable` must refuse the index and both engines must
-        // still agree (each pass creates an object).
+        // both engines must agree on the created objects (the plan
+        // layer refuses to lower this shape; here the naive loops run).
         let q = Query::comp(
             Query::New(
                 ClassName::new("P"),

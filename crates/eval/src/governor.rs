@@ -14,7 +14,7 @@
 //! normaliser — consult the governor at *semantically aligned* points,
 //! so that for a given query, store, and chooser the two engines either
 //! both succeed or both fail with the same
-//! [`EvalError`](crate::EvalError) class:
+//! [`EvalError`] class:
 //!
 //! * **Cells** are charged once per element drawn from a comprehension
 //!   generator, immediately after the [`Chooser`](crate::Chooser) call.

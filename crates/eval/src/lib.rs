@@ -35,7 +35,7 @@ pub mod machine;
 pub mod step;
 pub mod trace;
 
-pub use bigstep::{eval_big, BigStepResult};
+pub use bigstep::{eval_big, eval_expr, BigStepResult, ExprEval};
 pub use chooser::{Chooser, FirstChooser, LastChooser, RandomChooser, ScriptedChooser};
 pub use explore::{
     all_outcomes_equivalent, explore_outcomes, explore_outcomes_parallel, Exploration,

@@ -1,0 +1,395 @@
+//! The pull-based plan executor.
+//!
+//! Execution is engineered for *observational parity* with the naive
+//! engines, not just value parity:
+//!
+//! * every generator element is still drawn through the same [`Chooser`]
+//!   protocol, charged one governor cell, and followed by a
+//!   cancellation/deadline checkpoint — so `(ND comp)` choice sequences,
+//!   cell budgets, and cancellation verdicts are identical;
+//! * set cardinalities are observed at exactly the naive observation
+//!   points (extent read, set-operator result, comprehension
+//!   completion);
+//! * every row-level expression is delegated to the big-step
+//!   evaluator's [`eval_expr`] hook under the current variable bindings,
+//!   so nested comprehensions, effects, and stuck states are literally
+//!   the naive engine's own.
+//!
+//! The one deviation — the hash-index build scanning elements ahead of
+//! the chooser's draw order — is licensed by the plan's Theorem 7
+//! guard (nothing in the query can mutate the store) and is fully
+//! *speculative*: any anomaly abandons the index and reverts to per-row
+//! predicate evaluation, reproducing the naive engines' exact error at
+//! the exact position.
+
+use crate::ir::{EqKind, HashIndexBuild, KeyAccess, Op, Plan, Stage};
+use ioql_ast::{Query, SetOp, Value, VarName};
+use ioql_effects::Effect;
+use ioql_eval::{eval_expr, Chooser, DefEnv, EvalConfig, EvalError};
+use ioql_store::Store;
+use std::collections::{BTreeSet, HashSet};
+
+/// The result of executing a [`Plan`].
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// The final value.
+    pub value: Value,
+    /// The accumulated runtime effect trace.
+    pub effect: Effect,
+}
+
+/// Executes a physical plan against a store.
+///
+/// `max_steps` is the same fuel budget the naive engines take; the
+/// executor burns one unit per operator/row step and threads the
+/// remainder through every [`eval_expr`] delegation, so one global
+/// budget bounds the whole run.
+pub fn execute(
+    plan: &Plan,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+) -> Result<PlanResult, EvalError> {
+    let mut ex = Exec {
+        cfg,
+        defs,
+        chooser,
+        effect: Effect::empty(),
+        fuel: max_steps,
+        binds: Vec::new(),
+    };
+    let value = ex.eval_op(store, &plan.root)?;
+    Ok(PlanResult {
+        value,
+        effect: ex.effect,
+    })
+}
+
+struct Exec<'a, 'c> {
+    cfg: &'a EvalConfig<'a>,
+    defs: &'a DefEnv,
+    chooser: &'c mut dyn Chooser,
+    effect: Effect,
+    fuel: u64,
+    /// In-scope generator bindings, outermost first. Substitution into a
+    /// delegated expression applies them innermost-first, so a variable
+    /// rebound by an inner generator resolves to the inner value —
+    /// matching the interpreters' shadowing-aware eager substitution.
+    binds: Vec<(VarName, Value)>,
+}
+
+impl Exec<'_, '_> {
+    fn stuck<T>(&self, q: &Query, reason: impl Into<String>) -> Result<T, EvalError> {
+        Err(EvalError::Stuck {
+            query: q.to_string(),
+            reason: reason.into(),
+        })
+    }
+
+    /// A plan shape [`crate::lower`] never emits. Defensive only.
+    fn malformed<T>(&self) -> Result<T, EvalError> {
+        Err(EvalError::Stuck {
+            query: "<physical plan>".into(),
+            reason: "malformed physical plan".into(),
+        })
+    }
+
+    /// Cancellation/deadline checkpoint plus one fuel unit — the same
+    /// cadence the big-step evaluator's `burn` gives each recursion.
+    fn checkpoint(&mut self) -> Result<(), EvalError> {
+        if let Some(gov) = self.cfg.governor {
+            gov.checkpoint()?;
+        }
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Delegates one expression to the big-step evaluator under the
+    /// current bindings, merging its effect and fuel use.
+    fn expr(&mut self, store: &mut Store, q: &Query) -> Result<Value, EvalError> {
+        let mut bound = q.clone();
+        for (x, v) in self.binds.iter().rev() {
+            bound = bound.subst(x, v);
+        }
+        let r = eval_expr(self.cfg, self.defs, store, &bound, self.chooser, self.fuel)?;
+        self.fuel -= r.fuel_spent.min(self.fuel);
+        self.effect.union_with(&r.effect);
+        Ok(r.value)
+    }
+
+    fn eval_op(&mut self, store: &mut Store, op: &Op) -> Result<Value, EvalError> {
+        self.checkpoint()?;
+        match op {
+            Op::ExtentScan { extent, .. } => self.scan_extent(store, extent),
+            Op::SetUnion { left, right } => self.set_bin(store, SetOp::Union, left, right),
+            Op::SetIntersect { left, right } => self.set_bin(store, SetOp::Intersect, left, right),
+            Op::SetDiff { left, right } => self.set_bin(store, SetOp::Diff, left, right),
+            Op::Distinct { input } => {
+                let Op::MapProject { head, input } = &**input else {
+                    return self.malformed();
+                };
+                let Op::Pipeline { stages } = &**input else {
+                    return self.malformed();
+                };
+                let mut out = BTreeSet::new();
+                self.run_stages(store, stages, head, &mut out)?;
+                // Observed once at completion, matching the naive
+                // engines' single observation of the finished
+                // comprehension.
+                if let Some(gov) = self.cfg.governor {
+                    gov.observe_set_card(out.len() as u64)?;
+                }
+                Ok(Value::Set(out))
+            }
+            Op::InlineDef { body, .. } => self.eval_op(store, body),
+            Op::Eval { expr } => self.expr(store, expr),
+            // Only meaningful inside `Distinct`; a bare occurrence is a
+            // lowering bug.
+            Op::MapProject { .. } | Op::Pipeline { .. } => self.malformed(),
+        }
+    }
+
+    /// Reads one extent: `R(C)` effect, extent value, cardinality
+    /// observation — byte-for-byte the big-step `Extent` rule.
+    fn scan_extent(
+        &mut self,
+        store: &mut Store,
+        extent: &ioql_ast::ExtentName,
+    ) -> Result<Value, EvalError> {
+        let class = match store.extents.get(extent) {
+            Some((c, _)) => c.clone(),
+            None => {
+                return Err(EvalError::Stuck {
+                    query: extent.to_string(),
+                    reason: format!("unknown extent `{extent}`"),
+                })
+            }
+        };
+        self.effect.union_with(&Effect::read(class));
+        let v = store
+            .extent_value(extent)
+            .map_err(|e| EvalError::Store(e.to_string()))?;
+        if let Some(gov) = self.cfg.governor {
+            if let Value::Set(s) = &v {
+                gov.observe_set_card(s.len() as u64)?;
+            }
+        }
+        Ok(v)
+    }
+
+    fn set_bin(
+        &mut self,
+        store: &mut Store,
+        op: SetOp,
+        left: &Op,
+        right: &Op,
+    ) -> Result<Value, EvalError> {
+        let va = self.op_set(store, left)?;
+        let vb = self.op_set(store, right)?;
+        let result = op.apply(&va, &vb);
+        if let Some(gov) = self.cfg.governor {
+            gov.observe_set_card(result.len() as u64)?;
+        }
+        Ok(Value::Set(result))
+    }
+
+    fn op_set(&mut self, store: &mut Store, op: &Op) -> Result<BTreeSet<Value>, EvalError> {
+        match self.eval_op(store, op)? {
+            Value::Set(s) => Ok(s),
+            _ => match op {
+                Op::Eval { expr } => self.stuck(expr, "expected a set"),
+                _ => self.malformed(),
+            },
+        }
+    }
+
+    /// Runs a stage suffix for the current bindings, unioning produced
+    /// head values into `out` — the physical mirror of the big-step
+    /// `comp` recursion.
+    fn run_stages(
+        &mut self,
+        store: &mut Store,
+        stages: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        match stages.split_first() {
+            None => {
+                let v = self.expr(store, head)?;
+                out.insert(v);
+                Ok(())
+            }
+            Some((Stage::Filter { pred }, rest)) => match self.expr(store, pred)? {
+                Value::Bool(true) => self.run_stages(store, rest, head, out),
+                Value::Bool(false) => Ok(()),
+                _ => self.stuck(pred, "non-boolean predicate"),
+            },
+            Some((Stage::ExtentScan { var, extent, .. }, rest)) => {
+                let elems = match self.scan_extent(store, extent)? {
+                    Value::Set(s) => s,
+                    _ => return self.malformed(),
+                };
+                self.drive_gen(store, var, elems, rest, head, out)
+            }
+            Some((Stage::Scan { var, source, .. }, rest)) => {
+                let elems = match self.expr(store, source)? {
+                    Value::Set(s) => s,
+                    _ => return self.stuck(source, "generator over a non-set"),
+                };
+                self.drive_gen(store, var, elems, rest, head, out)
+            }
+            // A probe is always fused behind its generator and consumed
+            // by `drive_gen`; reaching one here is a lowering bug.
+            Some((Stage::HashIndexProbe { .. }, _)) => self.malformed(),
+        }
+    }
+
+    /// Drives one generator: draw elements through the chooser in the
+    /// `(ND comp)` protocol, charging one cell and checkpointing per
+    /// draw, optionally probing a one-shot hash index in place of the
+    /// fused equality predicate.
+    fn drive_gen(
+        &mut self,
+        store: &mut Store,
+        var: &VarName,
+        elems: BTreeSet<Value>,
+        rest: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        let (probe, body) = match rest.split_first() {
+            Some((
+                Stage::HashIndexProbe {
+                    var: pv,
+                    build,
+                    probe,
+                    pred,
+                    ..
+                },
+                after,
+            )) if pv == var => (Some((build, probe, pred)), after),
+            _ => (None, rest),
+        };
+        let mut remaining: Vec<Value> = elems.into_iter().collect();
+        // `None` until the first draw; `Some(None)` = index abandoned
+        // (anomaly — the per-row fallback reproduces the naive error),
+        // `Some(Some(idx))` = probe with `idx`.
+        let mut index: Option<Option<HashSet<Value>>> = None;
+        while !remaining.is_empty() {
+            let i = self.chooser.choose(remaining.len());
+            if let Some(gov) = self.cfg.governor {
+                gov.charge_cells(1)?;
+            }
+            // Checkpoint per draw even when the probe will reject the
+            // element: the naive engines notice cancellation on the
+            // recursion that evaluates the rejected element's predicate,
+            // so the plan path must offer the same observation point.
+            self.checkpoint()?;
+            let picked = remaining.remove(i);
+            let Some((build, probe_q, pred)) = probe else {
+                self.binds.push((var.clone(), picked));
+                let r = self.run_stages(store, body, head, out);
+                self.binds.pop();
+                r?;
+                continue;
+            };
+            if index.is_none() {
+                // Built exactly once, at the first draw — where the
+                // naive path would first evaluate the predicate, so the
+                // probe side's one evaluation lands where naive's first
+                // would.
+                index = Some(self.build_index(
+                    store,
+                    build,
+                    probe_q,
+                    std::iter::once(&picked).chain(remaining.iter()),
+                ));
+            }
+            match index.as_ref().expect("initialized at first draw") {
+                Some(pass) => {
+                    if pass.contains(&picked) {
+                        self.binds.push((var.clone(), picked));
+                        let r = self.run_stages(store, body, head, out);
+                        self.binds.pop();
+                        r?;
+                    }
+                }
+                None => {
+                    self.binds.push((var.clone(), picked));
+                    let r = self.filtered(store, pred, body, head, out);
+                    self.binds.pop();
+                    r?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The speculative-fallback path: evaluate the original predicate
+    /// per row, exactly as a [`Stage::Filter`] would.
+    fn filtered(
+        &mut self,
+        store: &mut Store,
+        pred: &Query,
+        body: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        match self.expr(store, pred)? {
+            Value::Bool(true) => self.run_stages(store, body, head, out),
+            Value::Bool(false) => Ok(()),
+            _ => self.stuck(pred, "non-boolean predicate"),
+        }
+    }
+
+    /// Builds the one-shot hash index: evaluate the probe side once
+    /// (under the current bindings — the semi-join case), then keep the
+    /// elements whose key equals it. `None` on any anomaly — the probe
+    /// side fails or has the wrong type, an element is not the shape
+    /// the equality demands — and the caller reverts to per-row
+    /// predicate evaluation, which reproduces the exact naive error at
+    /// the exact naive position. The `Ra` union per *scanned* element on
+    /// attribute access matches the naive engines, which record it for
+    /// every drawn element whether or not its predicate passes.
+    fn build_index<'v>(
+        &mut self,
+        store: &mut Store,
+        build: &HashIndexBuild,
+        probe: &Query,
+        elements: impl Iterator<Item = &'v Value>,
+    ) -> Option<HashSet<Value>> {
+        let target = self.expr(store, probe).ok()?;
+        let well_formed = |store: &Store, v: &Value| match (build.eq, v) {
+            (EqKind::Int, Value::Int(_)) => true,
+            (EqKind::Obj, Value::Oid(o)) => store.objects.contains(*o),
+            _ => false,
+        };
+        if !well_formed(store, &target) {
+            return None;
+        }
+        let mut pass = HashSet::new();
+        for elem in elements {
+            let key = match &build.key {
+                KeyAccess::Bare => elem.clone(),
+                KeyAccess::Attr(a) => {
+                    let Value::Oid(o) = elem else { return None };
+                    let class = store.class_of(*o).ok()?.clone();
+                    self.effect.union_with(&Effect::attr_read(class));
+                    store.attr(*o, a).ok()?.clone()
+                }
+            };
+            if !well_formed(store, &key) {
+                return None;
+            }
+            if key == target {
+                pass.insert(elem.clone());
+            }
+        }
+        Some(pass)
+    }
+}

@@ -1,0 +1,330 @@
+//! The physical operator IR and its renderer.
+//!
+//! A [`Plan`] is a tree of [`Op`]s; comprehensions become a
+//! [`Op::Distinct`]/[`Op::MapProject`]/[`Op::Pipeline`] spine whose
+//! [`Stage`]s mirror the qualifier list. The IR is deliberately small:
+//! every *row-level* expression (predicate, projection head, generator
+//! source that is not an extent) stays an AST [`Query`] and is delegated
+//! to the big-step evaluator's [`eval_expr`](ioql_eval::eval_expr) hook
+//! at run time, so plan execution can never diverge semantically from
+//! the naive engines on expression evaluation.
+
+use ioql_ast::{AttrName, DefName, ExtentName, Query, VarName};
+use ioql_effects::Effect;
+use std::fmt;
+
+/// Which equality a [`Stage::HashIndexProbe`] implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqKind {
+    /// `=` — integer equality.
+    Int,
+    /// `==` — object identity.
+    Obj,
+}
+
+impl fmt::Display for EqKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqKind::Int => write!(f, "="),
+            EqKind::Obj => write!(f, "=="),
+        }
+    }
+}
+
+/// How a [`HashIndexBuild`] reaches the key inside each generator
+/// element.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KeyAccess {
+    /// The element itself is the key: `x = q` / `q == x`.
+    Bare,
+    /// One attribute hop: `x.a = q` / `q == x.a`.
+    Attr(AttrName),
+}
+
+/// The build side of a hash probe: scan the generator's elements once,
+/// extracting the key from each, and keep the elements whose key equals
+/// the probe value.
+#[derive(Clone, Debug)]
+pub struct HashIndexBuild {
+    /// The equality the index implements.
+    pub eq: EqKind,
+    /// How the key is reached inside each element.
+    pub key: KeyAccess,
+    /// Estimated number of keys (the generator's estimated rows).
+    pub est_rows: usize,
+}
+
+/// One stage of a [`Op::Pipeline`] — the physical form of one qualifier.
+#[derive(Clone, Debug)]
+pub enum Stage {
+    /// A generator drawing directly from a class extent.
+    ExtentScan {
+        /// The generator variable.
+        var: VarName,
+        /// The extent scanned.
+        extent: ExtentName,
+        /// Estimated rows (from [`ioql_opt::Stats`]).
+        est_rows: usize,
+    },
+    /// A generator over a computed set (evaluated through `eval_expr`).
+    Scan {
+        /// The generator variable.
+        var: VarName,
+        /// The source expression.
+        source: Query,
+        /// Estimated rows.
+        est_rows: usize,
+    },
+    /// A predicate qualifier, evaluated per row through `eval_expr`.
+    Filter {
+        /// The predicate expression.
+        pred: Query,
+    },
+    /// An equality predicate fused into the preceding generator stage: a
+    /// one-shot [`HashIndexBuild`] over the generator's elements, then a
+    /// set probe per drawn element instead of a per-row predicate
+    /// evaluation. Generalizes to the cross-generator case (a hash
+    /// semi-join) when `probe` mentions variables bound by *enclosing*
+    /// generators.
+    HashIndexProbe {
+        /// The generator variable this probe is fused with.
+        var: VarName,
+        /// The build side.
+        build: HashIndexBuild,
+        /// The non-variable side of the equality (closed, or bound only
+        /// by enclosing generators).
+        probe: Query,
+        /// The original predicate, kept verbatim for the speculative
+        /// fallback path (any build anomaly reverts to per-row
+        /// evaluation, reproducing the naive engines' exact error).
+        pred: Query,
+        /// Estimated cost of the naive per-row filter.
+        scan_cost: usize,
+        /// Estimated cost of build-once-probe-many.
+        index_cost: usize,
+    },
+}
+
+/// A physical operator.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Read a whole extent (records `R(C)` and observes its
+    /// cardinality, exactly as the naive engines do).
+    ExtentScan {
+        /// The extent read.
+        extent: ExtentName,
+        /// Estimated rows.
+        est_rows: usize,
+    },
+    /// Set union of two sub-plans (left evaluated first).
+    SetUnion {
+        /// Left operand.
+        left: Box<Op>,
+        /// Right operand.
+        right: Box<Op>,
+    },
+    /// Set intersection of two sub-plans.
+    SetIntersect {
+        /// Left operand.
+        left: Box<Op>,
+        /// Right operand.
+        right: Box<Op>,
+    },
+    /// Set difference of two sub-plans.
+    SetDiff {
+        /// Left operand.
+        left: Box<Op>,
+        /// Right operand.
+        right: Box<Op>,
+    },
+    /// Deduplicate the input — IOQL comprehensions denote *sets*, so
+    /// every pipeline is crowned with a `Distinct`.
+    Distinct {
+        /// The input operator.
+        input: Box<Op>,
+    },
+    /// Project each pipeline row through the comprehension head.
+    MapProject {
+        /// The head expression (evaluated per row through `eval_expr`).
+        head: Query,
+        /// The qualifier pipeline feeding it.
+        input: Box<Op>,
+    },
+    /// The qualifier list of one comprehension, as a stage pipeline.
+    Pipeline {
+        /// The stages, in qualifier order.
+        stages: Vec<Stage>,
+    },
+    /// A definition call inlined at plan time (all arguments were
+    /// literals, so parameter substitution is exact).
+    InlineDef {
+        /// The definition's name (for rendering).
+        name: DefName,
+        /// The lowered body after parameter substitution.
+        body: Box<Op>,
+    },
+    /// Escape hatch: a pure set-valued operand with no recognized
+    /// physical shape, evaluated wholesale through `eval_expr`. Never a
+    /// plan root (the lowering returns `None` instead, leaving the whole
+    /// query to the interpreter).
+    Eval {
+        /// The expression.
+        expr: Query,
+    },
+}
+
+/// The effect evidence licensing a plan — the Theorem 7 guard.
+///
+/// A plan is only emitted when the query's inferred Figure-3 effect is
+/// read-only (no `A(C)`, no `U(C)`), the elaborated query contains no
+/// `new` and no method invocation, and every called definition is
+/// `new`-free and invocation-free. Under those conditions Theorem 7
+/// guarantees evaluation order cannot be observed, which is exactly the
+/// freedom the physical operators exploit (index builds scan ahead of
+/// the chooser's draw order; set operands evaluate independently).
+#[derive(Clone, Debug)]
+pub struct Guard {
+    /// The statically inferred effect of the whole query.
+    pub effect: Effect,
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Thm 7: effect {} is read-only; new-free; invocation-free defs",
+            self.effect
+        )
+    }
+}
+
+/// A complete physical plan: the operator tree plus the effect guard
+/// that licensed it.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The root operator.
+    pub root: Op,
+    /// The licensing guard.
+    pub guard: Guard,
+}
+
+impl Plan {
+    /// Renders the plan as an indented operator tree with cost
+    /// estimates and guard annotations (the `:plan` / `explain`
+    /// output).
+    pub fn render(&self) -> String {
+        let mut out = format!("Plan  [guard: {}]\n", self.guard);
+        render_op(&self.root, 1, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_op(op: &Op, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match op {
+        Op::ExtentScan { extent, est_rows } => {
+            out.push_str(&format!("ExtentScan {extent}  (~{est_rows} rows)\n"));
+        }
+        Op::SetUnion { left, right } => {
+            out.push_str("SetUnion\n");
+            render_op(left, depth + 1, out);
+            render_op(right, depth + 1, out);
+        }
+        Op::SetIntersect { left, right } => {
+            out.push_str("SetIntersect\n");
+            render_op(left, depth + 1, out);
+            render_op(right, depth + 1, out);
+        }
+        Op::SetDiff { left, right } => {
+            out.push_str("SetDiff\n");
+            render_op(left, depth + 1, out);
+            render_op(right, depth + 1, out);
+        }
+        Op::Distinct { input } => {
+            out.push_str("Distinct\n");
+            render_op(input, depth + 1, out);
+        }
+        Op::MapProject { head, input } => {
+            out.push_str(&format!("MapProject  head = {head}\n"));
+            render_op(input, depth + 1, out);
+        }
+        Op::Pipeline { stages } => {
+            out.push_str("Pipeline\n");
+            for stage in stages {
+                render_stage(stage, depth + 1, out);
+            }
+        }
+        Op::InlineDef { name, body } => {
+            out.push_str(&format!("InlineDef {name}  (literal args inlined)\n"));
+            render_op(body, depth + 1, out);
+        }
+        Op::Eval { expr } => {
+            out.push_str(&format!("Eval  {expr}  (pure operand, interpreted)\n"));
+        }
+    }
+}
+
+fn render_stage(stage: &Stage, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match stage {
+        Stage::ExtentScan {
+            var,
+            extent,
+            est_rows,
+        } => {
+            out.push_str(&format!(
+                "ExtentScan {var} <- {extent}  (~{est_rows} rows)\n"
+            ));
+        }
+        Stage::Scan {
+            var,
+            source,
+            est_rows,
+        } => {
+            out.push_str(&format!("Scan {var} <- {source}  (~{est_rows} rows)\n"));
+        }
+        Stage::Filter { pred } => {
+            out.push_str(&format!("Filter  {pred}\n"));
+        }
+        Stage::HashIndexProbe {
+            var,
+            build,
+            probe,
+            scan_cost,
+            index_cost,
+            ..
+        } => {
+            let key = match &build.key {
+                KeyAccess::Bare => format!("{var}"),
+                KeyAccess::Attr(a) => format!("{var}.{a}"),
+            };
+            out.push_str(&format!(
+                "HashIndexProbe  {key} {} {probe}  \
+                 (cost: index {index_cost} vs scan {scan_cost})  \
+                 [guard: loop-stable body, pure probe]\n",
+                build.eq
+            ));
+            indent(depth + 1, out);
+            out.push_str(&format!(
+                "HashIndexBuild  {} on {key}  (~{} keys)\n",
+                match build.eq {
+                    EqKind::Int => "int",
+                    EqKind::Obj => "oid",
+                },
+                build.est_rows
+            ));
+        }
+    }
+}

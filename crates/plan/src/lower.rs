@@ -1,0 +1,214 @@
+//! Lowering: elaborated query + inferred effect → physical plan.
+//!
+//! The pass is *guarded*, not total. [`lower`] emits a plan only when
+//! the Theorem 7 conditions hold for the whole query (read-only effect,
+//! `new`-free, invocation-free, called definitions likewise); every
+//! other query — and every query whose root has no recognized physical
+//! shape — returns `None` and runs on the existing interpreters
+//! unchanged. Within an eligible query, scan-vs-index selection is
+//! cost-based via [`Stats`]; the cost formulas are documented at the
+//! decision site.
+
+use crate::ir::{EqKind, Guard, HashIndexBuild, KeyAccess, Op, Plan, Stage};
+use ioql_ast::{Qualifier, Query, VarName};
+use ioql_effects::Effect;
+use ioql_eval::DefEnv;
+use ioql_opt::Stats;
+
+/// Lowers an elaborated query to a physical plan, or `None` when the
+/// Theorem 7 guard refuses or the root shape is not recognized.
+///
+/// The guard mirrors the cacheability test in `Database::query`: the
+/// statically inferred `static_effect` must be read-only (no `A(C)`, no
+/// `U(C)`), the query must contain no `new` and no method invocation,
+/// and every called definition must exist and be `new`-free and
+/// invocation-free. Under those conditions the paper's Theorem 7 makes
+/// evaluation-order choices unobservable, which licenses the physical
+/// operators' deviations from naive qualifier-at-a-time interpretation
+/// (ahead-of-draw index builds, independent set operands).
+pub fn lower(q: &Query, static_effect: &Effect, defs: &DefEnv, stats: &Stats) -> Option<Plan> {
+    if !static_effect.is_read_only() || q.contains_new() || q.contains_invoke() {
+        return None;
+    }
+    let defs_ok = q.called_defs().iter().all(|d| {
+        defs.get(d)
+            .is_some_and(|def| !def.body.contains_new() && !def.body.contains_invoke())
+    });
+    if !defs_ok {
+        return None;
+    }
+    let root = lower_op(q, defs, stats)?;
+    Some(Plan {
+        root,
+        guard: Guard {
+            effect: static_effect.clone(),
+        },
+    })
+}
+
+/// Lowers a set-shaped root (or set operand). `None` when the shape has
+/// no physical operator — callers either fall back to the interpreter
+/// (plan root) or wrap the expression in [`Op::Eval`] (set operand,
+/// which is safe because the whole query already passed the guard).
+fn lower_op(q: &Query, defs: &DefEnv, stats: &Stats) -> Option<Op> {
+    match q {
+        Query::Extent(e) => Some(Op::ExtentScan {
+            extent: e.clone(),
+            est_rows: stats.extent_size(e),
+        }),
+        Query::SetBin(op, a, b) => {
+            let left = Box::new(lower_operand(a, defs, stats));
+            let right = Box::new(lower_operand(b, defs, stats));
+            Some(match op {
+                ioql_ast::SetOp::Union => Op::SetUnion { left, right },
+                ioql_ast::SetOp::Intersect => Op::SetIntersect { left, right },
+                ioql_ast::SetOp::Diff => Op::SetDiff { left, right },
+            })
+        }
+        Query::Comp(head, quals) => {
+            let stages = lower_quals(quals, stats);
+            Some(Op::Distinct {
+                input: Box::new(Op::MapProject {
+                    head: (**head).clone(),
+                    input: Box::new(Op::Pipeline { stages }),
+                }),
+            })
+        }
+        Query::Call(d, args) => {
+            // Inline only when every argument is already a literal, so
+            // substituting the *value* is exactly what the interpreters'
+            // call-by-value argument evaluation would produce.
+            let def = defs.get(d)?;
+            if def.params.len() != args.len() {
+                return None;
+            }
+            let mut body = def.body.clone();
+            for ((x, _), arg) in def.params.iter().zip(args) {
+                let Query::Lit(v) = arg else { return None };
+                body = body.subst(x, v);
+            }
+            Some(Op::InlineDef {
+                name: d.clone(),
+                body: Box::new(lower_op(&body, defs, stats)?),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// A set operand inside a `SetBin`: structured shapes get real
+/// operators, anything else is interpreted wholesale (the guard already
+/// established the whole query is pure, so order of operand evaluation
+/// — left first, as the naive engines do — is preserved exactly).
+fn lower_operand(q: &Query, defs: &DefEnv, stats: &Stats) -> Op {
+    lower_op(q, defs, stats).unwrap_or_else(|| Op::Eval { expr: q.clone() })
+}
+
+/// Lowers a qualifier list to pipeline stages, fusing an eligible
+/// equality predicate immediately following a generator into a
+/// [`Stage::HashIndexProbe`] when the cost model favors it.
+fn lower_quals(quals: &[Qualifier], stats: &Stats) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    let mut binders: Vec<VarName> = Vec::new();
+    let mut i = 0;
+    while i < quals.len() {
+        match &quals[i] {
+            Qualifier::Pred(p) => {
+                stages.push(Stage::Filter { pred: p.clone() });
+                i += 1;
+            }
+            Qualifier::Gen(x, src) => {
+                let est_rows = stats.cardinality(src);
+                stages.push(match src {
+                    Query::Extent(e) => Stage::ExtentScan {
+                        var: x.clone(),
+                        extent: e.clone(),
+                        est_rows,
+                    },
+                    _ => Stage::Scan {
+                        var: x.clone(),
+                        source: src.clone(),
+                        est_rows,
+                    },
+                });
+                if let Some(Qualifier::Pred(p)) = quals.get(i + 1) {
+                    if let Some((eq, key, probe)) = probe_shape(x, p, &binders) {
+                        // Naive filtering evaluates the predicate once
+                        // per row; the index evaluates the probe side
+                        // once, then pays a per-row key extraction and
+                        // hash probe (~2 units) plus a fixed build
+                        // overhead (~8). Both are in `Stats::work`
+                        // units, so only the relative order matters.
+                        let scan_cost = est_rows.max(1).saturating_mul(stats.work(p).max(1));
+                        let index_cost = stats
+                            .work(&probe)
+                            .saturating_add(2 * est_rows)
+                            .saturating_add(8);
+                        if index_cost < scan_cost {
+                            stages.push(Stage::HashIndexProbe {
+                                var: x.clone(),
+                                build: HashIndexBuild { eq, key, est_rows },
+                                probe,
+                                pred: p.clone(),
+                                scan_cost,
+                                index_cost,
+                            });
+                            binders.push(x.clone());
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                binders.push(x.clone());
+                i += 1;
+            }
+        }
+    }
+    stages
+}
+
+/// Matches `pred` against the probe-eligible shape for generator
+/// variable `x`: an equality with `x` (or one attribute of it) on one
+/// side and, on the other, an expression that does not mention `x`, is
+/// closed under the *enclosing* binders (`binders` — the cross-generator
+/// semi-join case), and whose single ahead-of-time evaluation is
+/// indistinguishable from per-row re-evaluation: no comprehension (so no
+/// chooser draws or cell charges) and no definition calls (so no hidden
+/// recursion). `new`/`invoke`-freedom is already global from the
+/// Theorem 7 guard, but is re-checked locally so this function is safe
+/// in isolation.
+fn probe_shape(
+    x: &VarName,
+    pred: &Query,
+    binders: &[VarName],
+) -> Option<(EqKind, KeyAccess, Query)> {
+    let (eq, lhs, rhs) = match pred {
+        Query::IntEq(a, b) => (EqKind::Int, &**a, &**b),
+        Query::ObjEq(a, b) => (EqKind::Obj, &**a, &**b),
+        _ => return None,
+    };
+    let var_side = |q: &Query| -> Option<KeyAccess> {
+        match q {
+            Query::Var(y) if y == x => Some(KeyAccess::Bare),
+            Query::Attr(subject, a) => match &**subject {
+                Query::Var(y) if y == x => Some(KeyAccess::Attr(a.clone())),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let probe_ok = |q: &Query| {
+        let fv = q.free_vars();
+        !fv.contains(x)
+            && fv.iter().all(|v| binders.contains(v))
+            && !q.contains_comp()
+            && q.called_defs().is_empty()
+            && !q.contains_new()
+            && !q.contains_invoke()
+    };
+    match (var_side(lhs), var_side(rhs)) {
+        (Some(key), None) if probe_ok(rhs) => Some((eq, key, rhs.clone())),
+        (None, Some(key)) if probe_ok(lhs) => Some((eq, key, lhs.clone())),
+        _ => None,
+    }
+}

@@ -48,7 +48,7 @@ const SCAN: &str = "{ p.age | p <- Persons }";
 
 #[test]
 fn second_run_hits_and_mutation_invalidates() {
-    for engine in [Engine::SmallStep, Engine::BigStep] {
+    for engine in [Engine::SmallStep, Engine::BigStep, Engine::Plan] {
         let mut db = db_with(engine, 64);
         let r1 = db.query(SCAN).unwrap();
         assert!(!r1.cached);
@@ -89,7 +89,7 @@ fn mutating_and_new_containing_queries_are_never_cached() {
 
 #[test]
 fn load_invalidates_even_when_versions_restart() {
-    for engine in [Engine::SmallStep, Engine::BigStep] {
+    for engine in [Engine::SmallStep, Engine::BigStep, Engine::Plan] {
         let mut db = db_with(engine, 64);
         let snapshot = db.dump();
         let before = db.query(SCAN).unwrap().value;
@@ -112,7 +112,7 @@ fn load_invalidates_even_when_versions_restart() {
 
 #[test]
 fn governor_rollback_invalidates() {
-    for engine in [Engine::SmallStep, Engine::BigStep] {
+    for engine in [Engine::SmallStep, Engine::BigStep, Engine::Plan] {
         let mut db = db_with(engine, 64);
         let clean = db.query(SCAN).unwrap().value;
         assert!(db.query(SCAN).unwrap().cached);
@@ -160,7 +160,7 @@ fn cached_and_uncached_agree_under_every_chooser_and_engine() {
         || Box::new(LastChooser),
         || Box::new(RandomChooser::seeded(0xC0FFEE)),
     ];
-    for engine in [Engine::SmallStep, Engine::BigStep] {
+    for engine in [Engine::SmallStep, Engine::BigStep, Engine::Plan] {
         for mk in &mk_choosers {
             let mut warm = db_with(engine, 64);
             let mut cold = db_with(engine, 0); // caching disabled
@@ -214,6 +214,54 @@ fn hits_still_pass_through_the_governor() {
     assert!(
         matches!(err, Err(DbError::Eval(EvalError::Cancelled))),
         "{err:?}"
+    );
+}
+
+/// Plan-path hit/miss (ISSUE 3 satellite): a query executed by the
+/// physical-plan engine populates the cache under the same
+/// pre-optimization key as the interpreters, a hit re-charges exactly
+/// the cells the *plan executor* spent on the cold run, and that price
+/// matches the interpreter engines' price for the same query (the
+/// operator pipeline neither leaks nor skips charges into the entry).
+#[test]
+fn plan_path_hits_recharge_the_plan_run_cells() {
+    // A selective probe shape: under `Engine::Plan` this runs through
+    // `HashIndexProbe`, not the naive loop.
+    let q = "{ p.age | p <- Persons, p.name = 2 }";
+    let mut price_by_engine = Vec::new();
+    for engine in [Engine::Plan, Engine::BigStep, Engine::SmallStep] {
+        let mut db = db_with(engine, 64);
+        let governor = Governor::new(Limits::none());
+        let cold = db.query_governed(q, &mut FirstChooser, &governor).unwrap();
+        assert!(!cold.cached);
+        let price = governor.cells_spent();
+        assert!(price > 0, "{engine:?}: the probe still draws cells");
+        price_by_engine.push(price);
+
+        // Broke: a budget one below the recorded price fails the hit.
+        let broke = Governor::new(Limits::none().with_max_cells(price - 1));
+        let err = db.query_governed(q, &mut FirstChooser, &broke);
+        assert!(
+            matches!(
+                err,
+                Err(DbError::Eval(EvalError::ResourceExhausted {
+                    kind: ResourceKind::Cells,
+                    ..
+                }))
+            ),
+            "{engine:?}: {err:?}"
+        );
+
+        // Paying: the hit is served and re-charged at the cold price.
+        let paying = Governor::new(Limits::none().with_max_cells(price));
+        let hot = db.query_governed(q, &mut FirstChooser, &paying).unwrap();
+        assert!(hot.cached, "{engine:?}: second run must hit");
+        assert_eq!(hot.value, cold.value);
+        assert_eq!(paying.cells_spent(), price, "{engine:?}: hit re-charge");
+    }
+    assert!(
+        price_by_engine.iter().all(|p| *p == price_by_engine[0]),
+        "engines must record the same cell price: {price_by_engine:?}"
     );
 }
 

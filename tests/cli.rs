@@ -160,6 +160,48 @@ fn explore_and_trace_commands() {
 }
 
 #[test]
+fn plan_command_renders_operators_and_costs() {
+    let schema = schema_file();
+    // Enough rows that the cost model picks the hash probe over a scan.
+    let script = "\
+:help
+{ new P(name: n) | n <- {1, 2, 3, 4, 5, 6} }
+:plan { p | p <- Ps, p.name = 2 }
+:plan { new P(name: 1) | n <- {1} }
+:quit
+";
+    let (stdout, stderr, ok) = run_session(&[schema.to_str().unwrap()], script);
+    assert!(ok, "stderr: {stderr}");
+    // `:help` documents the command.
+    assert!(stdout.contains(":plan <query>"), "{stdout}");
+    // The eligible query renders a costed operator pipeline under the
+    // Theorem 7 guard.
+    assert!(stdout.contains("HashIndexProbe"), "{stdout}");
+    assert!(stdout.contains("HashIndexBuild"), "{stdout}");
+    assert!(stdout.contains("ExtentScan p <- Ps"), "{stdout}");
+    assert!(stdout.contains("Thm 7"), "{stdout}");
+    assert!(stdout.contains("cost:"), "{stdout}");
+    // The mutating query is refused with a guard diagnosis.
+    assert!(stdout.contains("no physical plan"), "{stdout}");
+    assert!(stdout.contains("`new`-free: no"), "{stdout}");
+}
+
+#[test]
+fn one_shot_plan_on_malformed_input_exits_nonzero() {
+    let schema = schema_file();
+    let (_, stderr, ok) = run_session(&[schema.to_str().unwrap(), "-e", ":plan { p | p <- "], "");
+    assert!(!ok, "malformed `:plan` input must exit nonzero");
+    assert!(!stderr.is_empty(), "the parse error is reported");
+    // And a well-formed one-shot `:plan` succeeds.
+    let (stdout, _, ok) = run_session(
+        &[schema.to_str().unwrap(), "-e", ":plan { p.name | p <- Ps }"],
+        "",
+    );
+    assert!(ok);
+    assert!(stdout.contains("ExtentScan p <- Ps"), "{stdout}");
+}
+
+#[test]
 fn save_and_load_roundtrip_via_cli() {
     let schema = schema_file();
     let dump = std::env::temp_dir().join(format!(
