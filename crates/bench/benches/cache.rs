@@ -48,7 +48,7 @@ fn bench_cache(c: &mut Criterion) {
             n,
             DbOptions {
                 cache_capacity: 0,
-                ..opts
+                ..opts.clone()
             },
         );
         group.bench_with_input(BenchmarkId::new("join-cold", n), &join, |b, q| {

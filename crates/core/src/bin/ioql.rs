@@ -4,6 +4,7 @@
 //! ioql schema.odl              # load a schema, start the REPL
 //! ioql schema.odl --extended   # §5 extended methods
 //! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
+//! ioql schema.odl --telemetry-jsonl events.jsonl   # structured event log
 //! ```
 //!
 //! REPL commands (same list as `:help`):
@@ -16,6 +17,9 @@
 //! :trace <query>     step-by-step derivation with rule names
 //! :optimize <query>  show the effect-guided rewrite result
 //! :plan <query>      show the physical plan (operators, costs, guard)
+//! :plan analyze <query>  run the plan; per-operator est vs actual rows/time
+//! :metrics           Prometheus-style dump of the telemetry registry
+//! :stats             cache counters and per-extent sizes/versions
 //! :save <file>       dump the store to a file (atomic write + checksum)
 //! :load <file>       load a store dump (replaces current contents)
 //! :schema            list classes, attributes, methods
@@ -41,6 +45,9 @@ commands:
   :trace <query>     step-by-step derivation with rule names
   :optimize <query>  show the effect-guided rewrite result
   :plan <query>      show the physical plan (operators, costs, guard)
+  :plan analyze <query>  run the plan; per-operator est vs actual rows/time
+  :metrics           Prometheus-style dump of the telemetry registry
+  :stats             cache counters and per-extent sizes/versions
   :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
   :schema            list classes, attributes, methods
@@ -53,19 +60,29 @@ fn main() {
     let mut ddl_path: Option<String> = None;
     let mut one_shot: Option<String> = None;
     let mut extended = false;
+    let mut jsonl: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
             "-e" => one_shot = args.next(),
+            "--telemetry-jsonl" => jsonl = args.next(),
             "--help" | "-h" => {
-                println!("usage: ioql [SCHEMA.odl] [--extended] [-e QUERY]\n\n{HELP}");
+                println!(
+                    "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] [-e QUERY]\n\n{HELP}"
+                );
                 return;
             }
             other => ddl_path = Some(other.to_string()),
         }
     }
 
-    let mut opts = DbOptions::default();
+    // The shell always records metrics so `:metrics`/`:stats` have data;
+    // telemetry is transparent, so this changes no query observable.
+    let mut opts = DbOptions {
+        telemetry: true,
+        telemetry_jsonl: jsonl.map(std::path::PathBuf::from),
+        ..DbOptions::default()
+    };
     if extended {
         opts.method_mode = Mode::Extended;
     }
@@ -217,8 +234,35 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         println!("result: {q}");
         return Ok(());
     }
+    if let Some(rest) = line.strip_prefix(":plan analyze ") {
+        print!("{}", db.explain_analyze(rest)?);
+        return Ok(());
+    }
     if let Some(rest) = line.strip_prefix(":plan ") {
         print!("{}", db.explain(rest)?);
+        return Ok(());
+    }
+    if line == ":metrics" {
+        print!("{}", db.metrics_text());
+        return Ok(());
+    }
+    if line == ":stats" {
+        let s = db.cache_stats();
+        println!(
+            "cache: {} hit(s), {} miss(es), {} eviction(s), {} live entr{}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.entries,
+            if s.entries == 1 { "y" } else { "ies" }
+        );
+        for (e, _c) in db.schema().extents() {
+            println!(
+                "extent {e}: {} object(s), version {}",
+                db.extent_len(e.as_str()),
+                db.store().extent_version(e)
+            );
+        }
         return Ok(());
     }
     if line.starts_with("define ") {
@@ -230,12 +274,13 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
     let r = db.query(line)?;
     println!("{}", r.value);
     println!(
-        "  : {}   effect {{{}}} (runtime {{{}}}), {} step(s){}",
+        "  : {}   effect {{{}}} (runtime {{{}}}), {} step(s) ({:.2} ms, cached: {})",
         r.ty,
         r.static_effect,
         r.runtime_effect,
         r.steps,
-        if r.cached { " (cached)" } else { "" }
+        r.elapsed.as_secs_f64() * 1e3,
+        r.cached
     );
     Ok(())
 }

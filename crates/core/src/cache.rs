@@ -21,6 +21,7 @@
 use ioql_ast::{ExtentName, Query, Value};
 use ioql_effects::Effect;
 use ioql_store::Store;
+use ioql_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// One memoized result.
@@ -48,6 +49,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed (including stale entries lazily evicted).
     pub misses: u64,
+    /// Entries removed to stay within capacity or because their version
+    /// fingerprint went stale.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Configured capacity (0 = caching disabled).
@@ -67,6 +71,12 @@ pub(crate) struct QueryCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Registry mirrors of the counters above — write-only telemetry;
+    /// no cache decision reads them.
+    m_hits: Counter,
+    m_misses: Counter,
+    m_evictions: Counter,
 }
 
 impl QueryCache {
@@ -75,6 +85,14 @@ impl QueryCache {
             capacity,
             ..QueryCache::default()
         }
+    }
+
+    /// Attaches registry counters mirroring hits/misses/evictions.
+    pub fn with_metrics(mut self, hits: Counter, misses: Counter, evictions: Counter) -> Self {
+        self.m_hits = hits;
+        self.m_misses = misses;
+        self.m_evictions = evictions;
+        self
     }
 
     /// Looks up `key`, validating the recorded version vector against
@@ -91,15 +109,20 @@ impl QueryCache {
                     .all(|(e, v)| store.extent_version(e) == *v) =>
             {
                 self.hits += 1;
+                self.m_hits.inc();
                 Some(entry.clone())
             }
             Some(_) => {
                 self.map.remove(key);
                 self.misses += 1;
+                self.m_misses.inc();
+                self.evictions += 1;
+                self.m_evictions.inc();
                 None
             }
             None => {
                 self.misses += 1;
+                self.m_misses.inc();
                 None
             }
         }
@@ -117,7 +140,10 @@ impl QueryCache {
         while self.map.len() > self.capacity {
             match self.order.pop_front() {
                 Some(old) => {
-                    self.map.remove(&old);
+                    if self.map.remove(&old).is_some() {
+                        self.evictions += 1;
+                        self.m_evictions.inc();
+                    }
                 }
                 None => break, // unreachable: map entries all pass through order
             }
@@ -128,6 +154,7 @@ impl QueryCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             entries: self.map.len(),
             capacity: self.capacity,
         }
@@ -165,10 +192,11 @@ mod tests {
         cache.insert(key(1), entry(&[("Persons", 0)]));
         assert!(cache.lookup(&key(1), &store).is_some());
         store.bump_version(&ExtentName::new("Persons"));
-        // Stale: removed and counted as a miss.
+        // Stale: removed, counted as both a miss and an eviction.
         assert!(cache.lookup(&key(1), &store).is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 0));
+        assert_eq!(s.evictions, 1);
     }
 
     #[test]
@@ -179,6 +207,7 @@ mod tests {
         cache.insert(key(2), entry(&[]));
         cache.insert(key(3), entry(&[]));
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
         assert!(cache.lookup(&key(1), &store).is_none()); // oldest evicted
         assert!(cache.lookup(&key(2), &store).is_some());
         assert!(cache.lookup(&key(3), &store).is_some());

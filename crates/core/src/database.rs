@@ -10,16 +10,19 @@ use ioql_effects::{
     effect_extents, infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects,
 };
 use ioql_eval::{
-    eval_big, evaluate, explore_outcomes, Chooser, DefEnv, EvalConfig, Exploration, FirstChooser,
-    Governor, Limits,
+    eval_big, evaluate, explore_outcomes, Chooser, CountingChooser, DefEnv, EvalConfig,
+    EvalMetrics, Exploration, FirstChooser, Governor, GovernorMetrics, Limits,
 };
 use ioql_methods::{check_schema_methods, effect_table, Mode};
 use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
 use ioql_schema::Schema;
 use ioql_store::Store;
 use ioql_syntax::{parse_definitions, parse_program, parse_schema};
+use ioql_telemetry::{Counter, EventSink, Histogram, MetricsRegistry};
 use ioql_types::{check_query, TypeEnv, TypeOptions};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which evaluator runs the query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -44,7 +47,7 @@ pub enum Engine {
 }
 
 /// Pipeline configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DbOptions {
     /// Figure 1 options (downcast flag).
     pub type_options: TypeOptions,
@@ -73,6 +76,16 @@ pub struct DbOptions {
     /// cached, and entries are invalidated by extent version bumps —
     /// see [`crate::cache`].
     pub cache_capacity: usize,
+    /// Enable the telemetry registry: cache/governor/engine counters,
+    /// per-phase lifecycle histograms, `:metrics` exposition. Off by
+    /// default; when off every handle is a no-op and no clock is read.
+    /// Telemetry is **semantics-transparent** either way — nothing
+    /// recorded feeds back into evaluation (see `tests/telemetry.rs`).
+    pub telemetry: bool,
+    /// Write structured JSONL events (query span begin/end + counter
+    /// snapshots) to this path. Implies nothing about `telemetry`; the
+    /// counter snapshots are only non-zero when it is on.
+    pub telemetry_jsonl: Option<std::path::PathBuf>,
 }
 
 impl Default for DbOptions {
@@ -87,7 +100,94 @@ impl Default for DbOptions {
             engine: Engine::default(),
             limits: Limits::none(),
             cache_capacity: 1024,
+            telemetry: false,
+            telemetry_jsonl: None,
         }
+    }
+}
+
+/// The database's telemetry handles: one [`MetricsRegistry`] plus the
+/// pre-registered counters and histograms every subsystem writes into.
+///
+/// All handles are **write-only from the engines' side**: no evaluation,
+/// chooser, governor, or cache decision ever reads a recorded value, so
+/// telemetry cannot perturb semantics (the transparency guard,
+/// enforced differentially by `tests/telemetry.rs`). With
+/// [`DbOptions::telemetry`] off, every handle is disabled and records
+/// nothing at near-zero cost.
+#[derive(Clone, Debug)]
+pub struct DbMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Queries started (any engine, cached or not).
+    pub queries: Counter,
+    /// Failed mutating queries rolled back to their snapshot.
+    pub rollbacks: Counter,
+    /// `(ND comp)` chooser draws made on behalf of governed queries.
+    pub chooser_draws: Counter,
+    /// Query-cache hits (mirrors [`crate::cache::CacheStats::hits`]).
+    pub cache_hits: Counter,
+    /// Query-cache misses.
+    pub cache_misses: Counter,
+    /// Query-cache evictions (capacity and staleness).
+    pub cache_evictions: Counter,
+    phase_parse: Histogram,
+    phase_typecheck: Histogram,
+    phase_effect: Histogram,
+    phase_optimize: Histogram,
+    phase_lower: Histogram,
+    phase_execute: Histogram,
+    /// Governor charge/trip counters (shared with every [`Governor`]
+    /// built by [`Database::governor`]).
+    pub governor: GovernorMetrics,
+    /// Engine work-volume counters (small-step steps, big-step
+    /// recursions).
+    pub eval: EvalMetrics,
+}
+
+impl DbMetrics {
+    fn new(enabled: bool) -> DbMetrics {
+        let registry = Arc::new(MetricsRegistry::new(enabled));
+        let c = |name: &str| registry.counter(name);
+        let h = |phase: &str| {
+            registry.histogram(&format!("ioql_phase_duration_ns{{phase=\"{phase}\"}}"))
+        };
+        DbMetrics {
+            queries: c("ioql_queries_total"),
+            rollbacks: c("ioql_rollbacks_total"),
+            chooser_draws: c("ioql_chooser_draws_total"),
+            cache_hits: c("ioql_cache_hits_total"),
+            cache_misses: c("ioql_cache_misses_total"),
+            cache_evictions: c("ioql_cache_evictions_total"),
+            phase_parse: h("parse"),
+            phase_typecheck: h("typecheck"),
+            phase_effect: h("effect-infer"),
+            phase_optimize: h("optimize"),
+            phase_lower: h("lower"),
+            phase_execute: h("execute"),
+            governor: GovernorMetrics {
+                checkpoints: c("ioql_governor_checkpoints_total"),
+                cell_charges: c("ioql_governor_charges_total{kind=\"cells\"}"),
+                growth_charges: c("ioql_governor_charges_total{kind=\"store-growth\"}"),
+                set_card_observations: c(
+                    "ioql_governor_observations_total{kind=\"set-cardinality\"}",
+                ),
+                cancellations: c("ioql_governor_cancellations_total"),
+                trips_wall_clock: c("ioql_governor_trips_total{kind=\"wall-clock\"}"),
+                trips_cells: c("ioql_governor_trips_total{kind=\"cells\"}"),
+                trips_set_card: c("ioql_governor_trips_total{kind=\"set-cardinality\"}"),
+                trips_growth: c("ioql_governor_trips_total{kind=\"store-growth\"}"),
+            },
+            eval: EvalMetrics {
+                steps: c("ioql_eval_steps_total"),
+                recursions: c("ioql_eval_recursions_total"),
+            },
+            registry,
+        }
+    }
+
+    /// The backing registry (counter reads, Prometheus rendering).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 }
 
@@ -111,6 +211,11 @@ pub struct QueryResult {
     /// than evaluated. Cached results are value-identical to a fresh
     /// evaluation (Theorem 7 — see [`crate::cache`]).
     pub cached: bool,
+    /// Wall-clock time of the whole pipeline run (prepare through
+    /// evaluate). Measured outside the governor's deadline path and
+    /// regardless of [`DbOptions::telemetry`] — purely informational;
+    /// nothing reads it back.
+    pub elapsed: Duration,
 }
 
 /// An IOQL database: schema + store + named query definitions.
@@ -124,6 +229,9 @@ pub struct Database {
     method_effects: MethodEffects,
     options: DbOptions,
     cache: QueryCache,
+    metrics: DbMetrics,
+    /// JSONL event sink, shared by clones of this database.
+    sink: Option<Arc<EventSink>>,
 }
 
 impl Database {
@@ -147,6 +255,18 @@ impl Database {
         for (e, c) in schema.extents() {
             store.declare_extent(e.clone(), c.clone());
         }
+        let metrics = DbMetrics::new(options.telemetry);
+        let sink = match &options.telemetry_jsonl {
+            Some(path) => Some(Arc::new(
+                EventSink::create(path).map_err(|e| DbError::Io(e.to_string()))?,
+            )),
+            None => None,
+        };
+        let cache = QueryCache::new(options.cache_capacity).with_metrics(
+            metrics.cache_hits.clone(),
+            metrics.cache_misses.clone(),
+            metrics.cache_evictions.clone(),
+        );
         Ok(Database {
             schema,
             store,
@@ -155,7 +275,9 @@ impl Database {
             def_effects: BTreeMap::new(),
             method_effects,
             options,
-            cache: QueryCache::new(options.cache_capacity),
+            cache,
+            metrics,
+            sink,
         })
     }
 
@@ -176,7 +298,27 @@ impl Database {
 
     /// The options.
     pub fn options(&self) -> DbOptions {
-        self.options
+        self.options.clone()
+    }
+
+    /// The telemetry handles (registry, counters, histograms).
+    pub fn metrics(&self) -> &DbMetrics {
+        &self.metrics
+    }
+
+    /// Prometheus-style text exposition of every registered series —
+    /// the `:metrics` REPL command.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.registry.render_prometheus()
+    }
+
+    /// A fresh [`Governor`] built from [`DbOptions::limits`], wired to
+    /// this database's telemetry. Every internally created governor
+    /// comes from here, so charges and trips always land in the
+    /// registry; callers wanting session-wide budgets can take one and
+    /// pass it to [`Database::query_governed`].
+    pub fn governor(&self) -> Governor {
+        Governor::new(self.options.limits).with_metrics(self.metrics.governor.clone())
     }
 
     /// Registers `define …;` forms. Each definition is type-checked,
@@ -231,17 +373,23 @@ impl Database {
     /// running it. Returns the elaborated query, its type, and its
     /// inferred effect.
     pub fn prepare(&self, src: &str) -> Result<(Query, Type, Effect), DbError> {
+        let t = self.metrics.phase_parse.start_timer();
         let raw = ioql_syntax::parse_query(src)?;
         let resolved = self.schema.resolve_query(&raw);
+        self.metrics.phase_parse.observe_timer(t);
+        let t = self.metrics.phase_typecheck.start_timer();
         let tenv = self.type_env();
         let (elab, ty) = check_query(&tenv, &resolved)?;
+        self.metrics.phase_typecheck.observe_timer(t);
         let discipline = if self.options.require_deterministic {
             Discipline::deterministic()
         } else {
             Discipline::permissive()
         };
+        let t = self.metrics.phase_effect.start_timer();
         let eenv = self.effect_env(discipline);
         let (ty2, eff) = infer_query(&eenv, &elab)?;
+        self.metrics.phase_effect.observe_timer(t);
         debug_assert_eq!(ty, ty2, "Figure 1 and Figure 3 disagree on a type");
         Ok((elab, ty, eff))
     }
@@ -259,7 +407,7 @@ impl Database {
         src: &str,
         chooser: &mut dyn Chooser,
     ) -> Result<QueryResult, DbError> {
-        let governor = Governor::new(self.options.limits);
+        let governor = self.governor();
         self.query_governed(src, chooser, &governor)
     }
 
@@ -278,6 +426,36 @@ impl Database {
         chooser: &mut dyn Chooser,
         governor: &Governor,
     ) -> Result<QueryResult, DbError> {
+        // The clock here feeds only `QueryResult::elapsed` and the JSONL
+        // span; the governor keeps its own deadline clock. Read
+        // unconditionally so the telemetry flag cannot shift behaviour.
+        let started = Instant::now();
+        self.metrics.queries.inc();
+        let span = self
+            .sink
+            .as_ref()
+            .map(|s| (Arc::clone(s), s.span_begin("query", src)));
+        let mut result = self.query_governed_inner(src, chooser, governor);
+        if let Some((sink, id)) = span {
+            sink.span_end(id, "query", result.is_ok());
+            sink.counters(&self.metrics.registry);
+        }
+        if let Ok(r) = result.as_mut() {
+            r.elapsed = started.elapsed();
+        }
+        result
+    }
+
+    fn query_governed_inner(
+        &mut self,
+        src: &str,
+        chooser: &mut dyn Chooser,
+        governor: &Governor,
+    ) -> Result<QueryResult, DbError> {
+        // Count draws without touching them: the wrapper delegates every
+        // pick to the caller's chooser unchanged.
+        let mut chooser = CountingChooser::new(chooser, self.metrics.chooser_draws.clone());
+        let chooser: &mut dyn Chooser = &mut chooser;
         let (mut elab, ty, static_effect) = self.prepare(src)?;
         // Theorem 7 guard: only `new`-free queries with no `A(C)` (and,
         // for the §5 extension, no `U(C)`) are deterministic, hence
@@ -315,6 +493,7 @@ impl Database {
                     runtime_effect: entry.runtime_effect,
                     steps: 0,
                     cached: true,
+                    elapsed: Duration::ZERO, // overwritten by the wrapper
                 });
             }
         }
@@ -332,7 +511,9 @@ impl Database {
         });
         let cells_before = governor.cells_spent();
         if self.options.optimize {
+            let t = self.metrics.phase_optimize.start_timer();
             let (optimized, _) = self.optimize_prepared(&elab);
+            self.metrics.phase_optimize.observe_timer(t);
             elab = optimized;
         }
         // Snapshot only when the query can actually mutate the store —
@@ -342,10 +523,12 @@ impl Database {
             .then(|| self.store.clone());
         // Split field borrows: the config borrows only the schema, so the
         // store can be taken mutably.
+        let eval_metrics = self.metrics.eval.clone();
         let cfg = EvalConfig::new(&self.schema)
             .with_method_mode(self.options.method_mode)
             .with_method_fuel(self.options.method_fuel)
-            .with_governor(governor);
+            .with_governor(governor)
+            .with_metrics(&eval_metrics);
         let defs = {
             let mut de = DefEnv::new();
             for d in &self.defs {
@@ -360,10 +543,16 @@ impl Database {
         // Theorem 7 guard refused, or the engine is an interpreter —
         // means the interpreters run the query as before.
         let plan = match engine {
-            Engine::Plan => ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()),
+            Engine::Plan => {
+                let t = self.metrics.phase_lower.start_timer();
+                let plan = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats());
+                self.metrics.phase_lower.observe_timer(t);
+                plan
+            }
             _ => None,
         };
         let store = &mut self.store;
+        let exec_timer = self.metrics.phase_execute.start_timer();
         // Contain engine panics: a bug in either evaluator must not
         // tear down the caller. `AssertUnwindSafe` is justified because
         // on `Err` the only witness of the broken invariants — the
@@ -397,6 +586,7 @@ impl Database {
                 }
             }
         }));
+        self.metrics.phase_execute.observe_timer(exec_timer);
         let result = match outcome {
             Ok(r) => r.map_err(DbError::from),
             Err(payload) => {
@@ -421,6 +611,7 @@ impl Database {
                     // cached fingerprint can collide.
                     let dirty = std::mem::replace(&mut self.store, snap);
                     self.store.bump_versions_from(&dirty);
+                    self.metrics.rollbacks.inc();
                 }
                 return Err(e);
             }
@@ -448,6 +639,7 @@ impl Database {
             runtime_effect: out.effect,
             steps: out.steps,
             cached: false,
+            elapsed: Duration::ZERO, // overwritten by the wrapper
         })
     }
 
@@ -460,6 +652,7 @@ impl Database {
     /// store, leaving the database unchanged; returns the result and the
     /// final store.
     pub fn run_program(&self, src: &str) -> Result<(QueryResult, Store), DbError> {
+        let started = Instant::now();
         let program = parse_program(src)?;
         let resolved = self.schema.resolve_program(&program);
         let checked =
@@ -485,6 +678,7 @@ impl Database {
                 runtime_effect: out.effect,
                 steps: out.steps,
                 cached: false,
+                elapsed: started.elapsed(),
             },
             store,
         ))
@@ -565,6 +759,46 @@ impl Database {
         if let Some(plan) = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()) {
             return Ok(plan.render());
         }
+        Ok(self.explain_refusal(&elab, &static_effect, &defs))
+    }
+
+    /// As [`Database::explain`], but *runs* the plan — against a clone
+    /// of the store, under a fresh governor and the canonical
+    /// [`FirstChooser`] — and renders per-operator actual rows, calls,
+    /// and inclusive wall time next to the cost estimates (the
+    /// `:plan analyze` REPL command). The database itself is unchanged;
+    /// plan-ineligible queries get the same refusal diagnosis as
+    /// `explain`.
+    pub fn explain_analyze(&self, src: &str) -> Result<String, DbError> {
+        let (mut elab, _, static_effect) = self.prepare(src)?;
+        if self.options.optimize {
+            elab = self.optimize_prepared(&elab).0;
+        }
+        let defs = self.def_env();
+        let Some(plan) = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()) else {
+            return Ok(self.explain_refusal(&elab, &static_effect, &defs));
+        };
+        let governor = self.governor();
+        let cfg = self.eval_config().with_governor(&governor);
+        let mut store = self.store.clone();
+        let (result, profile) = ioql_plan::execute_with_profile(
+            &plan,
+            &cfg,
+            &defs,
+            &mut store,
+            &mut FirstChooser,
+            self.options.max_steps,
+        )?;
+        let rows = match &result.value {
+            Value::Set(s) => s.len(),
+            _ => 1,
+        };
+        Ok(format!("{}returned {rows} row(s)\n", profile.render()))
+    }
+
+    /// The shared `explain`/`explain_analyze` diagnosis of why a query
+    /// has no physical plan.
+    fn explain_refusal(&self, elab: &Query, static_effect: &Effect, defs: &DefEnv) -> String {
         let yes_no = |b: bool| if b { "yes" } else { "no" };
         let defs_ok = elab.called_defs().iter().all(|d| {
             defs.get(d)
@@ -574,7 +808,7 @@ impl Database {
             && !elab.contains_new()
             && !elab.contains_invoke()
             && defs_ok;
-        Ok(format!(
+        format!(
             "no physical plan — the interpreter executes this query\n  \
              Thm 7 guard:\n    \
              effect {{{static_effect}}} read-only: {}\n    \
@@ -592,7 +826,7 @@ impl Database {
             } else {
                 "not evaluated (guard failed)"
             },
-        ))
+        )
     }
 
     /// Exhaustively explores every `(ND comp)` order of a query against a

@@ -57,7 +57,7 @@ pub mod error;
 
 pub use analysis::{Analysis, CommutationVerdict};
 pub use cache::CacheStats;
-pub use database::{Database, DbOptions, Engine, QueryResult};
+pub use database::{Database, DbMetrics, DbOptions, Engine, QueryResult};
 pub use error::DbError;
 
 // Re-export the subsystem crates under stable names so downstream users
@@ -71,6 +71,7 @@ pub use ioql_plan as plan;
 pub use ioql_schema as schema;
 pub use ioql_store as store;
 pub use ioql_syntax as syntax;
+pub use ioql_telemetry as telemetry;
 pub use ioql_types as types;
 
 pub use ioql_ast::{Program, Query, Type, Value};

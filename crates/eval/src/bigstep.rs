@@ -110,10 +110,15 @@ pub fn eval_expr(
         fuel,
     };
     let value = ev.eval(store, q)?;
+    let fuel_spent = fuel - ev.fuel;
+    // Batch-recorded once per completed evaluation, not per descent.
+    if let Some(m) = cfg.metrics {
+        m.recursions.add(fuel_spent);
+    }
     Ok(ExprEval {
         value,
         effect: ev.effect,
-        fuel_spent: fuel - ev.fuel,
+        fuel_spent,
     })
 }
 

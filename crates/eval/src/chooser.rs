@@ -7,6 +7,7 @@
 //! the [`explore`](crate::explore) module enumerate them all.
 
 use ioql_rng::SmallRng;
+use ioql_telemetry::Counter;
 
 /// Resolves `(ND comp)` choice points: given `n ≥ 1` candidates, return
 /// an index in `0..n`.
@@ -112,6 +113,31 @@ impl Chooser for ScriptedChooser {
     }
 }
 
+/// Wraps any chooser, counting draws into a telemetry [`Counter`].
+///
+/// Pure delegation — the pick is computed by the inner chooser from the
+/// same call sequence it would see bare, and the counter is write-only —
+/// so wrapping cannot perturb `(ND comp)` outcomes (the transparency
+/// guard; `tests/telemetry.rs` holds the facade to it).
+pub struct CountingChooser<'a> {
+    inner: &'a mut dyn Chooser,
+    draws: Counter,
+}
+
+impl<'a> CountingChooser<'a> {
+    /// Wraps `inner`, counting each `choose` call into `draws`.
+    pub fn new(inner: &'a mut dyn Chooser, draws: Counter) -> Self {
+        CountingChooser { inner, draws }
+    }
+}
+
+impl Chooser for CountingChooser<'_> {
+    fn choose(&mut self, n: usize) -> usize {
+        self.draws.inc();
+        self.inner.choose(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +180,20 @@ mod tests {
         assert_eq!(c.taken(), vec![2]);
         let mut replay = ScriptedChooser::new(c.taken());
         assert_eq!(replay.choose(3), 2);
+    }
+
+    #[test]
+    fn counting_chooser_delegates_and_counts() {
+        let reg = ioql_telemetry::MetricsRegistry::new(true);
+        let draws = reg.counter("draws");
+        let mut inner = ScriptedChooser::new(vec![2, 0, 1]);
+        let mut counting = CountingChooser::new(&mut inner, draws.clone());
+        assert_eq!(counting.choose(4), 2);
+        assert_eq!(counting.choose(3), 0);
+        assert_eq!(counting.choose(2), 1);
+        assert_eq!(draws.get(), 3);
+        // The inner chooser saw exactly the bare call sequence.
+        assert_eq!(inner.taken(), vec![2, 0, 1]);
     }
 
     #[test]

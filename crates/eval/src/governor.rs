@@ -40,6 +40,7 @@
 //! trips first; the robustness suite therefore injects one fault at a
 //! time.
 
+use ioql_telemetry::Counter;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -141,6 +142,46 @@ impl CancelToken {
     }
 }
 
+/// Telemetry handles a [`Governor`] reports into — charges, budget
+/// trips per [`ResourceKind`], and cancellations.
+///
+/// Strictly write-only from the governor's side (the transparency
+/// guard): no counter value ever feeds a limit decision, so a metered
+/// governor and a bare one make identical verdicts. Handles from a
+/// disabled registry make every report a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct GovernorMetrics {
+    /// Deadline/cancellation checkpoints taken.
+    pub checkpoints: Counter,
+    /// Comprehension cells charged (sum of `n` across `charge_cells`).
+    pub cell_charges: Counter,
+    /// Store-growth units charged.
+    pub growth_charges: Counter,
+    /// Set-cardinality observations made.
+    pub set_card_observations: Counter,
+    /// Evaluations aborted through the [`CancelToken`].
+    pub cancellations: Counter,
+    /// Wall-clock deadline trips.
+    pub trips_wall_clock: Counter,
+    /// Cell-budget trips.
+    pub trips_cells: Counter,
+    /// Set-cardinality-cap trips.
+    pub trips_set_card: Counter,
+    /// Store-growth-budget trips.
+    pub trips_growth: Counter,
+}
+
+impl GovernorMetrics {
+    fn trip(&self, kind: ResourceKind) {
+        match kind {
+            ResourceKind::WallClock => self.trips_wall_clock.inc(),
+            ResourceKind::Cells => self.trips_cells.inc(),
+            ResourceKind::SetCardinality => self.trips_set_card.inc(),
+            ResourceKind::StoreGrowth => self.trips_growth.inc(),
+        }
+    }
+}
+
 /// Meters one evaluation against a set of [`Limits`].
 ///
 /// The governor is cheap to consult (atomic counters, a cached start
@@ -156,6 +197,7 @@ pub struct Governor {
     cells: AtomicU64,
     growth: AtomicU64,
     cancel: CancelToken,
+    metrics: Option<GovernorMetrics>,
 }
 
 impl Governor {
@@ -168,7 +210,15 @@ impl Governor {
             cells: AtomicU64::new(0),
             growth: AtomicU64::new(0),
             cancel: CancelToken::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches telemetry handles. Reporting is write-only — a metered
+    /// governor enforces exactly what the bare one would.
+    pub fn with_metrics(mut self, metrics: GovernorMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The limits being enforced.
@@ -194,12 +244,21 @@ impl Governor {
     /// The per-step / per-recursion checkpoint: cancellation first, then
     /// the wall-clock deadline.
     pub fn checkpoint(&self) -> Result<(), EvalError> {
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
         if self.cancel.is_cancelled() {
+            if let Some(m) = &self.metrics {
+                m.cancellations.inc();
+            }
             return Err(EvalError::Cancelled);
         }
         if let Some(deadline) = self.limits.deadline {
             let spent = self.started.elapsed();
             if spent > deadline {
+                if let Some(m) = &self.metrics {
+                    m.trip(ResourceKind::WallClock);
+                }
                 return Err(EvalError::ResourceExhausted {
                     kind: ResourceKind::WallClock,
                     spent: spent.as_millis() as u64,
@@ -212,9 +271,15 @@ impl Governor {
 
     /// Charges `n` comprehension cells (one per generator element drawn).
     pub fn charge_cells(&self, n: u64) -> Result<(), EvalError> {
+        if let Some(m) = &self.metrics {
+            m.cell_charges.add(n);
+        }
         let spent = self.cells.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.limits.max_cells {
             if spent > limit {
+                if let Some(m) = &self.metrics {
+                    m.trip(ResourceKind::Cells);
+                }
                 return Err(EvalError::ResourceExhausted {
                     kind: ResourceKind::Cells,
                     spent,
@@ -227,8 +292,14 @@ impl Governor {
 
     /// Observes the cardinality of a set value produced by a rule.
     pub fn observe_set_card(&self, card: u64) -> Result<(), EvalError> {
+        if let Some(m) = &self.metrics {
+            m.set_card_observations.inc();
+        }
         if let Some(limit) = self.limits.max_set_card {
             if card > limit {
+                if let Some(m) = &self.metrics {
+                    m.trip(ResourceKind::SetCardinality);
+                }
                 return Err(EvalError::ResourceExhausted {
                     kind: ResourceKind::SetCardinality,
                     spent: card,
@@ -241,9 +312,15 @@ impl Governor {
 
     /// Charges `n` objects of store growth (one per `(New)`).
     pub fn charge_growth(&self, n: u64) -> Result<(), EvalError> {
+        if let Some(m) = &self.metrics {
+            m.growth_charges.add(n);
+        }
         let spent = self.growth.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.limits.max_store_growth {
             if spent > limit {
+                if let Some(m) = &self.metrics {
+                    m.trip(ResourceKind::StoreGrowth);
+                }
                 return Err(EvalError::ResourceExhausted {
                     kind: ResourceKind::StoreGrowth,
                     spent,
@@ -333,6 +410,26 @@ mod tests {
         g.cancel_token().cancel();
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(g.checkpoint(), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn metrics_report_charges_and_trips_without_changing_verdicts() {
+        let reg = ioql_telemetry::MetricsRegistry::new(true);
+        let m = GovernorMetrics {
+            cell_charges: reg.counter("cells"),
+            trips_cells: reg.counter("trips"),
+            cancellations: reg.counter("cancels"),
+            ..GovernorMetrics::default()
+        };
+        let g = Governor::new(Limits::none().with_max_cells(2)).with_metrics(m);
+        assert!(g.charge_cells(2).is_ok());
+        // Same verdict a bare governor gives; the trip is also counted.
+        assert!(g.charge_cells(1).is_err());
+        assert_eq!(reg.counter_value("cells"), Some(3));
+        assert_eq!(reg.counter_value("trips"), Some(1));
+        g.cancel_token().cancel();
+        assert_eq!(g.checkpoint(), Err(EvalError::Cancelled));
+        assert_eq!(reg.counter_value("cancels"), Some(1));
     }
 
     #[test]

@@ -36,11 +36,13 @@ pub mod step;
 pub mod trace;
 
 pub use bigstep::{eval_big, eval_expr, BigStepResult, ExprEval};
-pub use chooser::{Chooser, FirstChooser, LastChooser, RandomChooser, ScriptedChooser};
+pub use chooser::{
+    Chooser, CountingChooser, FirstChooser, LastChooser, RandomChooser, ScriptedChooser,
+};
 pub use explore::{
     all_outcomes_equivalent, explore_outcomes, explore_outcomes_parallel, Exploration,
 };
-pub use governor::{CancelToken, Governor, Limits, ResourceKind};
-pub use machine::{evaluate, run_program, DefEnv, EvalConfig, EvalError, Evaluated};
+pub use governor::{CancelToken, Governor, GovernorMetrics, Limits, ResourceKind};
+pub use machine::{evaluate, run_program, DefEnv, EvalConfig, EvalError, EvalMetrics, Evaluated};
 pub use step::{redex, step, StepOutcome};
 pub use trace::{trace, Trace, TraceStep};

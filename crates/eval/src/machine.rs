@@ -56,6 +56,20 @@ impl DefEnv {
     }
 }
 
+/// Telemetry handles the engines report work volume into, at batch
+/// granularity: totals are recorded once per completed evaluation, not
+/// per step, so the hot loops stay counter-free.
+///
+/// Write-only from the engines' side (the transparency guard): no
+/// recorded value ever feeds an evaluation decision.
+#[derive(Clone, Debug, Default)]
+pub struct EvalMetrics {
+    /// Small-step reductions taken (summed at completion).
+    pub steps: ioql_telemetry::Counter,
+    /// Big-step recursive descents (fuel units, summed at completion).
+    pub recursions: ioql_telemetry::Counter,
+}
+
 /// Evaluator configuration: the schema plus the §5 method design point.
 #[derive(Clone, Copy, Debug)]
 pub struct EvalConfig<'s> {
@@ -70,6 +84,9 @@ pub struct EvalConfig<'s> {
     /// Both engines consult it at aligned points — see
     /// [`governor`](crate::governor) for the parity contract.
     pub governor: Option<&'s Governor>,
+    /// Optional telemetry handles for engine work volume. Recorded in
+    /// batch at completion; never read by the engines.
+    pub metrics: Option<&'s EvalMetrics>,
 }
 
 impl<'s> EvalConfig<'s> {
@@ -81,6 +98,7 @@ impl<'s> EvalConfig<'s> {
             method_mode: Mode::ReadOnly,
             method_fuel: 1_000_000,
             governor: None,
+            metrics: None,
         }
     }
 
@@ -101,6 +119,14 @@ impl<'s> EvalConfig<'s> {
     /// single query.
     pub fn with_governor(mut self, governor: &'s Governor) -> Self {
         self.governor = Some(governor);
+        self
+    }
+
+    /// Attaches telemetry handles for engine work volume (steps,
+    /// recursions). Borrowed like the governor, so one set of handles
+    /// can meter a session.
+    pub fn with_metrics(mut self, metrics: &'s EvalMetrics) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -202,6 +228,11 @@ pub fn evaluate(
         match step(cfg, defs, store, &cur, chooser)? {
             None => {
                 let value = cur.as_value().expect("step returned None on a non-value");
+                // Batch-recorded once at completion, keeping the step
+                // loop free of per-iteration counter traffic.
+                if let Some(m) = cfg.metrics {
+                    m.steps.add(steps);
+                }
                 return Ok(Evaluated {
                     value,
                     effect,

@@ -27,7 +27,8 @@ use ioql_ast::{Query, SetOp, Value, VarName};
 use ioql_effects::Effect;
 use ioql_eval::{eval_expr, Chooser, DefEnv, EvalConfig, EvalError};
 use ioql_store::Store;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
 
 /// The result of executing a [`Plan`].
 #[derive(Clone, Debug)]
@@ -36,6 +37,157 @@ pub struct PlanResult {
     pub value: Value,
     /// The accumulated runtime effect trace.
     pub effect: Effect,
+}
+
+/// Runtime statistics for one operator or stage of a profiled run.
+#[derive(Clone, Debug)]
+pub struct ProfEntry {
+    /// Tree depth (for indented rendering).
+    pub depth: usize,
+    /// The operator/stage label ([`Op::label`] / [`Stage::label`]).
+    pub label: String,
+    /// The optimizer's row estimate, where one exists.
+    pub est_rows: Option<usize>,
+    /// Times the node was entered (rows drawn through it, for per-row
+    /// stages).
+    pub calls: u64,
+    /// Rows produced (set cardinality for set-valued operators; passing
+    /// rows for filters and probes).
+    pub rows: u64,
+    /// Wall-clock nanoseconds spent, *inclusive* of children (the
+    /// EXPLAIN ANALYZE convention).
+    pub nanos: u64,
+}
+
+/// The per-operator runtime profile of one plan execution — estimated
+/// rows next to actual rows, calls, and inclusive wall time. Produced by
+/// [`execute_with_profile`]; rendered by `:plan analyze`.
+#[derive(Clone, Debug)]
+pub struct PlanProfile {
+    /// The licensing guard, rendered.
+    pub guard: String,
+    /// One entry per operator/stage, in pre-order.
+    pub entries: Vec<ProfEntry>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl PlanProfile {
+    /// Renders the profile as an indented tree, one line per operator,
+    /// estimates next to actuals.
+    pub fn render(&self) -> String {
+        let mut out = format!("Plan analyze  [guard: {}]\n", self.guard);
+        for e in &self.entries {
+            for _ in 0..e.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&e.label);
+            if let Some(n) = e.est_rows {
+                out.push_str(&format!("  (est ~{n} rows)"));
+            }
+            if e.calls == 0 {
+                out.push_str("  [never executed]\n");
+            } else {
+                out.push_str(&format!(
+                    "  (actual: rows={} calls={} time={})\n",
+                    e.rows,
+                    e.calls,
+                    fmt_ns(e.nanos)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Collects per-node runtime stats during a profiled execution. Nodes
+/// are keyed by their address inside the (immutably borrowed) plan tree,
+/// so no plan mutation or numbering pass is needed.
+struct Profiler {
+    index: HashMap<usize, usize>,
+    entries: Vec<ProfEntry>,
+}
+
+fn op_key(op: &Op) -> usize {
+    op as *const Op as usize
+}
+
+fn stage_key(stage: &Stage) -> usize {
+    stage as *const Stage as usize
+}
+
+impl Profiler {
+    fn new(plan: &Plan) -> Self {
+        let mut p = Profiler {
+            index: HashMap::new(),
+            entries: Vec::new(),
+        };
+        p.walk_op(&plan.root, 1);
+        p
+    }
+
+    fn push(&mut self, key: usize, depth: usize, label: String, est_rows: Option<usize>) {
+        self.index.insert(key, self.entries.len());
+        self.entries.push(ProfEntry {
+            depth,
+            label,
+            est_rows,
+            calls: 0,
+            rows: 0,
+            nanos: 0,
+        });
+    }
+
+    fn walk_op(&mut self, op: &Op, depth: usize) {
+        self.push(op_key(op), depth, op.label(), op.est_rows());
+        match op {
+            Op::SetUnion { left, right }
+            | Op::SetIntersect { left, right }
+            | Op::SetDiff { left, right } => {
+                self.walk_op(left, depth + 1);
+                self.walk_op(right, depth + 1);
+            }
+            Op::Distinct { input } | Op::MapProject { input, .. } => {
+                self.walk_op(input, depth + 1);
+            }
+            Op::Pipeline { stages } => {
+                for stage in stages {
+                    self.push(stage_key(stage), depth + 1, stage.label(), stage.est_rows());
+                }
+            }
+            Op::InlineDef { body, .. } => self.walk_op(body, depth + 1),
+            Op::ExtentScan { .. } | Op::Eval { .. } => {}
+        }
+    }
+
+    fn record(&mut self, key: usize, started: Option<Instant>, rows: u64) {
+        if let Some(&i) = self.index.get(&key) {
+            let e = &mut self.entries[i];
+            e.calls += 1;
+            e.rows += rows;
+            if let Some(t) = started {
+                e.nanos += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    fn add_nanos(&mut self, key: usize, started: Option<Instant>) {
+        if let Some(&i) = self.index.get(&key) {
+            if let Some(t) = started {
+                self.entries[i].nanos += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
 }
 
 /// Executes a physical plan against a store.
@@ -52,6 +204,46 @@ pub fn execute(
     chooser: &mut dyn Chooser,
     max_steps: u64,
 ) -> Result<PlanResult, EvalError> {
+    execute_inner(plan, cfg, defs, store, chooser, max_steps, None).map(|(r, _)| r)
+}
+
+/// Executes a physical plan while collecting per-operator runtime stats
+/// (calls, rows, inclusive wall time) next to the optimizer's estimates.
+///
+/// Profiling reads the clock per operator entry, so this path is for
+/// diagnostics (`:plan analyze` runs it against a *cloned* store);
+/// production execution goes through [`execute`], which performs no
+/// clock reads at all.
+pub fn execute_with_profile(
+    plan: &Plan,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+) -> Result<(PlanResult, PlanProfile), EvalError> {
+    let prof = Profiler::new(plan);
+    let (result, prof) = execute_inner(plan, cfg, defs, store, chooser, max_steps, Some(prof))?;
+    let prof = prof.expect("profiler threaded through");
+    Ok((
+        result,
+        PlanProfile {
+            guard: plan.guard.to_string(),
+            entries: prof.entries,
+        },
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_inner(
+    plan: &Plan,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+    prof: Option<Profiler>,
+) -> Result<(PlanResult, Option<Profiler>), EvalError> {
     let mut ex = Exec {
         cfg,
         defs,
@@ -59,12 +251,16 @@ pub fn execute(
         effect: Effect::empty(),
         fuel: max_steps,
         binds: Vec::new(),
+        prof,
     };
     let value = ex.eval_op(store, &plan.root)?;
-    Ok(PlanResult {
-        value,
-        effect: ex.effect,
-    })
+    Ok((
+        PlanResult {
+            value,
+            effect: ex.effect,
+        },
+        ex.prof,
+    ))
 }
 
 struct Exec<'a, 'c> {
@@ -78,9 +274,29 @@ struct Exec<'a, 'c> {
     /// rebound by an inner generator resolves to the inner value —
     /// matching the interpreters' shadowing-aware eager substitution.
     binds: Vec<(VarName, Value)>,
+    /// Per-node runtime stats, only in [`execute_with_profile`] runs.
+    /// `None` in production execution — no clock reads, no recording.
+    prof: Option<Profiler>,
 }
 
 impl Exec<'_, '_> {
+    /// Starts a timer iff profiling — `execute` runs never touch the
+    /// clock, which is what keeps telemetry out of deadline semantics.
+    fn ptimer(&self) -> Option<Instant> {
+        self.prof.as_ref().map(|_| Instant::now())
+    }
+
+    fn precord(&mut self, key: usize, started: Option<Instant>, rows: u64) {
+        if let Some(p) = self.prof.as_mut() {
+            p.record(key, started, rows);
+        }
+    }
+
+    fn ptime(&mut self, key: usize, started: Option<Instant>) {
+        if let Some(p) = self.prof.as_mut() {
+            p.add_nanos(key, started);
+        }
+    }
     fn stuck<T>(&self, q: &Query, reason: impl Into<String>) -> Result<T, EvalError> {
         Err(EvalError::Stuck {
             query: q.to_string(),
@@ -123,6 +339,21 @@ impl Exec<'_, '_> {
     }
 
     fn eval_op(&mut self, store: &mut Store, op: &Op) -> Result<Value, EvalError> {
+        if self.prof.is_none() {
+            return self.eval_op_inner(store, op);
+        }
+        let t = self.ptimer();
+        let r = self.eval_op_inner(store, op);
+        let rows = match &r {
+            Ok(Value::Set(s)) => s.len() as u64,
+            Ok(_) => 1,
+            Err(_) => 0,
+        };
+        self.precord(op_key(op), t, rows);
+        r
+    }
+
+    fn eval_op_inner(&mut self, store: &mut Store, op: &Op) -> Result<Value, EvalError> {
         self.checkpoint()?;
         match op {
             Op::ExtentScan { extent, .. } => self.scan_extent(store, extent),
@@ -130,14 +361,22 @@ impl Exec<'_, '_> {
             Op::SetIntersect { left, right } => self.set_bin(store, SetOp::Intersect, left, right),
             Op::SetDiff { left, right } => self.set_bin(store, SetOp::Diff, left, right),
             Op::Distinct { input } => {
-                let Op::MapProject { head, input } = &**input else {
+                let mp = &**input;
+                let Op::MapProject { head, input } = mp else {
                     return self.malformed();
                 };
-                let Op::Pipeline { stages } = &**input else {
+                let pl = &**input;
+                let Op::Pipeline { stages } = pl else {
                     return self.malformed();
                 };
+                let t = self.ptimer();
                 let mut out = BTreeSet::new();
                 self.run_stages(store, stages, head, &mut out)?;
+                // The MapProject/Pipeline spine is driven inline (not
+                // via `eval_op`), so its profile rows are recorded here.
+                let produced = out.len() as u64;
+                self.precord(op_key(pl), None, produced);
+                self.precord(op_key(mp), t, produced);
                 // Observed once at completion, matching the naive
                 // engines' single observation of the finished
                 // comprehension.
@@ -224,23 +463,37 @@ impl Exec<'_, '_> {
                 out.insert(v);
                 Ok(())
             }
-            Some((Stage::Filter { pred }, rest)) => match self.expr(store, pred)? {
-                Value::Bool(true) => self.run_stages(store, rest, head, out),
-                Value::Bool(false) => Ok(()),
-                _ => self.stuck(pred, "non-boolean predicate"),
-            },
-            Some((Stage::ExtentScan { var, extent, .. }, rest)) => {
+            Some((st @ Stage::Filter { pred }, rest)) => {
+                let t = self.ptimer();
+                let v = self.expr(store, pred)?;
+                match v {
+                    Value::Bool(pass) => {
+                        self.precord(stage_key(st), t, pass as u64);
+                        if pass {
+                            self.run_stages(store, rest, head, out)
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    _ => self.stuck(pred, "non-boolean predicate"),
+                }
+            }
+            Some((st @ Stage::ExtentScan { var, extent, .. }, rest)) => {
+                let t = self.ptimer();
                 let elems = match self.scan_extent(store, extent)? {
                     Value::Set(s) => s,
                     _ => return self.malformed(),
                 };
+                self.precord(stage_key(st), t, elems.len() as u64);
                 self.drive_gen(store, var, elems, rest, head, out)
             }
-            Some((Stage::Scan { var, source, .. }, rest)) => {
+            Some((st @ Stage::Scan { var, source, .. }, rest)) => {
+                let t = self.ptimer();
                 let elems = match self.expr(store, source)? {
                     Value::Set(s) => s,
                     _ => return self.stuck(source, "generator over a non-set"),
                 };
+                self.precord(stage_key(st), t, elems.len() as u64);
                 self.drive_gen(store, var, elems, rest, head, out)
             }
             // A probe is always fused behind its generator and consumed
@@ -264,7 +517,7 @@ impl Exec<'_, '_> {
     ) -> Result<(), EvalError> {
         let (probe, body) = match rest.split_first() {
             Some((
-                Stage::HashIndexProbe {
+                st @ Stage::HashIndexProbe {
                     var: pv,
                     build,
                     probe,
@@ -272,7 +525,7 @@ impl Exec<'_, '_> {
                     ..
                 },
                 after,
-            )) if pv == var => (Some((build, probe, pred)), after),
+            )) if pv == var => (Some((stage_key(st), build, probe, pred)), after),
             _ => (None, rest),
         };
         let mut remaining: Vec<Value> = elems.into_iter().collect();
@@ -291,7 +544,7 @@ impl Exec<'_, '_> {
             // so the plan path must offer the same observation point.
             self.checkpoint()?;
             let picked = remaining.remove(i);
-            let Some((build, probe_q, pred)) = probe else {
+            let Some((pkey, build, probe_q, pred)) = probe else {
                 self.binds.push((var.clone(), picked));
                 let r = self.run_stages(store, body, head, out);
                 self.binds.pop();
@@ -303,16 +556,20 @@ impl Exec<'_, '_> {
                 // naive path would first evaluate the predicate, so the
                 // probe side's one evaluation lands where naive's first
                 // would.
+                let t = self.ptimer();
                 index = Some(self.build_index(
                     store,
                     build,
                     probe_q,
                     std::iter::once(&picked).chain(remaining.iter()),
                 ));
+                self.ptime(pkey, t);
             }
             match index.as_ref().expect("initialized at first draw") {
                 Some(pass) => {
-                    if pass.contains(&picked) {
+                    let hit = pass.contains(&picked);
+                    self.precord(pkey, None, hit as u64);
+                    if hit {
                         self.binds.push((var.clone(), picked));
                         let r = self.run_stages(store, body, head, out);
                         self.binds.pop();
@@ -323,7 +580,8 @@ impl Exec<'_, '_> {
                     self.binds.push((var.clone(), picked));
                     let r = self.filtered(store, pred, body, head, out);
                     self.binds.pop();
-                    r?;
+                    let passed = r?;
+                    self.precord(pkey, None, passed as u64);
                 }
             }
         }
@@ -331,7 +589,8 @@ impl Exec<'_, '_> {
     }
 
     /// The speculative-fallback path: evaluate the original predicate
-    /// per row, exactly as a [`Stage::Filter`] would.
+    /// per row, exactly as a [`Stage::Filter`] would. Returns whether
+    /// the predicate passed (profile bookkeeping only).
     fn filtered(
         &mut self,
         store: &mut Store,
@@ -339,10 +598,13 @@ impl Exec<'_, '_> {
         body: &[Stage],
         head: &Query,
         out: &mut BTreeSet<Value>,
-    ) -> Result<(), EvalError> {
+    ) -> Result<bool, EvalError> {
         match self.expr(store, pred)? {
-            Value::Bool(true) => self.run_stages(store, body, head, out),
-            Value::Bool(false) => Ok(()),
+            Value::Bool(true) => {
+                self.run_stages(store, body, head, out)?;
+                Ok(true)
+            }
+            Value::Bool(false) => Ok(false),
             _ => self.stuck(pred, "non-boolean predicate"),
         }
     }

@@ -173,6 +173,61 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// A one-line label for this operator (shared by the renderer's
+    /// structure and the executor's profile, so `:plan` and
+    /// `:plan analyze` rows line up).
+    pub fn label(&self) -> String {
+        match self {
+            Op::ExtentScan { extent, .. } => format!("ExtentScan {extent}"),
+            Op::SetUnion { .. } => "SetUnion".into(),
+            Op::SetIntersect { .. } => "SetIntersect".into(),
+            Op::SetDiff { .. } => "SetDiff".into(),
+            Op::Distinct { .. } => "Distinct".into(),
+            Op::MapProject { head, .. } => format!("MapProject  head = {head}"),
+            Op::Pipeline { .. } => "Pipeline".into(),
+            Op::InlineDef { name, .. } => format!("InlineDef {name}"),
+            Op::Eval { expr } => format!("Eval  {expr}"),
+        }
+    }
+
+    /// The optimizer's row estimate for this operator, where one exists.
+    pub fn est_rows(&self) -> Option<usize> {
+        match self {
+            Op::ExtentScan { est_rows, .. } => Some(*est_rows),
+            _ => None,
+        }
+    }
+}
+
+impl Stage {
+    /// A one-line label for this stage (see [`Op::label`]).
+    pub fn label(&self) -> String {
+        match self {
+            Stage::ExtentScan { var, extent, .. } => format!("ExtentScan {var} <- {extent}"),
+            Stage::Scan { var, source, .. } => format!("Scan {var} <- {source}"),
+            Stage::Filter { pred } => format!("Filter  {pred}"),
+            Stage::HashIndexProbe {
+                var, build, probe, ..
+            } => {
+                let key = match &build.key {
+                    KeyAccess::Bare => var.to_string(),
+                    KeyAccess::Attr(a) => format!("{var}.{a}"),
+                };
+                format!("HashIndexProbe  {key} {} {probe}", build.eq)
+            }
+        }
+    }
+
+    /// The optimizer's row estimate for this stage, where one exists.
+    pub fn est_rows(&self) -> Option<usize> {
+        match self {
+            Stage::ExtentScan { est_rows, .. } | Stage::Scan { est_rows, .. } => Some(*est_rows),
+            Stage::Filter { .. } | Stage::HashIndexProbe { .. } => None,
+        }
+    }
+}
+
 /// The effect evidence licensing a plan — the Theorem 7 guard.
 ///
 /// A plan is only emitted when the query's inferred Figure-3 effect is

@@ -37,7 +37,7 @@ pub mod exec;
 pub mod ir;
 mod lower;
 
-pub use exec::{execute, PlanResult};
+pub use exec::{execute, execute_with_profile, PlanProfile, PlanResult, ProfEntry};
 pub use ir::{EqKind, Guard, HashIndexBuild, KeyAccess, Op, Plan, Stage};
 pub use lower::lower;
 
@@ -198,6 +198,49 @@ mod tests {
                 assert_eq!(s1, s2, "store mismatch on {q}");
             }
         }
+    }
+
+    #[test]
+    fn profiled_execution_matches_and_reports_actuals() {
+        let (schema, store) = setup();
+        let cfg = EvalConfig::new(&schema);
+        let defs = DefEnv::new();
+        let q = selective_eq();
+        let plan = lower(
+            &q,
+            &Effect::read("P").union(&Effect::attr_read("P")),
+            &defs,
+            &stats_for(&store),
+        )
+        .unwrap();
+        let mut s1 = store.clone();
+        let mut s2 = store.clone();
+        let (p, prof) =
+            execute_with_profile(&plan, &cfg, &defs, &mut s1, &mut FirstChooser, 100_000).unwrap();
+        let plain = execute(&plan, &cfg, &defs, &mut s2, &mut FirstChooser, 100_000).unwrap();
+        assert_eq!(p.value, plain.value);
+        assert_eq!(p.effect, plain.effect);
+        assert_eq!(s1, s2);
+        let rendered = prof.render();
+        assert!(rendered.contains("Thm 7"), "{rendered}");
+        assert!(rendered.contains("(est ~20 rows)"), "{rendered}");
+        assert!(rendered.contains("actual:"), "{rendered}");
+        // 20 elements scanned; exactly one survives the probe.
+        let scan = prof
+            .entries
+            .iter()
+            .find(|e| e.label.starts_with("ExtentScan x <- Ps"))
+            .unwrap();
+        assert_eq!((scan.calls, scan.rows), (1, 20));
+        let probe = prof
+            .entries
+            .iter()
+            .find(|e| e.label.starts_with("HashIndexProbe"))
+            .unwrap();
+        assert_eq!((probe.calls, probe.rows), (20, 1));
+        let distinct = prof.entries.iter().find(|e| e.label == "Distinct").unwrap();
+        assert_eq!(distinct.rows, 1);
+        assert!(distinct.nanos > 0, "inclusive timing must be recorded");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use ioql_eval::{CancelToken, Chooser, Limits};
 use ioql_rng::SmallRng;
+use ioql_telemetry::Counter;
 use std::time::Duration;
 
 /// One injectable evaluation fault.
@@ -98,6 +99,8 @@ pub struct ChaosChooser {
     rng: SmallRng,
     calls: u64,
     cancel: Option<(u64, CancelToken)>,
+    injections: Counter,
+    injected: bool,
 }
 
 impl ChaosChooser {
@@ -108,7 +111,16 @@ impl ChaosChooser {
             rng: SmallRng::seed_from_u64(seed),
             calls: 0,
             cancel,
+            injections: Counter::disabled(),
+            injected: false,
         }
+    }
+
+    /// Attaches a telemetry counter recording the first cancellation
+    /// injection (write-only; draw values and schedule are unaffected).
+    pub fn with_metrics(mut self, injections: Counter) -> Self {
+        self.injections = injections;
+        self
     }
 
     /// How many choices have been drawn.
@@ -122,6 +134,10 @@ impl Chooser for ChaosChooser {
         if let Some((after, token)) = &self.cancel {
             if self.calls >= *after {
                 token.cancel();
+                if !self.injected {
+                    self.injected = true;
+                    self.injections.inc();
+                }
             }
         }
         self.calls += 1;
@@ -218,6 +234,20 @@ mod tests {
         c.choose(3);
         assert!(!token.is_cancelled());
         c.choose(3); // third call — index 2 — pulls the token
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn chaos_chooser_counts_one_injection() {
+        let reg = ioql_telemetry::MetricsRegistry::new(true);
+        let injections = reg.counter("ioql_fault_injections_total");
+        let token = CancelToken::new();
+        let mut c = ChaosChooser::new(1, Some((1, token.clone()))).with_metrics(injections.clone());
+        c.choose(3);
+        assert_eq!(injections.get(), 0);
+        c.choose(3);
+        c.choose(3); // the token stays pulled; the injection counts once
+        assert_eq!(injections.get(), 1);
         assert!(token.is_cancelled());
     }
 

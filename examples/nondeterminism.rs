@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DbOptions::default()
     };
     let fx4 = jack_jill();
-    let mut db4 = Database::from_schema(fx4.schema.clone(), opts)?;
+    let mut db4 = Database::from_schema(fx4.schema.clone(), opts.clone())?;
     *db4.store_mut() = fx4.store.clone();
     println!("loop variant:\n  {}\n", jack_jill_loop_query());
     match db4.query(jack_jill_loop_query()) {

@@ -34,6 +34,7 @@ fn db_with(engine: Engine, cache_capacity: usize) -> Database {
     let opts = DbOptions {
         engine,
         cache_capacity,
+        telemetry: true, // transparency guard: caching behaves the same with metrics on
         ..DbOptions::default()
     };
     let mut db = Database::from_ddl_with(DDL, opts).unwrap();

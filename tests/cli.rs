@@ -223,6 +223,117 @@ fn save_and_load_roundtrip_via_cli() {
     let _ = std::fs::remove_file(&dump);
 }
 
+/// Pulls the `:`-prefixed command signatures out of a help listing: the
+/// text before the first run of two-or-more spaces on each line.
+fn command_signatures<'a>(lines: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut out: Vec<String> = lines
+        .filter_map(|l| {
+            let l = l.trim();
+            if !l.starts_with(':') {
+                return None;
+            }
+            Some(match l.find("  ") {
+                Some(i) => l[..i].to_string(),
+                None => l.to_string(),
+            })
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn help_text_matches_module_docs() {
+    // Drift guard: the command list in the bin's module docs (the
+    // ```text block) and the live `:help` output must agree, so the
+    // rustdoc page can't silently fall behind the shell.
+    let src =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin/ioql.rs")).unwrap();
+    let doc_block: Vec<&str> = src
+        .lines()
+        .skip_while(|l| !l.contains("```text"))
+        .skip(1)
+        .take_while(|l| !l.contains("```"))
+        .map(|l| l.trim_start().trim_start_matches("//!"))
+        .collect();
+    let docs = command_signatures(doc_block.into_iter());
+    assert!(
+        docs.len() >= 10,
+        "module-doc command block not found or truncated: {docs:?}"
+    );
+    let (stdout, stderr, ok) = run_session(&[], ":help\n:quit\n");
+    assert!(ok, "stderr: {stderr}");
+    let live = command_signatures(stdout.lines());
+    assert_eq!(
+        docs, live,
+        "bin/ioql.rs module docs drifted from the live `:help` output"
+    );
+    for must in [":metrics", ":stats", ":plan analyze <query>"] {
+        assert!(live.contains(&must.to_string()), "{live:?}");
+    }
+}
+
+#[test]
+fn stats_metrics_and_plan_analyze_commands() {
+    let schema = schema_file();
+    let jsonl =
+        std::env::temp_dir().join(format!("ioql-cli-telemetry-{}.jsonl", std::process::id()));
+    let script = "\
+{ new P(name: n) | n <- {1, 2, 3, 4, 5, 6} }
+{ p.name | p <- Ps }
+{ p.name | p <- Ps }
+:plan analyze { p.name | p <- Ps, p.name = 2 }
+:stats
+:metrics
+:quit
+";
+    let (stdout, stderr, ok) = run_session(
+        &[
+            schema.to_str().unwrap(),
+            "--telemetry-jsonl",
+            jsonl.to_str().unwrap(),
+        ],
+        script,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // Plain queries report wall-clock elapsed and cache status.
+    assert!(stdout.contains("ms, cached: false)"), "{stdout}");
+    assert!(stdout.contains("ms, cached: true)"), "{stdout}");
+    // `:plan analyze` prints per-operator estimates next to actuals.
+    assert!(stdout.contains("Plan analyze"), "{stdout}");
+    assert!(stdout.contains("(est ~6 rows)"), "{stdout}");
+    assert!(stdout.contains("actual:"), "{stdout}");
+    assert!(stdout.contains("returned 1 row(s)"), "{stdout}");
+    // `:stats` shows cache counters and per-extent versions.
+    assert!(stdout.contains("cache: 1 hit(s), 1 miss(es)"), "{stdout}");
+    assert!(
+        stdout.contains("extent Ps: 6 object(s), version "),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("extent Fs: 0 object(s), version "),
+        "{stdout}"
+    );
+    // `:metrics` emits Prometheus-style text.
+    assert!(
+        stdout.contains("# TYPE ioql_queries_total counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("ioql_cache_hits_total 1"), "{stdout}");
+    assert!(
+        stdout.contains("ioql_phase_duration_ns_count{phase=\"execute\"}"),
+        "{stdout}"
+    );
+    // The JSONL sink wrote one object per line.
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(text.lines().count() > 0, "sink is empty");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    let _ = std::fs::remove_file(&jsonl);
+}
+
 #[test]
 fn bad_schema_file_is_reported() {
     let (_, stderr, ok) = run_session(&["/definitely/missing.odl"], "");

@@ -159,6 +159,7 @@ fn fuel_exhaustion_same_class_in_both_engines() {
         let opts = ioql::DbOptions {
             engine,
             max_steps: 3,
+            telemetry: true, // transparency guard: metrics never change verdicts
             ..ioql::DbOptions::default()
         };
         let mut db = ioql::Database::from_ddl_with(

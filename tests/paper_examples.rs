@@ -99,7 +99,7 @@ fn x2_termination_depends_on_visit_order() {
         ..DbOptions::default()
     };
     let fx = jack_jill();
-    let mut db = Database::from_schema(fx.schema.clone(), opts).unwrap();
+    let mut db = Database::from_schema(fx.schema.clone(), opts.clone()).unwrap();
     *db.store_mut() = fx.store.clone();
 
     // Jack (name = 1) first: hits `p.loop()` — diverges.
@@ -116,7 +116,7 @@ fn x2_termination_depends_on_visit_order() {
 
     // Jill first: an F is created before Jack is reached — terminates.
     let fx2 = jack_jill();
-    let mut db2 = Database::from_schema(fx2.schema.clone(), opts).unwrap();
+    let mut db2 = Database::from_schema(fx2.schema.clone(), opts.clone()).unwrap();
     *db2.store_mut() = fx2.store.clone();
     let r2 = db2
         .query_with(jack_jill_loop_query(), &mut LastChooser)

@@ -293,6 +293,7 @@ fn database_engine_plan_agrees_end_to_end() {
         let opts = DbOptions {
             engine,
             cache_capacity: 0,
+            telemetry: true, // transparency guard: engines must agree with metrics on
             ..DbOptions::default()
         };
         let mut db = Database::from_ddl_with(DDL, opts).unwrap();
@@ -348,6 +349,7 @@ fn database_engine_plan_respects_budgets() {
     let opts = DbOptions {
         engine: Engine::Plan,
         cache_capacity: 0,
+        telemetry: true,
         ..DbOptions::default()
     };
     let mut db = Database::from_ddl_with(DDL, opts).unwrap();
