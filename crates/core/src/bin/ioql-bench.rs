@@ -1,0 +1,222 @@
+//! `ioql-bench` — offline perf runner for the parallel-execution work.
+//!
+//! Emits `BENCH_5.json`: sequential-vs-parallel wall-clock timings for
+//! the B6 (join) and B7 (selective equality) workloads plus the new B8
+//! parallel-scan bench (≥ 100k-object extent, `parallelism = 4`). The
+//! Criterion suites in `crates/bench` need the registry; this runner is
+//! dependency-free (`std::time::Instant`, hand-rolled JSON) so the perf
+//! trajectory stays machine-readable on offline machines.
+//!
+//! ```sh
+//! ioql-bench                 # writes BENCH_5.json in the cwd
+//! ioql-bench --out perf.json
+//! ```
+//!
+//! Every pair is run on two databases built identically — one with
+//! `parallelism = 0`, one with `parallelism = 4` — and the rendered
+//! result values are asserted byte-identical before a timing is
+//! recorded, so a speedup can never come from computing something else.
+
+#![allow(clippy::result_large_err)] // cold-path bench errors
+
+use ioql::{Database, DbOptions, Engine};
+use std::time::Instant;
+
+const DDL: &str = "
+    class Person extends Object (extent Persons) {
+        attribute int name;
+        attribute int age;
+    }";
+
+const PAR: usize = 4;
+
+/// A database with `n` persons, caching off, telemetry on (the parallel
+/// counters prove the licensed path actually dispatched — a silent
+/// fallback would otherwise time sequential against sequential).
+fn persons(n: usize, parallelism: usize) -> Database {
+    let opts = DbOptions {
+        engine: Engine::Plan,
+        cache_capacity: 0,
+        telemetry: true,
+        parallelism,
+        ..DbOptions::default()
+    };
+    let mut db = Database::from_ddl_with(DDL, opts).expect("bench DDL");
+    let mut i = 1i64;
+    while i <= n as i64 {
+        let hi = (i + 999).min(n as i64);
+        let elems: Vec<String> = (i..=hi).map(|k| k.to_string()).collect();
+        db.query(&format!(
+            "{{ new Person(name: n, age: n) | n <- {{{}}} }}",
+            elems.join(", ")
+        ))
+        .expect("bench population");
+        i = hi + 1;
+    }
+    db
+}
+
+struct Row {
+    id: &'static str,
+    n: usize,
+    query: &'static str,
+    iters: usize,
+    seq_ms: f64,
+    par_ms: f64,
+    par_runs: u64,
+    par_chunks: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.par_ms > 0.0 {
+            self.seq_ms / self.par_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Best-of-`iters` wall-clock for one query on one database.
+fn timed(db: &mut Database, q: &str, iters: usize) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut rendered = String::new();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = db.query(q).expect("bench query");
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        rendered = r.value.to_string();
+    }
+    (best, rendered)
+}
+
+fn run_pair(id: &'static str, n: usize, query: &'static str, iters: usize) -> Row {
+    eprintln!("[{id}] building two {n}-object databases…");
+    let mut seq = persons(n, 0);
+    let mut par = persons(n, PAR);
+    eprintln!("[{id}] sequential…");
+    let (seq_ms, seq_v) = timed(&mut seq, query, iters);
+    eprintln!("[{id}] parallel ({PAR} workers)…");
+    let (par_ms, par_v) = timed(&mut par, query, iters);
+    assert_eq!(
+        seq_v, par_v,
+        "{id}: parallel result differs from sequential"
+    );
+    let pm = &par.metrics().parallel;
+    let row = Row {
+        id,
+        n,
+        query,
+        iters,
+        seq_ms,
+        par_ms,
+        par_runs: pm.par_scans.get() + pm.par_index_builds.get() + pm.par_set_ops.get(),
+        par_chunks: pm.chunks.get(),
+    };
+    eprintln!(
+        "[{id}] seq {:.2} ms, par {:.2} ms — {:.2}× ({} parallel run(s), {} chunk(s))",
+        row.seq_ms,
+        row.par_ms,
+        row.speedup(),
+        row.par_runs,
+        row.par_chunks
+    );
+    row
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ioql-bench [--out FILE]   (default: BENCH_5.json)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("host parallelism: {host}; licensed pool size: {PAR}");
+
+    let rows = [
+        // B6's join workload (nested generators — the outer scan is the
+        // licensed partition; the inner scan runs inside each worker).
+        run_pair(
+            "B6-join",
+            400,
+            "{ p.age + q.age | p <- Persons, q <- Persons }",
+            3,
+        ),
+        // B7's selective equality (ExtentScan + hash-index probe).
+        run_pair(
+            "B7-eq",
+            10_000,
+            "{ p.name | p <- Persons, p.age = 5000 }",
+            3,
+        ),
+        // B8 — the acceptance bench: an unselective projection over a
+        // ≥ 100k-object extent must be ≥ 2× faster at parallelism = 4.
+        run_pair("B8-scan", 100_000, "{ p.name | p <- Persons }", 1),
+    ];
+
+    let b8 = rows.iter().find(|r| r.id == "B8-scan").expect("B8 row");
+    assert!(
+        b8.par_runs >= 1,
+        "B8 never dispatched a parallel run — the timing would be seq vs seq"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"BENCH_5\",\n");
+    json.push_str("  \"description\": \"sequential vs effect-licensed parallel execution (Engine::Plan, cache off)\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"pool_size\": {PAR},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"n\": {}, \"query\": \"{}\", \"iters\": {}, \
+             \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"parallel_runs\": {}, \"chunks\": {} }}{}\n",
+            r.id,
+            r.n,
+            r.query.replace('\\', "\\\\").replace('"', "\\\""),
+            r.iters,
+            r.seq_ms,
+            r.par_ms,
+            r.speedup(),
+            r.par_runs,
+            r.par_chunks,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"b8_speedup_at_least_2x\": {}\n",
+        b8.speedup() >= 2.0
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+    if b8.speedup() < 2.0 {
+        eprintln!(
+            "B8 speedup {:.2}× is below the 2× acceptance bound",
+            b8.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 //! ioql schema.odl --extended   # §5 extended methods
 //! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
 //! ioql schema.odl --telemetry-jsonl events.jsonl   # structured event log
+//! ioql schema.odl --parallelism 4   # effect-licensed parallel execution
 //! ```
 //!
 //! REPL commands (same list as `:help`):
@@ -19,7 +20,8 @@
 //! :plan <query>      show the physical plan (operators, costs, guard)
 //! :plan analyze <query>  run the plan; per-operator est vs actual rows/time
 //! :metrics           Prometheus-style dump of the telemetry registry
-//! :stats             cache counters and per-extent sizes/versions
+//! :stats             cache/parallel counters and per-extent sizes/versions
+//! :parallel <n>      set the parallel worker-pool size (0 = off)
 //! :save <file>       dump the store to a file (atomic write + checksum)
 //! :load <file>       load a store dump (replaces current contents)
 //! :schema            list classes, attributes, methods
@@ -47,7 +49,8 @@ commands:
   :plan <query>      show the physical plan (operators, costs, guard)
   :plan analyze <query>  run the plan; per-operator est vs actual rows/time
   :metrics           Prometheus-style dump of the telemetry registry
-  :stats             cache counters and per-extent sizes/versions
+  :stats             cache/parallel counters and per-extent sizes/versions
+  :parallel <n>      set the parallel worker-pool size (0 = off)
   :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
   :schema            list classes, attributes, methods
@@ -61,14 +64,31 @@ fn main() {
     let mut one_shot: Option<String> = None;
     let mut extended = false;
     let mut jsonl: Option<String> = None;
+    let mut parallelism: Option<usize> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
             "-e" => one_shot = args.next(),
             "--telemetry-jsonl" => jsonl = args.next(),
+            "--parallelism" => {
+                let raw = args.next();
+                parallelism = match raw.as_deref().map(str::parse) {
+                    Some(Ok(n)) => Some(n),
+                    _ => {
+                        eprintln!(
+                            "--parallelism needs a non-negative integer, got {}",
+                            raw.as_deref()
+                                .map(|v| format!("`{v}`"))
+                                .unwrap_or_else(|| "nothing".into())
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] [-e QUERY]\n\n{HELP}"
+                    "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] \
+                     [--parallelism N] [-e QUERY]\n\n{HELP}"
                 );
                 return;
             }
@@ -85,6 +105,14 @@ fn main() {
     };
     if extended {
         opts.method_mode = Mode::Extended;
+    }
+    if let Some(n) = parallelism {
+        opts.parallelism = n;
+        // Parallel execution lives in the plan executor; the
+        // interpreters ignore the pool size entirely.
+        if n >= 2 {
+            opts.engine = ioql::Engine::Plan;
+        }
     }
     let ddl = match &ddl_path {
         Some(p) => match std::fs::read_to_string(p) {
@@ -242,6 +270,24 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         print!("{}", db.explain(rest)?);
         return Ok(());
     }
+    if let Some(rest) = line.strip_prefix(":parallel ") {
+        let n: usize = rest.trim().parse().map_err(|_| {
+            DbError::Internal(format!(
+                ":parallel needs a non-negative integer, got `{}`",
+                rest.trim()
+            ))
+        })?;
+        db.set_parallelism(n);
+        if n >= 2 {
+            // Parallel execution only exists on the plan engine; the
+            // interpreters ignore the pool size.
+            db.set_engine(ioql::Engine::Plan);
+            println!("parallelism set to {n} (engine: plan)");
+        } else {
+            println!("parallelism set to {n} (off)");
+        }
+        return Ok(());
+    }
     if line == ":metrics" {
         print!("{}", db.metrics_text());
         return Ok(());
@@ -255,6 +301,21 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
             s.evictions,
             s.entries,
             if s.entries == 1 { "y" } else { "ies" }
+        );
+        let p = &db.metrics().parallel;
+        println!(
+            "parallel: pool {} — {} run(s) (scan {}, index build {}, set op {}), \
+             {} chunk(s), {} fallback(s) (chooser {}, budget {}, tiny {})",
+            db.parallelism(),
+            p.par_scans.get() + p.par_index_builds.get() + p.par_set_ops.get(),
+            p.par_scans.get(),
+            p.par_index_builds.get(),
+            p.par_set_ops.get(),
+            p.chunks.get(),
+            p.fallback_chooser.get() + p.fallback_budget.get() + p.fallback_tiny.get(),
+            p.fallback_chooser.get(),
+            p.fallback_budget.get(),
+            p.fallback_tiny.get()
         );
         for (e, _c) in db.schema().extents() {
             println!(

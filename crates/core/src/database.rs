@@ -43,6 +43,8 @@ pub enum Engine {
     /// falls back to the big-step evaluator. Observationally identical
     /// to the interpreters — same chooser draws, governor charges, and
     /// effects — see `tests/plan.rs`. Step counts are not reported (0).
+    /// The only engine with a parallel mode: see
+    /// [`DbOptions::parallelism`] and `tests/parallel.rs`.
     Plan,
 }
 
@@ -86,6 +88,20 @@ pub struct DbOptions {
     /// snapshots) to this path. Implies nothing about `telemetry`; the
     /// counter snapshots are only non-zero when it is on.
     pub telemetry_jsonl: Option<std::path::PathBuf>,
+    /// Worker-pool size for effect-licensed parallel execution on the
+    /// `Plan` engine (`0` = off, the default; `1` = a degenerate pool —
+    /// every node refuses). When ≥ 2, lowering annotates each
+    /// parallel-capable plan node with a Theorem 7/8 verdict and the
+    /// executor dispatches scoped worker threads for licensed nodes,
+    /// falling back to sequential execution whenever a run-time gate
+    /// (unforkable chooser, finite budget on a charged axis, tiny
+    /// input) would make an observable scheduling-dependent. The
+    /// parallelism contract is that **no observable changes** — results,
+    /// effect traces, governor meters, chooser draw totals, and cache
+    /// interactions are byte-identical to `parallelism = 0` (see
+    /// `tests/parallel.rs`). Defaults from the `IOQL_PARALLELISM`
+    /// environment variable when set to a valid integer.
+    pub parallelism: usize,
 }
 
 impl Default for DbOptions {
@@ -102,6 +118,10 @@ impl Default for DbOptions {
             cache_capacity: 1024,
             telemetry: false,
             telemetry_jsonl: None,
+            parallelism: std::env::var("IOQL_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -142,6 +162,9 @@ pub struct DbMetrics {
     /// Engine work-volume counters (small-step steps, big-step
     /// recursions).
     pub eval: EvalMetrics,
+    /// Parallel-executor counters: chunks dispatched, worker busy time,
+    /// licensed runs by mechanism, and run-time fallbacks by reason.
+    pub parallel: ioql_plan::ParMetrics,
 }
 
 impl DbMetrics {
@@ -181,6 +204,7 @@ impl DbMetrics {
                 steps: c("ioql_eval_steps_total"),
                 recursions: c("ioql_eval_recursions_total"),
             },
+            parallel: ioql_plan::ParMetrics::new(&registry),
             registry,
         }
     }
@@ -299,6 +323,29 @@ impl Database {
     /// The options.
     pub fn options(&self) -> DbOptions {
         self.options.clone()
+    }
+
+    /// Sets the worker-pool size for effect-licensed parallel execution
+    /// (see [`DbOptions::parallelism`]); takes effect on the next query.
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.options.parallelism = n;
+    }
+
+    /// The current parallel worker-pool size (`0` = off).
+    pub fn parallelism(&self) -> usize {
+        self.options.parallelism
+    }
+
+    /// Selects which evaluator runs subsequent queries. Parallel
+    /// execution only exists on [`Engine::Plan`]; the interpreters
+    /// ignore [`DbOptions::parallelism`] entirely.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.options.engine = engine;
+    }
+
+    /// The currently selected evaluator.
+    pub fn engine(&self) -> Engine {
+        self.options.engine
     }
 
     /// The telemetry handles (registry, counters, histograms).
@@ -545,12 +592,13 @@ impl Database {
         let plan = match engine {
             Engine::Plan => {
                 let t = self.metrics.phase_lower.start_timer();
-                let plan = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats());
+                let plan = self.lower_prepared(&elab, &static_effect, &defs);
                 self.metrics.phase_lower.observe_timer(t);
                 plan
             }
             _ => None,
         };
+        let par_metrics = self.metrics.parallel.clone();
         let store = &mut self.store;
         let exec_timer = self.metrics.phase_execute.start_timer();
         // Contain engine panics: a bug in either evaluator must not
@@ -568,12 +616,20 @@ impl Database {
             }),
             Engine::Plan => {
                 match &plan {
-                    Some(plan) => ioql_plan::execute(plan, &cfg, &defs, store, chooser, max_steps)
-                        .map(|r| ioql_eval::Evaluated {
-                            value: r.value,
-                            effect: r.effect,
-                            steps: 0,
-                        }),
+                    Some(plan) => ioql_plan::execute_metered(
+                        plan,
+                        &cfg,
+                        &defs,
+                        store,
+                        chooser,
+                        max_steps,
+                        Some(&par_metrics),
+                    )
+                    .map(|r| ioql_eval::Evaluated {
+                        value: r.value,
+                        effect: r.effect,
+                        steps: 0,
+                    }),
                     // Ineligible or shape-unknown: the big-step evaluator is
                     // the plan engine's interpreter tier.
                     None => eval_big(&cfg, &defs, store, &elab, chooser, max_steps).map(|r| {
@@ -726,6 +782,31 @@ impl Database {
         Ok(self.optimize_prepared(&elab))
     }
 
+    /// Lowers a prepared query to a physical plan under the configured
+    /// parallelism: verdicts are computed against this database's schema,
+    /// with set-operator branch effects inferred through the same
+    /// Figure-3 machinery as `prepare` (Theorem 8 licensing). Shared by
+    /// execution, `explain`, and `explain analyze` so the plan the user
+    /// sees — including its `par`/`seq(reason)` annotations — is the
+    /// plan that runs.
+    fn lower_prepared(
+        &self,
+        elab: &Query,
+        static_effect: &Effect,
+        defs: &DefEnv,
+    ) -> Option<ioql_plan::Plan> {
+        let branch_effect = |q: &Query| {
+            let eenv = self.effect_env(Discipline::permissive());
+            infer_query(&eenv, q).ok().map(|(_, eff)| eff)
+        };
+        let spec = ioql_plan::ParSpec {
+            parallelism: self.options.parallelism,
+            schema: Some(&self.schema),
+            branch_effect: Some(&branch_effect),
+        };
+        ioql_plan::lower_with(elab, static_effect, defs, &self.stats(), &spec)
+    }
+
     /// Catalogue statistics seeded from the current extent sizes — shared
     /// by the optimizer's and the plan lowering's cost models.
     fn stats(&self) -> Stats {
@@ -756,7 +837,7 @@ impl Database {
             elab = self.optimize_prepared(&elab).0;
         }
         let defs = self.def_env();
-        if let Some(plan) = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()) {
+        if let Some(plan) = self.lower_prepared(&elab, &static_effect, &defs) {
             return Ok(plan.render());
         }
         Ok(self.explain_refusal(&elab, &static_effect, &defs))
@@ -775,7 +856,7 @@ impl Database {
             elab = self.optimize_prepared(&elab).0;
         }
         let defs = self.def_env();
-        let Some(plan) = ioql_plan::lower(&elab, &static_effect, &defs, &self.stats()) else {
+        let Some(plan) = self.lower_prepared(&elab, &static_effect, &defs) else {
             return Ok(self.explain_refusal(&elab, &static_effect, &defs));
         };
         let governor = self.governor();

@@ -139,23 +139,41 @@ impl Effect {
     /// Extent-level: a read on one side vs. an add on the other. Attribute
     /// level (extended mode): update vs. read/update on related classes.
     pub fn noninterfering_with(&self, other: &Effect, schema: &Schema) -> bool {
-        if !self.reads.is_disjoint(&other.adds) || !other.reads.is_disjoint(&self.adds) {
-            return false;
+        self.interference_witness(other, schema).is_none()
+    }
+
+    /// Like [`Effect::noninterfering_with`], but when the pair *does*
+    /// interfere, names one interfering atom pair — `(atom from self,
+    /// atom from other)`, rendered as in [`Effect`]'s `Display`, e.g.
+    /// `("R(C)", "A(C)")`. `None` means the computations commute. The
+    /// plan layer quotes the witness in its `seq(interfering effects: …)`
+    /// parallelism refusals.
+    pub fn interference_witness(
+        &self,
+        other: &Effect,
+        schema: &Schema,
+    ) -> Option<(String, String)> {
+        if let Some(c) = self.reads.iter().find(|c| other.adds.contains(*c)) {
+            return Some((format!("R({c})"), format!("A({c})")));
+        }
+        if let Some(c) = other.reads.iter().find(|c| self.adds.contains(*c)) {
+            return Some((format!("A({c})"), format!("R({c})")));
         }
         let related = |a: &ClassName, b: &ClassName| schema.extends(a, b) || schema.extends(b, a);
         for u in &self.updates {
-            if other.attr_reads.iter().any(|r| related(u, r))
-                || other.updates.iter().any(|w| related(u, w))
-            {
-                return false;
+            if let Some(r) = other.attr_reads.iter().find(|r| related(u, r)) {
+                return Some((format!("U({u})"), format!("Ra({r})")));
+            }
+            if let Some(w) = other.updates.iter().find(|w| related(u, w)) {
+                return Some((format!("U({u})"), format!("U({w})")));
             }
         }
         for u in &other.updates {
-            if self.attr_reads.iter().any(|r| related(u, r)) {
-                return false;
+            if let Some(r) = self.attr_reads.iter().find(|r| related(u, r)) {
+                return Some((format!("Ra({r})"), format!("U({u})")));
             }
         }
-        true
+        None
     }
 
     /// Whether the effect licenses result caching: no `A(C)` and no
@@ -272,6 +290,32 @@ mod tests {
         assert!(upd_emp.noninterfering_with(&Effect::attr_read("Robot"), &s));
         // Write/write on related classes interferes.
         assert!(!upd_emp.noninterfering_with(&Effect::update("Person"), &s));
+    }
+
+    #[test]
+    fn interference_witness_names_the_atom_pair() {
+        let s = schema();
+        // Sides are reported in (self, other) orientation.
+        let w = Effect::read("Person").interference_witness(&Effect::add("Person"), &s);
+        assert_eq!(w, Some(("R(Person)".into(), "A(Person)".into())));
+        let w = Effect::add("Person").interference_witness(&Effect::read("Person"), &s);
+        assert_eq!(w, Some(("A(Person)".into(), "R(Person)".into())));
+        // Attribute-level interference quotes the update/read atoms.
+        let w = Effect::update("Employee").interference_witness(&Effect::attr_read("Person"), &s);
+        assert_eq!(w, Some(("U(Employee)".into(), "Ra(Person)".into())));
+        let w = Effect::attr_read("Person").interference_witness(&Effect::update("Employee"), &s);
+        assert_eq!(w, Some(("Ra(Person)".into(), "U(Employee)".into())));
+        let w = Effect::update("Employee").interference_witness(&Effect::update("Person"), &s);
+        assert_eq!(w, Some(("U(Employee)".into(), "U(Person)".into())));
+        // Commuting pairs yield no witness, matching the predicate.
+        assert_eq!(
+            Effect::read("Robot").interference_witness(&Effect::add("Person"), &s),
+            None
+        );
+        assert_eq!(
+            Effect::empty().interference_witness(&Effect::empty(), &s),
+            None
+        );
     }
 
     #[test]

@@ -14,6 +14,21 @@ use ioql_telemetry::Counter;
 pub trait Chooser {
     /// Picks one of `n` candidates.
     fn choose(&mut self, n: usize) -> usize;
+
+    /// Forks an equivalent chooser for a parallel worker, or `None` when
+    /// this strategy cannot be split across workers.
+    ///
+    /// Forking is sound only for strategies whose picks are a pure
+    /// function of the arity — stateless, order-insensitive strategies
+    /// like [`FirstChooser`]/[`LastChooser`] — so that partitioning a
+    /// draw sequence across workers selects exactly the elements the
+    /// unsplit chooser would have selected. Stateful or seeded
+    /// strategies ([`ScriptedChooser`], [`RandomChooser`], fault
+    /// injectors) return `None`, the default, and a parallel executor
+    /// seeing `None` must fall back to sequential execution.
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        None
+    }
 }
 
 /// Always picks the first element (in the canonical value order) — a
@@ -26,6 +41,10 @@ impl Chooser for FirstChooser {
     fn choose(&mut self, _n: usize) -> usize {
         0
     }
+
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        Some(Box::new(FirstChooser))
+    }
 }
 
 /// Always picks the last element — the "opposite order" strategy, handy
@@ -36,6 +55,10 @@ pub struct LastChooser;
 impl Chooser for LastChooser {
     fn choose(&mut self, n: usize) -> usize {
         n - 1
+    }
+
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        Some(Box::new(LastChooser))
     }
 }
 
@@ -136,6 +159,40 @@ impl Chooser for CountingChooser<'_> {
         self.draws.inc();
         self.inner.choose(n)
     }
+
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        // Forkable exactly when the wrapped strategy is; the fork keeps
+        // counting into the *same* counter (it is atomic and shared), so
+        // the draw total stays byte-identical to a sequential run.
+        let inner = self.inner.parallel_fork()?;
+        Some(Box::new(ForkedCounting {
+            inner,
+            draws: self.draws.clone(),
+        }))
+    }
+}
+
+/// An owned [`CountingChooser`] produced by [`Chooser::parallel_fork`]:
+/// same delegation + shared counter, but holds its inner chooser by value
+/// so it can move into a worker thread.
+struct ForkedCounting {
+    inner: Box<dyn Chooser + Send>,
+    draws: Counter,
+}
+
+impl Chooser for ForkedCounting {
+    fn choose(&mut self, n: usize) -> usize {
+        self.draws.inc();
+        self.inner.choose(n)
+    }
+
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        let inner = self.inner.parallel_fork()?;
+        Some(Box::new(ForkedCounting {
+            inner,
+            draws: self.draws.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +251,37 @@ mod tests {
         assert_eq!(draws.get(), 3);
         // The inner chooser saw exactly the bare call sequence.
         assert_eq!(inner.taken(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn only_order_insensitive_choosers_fork() {
+        // First/Last pick as a pure function of arity — forkable.
+        let mut f = FirstChooser.parallel_fork().expect("First forks");
+        assert_eq!(f.choose(5), 0);
+        let mut l = LastChooser.parallel_fork().expect("Last forks");
+        assert_eq!(l.choose(5), 4);
+        // Stateful/seeded strategies must refuse.
+        assert!(RandomChooser::seeded(7).parallel_fork().is_none());
+        assert!(ScriptedChooser::new(vec![1]).parallel_fork().is_none());
+    }
+
+    #[test]
+    fn counting_fork_shares_the_counter() {
+        let reg = ioql_telemetry::MetricsRegistry::new(true);
+        let draws = reg.counter("draws");
+        let mut first = FirstChooser;
+        let counting = CountingChooser::new(&mut first, draws.clone());
+        let mut fork = counting.parallel_fork().expect("First is forkable");
+        let mut fork2 = fork.parallel_fork().expect("forks re-fork");
+        assert_eq!(fork.choose(3), 0);
+        assert_eq!(fork2.choose(2), 0);
+        // Both forks counted into the shared counter.
+        assert_eq!(draws.get(), 2);
+        // Wrapping an unforkable chooser stays unforkable.
+        let mut scripted = ScriptedChooser::new(vec![0]);
+        assert!(CountingChooser::new(&mut scripted, draws)
+            .parallel_fork()
+            .is_none());
     }
 
     #[test]

@@ -190,6 +190,18 @@ impl GovernorMetrics {
 /// Counters persist across queries run under the same governor, so a
 /// session-wide budget is a single long-lived instance and a
 /// per-query budget is a fresh one.
+///
+/// # Thread-safe charging facade
+///
+/// Every meter is an atomic (`cells`/`growth` are `AtomicU64`, the
+/// cancel flag an `Arc<AtomicBool>`, the metrics handles atomic
+/// counters) and every charging method takes `&self`, so a single
+/// `&Governor` may be shared across the plan layer's scoped worker
+/// threads: workers charge the *same* cell meter with the same
+/// per-draw granularity, trip semantics are unchanged (a charge that
+/// pushes `spent` past the limit fails in whichever worker lands it),
+/// and the deadline/cancellation checkpoint is taken per chunk element
+/// exactly as the sequential engines take it per draw.
 #[derive(Debug)]
 pub struct Governor {
     limits: Limits,
@@ -239,6 +251,17 @@ impl Governor {
     /// Objects created so far.
     pub fn growth_spent(&self) -> u64 {
         self.growth.load(Ordering::Relaxed)
+    }
+
+    /// Remaining cell budget, or `None` when cells are unmetered. The
+    /// plan layer's parallel dispatcher uses this as a pre-flight check:
+    /// it only fans out a scan whose worst-case cell charge (one per
+    /// partitioned element) provably fits, so a budget that *would* trip
+    /// does so on the sequential path with sequential semantics.
+    pub fn cells_remaining(&self) -> Option<u64> {
+        self.limits
+            .max_cells
+            .map(|limit| limit.saturating_sub(self.cells.load(Ordering::Relaxed)))
     }
 
     /// The per-step / per-recursion checkpoint: cancellation first, then
@@ -430,6 +453,39 @@ mod tests {
         g.cancel_token().cancel();
         assert_eq!(g.checkpoint(), Err(EvalError::Cancelled));
         assert_eq!(reg.counter_value("cancels"), Some(1));
+    }
+
+    #[test]
+    fn cells_remaining_tracks_the_meter() {
+        let g = Governor::new(Limits::none());
+        assert_eq!(g.cells_remaining(), None); // unmetered
+        let g = Governor::new(Limits::none().with_max_cells(10));
+        assert_eq!(g.cells_remaining(), Some(10));
+        g.charge_cells(4).unwrap();
+        assert_eq!(g.cells_remaining(), Some(6));
+        g.charge_cells(6).unwrap();
+        assert_eq!(g.cells_remaining(), Some(0));
+        let _ = g.charge_cells(1); // trips; meter saturates, no underflow
+        assert_eq!(g.cells_remaining(), Some(0));
+    }
+
+    #[test]
+    fn governor_is_a_thread_safe_charging_facade() {
+        fn assert_shareable<T: Sync + Send>() {}
+        assert_shareable::<Governor>();
+        // Concurrent charges against one shared meter sum exactly.
+        let g = Governor::new(Limits::none().with_max_cells(1_000_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g.charge_cells(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.cells_spent(), 4000);
+        assert_eq!(g.cells_remaining(), Some(996_000));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The pull-based plan executor.
+//! The pull-based plan executor, with an effect-licensed parallel mode.
 //!
 //! Execution is engineered for *observational parity* with the naive
 //! engines, not just value parity:
@@ -15,19 +15,69 @@
 //!   so nested comprehensions, effects, and stuck states are literally
 //!   the naive engine's own.
 //!
-//! The one deviation — the hash-index build scanning elements ahead of
-//! the chooser's draw order — is licensed by the plan's Theorem 7
-//! guard (nothing in the query can mutate the store) and is fully
-//! *speculative*: any anomaly abandons the index and reverts to per-row
-//! predicate evaluation, reproducing the naive engines' exact error at
-//! the exact position.
+//! The sequential deviations — the hash-index build scanning elements
+//! ahead of the chooser's draw order — are licensed by the plan's
+//! Theorem 7 guard and remain fully *speculative*: any anomaly abandons
+//! the index and reverts to per-row predicate evaluation, reproducing
+//! the naive engines' exact error at the exact position.
+//!
+//! # Parallel execution
+//!
+//! When a plan was lowered with `parallelism ≥ 2` and a node carries a
+//! licensed [`ParVerdict`], [`execute_metered`] dispatches a
+//! dependency-free worker pool (`std::thread::scope` — no queues, no
+//! persistent threads):
+//!
+//! * **chunked scans** — a pipeline headed by an extent scan partitions
+//!   its elements into contiguous chunks of the canonical (sorted) set
+//!   order; each worker drives its chunk through the *same* per-draw
+//!   protocol (chooser draw, one-cell charge, checkpoint) against a
+//!   cloned store, and the partial result sets merge by set union.
+//!   Theorem 7 (the query is read-only, `new`-free, invocation-free)
+//!   makes the merged observables — result set, effect trace, total
+//!   cell charges, total chooser draws — equal to the sequential run's.
+//! * **partitioned index builds** — the speculative hash-index build is
+//!   a pure scan, so its key-extraction loop partitions the same way;
+//!   any chunk anomaly abandons the whole index (the per-row fallback
+//!   then reproduces the naive error exactly as in sequential mode).
+//!   Effects are idempotent atom *sets*, so unioning every chunk's
+//!   trace — even past an anomaly — adds nothing the per-row fallback
+//!   would not record itself.
+//! * **concurrent set-operator branches** — licensed by Theorem 8 when
+//!   the lowering proved the operand effects non-interfering; each
+//!   branch runs against its own store clone and the left branch's
+//!   error wins, matching sequential left-to-right evaluation order.
+//!
+//! Every dispatch is *re-gated at run time* and falls back to the
+//! sequential path (recording a `ioql_parallel_fallbacks_total` reason)
+//! when: the chooser cannot [`fork`](Chooser::parallel_fork) (scripted,
+//! random, and fault-injecting strategies are draw-order-sensitive); a
+//! finite governor budget meters an axis the partitioned body charges
+//! (the trip position would be scheduling-dependent); or there are
+//! fewer than two elements to split. Profiled runs
+//! ([`execute_with_profile`]) are always sequential — the profile is a
+//! per-node diagnostic of the sequential cost model.
+//!
+//! Two caveats are accepted and tested for rather than hidden: workers
+//! snapshot the shared fuel cell before each delegated expression, so a
+//! run within ~`workers` fuel units of exhaustion may succeed in
+//! parallel where sequential exhausts (differential tests use budgets
+//! that are either ample or small enough that the per-draw burn trips
+//! both modes); and when several chunks fail, the *earliest chunk's*
+//! error wins, which matches sequential error identity because every
+//! error class reachable from a type-checked, Theorem-7-guarded query
+//! (fuel, cancellation, deadline) is partition-order-independent.
 
-use crate::ir::{EqKind, HashIndexBuild, KeyAccess, Op, Plan, Stage};
+use crate::ir::{
+    EqKind, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage, StageKind,
+};
+use crate::par::{chunk_bounds, ParMetrics};
 use ioql_ast::{Query, SetOp, Value, VarName};
 use ioql_effects::Effect;
 use ioql_eval::{eval_expr, Chooser, DefEnv, EvalConfig, EvalError};
 use ioql_store::Store;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The result of executing a [`Plan`].
@@ -111,19 +161,12 @@ impl PlanProfile {
 }
 
 /// Collects per-node runtime stats during a profiled execution. Nodes
-/// are keyed by their address inside the (immutably borrowed) plan tree,
-/// so no plan mutation or numbering pass is needed.
+/// are keyed by their stable pre-order [`NodeId`] (assigned by
+/// [`Plan::number`]), so the keys survive subtree clones and moves —
+/// node *addresses*, which an earlier version keyed by, do not.
 struct Profiler {
-    index: HashMap<usize, usize>,
+    index: HashMap<NodeId, usize>,
     entries: Vec<ProfEntry>,
-}
-
-fn op_key(op: &Op) -> usize {
-    op as *const Op as usize
-}
-
-fn stage_key(stage: &Stage) -> usize {
-    stage as *const Stage as usize
 }
 
 impl Profiler {
@@ -136,8 +179,8 @@ impl Profiler {
         p
     }
 
-    fn push(&mut self, key: usize, depth: usize, label: String, est_rows: Option<usize>) {
-        self.index.insert(key, self.entries.len());
+    fn push(&mut self, id: NodeId, depth: usize, label: String, est_rows: Option<usize>) {
+        self.index.insert(id, self.entries.len());
         self.entries.push(ProfEntry {
             depth,
             label,
@@ -149,29 +192,29 @@ impl Profiler {
     }
 
     fn walk_op(&mut self, op: &Op, depth: usize) {
-        self.push(op_key(op), depth, op.label(), op.est_rows());
-        match op {
-            Op::SetUnion { left, right }
-            | Op::SetIntersect { left, right }
-            | Op::SetDiff { left, right } => {
+        self.push(op.id, depth, op.label(), op.est_rows());
+        match &op.kind {
+            OpKind::SetUnion { left, right }
+            | OpKind::SetIntersect { left, right }
+            | OpKind::SetDiff { left, right } => {
                 self.walk_op(left, depth + 1);
                 self.walk_op(right, depth + 1);
             }
-            Op::Distinct { input } | Op::MapProject { input, .. } => {
+            OpKind::Distinct { input } | OpKind::MapProject { input, .. } => {
                 self.walk_op(input, depth + 1);
             }
-            Op::Pipeline { stages } => {
+            OpKind::Pipeline { stages } => {
                 for stage in stages {
-                    self.push(stage_key(stage), depth + 1, stage.label(), stage.est_rows());
+                    self.push(stage.id, depth + 1, stage.label(), stage.est_rows());
                 }
             }
-            Op::InlineDef { body, .. } => self.walk_op(body, depth + 1),
-            Op::ExtentScan { .. } | Op::Eval { .. } => {}
+            OpKind::InlineDef { body, .. } => self.walk_op(body, depth + 1),
+            OpKind::ExtentScan { .. } | OpKind::Eval { .. } => {}
         }
     }
 
-    fn record(&mut self, key: usize, started: Option<Instant>, rows: u64) {
-        if let Some(&i) = self.index.get(&key) {
+    fn record(&mut self, id: NodeId, started: Option<Instant>, rows: u64) {
+        if let Some(&i) = self.index.get(&id) {
             let e = &mut self.entries[i];
             e.calls += 1;
             e.rows += rows;
@@ -181,8 +224,8 @@ impl Profiler {
         }
     }
 
-    fn add_nanos(&mut self, key: usize, started: Option<Instant>) {
-        if let Some(&i) = self.index.get(&key) {
+    fn add_nanos(&mut self, id: NodeId, started: Option<Instant>) {
+        if let Some(&i) = self.index.get(&id) {
             if let Some(t) = started {
                 self.entries[i].nanos += t.elapsed().as_nanos() as u64;
             }
@@ -190,12 +233,78 @@ impl Profiler {
     }
 }
 
+/// The fuel meter: a plain counter in sequential execution, a shared
+/// atomic cell while a worker pool is live, so all workers burn from
+/// the one budget the sequential run would.
+enum Fuel<'f> {
+    /// Single-threaded budget (the normal mode).
+    Local(u64),
+    /// A pool-shared budget. Delegated expressions snapshot [`avail`]
+    /// and settle with [`spend`], so the cell can transiently read high
+    /// by at most the workers' in-flight spends — see the module docs'
+    /// near-exhaustion caveat.
+    ///
+    /// [`avail`]: Fuel::avail
+    /// [`spend`]: Fuel::spend
+    Shared(&'f AtomicU64),
+}
+
+impl Fuel<'_> {
+    fn avail(&self) -> u64 {
+        match self {
+            Fuel::Local(n) => *n,
+            Fuel::Shared(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Burns exactly one unit, failing when the budget is empty — the
+    /// per-draw/per-operator cadence, race-free in both variants.
+    fn burn_one(&mut self) -> Result<(), EvalError> {
+        match self {
+            Fuel::Local(n) => {
+                if *n == 0 {
+                    return Err(EvalError::FuelExhausted);
+                }
+                *n -= 1;
+                Ok(())
+            }
+            Fuel::Shared(cell) => cell
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .map(|_| ())
+                .map_err(|_| EvalError::FuelExhausted),
+        }
+    }
+
+    /// Settles a delegated evaluation's reported consumption.
+    fn spend(&mut self, used: u64) {
+        match self {
+            Fuel::Local(n) => *n = n.saturating_sub(used),
+            Fuel::Shared(cell) => {
+                let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    Some(n.saturating_sub(used))
+                });
+            }
+        }
+    }
+}
+
+/// The executor's parallel-mode context: the plan's worker-pool size,
+/// the telemetry handles, and whether this [`Exec`] *is* a pool worker
+/// (workers never re-dispatch — nesting would oversubscribe the pool
+/// and re-partition an already partitioned draw order).
+#[derive(Clone, Copy)]
+struct ParCtx<'m> {
+    level: usize,
+    metrics: Option<&'m ParMetrics>,
+    in_worker: bool,
+}
+
 /// Executes a physical plan against a store.
 ///
 /// `max_steps` is the same fuel budget the naive engines take; the
 /// executor burns one unit per operator/row step and threads the
 /// remainder through every [`eval_expr`] delegation, so one global
-/// budget bounds the whole run.
+/// budget bounds the whole run — across all workers, in parallel mode.
 pub fn execute(
     plan: &Plan,
     cfg: &EvalConfig<'_>,
@@ -204,7 +313,32 @@ pub fn execute(
     chooser: &mut dyn Chooser,
     max_steps: u64,
 ) -> Result<PlanResult, EvalError> {
-    execute_inner(plan, cfg, defs, store, chooser, max_steps, None).map(|(r, _)| r)
+    execute_metered(plan, cfg, defs, store, chooser, max_steps, None)
+}
+
+/// [`execute`], with parallel-execution telemetry handles attached.
+///
+/// The handles are write-only (the transparency guard): dispatch and
+/// fallback decisions never read them, so a metered run and a bare one
+/// execute identically. Parallel dispatch itself is controlled by the
+/// *plan* (`plan.parallelism`, set at lowering) and each node's
+/// [`ParVerdict`], re-gated at run time as described in the module docs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_metered(
+    plan: &Plan,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+    metrics: Option<&ParMetrics>,
+) -> Result<PlanResult, EvalError> {
+    let par = ParCtx {
+        level: plan.parallelism,
+        metrics,
+        in_worker: false,
+    };
+    execute_inner(plan, cfg, defs, store, chooser, max_steps, None, par).map(|(r, _)| r)
 }
 
 /// Executes a physical plan while collecting per-operator runtime stats
@@ -213,7 +347,9 @@ pub fn execute(
 /// Profiling reads the clock per operator entry, so this path is for
 /// diagnostics (`:plan analyze` runs it against a *cloned* store);
 /// production execution goes through [`execute`], which performs no
-/// clock reads at all.
+/// clock reads at all. Profiled runs are always *sequential*, whatever
+/// the plan's parallelism — the profile documents the sequential cost
+/// model that licensing decisions were priced against.
 pub fn execute_with_profile(
     plan: &Plan,
     cfg: &EvalConfig<'_>,
@@ -223,7 +359,13 @@ pub fn execute_with_profile(
     max_steps: u64,
 ) -> Result<(PlanResult, PlanProfile), EvalError> {
     let prof = Profiler::new(plan);
-    let (result, prof) = execute_inner(plan, cfg, defs, store, chooser, max_steps, Some(prof))?;
+    let par = ParCtx {
+        level: 0,
+        metrics: None,
+        in_worker: false,
+    };
+    let (result, prof) =
+        execute_inner(plan, cfg, defs, store, chooser, max_steps, Some(prof), par)?;
     let prof = prof.expect("profiler threaded through");
     Ok((
         result,
@@ -235,23 +377,25 @@ pub fn execute_with_profile(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn execute_inner(
-    plan: &Plan,
-    cfg: &EvalConfig<'_>,
-    defs: &DefEnv,
+fn execute_inner<'a>(
+    plan: &'a Plan,
+    cfg: &'a EvalConfig<'a>,
+    defs: &'a DefEnv,
     store: &mut Store,
     chooser: &mut dyn Chooser,
     max_steps: u64,
     prof: Option<Profiler>,
+    par: ParCtx<'a>,
 ) -> Result<(PlanResult, Option<Profiler>), EvalError> {
     let mut ex = Exec {
         cfg,
         defs,
         chooser,
         effect: Effect::empty(),
-        fuel: max_steps,
+        fuel: Fuel::Local(max_steps),
         binds: Vec::new(),
         prof,
+        par,
     };
     let value = ex.eval_op(store, &plan.root)?;
     Ok((
@@ -263,12 +407,171 @@ fn execute_inner(
     ))
 }
 
-struct Exec<'a, 'c> {
+/// The generator-fused probe, split off the stage suffix: the probe
+/// stage's id, build recipe, probe expression, and fallback predicate.
+type ProbeParts<'p> = (
+    Option<(NodeId, &'p HashIndexBuild, &'p Query, &'p Query)>,
+    &'p [Stage],
+);
+
+/// Both branch result sets of a Theorem-8 dispatch, or `None` when the
+/// branches must run sequentially.
+type BranchSets = Option<(BTreeSet<Value>, BTreeSet<Value>)>;
+
+/// Splits a probe stage fused with generator `var` off the front of
+/// `rest` (shared by the sequential and chunked generator drivers).
+fn split_probe<'p>(var: &VarName, rest: &'p [Stage]) -> ProbeParts<'p> {
+    if let Some((st, after)) = rest.split_first() {
+        if let StageKind::HashIndexProbe {
+            var: pv,
+            build,
+            probe,
+            pred,
+            ..
+        } = &st.kind
+        {
+            if pv == var {
+                return (Some((st.id, build, probe, pred)), after);
+            }
+        }
+    }
+    (None, rest)
+}
+
+/// Whether a value is the shape the probe's equality demands (the
+/// speculative build's per-key anomaly check).
+fn well_formed(store: &Store, eq: EqKind, v: &Value) -> bool {
+    match (eq, v) {
+        (EqKind::Int, Value::Int(_)) => true,
+        (EqKind::Obj, Value::Oid(o)) => store.objects.contains(*o),
+        _ => false,
+    }
+}
+
+/// One partition of the speculative index build: extract each element's
+/// key, keep the elements whose key equals `target`. Returns `None` in
+/// the first slot on any anomaly (caller abandons the index) plus the
+/// `Ra` trace recorded up to that point — a pure function of the store
+/// snapshot, which is what licenses running partitions concurrently.
+fn extract_keys(
+    store: &Store,
+    build: &HashIndexBuild,
+    target: &Value,
+    elems: &[&Value],
+) -> (Option<HashSet<Value>>, Effect) {
+    let mut effect = Effect::empty();
+    let mut pass = HashSet::new();
+    for &elem in elems {
+        let key = match &build.key {
+            KeyAccess::Bare => elem.clone(),
+            KeyAccess::Attr(a) => {
+                let Value::Oid(o) = elem else {
+                    return (None, effect);
+                };
+                let class = match store.class_of(*o) {
+                    Ok(c) => c.clone(),
+                    Err(_) => return (None, effect),
+                };
+                effect.union_with(&Effect::attr_read(class));
+                match store.attr(*o, a) {
+                    Ok(v) => v.clone(),
+                    Err(_) => return (None, effect),
+                }
+            }
+        };
+        if !well_formed(store, build.eq, &key) {
+            return (None, effect);
+        }
+        if key == *target {
+            pass.insert(elem.clone());
+        }
+    }
+    (Some(pass), effect)
+}
+
+/// Runs one scan chunk in a pool worker: a fresh [`Exec`] over the
+/// worker's store clone, drawing from the shared fuel cell, never
+/// re-dispatching. Returns the chunk's partial result set and effect
+/// trace.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<'a>(
+    cfg: &'a EvalConfig<'a>,
+    defs: &'a DefEnv,
+    mut chooser: Box<dyn Chooser + Send>,
+    fuel: &AtomicU64,
+    binds: Vec<(VarName, Value)>,
+    metrics: Option<&ParMetrics>,
+    mut store: Store,
+    var: &VarName,
+    slice: &[Value],
+    rest: &[Stage],
+    head: &Query,
+) -> Result<(BTreeSet<Value>, Effect), EvalError> {
+    let t = metrics.map(|m| m.worker_busy_ns.start_timer());
+    let mut w = Exec {
+        cfg,
+        defs,
+        chooser: &mut *chooser,
+        effect: Effect::empty(),
+        fuel: Fuel::Shared(fuel),
+        binds,
+        prof: None,
+        par: ParCtx {
+            level: 0,
+            metrics: None,
+            in_worker: true,
+        },
+    };
+    let mut part = BTreeSet::new();
+    let r = w.drive_chunk(&mut store, var, slice, rest, head, &mut part);
+    if let Some(m) = metrics {
+        m.worker_busy_ns.observe_timer(t.flatten());
+    }
+    r.map(|()| (part, w.effect))
+}
+
+/// Runs one set-operator branch in a pool worker (Theorem 8 licensed):
+/// the branch subtree evaluates against the worker's store clone to a
+/// set, drawing from the shared fuel cell.
+#[allow(clippy::too_many_arguments)]
+fn run_branch<'a>(
+    cfg: &'a EvalConfig<'a>,
+    defs: &'a DefEnv,
+    mut chooser: Box<dyn Chooser + Send>,
+    fuel: &AtomicU64,
+    binds: Vec<(VarName, Value)>,
+    metrics: Option<&ParMetrics>,
+    mut store: Store,
+    subtree: &Op,
+) -> Result<(BTreeSet<Value>, Effect), EvalError> {
+    let t = metrics.map(|m| m.worker_busy_ns.start_timer());
+    let mut w = Exec {
+        cfg,
+        defs,
+        chooser: &mut *chooser,
+        effect: Effect::empty(),
+        fuel: Fuel::Shared(fuel),
+        binds,
+        prof: None,
+        par: ParCtx {
+            level: 0,
+            metrics: None,
+            in_worker: true,
+        },
+    };
+    let r = w.op_set(&mut store, subtree);
+    if let Some(m) = metrics {
+        m.worker_busy_ns.observe_timer(t.flatten());
+    }
+    r.map(|s| (s, w.effect))
+}
+
+struct Exec<'a, 'c, 'f> {
     cfg: &'a EvalConfig<'a>,
     defs: &'a DefEnv,
     chooser: &'c mut dyn Chooser,
     effect: Effect,
-    fuel: u64,
+    fuel: Fuel<'f>,
     /// In-scope generator bindings, outermost first. Substitution into a
     /// delegated expression applies them innermost-first, so a variable
     /// rebound by an inner generator resolves to the inner value —
@@ -277,26 +580,29 @@ struct Exec<'a, 'c> {
     /// Per-node runtime stats, only in [`execute_with_profile`] runs.
     /// `None` in production execution — no clock reads, no recording.
     prof: Option<Profiler>,
+    /// Parallel-mode context (pool size, telemetry, worker flag).
+    par: ParCtx<'a>,
 }
 
-impl Exec<'_, '_> {
+impl Exec<'_, '_, '_> {
     /// Starts a timer iff profiling — `execute` runs never touch the
     /// clock, which is what keeps telemetry out of deadline semantics.
     fn ptimer(&self) -> Option<Instant> {
         self.prof.as_ref().map(|_| Instant::now())
     }
 
-    fn precord(&mut self, key: usize, started: Option<Instant>, rows: u64) {
+    fn precord(&mut self, id: NodeId, started: Option<Instant>, rows: u64) {
         if let Some(p) = self.prof.as_mut() {
-            p.record(key, started, rows);
+            p.record(id, started, rows);
         }
     }
 
-    fn ptime(&mut self, key: usize, started: Option<Instant>) {
+    fn ptime(&mut self, id: NodeId, started: Option<Instant>) {
         if let Some(p) = self.prof.as_mut() {
-            p.add_nanos(key, started);
+            p.add_nanos(id, started);
         }
     }
+
     fn stuck<T>(&self, q: &Query, reason: impl Into<String>) -> Result<T, EvalError> {
         Err(EvalError::Stuck {
             query: q.to_string(),
@@ -318,11 +624,7 @@ impl Exec<'_, '_> {
         if let Some(gov) = self.cfg.governor {
             gov.checkpoint()?;
         }
-        if self.fuel == 0 {
-            return Err(EvalError::FuelExhausted);
-        }
-        self.fuel -= 1;
-        Ok(())
+        self.fuel.burn_one()
     }
 
     /// Delegates one expression to the big-step evaluator under the
@@ -332,8 +634,15 @@ impl Exec<'_, '_> {
         for (x, v) in self.binds.iter().rev() {
             bound = bound.subst(x, v);
         }
-        let r = eval_expr(self.cfg, self.defs, store, &bound, self.chooser, self.fuel)?;
-        self.fuel -= r.fuel_spent.min(self.fuel);
+        let r = eval_expr(
+            self.cfg,
+            self.defs,
+            store,
+            &bound,
+            self.chooser,
+            self.fuel.avail(),
+        )?;
+        self.fuel.spend(r.fuel_spent);
         self.effect.union_with(&r.effect);
         Ok(r.value)
     }
@@ -349,34 +658,42 @@ impl Exec<'_, '_> {
             Ok(_) => 1,
             Err(_) => 0,
         };
-        self.precord(op_key(op), t, rows);
+        self.precord(op.id, t, rows);
         r
     }
 
     fn eval_op_inner(&mut self, store: &mut Store, op: &Op) -> Result<Value, EvalError> {
         self.checkpoint()?;
-        match op {
-            Op::ExtentScan { extent, .. } => self.scan_extent(store, extent),
-            Op::SetUnion { left, right } => self.set_bin(store, SetOp::Union, left, right),
-            Op::SetIntersect { left, right } => self.set_bin(store, SetOp::Intersect, left, right),
-            Op::SetDiff { left, right } => self.set_bin(store, SetOp::Diff, left, right),
-            Op::Distinct { input } => {
+        match &op.kind {
+            OpKind::ExtentScan { extent, .. } => self.scan_extent(store, extent),
+            OpKind::SetUnion { left, right } => {
+                self.set_bin(store, op.par.as_ref(), SetOp::Union, left, right)
+            }
+            OpKind::SetIntersect { left, right } => {
+                self.set_bin(store, op.par.as_ref(), SetOp::Intersect, left, right)
+            }
+            OpKind::SetDiff { left, right } => {
+                self.set_bin(store, op.par.as_ref(), SetOp::Diff, left, right)
+            }
+            OpKind::Distinct { input } => {
                 let mp = &**input;
-                let Op::MapProject { head, input } = mp else {
+                let OpKind::MapProject { head, input } = &mp.kind else {
                     return self.malformed();
                 };
                 let pl = &**input;
-                let Op::Pipeline { stages } = pl else {
+                let OpKind::Pipeline { stages } = &pl.kind else {
                     return self.malformed();
                 };
                 let t = self.ptimer();
                 let mut out = BTreeSet::new();
-                self.run_stages(store, stages, head, &mut out)?;
+                if !self.try_parallel_pipeline(store, pl, stages, head, &mut out)? {
+                    self.run_stages(store, stages, head, &mut out)?;
+                }
                 // The MapProject/Pipeline spine is driven inline (not
                 // via `eval_op`), so its profile rows are recorded here.
                 let produced = out.len() as u64;
-                self.precord(op_key(pl), None, produced);
-                self.precord(op_key(mp), t, produced);
+                self.precord(pl.id, None, produced);
+                self.precord(mp.id, t, produced);
                 // Observed once at completion, matching the naive
                 // engines' single observation of the finished
                 // comprehension.
@@ -385,11 +702,11 @@ impl Exec<'_, '_> {
                 }
                 Ok(Value::Set(out))
             }
-            Op::InlineDef { body, .. } => self.eval_op(store, body),
-            Op::Eval { expr } => self.expr(store, expr),
+            OpKind::InlineDef { body, .. } => self.eval_op(store, body),
+            OpKind::Eval { expr } => self.expr(store, expr),
             // Only meaningful inside `Distinct`; a bare occurrence is a
             // lowering bug.
-            Op::MapProject { .. } | Op::Pipeline { .. } => self.malformed(),
+            OpKind::MapProject { .. } | OpKind::Pipeline { .. } => self.malformed(),
         }
     }
 
@@ -424,12 +741,19 @@ impl Exec<'_, '_> {
     fn set_bin(
         &mut self,
         store: &mut Store,
+        par: Option<&ParVerdict>,
         op: SetOp,
         left: &Op,
         right: &Op,
     ) -> Result<Value, EvalError> {
-        let va = self.op_set(store, left)?;
-        let vb = self.op_set(store, right)?;
+        let (va, vb) = match self.try_parallel_branches(store, par, left, right)? {
+            Some(pair) => pair,
+            None => {
+                let va = self.op_set(store, left)?;
+                let vb = self.op_set(store, right)?;
+                (va, vb)
+            }
+        };
         let result = op.apply(&va, &vb);
         if let Some(gov) = self.cfg.governor {
             gov.observe_set_card(result.len() as u64)?;
@@ -440,11 +764,230 @@ impl Exec<'_, '_> {
     fn op_set(&mut self, store: &mut Store, op: &Op) -> Result<BTreeSet<Value>, EvalError> {
         match self.eval_op(store, op)? {
             Value::Set(s) => Ok(s),
-            _ => match op {
-                Op::Eval { expr } => self.stuck(expr, "expected a set"),
+            _ => match &op.kind {
+                OpKind::Eval { expr } => self.stuck(expr, "expected a set"),
                 _ => self.malformed(),
             },
         }
+    }
+
+    /// Attempts the Theorem-8 dispatch: both set-operator branches run
+    /// concurrently against store clones. `Ok(None)` means "run the
+    /// branches sequentially" — the verdict refused, parallel mode is
+    /// off (or this is already a worker/profiled run), or a run-time
+    /// gate fell back.
+    fn try_parallel_branches(
+        &mut self,
+        store: &mut Store,
+        par: Option<&ParVerdict>,
+        left: &Op,
+        right: &Op,
+    ) -> Result<BranchSets, EvalError> {
+        if !par.is_some_and(ParVerdict::licensed)
+            || self.par.level < 2
+            || self.par.in_worker
+            || self.prof.is_some()
+        {
+            return Ok(None);
+        }
+        if let Some(gov) = self.cfg.governor {
+            let limits = gov.limits();
+            // Branches charge cells and observe cardinalities; a finite
+            // budget on either axis makes the sequential trip position
+            // scheduling-dependent, so the dispatch is refused.
+            if limits.max_cells.is_some() || limits.max_set_card.is_some() {
+                if let Some(m) = self.par.metrics {
+                    m.fallback_budget.inc();
+                }
+                return Ok(None);
+            }
+        }
+        let (Some(fl), Some(fr)) = (self.chooser.parallel_fork(), self.chooser.parallel_fork())
+        else {
+            if let Some(m) = self.par.metrics {
+                m.fallback_chooser.inc();
+            }
+            return Ok(None);
+        };
+        let store_l = store.clone();
+        let store_r = store.clone();
+        let before = self.fuel.avail();
+        let fuel_cell = AtomicU64::new(before);
+        let cfg = self.cfg;
+        let defs = self.defs;
+        let binds_l = self.binds.clone();
+        let binds_r = self.binds.clone();
+        let metrics = self.par.metrics;
+        let (ra, rb) = std::thread::scope(|scope| {
+            let cell = &fuel_cell;
+            let hl = scope
+                .spawn(move || run_branch(cfg, defs, fl, cell, binds_l, metrics, store_l, left));
+            let hr = scope
+                .spawn(move || run_branch(cfg, defs, fr, cell, binds_r, metrics, store_r, right));
+            let ra = hl.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            let rb = hr.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            (ra, rb)
+        });
+        self.fuel
+            .spend(before.saturating_sub(fuel_cell.load(Ordering::Relaxed)));
+        if let Some(m) = metrics {
+            m.par_set_ops.inc();
+            m.chunks.add(2);
+        }
+        // Left branch's error wins, matching sequential left-to-right
+        // evaluation.
+        let (sa, ea) = ra?;
+        let (sb, eb) = rb?;
+        self.effect.union_with(&ea);
+        self.effect.union_with(&eb);
+        Ok(Some((sa, sb)))
+    }
+
+    /// Attempts the chunked-scan dispatch for a pipeline headed by an
+    /// extent scan. Returns `Ok(false)` when the caller should run the
+    /// plain sequential path (verdict refused, parallel mode off,
+    /// already a worker, profiling); `Ok(true)` when the pipeline was
+    /// fully executed here — possibly by an *internal* sequential
+    /// fallback, once the extent read (an observable) has happened.
+    fn try_parallel_pipeline(
+        &mut self,
+        store: &mut Store,
+        pl: &Op,
+        stages: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<bool, EvalError> {
+        let Some(ParVerdict::Par {
+            body_draws,
+            body_observes,
+        }) = &pl.par
+        else {
+            return Ok(false);
+        };
+        let (body_draws, body_observes) = (*body_draws, *body_observes);
+        if self.par.level < 2 || self.par.in_worker || self.prof.is_some() {
+            return Ok(false);
+        }
+        let Some((first, rest)) = stages.split_first() else {
+            return Ok(false);
+        };
+        let StageKind::ExtentScan { var, extent, .. } = &first.kind else {
+            return Ok(false);
+        };
+        if let Some(gov) = self.cfg.governor {
+            let limits = gov.limits();
+            // A body that draws charges cells beyond the one per
+            // partitioned element; a body that observes cardinalities
+            // can trip a card cap with a payload naming *which*
+            // observation tripped. Either budget makes the trip
+            // scheduling-dependent, so the dispatch is refused.
+            if (limits.max_cells.is_some() && body_draws)
+                || (limits.max_set_card.is_some() && body_observes)
+            {
+                if let Some(m) = self.par.metrics {
+                    m.fallback_budget.inc();
+                }
+                return Ok(false);
+            }
+        }
+        // From here on the extent read has happened — an observable —
+        // so every remaining fallback must *complete* the pipeline
+        // rather than hand back to the caller.
+        let elems = match self.scan_extent(store, extent)? {
+            Value::Set(s) => s,
+            _ => return self.malformed(),
+        };
+        let n = elems.len();
+        if n < 2 {
+            if let Some(m) = self.par.metrics {
+                m.fallback_tiny.inc();
+            }
+            self.drive_gen(store, var, elems, rest, head, out)?;
+            return Ok(true);
+        }
+        if let Some(gov) = self.cfg.governor {
+            if let Some(remaining) = gov.cells_remaining() {
+                if remaining < n as u64 {
+                    // The cell budget will trip mid-scan; the trip
+                    // position must be the sequential one.
+                    if let Some(m) = self.par.metrics {
+                        m.fallback_budget.inc();
+                    }
+                    self.drive_gen(store, var, elems, rest, head, out)?;
+                    return Ok(true);
+                }
+            }
+        }
+        let elems_vec: Vec<Value> = elems.into_iter().collect();
+        let chunks = chunk_bounds(n, self.par.level);
+        let mut forks = Vec::with_capacity(chunks.len());
+        for _ in &chunks {
+            match self.chooser.parallel_fork() {
+                Some(f) => forks.push(f),
+                None => {
+                    if let Some(m) = self.par.metrics {
+                        m.fallback_chooser.inc();
+                    }
+                    let elems: BTreeSet<Value> = elems_vec.into_iter().collect();
+                    self.drive_gen(store, var, elems, rest, head, out)?;
+                    return Ok(true);
+                }
+            }
+        }
+        let before = self.fuel.avail();
+        let fuel_cell = AtomicU64::new(before);
+        let cfg = self.cfg;
+        let defs = self.defs;
+        let metrics = self.par.metrics;
+        let binds = &self.binds;
+        let store_ref: &Store = store;
+        let elems_ref: &[Value] = &elems_vec;
+        let parts: Vec<Result<(BTreeSet<Value>, Effect), EvalError>> =
+            std::thread::scope(|scope| {
+                let cell = &fuel_cell;
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .zip(forks)
+                    .map(|(&(lo, hi), fork)| {
+                        let wstore = store_ref.clone();
+                        let wbinds = binds.clone();
+                        scope.spawn(move || {
+                            run_chunk(
+                                cfg,
+                                defs,
+                                fork,
+                                cell,
+                                wbinds,
+                                metrics,
+                                wstore,
+                                var,
+                                &elems_ref[lo..hi],
+                                rest,
+                                head,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            });
+        self.fuel
+            .spend(before.saturating_sub(fuel_cell.load(Ordering::Relaxed)));
+        if let Some(m) = metrics {
+            m.par_scans.inc();
+            m.chunks.add(chunks.len() as u64);
+        }
+        // Merge in chunk order; the earliest chunk's error wins (see
+        // the module docs for why this matches sequential error
+        // identity under the Theorem 7 guard).
+        for part in parts {
+            let (set, eff) = part?;
+            out.extend(set);
+            self.effect.union_with(&eff);
+        }
+        Ok(true)
     }
 
     /// Runs a stage suffix for the current bindings, unioning produced
@@ -463,49 +1006,52 @@ impl Exec<'_, '_> {
                 out.insert(v);
                 Ok(())
             }
-            Some((st @ Stage::Filter { pred }, rest)) => {
-                let t = self.ptimer();
-                let v = self.expr(store, pred)?;
-                match v {
-                    Value::Bool(pass) => {
-                        self.precord(stage_key(st), t, pass as u64);
-                        if pass {
-                            self.run_stages(store, rest, head, out)
-                        } else {
-                            Ok(())
+            Some((st, rest)) => match &st.kind {
+                StageKind::Filter { pred } => {
+                    let t = self.ptimer();
+                    let v = self.expr(store, pred)?;
+                    match v {
+                        Value::Bool(pass) => {
+                            self.precord(st.id, t, pass as u64);
+                            if pass {
+                                self.run_stages(store, rest, head, out)
+                            } else {
+                                Ok(())
+                            }
                         }
+                        _ => self.stuck(pred, "non-boolean predicate"),
                     }
-                    _ => self.stuck(pred, "non-boolean predicate"),
                 }
-            }
-            Some((st @ Stage::ExtentScan { var, extent, .. }, rest)) => {
-                let t = self.ptimer();
-                let elems = match self.scan_extent(store, extent)? {
-                    Value::Set(s) => s,
-                    _ => return self.malformed(),
-                };
-                self.precord(stage_key(st), t, elems.len() as u64);
-                self.drive_gen(store, var, elems, rest, head, out)
-            }
-            Some((st @ Stage::Scan { var, source, .. }, rest)) => {
-                let t = self.ptimer();
-                let elems = match self.expr(store, source)? {
-                    Value::Set(s) => s,
-                    _ => return self.stuck(source, "generator over a non-set"),
-                };
-                self.precord(stage_key(st), t, elems.len() as u64);
-                self.drive_gen(store, var, elems, rest, head, out)
-            }
-            // A probe is always fused behind its generator and consumed
-            // by `drive_gen`; reaching one here is a lowering bug.
-            Some((Stage::HashIndexProbe { .. }, _)) => self.malformed(),
+                StageKind::ExtentScan { var, extent, .. } => {
+                    let t = self.ptimer();
+                    let elems = match self.scan_extent(store, extent)? {
+                        Value::Set(s) => s,
+                        _ => return self.malformed(),
+                    };
+                    self.precord(st.id, t, elems.len() as u64);
+                    self.drive_gen(store, var, elems, rest, head, out)
+                }
+                StageKind::Scan { var, source, .. } => {
+                    let t = self.ptimer();
+                    let elems = match self.expr(store, source)? {
+                        Value::Set(s) => s,
+                        _ => return self.stuck(source, "generator over a non-set"),
+                    };
+                    self.precord(st.id, t, elems.len() as u64);
+                    self.drive_gen(store, var, elems, rest, head, out)
+                }
+                // A probe is always fused behind its generator and
+                // consumed by `drive_gen`; reaching one here is a
+                // lowering bug.
+                StageKind::HashIndexProbe { .. } => self.malformed(),
+            },
         }
     }
 
-    /// Drives one generator: draw elements through the chooser in the
-    /// `(ND comp)` protocol, charging one cell and checkpointing per
-    /// draw, optionally probing a one-shot hash index in place of the
-    /// fused equality predicate.
+    /// Drives one generator sequentially: draw elements through the
+    /// chooser in the `(ND comp)` protocol, charging one cell and
+    /// checkpointing per draw, optionally probing a one-shot hash index
+    /// in place of the fused equality predicate.
     fn drive_gen(
         &mut self,
         store: &mut Store,
@@ -515,19 +1061,7 @@ impl Exec<'_, '_> {
         head: &Query,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
-        let (probe, body) = match rest.split_first() {
-            Some((
-                st @ Stage::HashIndexProbe {
-                    var: pv,
-                    build,
-                    probe,
-                    pred,
-                    ..
-                },
-                after,
-            )) if pv == var => (Some((stage_key(st), build, probe, pred)), after),
-            _ => (None, rest),
-        };
+        let (probe, body) = split_probe(var, rest);
         let mut remaining: Vec<Value> = elems.into_iter().collect();
         // `None` until the first draw; `Some(None)` = index abandoned
         // (anomaly — the per-row fallback reproduces the naive error),
@@ -544,53 +1078,125 @@ impl Exec<'_, '_> {
             // so the plan path must offer the same observation point.
             self.checkpoint()?;
             let picked = remaining.remove(i);
-            let Some((pkey, build, probe_q, pred)) = probe else {
-                self.binds.push((var.clone(), picked));
-                let r = self.run_stages(store, body, head, out);
-                self.binds.pop();
-                r?;
-                continue;
-            };
-            if index.is_none() {
-                // Built exactly once, at the first draw — where the
-                // naive path would first evaluate the predicate, so the
-                // probe side's one evaluation lands where naive's first
-                // would.
-                let t = self.ptimer();
-                index = Some(self.build_index(
-                    store,
-                    build,
-                    probe_q,
-                    std::iter::once(&picked).chain(remaining.iter()),
-                ));
-                self.ptime(pkey, t);
-            }
-            match index.as_ref().expect("initialized at first draw") {
-                Some(pass) => {
-                    let hit = pass.contains(&picked);
-                    self.precord(pkey, None, hit as u64);
-                    if hit {
-                        self.binds.push((var.clone(), picked));
-                        let r = self.run_stages(store, body, head, out);
-                        self.binds.pop();
-                        r?;
-                    }
-                }
-                None => {
-                    self.binds.push((var.clone(), picked));
-                    let r = self.filtered(store, pred, body, head, out);
-                    self.binds.pop();
-                    let passed = r?;
-                    self.precord(pkey, None, passed as u64);
+            if let Some((pkey, build, probe_q, _)) = probe {
+                if index.is_none() {
+                    // Built exactly once, at the first draw — where the
+                    // naive path would first evaluate the predicate, so
+                    // the probe side's one evaluation lands where
+                    // naive's first would.
+                    let t = self.ptimer();
+                    let refs: Vec<&Value> =
+                        std::iter::once(&picked).chain(remaining.iter()).collect();
+                    index = Some(self.build_index(store, build, probe_q, &refs));
+                    self.ptime(pkey, t);
                 }
             }
+            let probe_ref = probe.map(|(pkey, _, _, pred)| {
+                (pkey, index.as_ref().expect("built at first draw"), pred)
+            });
+            self.consume_elem(store, var, picked, probe_ref, body, head, out)?;
         }
         Ok(())
     }
 
+    /// Drives one chunk of a partitioned generator inside a pool
+    /// worker: the same per-draw protocol as [`drive_gen`] (chooser
+    /// draw, one-cell charge, checkpoint), but over a deque so the
+    /// forkable choosers' endpoint picks (first/last) are O(1) instead
+    /// of shifting the whole remainder per draw.
+    fn drive_chunk(
+        &mut self,
+        store: &mut Store,
+        var: &VarName,
+        elems: &[Value],
+        rest: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        let (probe, body) = split_probe(var, rest);
+        let mut remaining: VecDeque<Value> = elems.iter().cloned().collect();
+        let mut index: Option<Option<HashSet<Value>>> = None;
+        while !remaining.is_empty() {
+            let n = remaining.len();
+            let i = self.chooser.choose(n);
+            if let Some(gov) = self.cfg.governor {
+                gov.charge_cells(1)?;
+            }
+            self.checkpoint()?;
+            let picked = if i == 0 {
+                remaining.pop_front().expect("loop guard: non-empty")
+            } else if i + 1 == n {
+                remaining.pop_back().expect("loop guard: non-empty")
+            } else {
+                remaining.remove(i).expect("chooser contract: i < n")
+            };
+            if let Some((pkey, build, probe_q, _)) = probe {
+                if index.is_none() {
+                    // Chunk-local speculative build — observationally
+                    // identical to a global one because `Ra` atoms are
+                    // set-unioned and anomalies revert to the per-row
+                    // fallback either way.
+                    let refs: Vec<&Value> =
+                        std::iter::once(&picked).chain(remaining.iter()).collect();
+                    index = Some(self.build_index(store, build, probe_q, &refs));
+                    self.ptime(pkey, None);
+                }
+            }
+            let probe_ref = probe.map(|(pkey, _, _, pred)| {
+                (pkey, index.as_ref().expect("built at first draw"), pred)
+            });
+            self.consume_elem(store, var, picked, probe_ref, body, head, out)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes one drawn element: bind it, run the stage body (or
+    /// probe the index / fall back to the kept predicate), unbind.
+    /// Shared by the sequential and chunked drivers so the per-element
+    /// observables cannot drift between them.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_elem(
+        &mut self,
+        store: &mut Store,
+        var: &VarName,
+        picked: Value,
+        probe: Option<(NodeId, &Option<HashSet<Value>>, &Query)>,
+        body: &[Stage],
+        head: &Query,
+        out: &mut BTreeSet<Value>,
+    ) -> Result<(), EvalError> {
+        let Some((pkey, index, pred)) = probe else {
+            self.binds.push((var.clone(), picked));
+            let r = self.run_stages(store, body, head, out);
+            self.binds.pop();
+            return r;
+        };
+        match index {
+            Some(pass) => {
+                let hit = pass.contains(&picked);
+                self.precord(pkey, None, hit as u64);
+                if hit {
+                    self.binds.push((var.clone(), picked));
+                    let r = self.run_stages(store, body, head, out);
+                    self.binds.pop();
+                    r?;
+                }
+                Ok(())
+            }
+            None => {
+                self.binds.push((var.clone(), picked));
+                let r = self.filtered(store, pred, body, head, out);
+                self.binds.pop();
+                let passed = r?;
+                self.precord(pkey, None, passed as u64);
+                Ok(())
+            }
+        }
+    }
+
     /// The speculative-fallback path: evaluate the original predicate
-    /// per row, exactly as a [`Stage::Filter`] would. Returns whether
-    /// the predicate passed (profile bookkeeping only).
+    /// per row, exactly as a [`StageKind::Filter`] would. Returns
+    /// whether the predicate passed (profile bookkeeping only).
     fn filtered(
         &mut self,
         store: &mut Store,
@@ -615,43 +1221,80 @@ impl Exec<'_, '_> {
     /// side fails or has the wrong type, an element is not the shape
     /// the equality demands — and the caller reverts to per-row
     /// predicate evaluation, which reproduces the exact naive error at
-    /// the exact naive position. The `Ra` union per *scanned* element on
-    /// attribute access matches the naive engines, which record it for
-    /// every drawn element whether or not its predicate passes.
-    fn build_index<'v>(
+    /// the exact naive position. The `Ra` union per *scanned* element
+    /// on attribute access matches the naive engines, which record it
+    /// for every drawn element whether or not its predicate passes.
+    ///
+    /// With a worker pool available (and ≥ 2 keys) the key-extraction
+    /// scan partitions across workers — [`extract_keys`] is a pure
+    /// function of the store snapshot, so partitioning is licensed by
+    /// the same Theorem 7 guard as the build's own scan-ahead.
+    fn build_index(
         &mut self,
         store: &mut Store,
         build: &HashIndexBuild,
         probe: &Query,
-        elements: impl Iterator<Item = &'v Value>,
+        elements: &[&Value],
     ) -> Option<HashSet<Value>> {
         let target = self.expr(store, probe).ok()?;
-        let well_formed = |store: &Store, v: &Value| match (build.eq, v) {
-            (EqKind::Int, Value::Int(_)) => true,
-            (EqKind::Obj, Value::Oid(o)) => store.objects.contains(*o),
-            _ => false,
-        };
-        if !well_formed(store, &target) {
+        if !well_formed(store, build.eq, &target) {
             return None;
         }
-        let mut pass = HashSet::new();
-        for elem in elements {
-            let key = match &build.key {
-                KeyAccess::Bare => elem.clone(),
-                KeyAccess::Attr(a) => {
-                    let Value::Oid(o) = elem else { return None };
-                    let class = store.class_of(*o).ok()?.clone();
-                    self.effect.union_with(&Effect::attr_read(class));
-                    store.attr(*o, a).ok()?.clone()
-                }
-            };
-            if !well_formed(store, &key) {
-                return None;
-            }
-            if key == target {
-                pass.insert(elem.clone());
+        if self.par.level >= 2 && !self.par.in_worker && self.prof.is_none() && elements.len() >= 2
+        {
+            return self.build_index_partitioned(store, build, &target, elements);
+        }
+        let (pass, eff) = extract_keys(store, build, &target, elements);
+        self.effect.union_with(&eff);
+        pass
+    }
+
+    /// The partitioned key-extraction scan: chunks run concurrently
+    /// over the *shared* store (read-only), any chunk anomaly abandons
+    /// the whole index, and every chunk's `Ra` trace is unioned
+    /// unconditionally (idempotent atoms; anything recorded past an
+    /// anomaly is re-recorded by the per-row fallback anyway).
+    fn build_index_partitioned(
+        &mut self,
+        store: &Store,
+        build: &HashIndexBuild,
+        target: &Value,
+        elements: &[&Value],
+    ) -> Option<HashSet<Value>> {
+        let chunks = chunk_bounds(elements.len(), self.par.level);
+        let metrics = self.par.metrics;
+        let parts: Vec<(Option<HashSet<Value>>, Effect)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| {
+                    let slice = &elements[lo..hi];
+                    scope.spawn(move || {
+                        let t = metrics.map(|m| m.worker_busy_ns.start_timer());
+                        let r = extract_keys(store, build, target, slice);
+                        if let Some(m) = metrics {
+                            m.worker_busy_ns.observe_timer(t.flatten());
+                        }
+                        r
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        if let Some(m) = metrics {
+            m.par_index_builds.inc();
+            m.chunks.add(chunks.len() as u64);
+        }
+        let mut pass = Some(HashSet::new());
+        for (part, eff) in parts {
+            self.effect.union_with(&eff);
+            match (pass.as_mut(), part) {
+                (Some(acc), Some(p)) => acc.extend(p),
+                _ => pass = None,
             }
         }
-        Some(pass)
+        pass
     }
 }

@@ -1,19 +1,84 @@
 //! The physical operator IR and its renderer.
 //!
 //! A [`Plan`] is a tree of [`Op`]s; comprehensions become a
-//! [`Op::Distinct`]/[`Op::MapProject`]/[`Op::Pipeline`] spine whose
-//! [`Stage`]s mirror the qualifier list. The IR is deliberately small:
-//! every *row-level* expression (predicate, projection head, generator
-//! source that is not an extent) stays an AST [`Query`] and is delegated
-//! to the big-step evaluator's [`eval_expr`](ioql_eval::eval_expr) hook
-//! at run time, so plan execution can never diverge semantically from
+//! [`OpKind::Distinct`]/[`OpKind::MapProject`]/[`OpKind::Pipeline`] spine
+//! whose [`Stage`]s mirror the qualifier list. The IR is deliberately
+//! small: every *row-level* expression (predicate, projection head,
+//! generator source that is not an extent) stays an AST [`Query`] and is
+//! delegated to the big-step evaluator's [`eval_expr`](ioql_eval::eval_expr)
+//! hook at run time, so plan execution can never diverge semantically from
 //! the naive engines on expression evaluation.
+//!
+//! Every node carries a stable [`NodeId`], assigned in pre-order by
+//! [`Plan::number`] at the end of lowering. Profiles and parallel workers
+//! key per-node state by id rather than by node address, so cloning a
+//! subtree (or moving the plan) never orphans its statistics. Nodes that
+//! could run in parallel additionally carry the lowering's
+//! [`ParVerdict`] — the Theorem 7/8 license decision — rendered by
+//! `:plan` as `[par]` or `[seq(reason)]`.
 
 use ioql_ast::{AttrName, DefName, ExtentName, Query, VarName};
 use ioql_effects::Effect;
 use std::fmt;
 
-/// Which equality a [`Stage::HashIndexProbe`] implements.
+/// A stable node identifier, assigned in pre-order by [`Plan::number`].
+///
+/// Ids are dense (`0..n` over the whole tree, stages included), so a
+/// profiler can index per-node state by id without hashing node
+/// addresses — the address of a node is not stable across clones, which
+/// is exactly what parallel workers do to plan subtrees.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The lowering's parallelism verdict for one parallel-capable node —
+/// the Theorem 7/8 license decision, made statically so `:plan` can
+/// show it and the executor never has to re-derive it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParVerdict {
+    /// Licensed: partitions/branches of this node may run concurrently.
+    Par {
+        /// Whether the partitioned body may itself draw generator
+        /// elements (nested generators, nested comprehensions,
+        /// definition calls). Workers then charge the shared cell meter
+        /// beyond the one-cell-per-partitioned-element minimum, so a
+        /// finite cell budget refuses the dispatch at run time (the
+        /// trip position would be scheduling-dependent).
+        body_draws: bool,
+        /// Whether the body may observe set cardinalities (extent
+        /// reads, set operators, comprehensions, definition calls).
+        /// Under a cardinality cap the dispatch is refused at run time
+        /// for the same reason.
+        body_observes: bool,
+    },
+    /// Refused: the node must run sequentially, with the reason
+    /// (rendered as `seq(reason)`; interference refusals quote the
+    /// interfering effect-atom pair).
+    Seq(String),
+}
+
+impl ParVerdict {
+    /// Whether the verdict licenses parallel execution.
+    pub fn licensed(&self) -> bool {
+        matches!(self, ParVerdict::Par { .. })
+    }
+}
+
+impl fmt::Display for ParVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParVerdict::Par { .. } => write!(f, "par"),
+            ParVerdict::Seq(reason) => write!(f, "seq({reason})"),
+        }
+    }
+}
+
+/// Which equality a [`StageKind::HashIndexProbe`] implements.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EqKind {
     /// `=` — integer equality.
@@ -54,9 +119,36 @@ pub struct HashIndexBuild {
     pub est_rows: usize,
 }
 
-/// One stage of a [`Op::Pipeline`] — the physical form of one qualifier.
+/// One stage of a [`OpKind::Pipeline`]: a stable id, an optional
+/// parallelism verdict (probes carry one — their build side may be
+/// partitioned), and the stage proper.
 #[derive(Clone, Debug)]
-pub enum Stage {
+pub struct Stage {
+    /// Stable pre-order id (see [`Plan::number`]).
+    pub id: NodeId,
+    /// Parallelism verdict; `None` on stages that have no parallel
+    /// strategy of their own (their parallelism, if any, comes from the
+    /// enclosing pipeline's chunked scan).
+    pub par: Option<ParVerdict>,
+    /// The stage itself.
+    pub kind: StageKind,
+}
+
+impl Stage {
+    /// A stage with a zero id and no verdict — [`Plan::number`] (and the
+    /// lowering's verdict pass) fill both in.
+    pub fn new(kind: StageKind) -> Stage {
+        Stage {
+            id: NodeId::default(),
+            par: None,
+            kind,
+        }
+    }
+}
+
+/// The physical form of one qualifier.
+#[derive(Clone, Debug)]
+pub enum StageKind {
     /// A generator drawing directly from a class extent.
     ExtentScan {
         /// The generator variable.
@@ -105,9 +197,35 @@ pub enum Stage {
     },
 }
 
-/// A physical operator.
+/// A physical operator: a stable id, an optional parallelism verdict
+/// (pipelines and set operators carry one), and the operator proper.
 #[derive(Clone, Debug)]
-pub enum Op {
+pub struct Op {
+    /// Stable pre-order id (see [`Plan::number`]).
+    pub id: NodeId,
+    /// Parallelism verdict; `None` on operators with no parallel
+    /// strategy (and on every node when lowering ran with
+    /// `parallelism = 0`, keeping `:plan` output annotation-free).
+    pub par: Option<ParVerdict>,
+    /// The operator itself.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// An operator with a zero id and no verdict — [`Plan::number`] (and
+    /// the lowering's verdict pass) fill both in.
+    pub fn new(kind: OpKind) -> Op {
+        Op {
+            id: NodeId::default(),
+            par: None,
+            kind,
+        }
+    }
+}
+
+/// The operator alternatives.
+#[derive(Clone, Debug)]
+pub enum OpKind {
     /// Read a whole extent (records `R(C)` and observes its
     /// cardinality, exactly as the naive engines do).
     ExtentScan {
@@ -178,23 +296,23 @@ impl Op {
     /// structure and the executor's profile, so `:plan` and
     /// `:plan analyze` rows line up).
     pub fn label(&self) -> String {
-        match self {
-            Op::ExtentScan { extent, .. } => format!("ExtentScan {extent}"),
-            Op::SetUnion { .. } => "SetUnion".into(),
-            Op::SetIntersect { .. } => "SetIntersect".into(),
-            Op::SetDiff { .. } => "SetDiff".into(),
-            Op::Distinct { .. } => "Distinct".into(),
-            Op::MapProject { head, .. } => format!("MapProject  head = {head}"),
-            Op::Pipeline { .. } => "Pipeline".into(),
-            Op::InlineDef { name, .. } => format!("InlineDef {name}"),
-            Op::Eval { expr } => format!("Eval  {expr}"),
+        match &self.kind {
+            OpKind::ExtentScan { extent, .. } => format!("ExtentScan {extent}"),
+            OpKind::SetUnion { .. } => "SetUnion".into(),
+            OpKind::SetIntersect { .. } => "SetIntersect".into(),
+            OpKind::SetDiff { .. } => "SetDiff".into(),
+            OpKind::Distinct { .. } => "Distinct".into(),
+            OpKind::MapProject { head, .. } => format!("MapProject  head = {head}"),
+            OpKind::Pipeline { .. } => "Pipeline".into(),
+            OpKind::InlineDef { name, .. } => format!("InlineDef {name}"),
+            OpKind::Eval { expr } => format!("Eval  {expr}"),
         }
     }
 
     /// The optimizer's row estimate for this operator, where one exists.
     pub fn est_rows(&self) -> Option<usize> {
-        match self {
-            Op::ExtentScan { est_rows, .. } => Some(*est_rows),
+        match &self.kind {
+            OpKind::ExtentScan { est_rows, .. } => Some(*est_rows),
             _ => None,
         }
     }
@@ -203,11 +321,11 @@ impl Op {
 impl Stage {
     /// A one-line label for this stage (see [`Op::label`]).
     pub fn label(&self) -> String {
-        match self {
-            Stage::ExtentScan { var, extent, .. } => format!("ExtentScan {var} <- {extent}"),
-            Stage::Scan { var, source, .. } => format!("Scan {var} <- {source}"),
-            Stage::Filter { pred } => format!("Filter  {pred}"),
-            Stage::HashIndexProbe {
+        match &self.kind {
+            StageKind::ExtentScan { var, extent, .. } => format!("ExtentScan {var} <- {extent}"),
+            StageKind::Scan { var, source, .. } => format!("Scan {var} <- {source}"),
+            StageKind::Filter { pred } => format!("Filter  {pred}"),
+            StageKind::HashIndexProbe {
                 var, build, probe, ..
             } => {
                 let key = match &build.key {
@@ -221,9 +339,11 @@ impl Stage {
 
     /// The optimizer's row estimate for this stage, where one exists.
     pub fn est_rows(&self) -> Option<usize> {
-        match self {
-            Stage::ExtentScan { est_rows, .. } | Stage::Scan { est_rows, .. } => Some(*est_rows),
-            Stage::Filter { .. } | Stage::HashIndexProbe { .. } => None,
+        match &self.kind {
+            StageKind::ExtentScan { est_rows, .. } | StageKind::Scan { est_rows, .. } => {
+                Some(*est_rows)
+            }
+            StageKind::Filter { .. } | StageKind::HashIndexProbe { .. } => None,
         }
     }
 }
@@ -236,7 +356,8 @@ impl Stage {
 /// `new`-free and invocation-free. Under those conditions Theorem 7
 /// guarantees evaluation order cannot be observed, which is exactly the
 /// freedom the physical operators exploit (index builds scan ahead of
-/// the chooser's draw order; set operands evaluate independently).
+/// the chooser's draw order; set operands evaluate independently; scan
+/// partitions merge in any order).
 #[derive(Clone, Debug)]
 pub struct Guard {
     /// The statically inferred effect of the whole query.
@@ -253,20 +374,61 @@ impl fmt::Display for Guard {
     }
 }
 
-/// A complete physical plan: the operator tree plus the effect guard
-/// that licensed it.
+/// A complete physical plan: the operator tree, the effect guard that
+/// licensed it, and the parallelism level it was lowered for.
 #[derive(Clone, Debug)]
 pub struct Plan {
     /// The root operator.
     pub root: Op,
     /// The licensing guard.
     pub guard: Guard,
+    /// The worker-pool size the plan's [`ParVerdict`]s were computed
+    /// for. `0` = parallel execution off (the default); the executor
+    /// dispatches workers only when this is `≥ 2` *and* the node's
+    /// verdict licenses it.
+    pub parallelism: usize,
+}
+
+impl Plan {
+    /// Assigns dense pre-order [`NodeId`]s to every operator and stage.
+    ///
+    /// Called by the lowering on every plan it emits; hand-built plans
+    /// (tests) must call it before profiled or parallel execution so
+    /// per-node keys are distinct.
+    pub fn number(&mut self) {
+        let mut next = 0u32;
+        number_op(&mut self.root, &mut next);
+    }
+}
+
+fn number_op(op: &mut Op, next: &mut u32) {
+    op.id = NodeId(*next);
+    *next += 1;
+    match &mut op.kind {
+        OpKind::SetUnion { left, right }
+        | OpKind::SetIntersect { left, right }
+        | OpKind::SetDiff { left, right } => {
+            number_op(left, next);
+            number_op(right, next);
+        }
+        OpKind::Distinct { input } | OpKind::MapProject { input, .. } => {
+            number_op(input, next);
+        }
+        OpKind::Pipeline { stages } => {
+            for stage in stages {
+                stage.id = NodeId(*next);
+                *next += 1;
+            }
+        }
+        OpKind::InlineDef { body, .. } => number_op(body, next),
+        OpKind::ExtentScan { .. } | OpKind::Eval { .. } => {}
+    }
 }
 
 impl Plan {
     /// Renders the plan as an indented operator tree with cost
-    /// estimates and guard annotations (the `:plan` / `explain`
-    /// output).
+    /// estimates, guard and parallelism annotations (the `:plan` /
+    /// `explain` output).
     pub fn render(&self) -> String {
         let mut out = format!("Plan  [guard: {}]\n", self.guard);
         render_op(&self.root, 1, &mut out);
@@ -286,74 +448,86 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
+/// The ` [par]` / ` [seq(reason)]` suffix, empty for unannotated nodes.
+fn par_suffix(par: &Option<ParVerdict>) -> String {
+    match par {
+        Some(v) => format!("  [{v}]"),
+        None => String::new(),
+    }
+}
+
 fn render_op(op: &Op, depth: usize, out: &mut String) {
     indent(depth, out);
-    match op {
-        Op::ExtentScan { extent, est_rows } => {
-            out.push_str(&format!("ExtentScan {extent}  (~{est_rows} rows)\n"));
+    let par = par_suffix(&op.par);
+    match &op.kind {
+        OpKind::ExtentScan { extent, est_rows } => {
+            out.push_str(&format!("ExtentScan {extent}  (~{est_rows} rows){par}\n"));
         }
-        Op::SetUnion { left, right } => {
-            out.push_str("SetUnion\n");
+        OpKind::SetUnion { left, right } => {
+            out.push_str(&format!("SetUnion{par}\n"));
             render_op(left, depth + 1, out);
             render_op(right, depth + 1, out);
         }
-        Op::SetIntersect { left, right } => {
-            out.push_str("SetIntersect\n");
+        OpKind::SetIntersect { left, right } => {
+            out.push_str(&format!("SetIntersect{par}\n"));
             render_op(left, depth + 1, out);
             render_op(right, depth + 1, out);
         }
-        Op::SetDiff { left, right } => {
-            out.push_str("SetDiff\n");
+        OpKind::SetDiff { left, right } => {
+            out.push_str(&format!("SetDiff{par}\n"));
             render_op(left, depth + 1, out);
             render_op(right, depth + 1, out);
         }
-        Op::Distinct { input } => {
-            out.push_str("Distinct\n");
+        OpKind::Distinct { input } => {
+            out.push_str(&format!("Distinct{par}\n"));
             render_op(input, depth + 1, out);
         }
-        Op::MapProject { head, input } => {
-            out.push_str(&format!("MapProject  head = {head}\n"));
+        OpKind::MapProject { head, input } => {
+            out.push_str(&format!("MapProject  head = {head}{par}\n"));
             render_op(input, depth + 1, out);
         }
-        Op::Pipeline { stages } => {
-            out.push_str("Pipeline\n");
+        OpKind::Pipeline { stages } => {
+            out.push_str(&format!("Pipeline{par}\n"));
             for stage in stages {
                 render_stage(stage, depth + 1, out);
             }
         }
-        Op::InlineDef { name, body } => {
-            out.push_str(&format!("InlineDef {name}  (literal args inlined)\n"));
+        OpKind::InlineDef { name, body } => {
+            out.push_str(&format!("InlineDef {name}  (literal args inlined){par}\n"));
             render_op(body, depth + 1, out);
         }
-        Op::Eval { expr } => {
-            out.push_str(&format!("Eval  {expr}  (pure operand, interpreted)\n"));
+        OpKind::Eval { expr } => {
+            out.push_str(&format!("Eval  {expr}  (pure operand, interpreted){par}\n"));
         }
     }
 }
 
 fn render_stage(stage: &Stage, depth: usize, out: &mut String) {
     indent(depth, out);
-    match stage {
-        Stage::ExtentScan {
+    let par = par_suffix(&stage.par);
+    match &stage.kind {
+        StageKind::ExtentScan {
             var,
             extent,
             est_rows,
         } => {
             out.push_str(&format!(
-                "ExtentScan {var} <- {extent}  (~{est_rows} rows)\n"
+                "ExtentScan {var} <- {extent}  (~{est_rows} rows){par}\n"
             ));
         }
-        Stage::Scan {
+        StageKind::Scan {
             var,
             source,
             est_rows,
         } => {
-            out.push_str(&format!("Scan {var} <- {source}  (~{est_rows} rows)\n"));
+            out.push_str(&format!(
+                "Scan {var} <- {source}  (~{est_rows} rows){par}\n"
+            ));
         }
-        Stage::Filter { pred } => {
-            out.push_str(&format!("Filter  {pred}\n"));
+        StageKind::Filter { pred } => {
+            out.push_str(&format!("Filter  {pred}{par}\n"));
         }
-        Stage::HashIndexProbe {
+        StageKind::HashIndexProbe {
             var,
             build,
             probe,
@@ -368,7 +542,7 @@ fn render_stage(stage: &Stage, depth: usize, out: &mut String) {
             out.push_str(&format!(
                 "HashIndexProbe  {key} {} {probe}  \
                  (cost: index {index_cost} vs scan {scan_cost})  \
-                 [guard: loop-stable body, pure probe]\n",
+                 [guard: loop-stable body, pure probe]{par}\n",
                 build.eq
             ));
             indent(depth + 1, out);

@@ -26,6 +26,19 @@
 //! Queries the guard refuses (mutating, invoking, or shape-unknown)
 //! simply return `None` from [`lower()`] and run on the existing
 //! interpreters; the plan layer is a pure overlay.
+//!
+//! On top of the sequential executor sits an **effect-licensed parallel
+//! mode**: [`lower_with`] takes a [`ParSpec`] (worker-pool size, schema,
+//! branch-effect oracle) and annotates every parallel-capable node with
+//! a [`ParVerdict`] — Theorem 7 licenses chunked extent scans and
+//! partitioned index builds; Theorem 8 licenses concurrent set-operator
+//! branches when [`set_op_verdict`] finds the operand effects
+//! non-interfering. [`execute_metered`] dispatches `std::thread::scope`
+//! workers for licensed nodes (re-gated at run time — unforkable
+//! chooser, finite budgets on charged axes, or tiny inputs fall back to
+//! the sequential path, counting into [`ParMetrics`]) and is contracted
+//! to change *no observable*: same result set, effect trace, governor
+//! meters, and chooser draw totals as `parallelism = 0`.
 
 #![forbid(unsafe_code)]
 // Error enums carry rendered context (names, types, positions) by value;
@@ -36,10 +49,17 @@
 pub mod exec;
 pub mod ir;
 mod lower;
+pub mod par;
 
-pub use exec::{execute, execute_with_profile, PlanProfile, PlanResult, ProfEntry};
-pub use ir::{EqKind, Guard, HashIndexBuild, KeyAccess, Op, Plan, Stage};
-pub use lower::lower;
+pub use exec::{
+    execute, execute_metered, execute_with_profile, PlanProfile, PlanResult, ProfEntry,
+};
+pub use ir::{
+    EqKind, Guard, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage,
+    StageKind,
+};
+pub use lower::{lower, lower_with, set_op_verdict, BranchEffectFn, ParSpec};
+pub use par::ParMetrics;
 
 #[cfg(test)]
 mod tests {
@@ -261,18 +281,18 @@ mod tests {
                 Qualifier::Pred(pred.clone()),
             ],
         );
-        let plan = Plan {
-            root: Op::Distinct {
-                input: Box::new(Op::MapProject {
+        let mut plan = Plan {
+            root: Op::new(OpKind::Distinct {
+                input: Box::new(Op::new(OpKind::MapProject {
                     head: Query::var("x"),
-                    input: Box::new(Op::Pipeline {
+                    input: Box::new(Op::new(OpKind::Pipeline {
                         stages: vec![
-                            Stage::Scan {
+                            Stage::new(StageKind::Scan {
                                 var: VarName::new("x"),
                                 source: src,
                                 est_rows: 2,
-                            },
-                            Stage::HashIndexProbe {
+                            }),
+                            Stage::new(StageKind::HashIndexProbe {
                                 var: VarName::new("x"),
                                 build: HashIndexBuild {
                                     eq: EqKind::Int,
@@ -283,15 +303,17 @@ mod tests {
                                 pred,
                                 scan_cost: 100,
                                 index_cost: 1,
-                            },
+                            }),
                         ],
-                    }),
-                }),
-            },
+                    })),
+                })),
+            }),
             guard: Guard {
                 effect: Effect::empty(),
             },
+            parallelism: 0,
         };
+        plan.number();
         let mut s1 = store.clone();
         let mut s2 = store.clone();
         let b = eval_big(&cfg, &defs, &mut s2, &q, &mut FirstChooser, 100_000);

@@ -8,15 +8,64 @@
 //! unchanged. Within an eligible query, scan-vs-index selection is
 //! cost-based via [`Stats`]; the cost formulas are documented at the
 //! decision site.
+//!
+//! When lowered through [`lower_with`] with a nonzero
+//! [`ParSpec::parallelism`], each parallel-capable node is additionally
+//! annotated with a [`ParVerdict`]: chunked scans are licensed by the
+//! plan's own Theorem 7 guard (the whole query is read-only and
+//! `new`-free, so partition order is unobservable), while concurrent
+//! set-operator branches need Theorem 8 — the branches' inferred
+//! effects must be pairwise non-interfering — and a refusal quotes the
+//! interfering atom pair.
 
-use crate::ir::{EqKind, Guard, HashIndexBuild, KeyAccess, Op, Plan, Stage};
+use crate::ir::{
+    EqKind, Guard, HashIndexBuild, KeyAccess, Op, OpKind, ParVerdict, Plan, Stage, StageKind,
+};
 use ioql_ast::{Qualifier, Query, VarName};
 use ioql_effects::Effect;
 use ioql_eval::DefEnv;
 use ioql_opt::Stats;
+use ioql_schema::Schema;
+
+/// How (and whether) to compute parallelism verdicts during lowering.
+///
+/// The default — [`ParSpec::off`] — lowers with `parallelism = 0`: no
+/// node is annotated and the executor never dispatches workers, which
+/// keeps `:plan` output and execution byte-identical to the sequential
+/// layer. A nonzero `parallelism` turns the verdict pass on; the
+/// `schema`/`branch_effect` pair is what Theorem 8 licensing needs to
+/// judge set-operator branches (without them every set operator is
+/// refused with `branch effects unavailable` — conservative, never
+/// unsound).
+pub struct ParSpec<'a> {
+    /// Worker-pool size verdicts are computed for (`0` = off, `1` = a
+    /// degenerate pool — every node refuses with `parallelism off`).
+    pub parallelism: usize,
+    /// The schema Theorem 8's interference check runs against.
+    pub schema: Option<&'a Schema>,
+    /// Infers the Figure-3 effect of one set-operator branch, or `None`
+    /// when inference fails (the branch is then refused parallelism).
+    pub branch_effect: Option<&'a BranchEffectFn<'a>>,
+}
+
+/// A branch-effect oracle for [`ParSpec`]: infers the Figure-3 effect
+/// of one set-operator operand (`None` = inference failed, refuse).
+pub type BranchEffectFn<'a> = dyn Fn(&Query) -> Option<Effect> + 'a;
+
+impl ParSpec<'static> {
+    /// Parallelism off — the [`lower`] default.
+    pub fn off() -> ParSpec<'static> {
+        ParSpec {
+            parallelism: 0,
+            schema: None,
+            branch_effect: None,
+        }
+    }
+}
 
 /// Lowers an elaborated query to a physical plan, or `None` when the
 /// Theorem 7 guard refuses or the root shape is not recognized.
+/// Equivalent to [`lower_with`] under [`ParSpec::off`].
 ///
 /// The guard mirrors the cacheability test in `Database::query`: the
 /// statically inferred `static_effect` must be read-only (no `A(C)`, no
@@ -27,6 +76,17 @@ use ioql_opt::Stats;
 /// operators' deviations from naive qualifier-at-a-time interpretation
 /// (ahead-of-draw index builds, independent set operands).
 pub fn lower(q: &Query, static_effect: &Effect, defs: &DefEnv, stats: &Stats) -> Option<Plan> {
+    lower_with(q, static_effect, defs, stats, &ParSpec::off())
+}
+
+/// [`lower`] plus the parallelism-verdict pass configured by `spec`.
+pub fn lower_with(
+    q: &Query,
+    static_effect: &Effect,
+    defs: &DefEnv,
+    stats: &Stats,
+    spec: &ParSpec<'_>,
+) -> Option<Plan> {
     if !static_effect.is_read_only() || q.contains_new() || q.contains_invoke() {
         return None;
     }
@@ -37,42 +97,73 @@ pub fn lower(q: &Query, static_effect: &Effect, defs: &DefEnv, stats: &Stats) ->
     if !defs_ok {
         return None;
     }
-    let root = lower_op(q, defs, stats)?;
-    Some(Plan {
+    let root = lower_op(q, defs, stats, spec)?;
+    let mut plan = Plan {
         root,
         guard: Guard {
             effect: static_effect.clone(),
         },
-    })
+        parallelism: spec.parallelism,
+    };
+    plan.number();
+    Some(plan)
+}
+
+/// Theorem 8 licensing for one set operator: do the branches' inferred
+/// effects commute? `Par` when [`Effect::noninterfering_with`] holds;
+/// otherwise `Seq` quoting the interfering atom pair from
+/// [`Effect::interference_witness`].
+///
+/// Branch bodies of a lowered plan are read-only (Theorem 7 guard), so
+/// through [`lower_with`] this always licenses; it is public because
+/// callers with *raw* effects (tests, future mutation-tolerant plans)
+/// can use it to see a refusal, e.g. `A(C)` vs `R(C)`.
+pub fn set_op_verdict(left: &Effect, right: &Effect, schema: &Schema) -> ParVerdict {
+    match left.interference_witness(right, schema) {
+        None => ParVerdict::Par {
+            // A set-operator branch is a whole subquery: assume it can
+            // draw and observe. The executor's budget pre-flight treats
+            // both as unbounded-extra-charges flags.
+            body_draws: true,
+            body_observes: true,
+        },
+        Some((l, r)) => ParVerdict::Seq(format!("interfering effects: {l} vs {r}")),
+    }
 }
 
 /// Lowers a set-shaped root (or set operand). `None` when the shape has
 /// no physical operator — callers either fall back to the interpreter
-/// (plan root) or wrap the expression in [`Op::Eval`] (set operand,
+/// (plan root) or wrap the expression in [`OpKind::Eval`] (set operand,
 /// which is safe because the whole query already passed the guard).
-fn lower_op(q: &Query, defs: &DefEnv, stats: &Stats) -> Option<Op> {
+fn lower_op(q: &Query, defs: &DefEnv, stats: &Stats, spec: &ParSpec<'_>) -> Option<Op> {
     match q {
-        Query::Extent(e) => Some(Op::ExtentScan {
+        Query::Extent(e) => Some(Op::new(OpKind::ExtentScan {
             extent: e.clone(),
             est_rows: stats.extent_size(e),
-        }),
+        })),
         Query::SetBin(op, a, b) => {
-            let left = Box::new(lower_operand(a, defs, stats));
-            let right = Box::new(lower_operand(b, defs, stats));
-            Some(match op {
-                ioql_ast::SetOp::Union => Op::SetUnion { left, right },
-                ioql_ast::SetOp::Intersect => Op::SetIntersect { left, right },
-                ioql_ast::SetOp::Diff => Op::SetDiff { left, right },
-            })
+            let left = Box::new(lower_operand(a, defs, stats, spec));
+            let right = Box::new(lower_operand(b, defs, stats, spec));
+            let kind = match op {
+                ioql_ast::SetOp::Union => OpKind::SetUnion { left, right },
+                ioql_ast::SetOp::Intersect => OpKind::SetIntersect { left, right },
+                ioql_ast::SetOp::Diff => OpKind::SetDiff { left, right },
+            };
+            let mut node = Op::new(kind);
+            node.par = set_bin_verdict(a, b, spec);
+            Some(node)
         }
         Query::Comp(head, quals) => {
-            let stages = lower_quals(quals, stats);
-            Some(Op::Distinct {
-                input: Box::new(Op::MapProject {
+            let stages = lower_quals(quals, stats, spec);
+            let par = pipeline_verdict(&stages, head, spec.parallelism);
+            let mut pipeline = Op::new(OpKind::Pipeline { stages });
+            pipeline.par = par;
+            Some(Op::new(OpKind::Distinct {
+                input: Box::new(Op::new(OpKind::MapProject {
                     head: (**head).clone(),
-                    input: Box::new(Op::Pipeline { stages }),
-                }),
-            })
+                    input: Box::new(pipeline),
+                })),
+            }))
         }
         Query::Call(d, args) => {
             // Inline only when every argument is already a literal, so
@@ -87,10 +178,10 @@ fn lower_op(q: &Query, defs: &DefEnv, stats: &Stats) -> Option<Op> {
                 let Query::Lit(v) = arg else { return None };
                 body = body.subst(x, v);
             }
-            Some(Op::InlineDef {
+            Some(Op::new(OpKind::InlineDef {
                 name: d.clone(),
-                body: Box::new(lower_op(&body, defs, stats)?),
-            })
+                body: Box::new(lower_op(&body, defs, stats, spec)?),
+            }))
         }
         _ => None,
     }
@@ -100,37 +191,152 @@ fn lower_op(q: &Query, defs: &DefEnv, stats: &Stats) -> Option<Op> {
 /// operators, anything else is interpreted wholesale (the guard already
 /// established the whole query is pure, so order of operand evaluation
 /// — left first, as the naive engines do — is preserved exactly).
-fn lower_operand(q: &Query, defs: &DefEnv, stats: &Stats) -> Op {
-    lower_op(q, defs, stats).unwrap_or_else(|| Op::Eval { expr: q.clone() })
+fn lower_operand(q: &Query, defs: &DefEnv, stats: &Stats, spec: &ParSpec<'_>) -> Op {
+    lower_op(q, defs, stats, spec).unwrap_or_else(|| Op::new(OpKind::Eval { expr: q.clone() }))
+}
+
+/// The Theorem 8 verdict for one lowered set operator, or `None` when
+/// the verdict pass is off.
+fn set_bin_verdict(a: &Query, b: &Query, spec: &ParSpec<'_>) -> Option<ParVerdict> {
+    if spec.parallelism == 0 {
+        return None;
+    }
+    if spec.parallelism < 2 {
+        return Some(ParVerdict::Seq("parallelism off".into()));
+    }
+    Some(match (spec.schema, spec.branch_effect) {
+        (Some(schema), Some(infer)) => match (infer(a), infer(b)) {
+            (Some(ea), Some(eb)) => set_op_verdict(&ea, &eb, schema),
+            _ => ParVerdict::Seq("branch effects unavailable".into()),
+        },
+        _ => ParVerdict::Seq("branch effects unavailable".into()),
+    })
+}
+
+/// The chunked-scan verdict for one pipeline, or `None` when the
+/// verdict pass is off. Licensed when the leading generator is a plain
+/// extent scan — partitions are then contiguous ranges of a set whose
+/// elements the (Theorem 7 read-only) body cannot change. The body
+/// flags record whether workers may charge cells / observe cardinality
+/// beyond the per-element minimum; the executor refuses dispatch under
+/// a finite budget on the flagged axis (sequential trip positions
+/// would otherwise not be reproduced).
+fn pipeline_verdict(stages: &[Stage], head: &Query, parallelism: usize) -> Option<ParVerdict> {
+    if parallelism == 0 {
+        return None;
+    }
+    if parallelism < 2 {
+        return Some(ParVerdict::Seq("parallelism off".into()));
+    }
+    Some(match stages.first().map(|s| &s.kind) {
+        Some(StageKind::ExtentScan { .. }) => {
+            let (body_draws, body_observes) = body_flags(&stages[1..], head);
+            ParVerdict::Par {
+                body_draws,
+                body_observes,
+            }
+        }
+        _ => ParVerdict::Seq("generator is not an extent scan".into()),
+    })
+}
+
+/// Whether the pipeline body (everything after the leading generator,
+/// plus the head) may draw generator elements / observe set
+/// cardinalities when run per element.
+fn body_flags(body: &[Stage], head: &Query) -> (bool, bool) {
+    let mut draws = expr_draws(head);
+    let mut observes = expr_observes(head);
+    for st in body {
+        match &st.kind {
+            // A nested generator draws per element and observes its
+            // source set, whatever the source shape.
+            StageKind::ExtentScan { .. } | StageKind::Scan { .. } => {
+                draws = true;
+                observes = true;
+            }
+            StageKind::Filter { pred } => {
+                draws |= expr_draws(pred);
+                observes |= expr_observes(pred);
+            }
+            // Probe targets/preds are pure scalar shapes (no comps, no
+            // calls — `probe_shape` enforces it), but stay uniform.
+            StageKind::HashIndexProbe { probe, pred, .. } => {
+                draws |= expr_draws(probe) || expr_draws(pred);
+                observes |= expr_observes(probe) || expr_observes(pred);
+            }
+        }
+    }
+    (draws, observes)
+}
+
+/// Whether evaluating `q` may draw generator elements (and hence charge
+/// governor cells): any comprehension, or any definition call (whose
+/// body may contain one).
+fn expr_draws(q: &Query) -> bool {
+    q.contains_comp() || !q.called_defs().is_empty()
+}
+
+/// Whether evaluating `q` may observe a set cardinality: any
+/// comprehension, extent read, set operator, or definition call.
+fn expr_observes(q: &Query) -> bool {
+    q.contains_comp() || !q.called_defs().is_empty() || contains_set_source(q)
+}
+
+/// Whether `q` syntactically contains an extent read or a set operator
+/// (the two cardinality-observation points besides comprehension
+/// completion).
+fn contains_set_source(q: &Query) -> bool {
+    match q {
+        Query::Extent(_) | Query::SetBin(..) | Query::Comp(..) => true,
+        Query::Lit(_) | Query::Var(_) => false,
+        Query::SetLit(qs) => qs.iter().any(contains_set_source),
+        Query::IntBin(_, a, b) | Query::IntEq(a, b) | Query::ObjEq(a, b) => {
+            contains_set_source(a) || contains_set_source(b)
+        }
+        Query::Record(fields) => fields.iter().any(|(_, f)| contains_set_source(f)),
+        Query::Field(a, _)
+        | Query::Size(a)
+        | Query::Sum(a)
+        | Query::Cast(_, a)
+        | Query::Attr(a, _) => contains_set_source(a),
+        Query::Call(_, args) => args.iter().any(contains_set_source),
+        Query::Invoke(recv, _, args) => {
+            contains_set_source(recv) || args.iter().any(contains_set_source)
+        }
+        Query::New(_, inits) => inits.iter().any(|(_, f)| contains_set_source(f)),
+        Query::If(c, t, e) => {
+            contains_set_source(c) || contains_set_source(t) || contains_set_source(e)
+        }
+    }
 }
 
 /// Lowers a qualifier list to pipeline stages, fusing an eligible
 /// equality predicate immediately following a generator into a
-/// [`Stage::HashIndexProbe`] when the cost model favors it.
-fn lower_quals(quals: &[Qualifier], stats: &Stats) -> Vec<Stage> {
+/// [`StageKind::HashIndexProbe`] when the cost model favors it.
+fn lower_quals(quals: &[Qualifier], stats: &Stats, spec: &ParSpec<'_>) -> Vec<Stage> {
     let mut stages = Vec::new();
     let mut binders: Vec<VarName> = Vec::new();
     let mut i = 0;
     while i < quals.len() {
         match &quals[i] {
             Qualifier::Pred(p) => {
-                stages.push(Stage::Filter { pred: p.clone() });
+                stages.push(Stage::new(StageKind::Filter { pred: p.clone() }));
                 i += 1;
             }
             Qualifier::Gen(x, src) => {
                 let est_rows = stats.cardinality(src);
-                stages.push(match src {
-                    Query::Extent(e) => Stage::ExtentScan {
+                stages.push(Stage::new(match src {
+                    Query::Extent(e) => StageKind::ExtentScan {
                         var: x.clone(),
                         extent: e.clone(),
                         est_rows,
                     },
-                    _ => Stage::Scan {
+                    _ => StageKind::Scan {
                         var: x.clone(),
                         source: src.clone(),
                         est_rows,
                     },
-                });
+                }));
                 if let Some(Qualifier::Pred(p)) = quals.get(i + 1) {
                     if let Some((eq, key, probe)) = probe_shape(x, p, &binders) {
                         // Naive filtering evaluates the predicate once
@@ -145,7 +351,7 @@ fn lower_quals(quals: &[Qualifier], stats: &Stats) -> Vec<Stage> {
                             .saturating_add(2 * est_rows)
                             .saturating_add(8);
                         if index_cost < scan_cost {
-                            stages.push(Stage::HashIndexProbe {
+                            let mut stage = Stage::new(StageKind::HashIndexProbe {
                                 var: x.clone(),
                                 build: HashIndexBuild { eq, key, est_rows },
                                 probe,
@@ -153,6 +359,19 @@ fn lower_quals(quals: &[Qualifier], stats: &Stats) -> Vec<Stage> {
                                 scan_cost,
                                 index_cost,
                             });
+                            // The build side is draw-free and
+                            // observation-free, so partitioning it needs
+                            // only the Theorem 7 guard; any parallelism
+                            // ≥ 2 licenses it.
+                            stage.par = match spec.parallelism {
+                                0 => None,
+                                1 => Some(ParVerdict::Seq("parallelism off".into())),
+                                _ => Some(ParVerdict::Par {
+                                    body_draws: false,
+                                    body_observes: false,
+                                }),
+                            };
+                            stages.push(stage);
                             binders.push(x.clone());
                             i += 2;
                             continue;
