@@ -6,6 +6,7 @@
 //! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
 //! ioql schema.odl --telemetry-jsonl events.jsonl   # structured event log
 //! ioql schema.odl --parallelism 4   # effect-licensed parallel execution
+//! ioql schema.odl --durable state/  # crash-safe: WAL + checkpoints, recovery on start
 //! ```
 //!
 //! REPL commands (same list as `:help`):
@@ -24,6 +25,8 @@
 //! :parallel <n>      set the parallel worker-pool size (0 = off)
 //! :save <file>       dump the store to a file (atomic write + checksum)
 //! :load <file>       load a store dump (replaces current contents)
+//! :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
+//! :wal status        write-ahead log mode, generation, append/fsync state
 //! :schema            list classes, attributes, methods
 //! :extents           list extents and their sizes
 //! :help              this text
@@ -53,6 +56,8 @@ commands:
   :parallel <n>      set the parallel worker-pool size (0 = off)
   :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
+  :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
+  :wal status        write-ahead log mode, generation, append/fsync state
   :schema            list classes, attributes, methods
   :extents           list extents and their sizes
   :help              this text
@@ -65,11 +70,19 @@ fn main() {
     let mut extended = false;
     let mut jsonl: Option<String> = None;
     let mut parallelism: Option<usize> = None;
+    let mut durable: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
             "-e" => one_shot = args.next(),
             "--telemetry-jsonl" => jsonl = args.next(),
+            "--durable" => {
+                durable = args.next();
+                if durable.is_none() {
+                    eprintln!("--durable needs a directory");
+                    std::process::exit(2);
+                }
+            }
             "--parallelism" => {
                 let raw = args.next();
                 parallelism = match raw.as_deref().map(str::parse) {
@@ -88,7 +101,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] \
-                     [--parallelism N] [-e QUERY]\n\n{HELP}"
+                     [--parallelism N] [--durable DIR] [-e QUERY]\n\n{HELP}"
                 );
                 return;
             }
@@ -131,6 +144,17 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(dir) = durable {
+        // Per-commit fsync: every acknowledged mutation survives kill -9.
+        db.set_durability(ioql::Durability::Commit);
+        match db.attach_durable(std::path::Path::new(&dir)) {
+            Ok(report) => println!("durable: {report}"),
+            Err(e) => {
+                eprintln!("--durable {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(q) = one_shot {
         if let Err(e) = run_line(&mut db, &q) {
             eprintln!("{e}");
@@ -206,6 +230,18 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         // is rejected here and the current store stays as it was.
         db.load_from(std::path::Path::new(rest.trim()))?;
         println!("loaded.");
+        return Ok(());
+    }
+    if line == ":checkpoint" {
+        db.checkpoint()?;
+        println!("checkpointed.");
+        return Ok(());
+    }
+    if line == ":wal status" {
+        match db.wal_status() {
+            Some(status) => println!("{status}"),
+            None => println!("wal: off (start with --durable <dir> to enable)"),
+        }
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix(":analyze ") {

@@ -11,12 +11,12 @@ use ioql_effects::{
 };
 use ioql_eval::{
     eval_big, evaluate, explore_outcomes, Chooser, CountingChooser, DefEnv, EvalConfig,
-    EvalMetrics, Exploration, FirstChooser, Governor, GovernorMetrics, Limits,
+    EvalMetrics, Exploration, FirstChooser, Governor, GovernorMetrics, Limits, RecordingChooser,
 };
 use ioql_methods::{check_schema_methods, effect_table, Mode};
 use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
 use ioql_schema::Schema;
-use ioql_store::Store;
+use ioql_store::{Durability, Store, WalPayload};
 use ioql_syntax::{parse_definitions, parse_program, parse_schema};
 use ioql_telemetry::{Counter, EventSink, Histogram, MetricsRegistry};
 use ioql_types::{check_query, TypeEnv, TypeOptions};
@@ -102,6 +102,17 @@ pub struct DbOptions {
     /// `tests/parallel.rs`). Defaults from the `IOQL_PARALLELISM`
     /// environment variable when set to a valid integer.
     pub parallelism: usize,
+    /// Write-ahead-log fsync policy for committed mutating queries, in
+    /// force once a durable directory is attached
+    /// ([`Database::attach_durable`]): `Off` (default) logs nothing and
+    /// changes **no observable** — values, stores, effects, meters are
+    /// byte-identical to a database with no durability subsystem;
+    /// `Commit` fsyncs each commit's record before acknowledging it;
+    /// `Batch(n)` group-commits, fsyncing every `n`-th record. Queries
+    /// whose inferred effect is write-free (the Theorem 7 guard) skip
+    /// the log entirely under every mode — the effect system proves
+    /// they have nothing to persist.
+    pub durability: Durability,
 }
 
 impl Default for DbOptions {
@@ -122,6 +133,7 @@ impl Default for DbOptions {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            durability: Durability::Off,
         }
     }
 }
@@ -165,6 +177,28 @@ pub struct DbMetrics {
     /// Parallel-executor counters: chunks dispatched, worker busy time,
     /// licensed runs by mechanism, and run-time fallbacks by reason.
     pub parallel: ioql_plan::ParMetrics,
+    /// WAL records appended (one per committed mutating query or logged
+    /// definition).
+    pub wal_appends: Counter,
+    /// Queries that skipped the WAL because their inferred effect is
+    /// write-free — the Theorem 7 guard acting as a durability filter.
+    pub wal_skipped_effect: Counter,
+    /// `fsync`s issued by the log (per commit under `Commit`, per group
+    /// under `Batch(n)`).
+    pub wal_fsyncs: Counter,
+    /// Fsyncs that covered more than one pending record — actual group
+    /// commits.
+    pub wal_group_commits: Counter,
+    /// Checkpoints taken (`:checkpoint` and load-triggered).
+    pub wal_checkpoints: Counter,
+    /// Records replayed by startup recovery.
+    pub wal_replayed: Counter,
+    /// Torn trailing records dropped by startup recovery.
+    pub wal_torn_dropped: Counter,
+    /// Store dumps written (`:save`, checkpoints).
+    pub store_saves: Counter,
+    /// Store dumps loaded (`:load`, recovery checkpoint loads).
+    pub store_loads: Counter,
 }
 
 impl DbMetrics {
@@ -205,6 +239,15 @@ impl DbMetrics {
                 recursions: c("ioql_eval_recursions_total"),
             },
             parallel: ioql_plan::ParMetrics::new(&registry),
+            wal_appends: c("ioql_wal_appends_total"),
+            wal_skipped_effect: c("ioql_wal_skipped_effect_total"),
+            wal_fsyncs: c("ioql_wal_fsyncs_total"),
+            wal_group_commits: c("ioql_wal_group_commits_total"),
+            wal_checkpoints: c("ioql_wal_checkpoints_total"),
+            wal_replayed: c("ioql_wal_replayed_total"),
+            wal_torn_dropped: c("ioql_wal_torn_dropped_total"),
+            store_saves: c("ioql_store_saves_total"),
+            store_loads: c("ioql_store_loads_total"),
             registry,
         }
     }
@@ -256,6 +299,10 @@ pub struct Database {
     metrics: DbMetrics,
     /// JSONL event sink, shared by clones of this database.
     sink: Option<Arc<EventSink>>,
+    /// Durable log state (WAL + poison flag), shared by clones — the
+    /// clones append to one log, exactly as they write to one sink.
+    /// `None` until [`Database::attach_durable`].
+    durable: Option<Arc<std::sync::Mutex<crate::durable::DurableLog>>>,
 }
 
 impl Database {
@@ -302,6 +349,7 @@ impl Database {
             cache,
             metrics,
             sink,
+            durable: None,
         })
     }
 
@@ -323,6 +371,43 @@ impl Database {
     /// The options.
     pub fn options(&self) -> DbOptions {
         self.options.clone()
+    }
+
+    /// Replaces the options wholesale; takes effect on the next query.
+    /// (Recovery uses this to replay logged queries with the optimizer
+    /// and limits off, then restores the caller's options.)
+    pub fn set_options(&mut self, options: DbOptions) {
+        self.options = options;
+    }
+
+    /// Sets the WAL fsync policy (see [`DbOptions::durability`]); takes
+    /// effect on the next committed mutating query.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.options.durability = durability;
+    }
+
+    /// The registered definitions, in registration order.
+    pub fn definitions(&self) -> &[Definition] {
+        &self.defs
+    }
+
+    pub(crate) fn durable_handle(
+        &self,
+    ) -> Option<Arc<std::sync::Mutex<crate::durable::DurableLog>>> {
+        self.durable.clone()
+    }
+
+    pub(crate) fn set_durable_handle(
+        &mut self,
+        handle: Arc<std::sync::Mutex<crate::durable::DurableLog>>,
+    ) {
+        self.durable = Some(handle);
+    }
+
+    /// Whether committed mutations are being logged: a directory is
+    /// attached and the policy is not `Off`.
+    fn wal_active(&self) -> bool {
+        self.durable.is_some() && self.options.durability != Durability::Off
     }
 
     /// Sets the worker-pool size for effect-licensed parallel execution
@@ -383,7 +468,21 @@ impl Database {
             let (_, eff) = ioql_effects::infer_definition(&eenv, &elab)?;
             self.def_types.insert(elab.name.clone(), fnty.clone());
             self.def_effects.insert(elab.name.clone(), (fnty, eff));
+            let text = elab.to_string();
+            let name = elab.name.clone();
             self.defs.push(elab);
+            // Definitions are replayable state: log each one like a
+            // committed mutation (checkpoints re-log the live set). If
+            // the append fails, unregister so the in-memory catalogue
+            // never runs ahead of the log.
+            if self.wal_active() {
+                if let Err(e) = self.wal_append(&WalPayload::Define { text }) {
+                    self.defs.pop();
+                    self.def_types.remove(&name);
+                    self.def_effects.remove(&name);
+                    return Err(e);
+                }
+            }
         }
         Ok(())
     }
@@ -499,11 +598,23 @@ impl Database {
         chooser: &mut dyn Chooser,
         governor: &Governor,
     ) -> Result<QueryResult, DbError> {
-        // Count draws without touching them: the wrapper delegates every
-        // pick to the caller's chooser unchanged.
-        let mut chooser = CountingChooser::new(chooser, self.metrics.chooser_draws.clone());
-        let chooser: &mut dyn Chooser = &mut chooser;
         let (mut elab, ty, static_effect) = self.prepare(src)?;
+        // The write-ahead-log gate: only queries the effect system says
+        // can write (`A(C)`/`U(C)` non-empty) are logged — Theorem 7
+        // write-free queries have nothing to persist and skip the log.
+        let mutating = !static_effect.adds.is_empty() || !static_effect.updates.is_empty();
+        let log_this = mutating && self.wal_active();
+        if self.wal_active() && !mutating {
+            self.metrics.wal_skipped_effect.inc();
+        }
+        // Record the draw trace for the log (active only when this
+        // commit will be logged — inactive recording is transparent
+        // delegation), and count draws without touching them: both
+        // wrappers delegate every pick to the caller's chooser
+        // unchanged.
+        let mut recording = RecordingChooser::new(chooser, log_this);
+        let mut chooser = CountingChooser::new(&mut recording, self.metrics.chooser_draws.clone());
+        let chooser: &mut dyn Chooser = &mut chooser;
         // Theorem 7 guard: only `new`-free queries with no `A(C)` (and,
         // for the §5 extension, no `U(C)`) are deterministic, hence
         // memoizable. The effect check is the sound one; the syntactic
@@ -677,6 +788,25 @@ impl Database {
             "Theorem 5 violated: runtime effect {{{}}} escapes static {{{static_effect}}}",
             out.effect
         );
+        // Acknowledged ⇒ logged: the commit's record (the executed
+        // query text plus the recorded draw trace) must be in the log
+        // before the caller sees `Ok`. If the append fails the store
+        // mutation is rolled back too, so the in-memory state never
+        // runs ahead of what a recovery could reconstruct.
+        if log_this {
+            let payload = WalPayload::Query {
+                text: elab.to_string(),
+                draws: recording.trace().to_vec(),
+            };
+            if let Err(e) = self.wal_append(&payload) {
+                if let Some(snap) = snapshot {
+                    let dirty = std::mem::replace(&mut self.store, snap);
+                    self.store.bump_versions_from(&dirty);
+                    self.metrics.rollbacks.inc();
+                }
+                return Err(e);
+            }
+        }
         if let (Some(key), Some(versions)) = (cache_key, read_versions) {
             self.cache.insert(
                 key,
@@ -935,6 +1065,11 @@ impl Database {
     /// Replaces the current store with one loaded from a dump, validated
     /// against this database's schema. On any error — truncated, corrupt,
     /// or schema-mismatched dump — the in-memory store is untouched.
+    ///
+    /// With a durable directory attached, a successful load is followed
+    /// by an immediate [`Database::checkpoint`]: the loaded dump becomes
+    /// the new on-disk baseline (the old log described the *replaced*
+    /// store and is folded away).
     pub fn load(&mut self, text: &str) -> Result<(), DbError> {
         let mut loaded = ioql_store::load_store(&self.schema, text)?;
         // A freshly parsed store starts all version counters at 0, which
@@ -942,21 +1077,32 @@ impl Database {
         // store; move every counter strictly past both histories.
         loaded.bump_versions_from(&self.store);
         self.store = loaded;
+        self.metrics.store_loads.inc();
+        if self.durable.is_some() {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
     /// Atomically saves the current store to `path` (temp file + fsync +
     /// rename — see [`ioql_store::save_store`]).
     pub fn save_to(&self, path: &std::path::Path) -> Result<(), DbError> {
-        ioql_store::save_store(&self.store, path).map_err(DbError::from)
+        ioql_store::save_store(&self.store, path)?;
+        self.metrics.store_saves.inc();
+        Ok(())
     }
 
     /// Replaces the current store with one loaded from a dump file. As
-    /// with [`Database::load`], a failed load leaves the store untouched.
+    /// with [`Database::load`], a failed load leaves the store untouched
+    /// and a durable database checkpoints the loaded state.
     pub fn load_from(&mut self, path: &std::path::Path) -> Result<(), DbError> {
         let mut loaded = ioql_store::load_store_file(&self.schema, path)?;
         loaded.bump_versions_from(&self.store);
         self.store = loaded;
+        self.metrics.store_loads.inc();
+        if self.durable.is_some() {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 

@@ -20,6 +20,9 @@ pub enum DbError {
     Eval(ioql_eval::EvalError),
     /// A store dump could not be parsed or validated.
     Dump(ioql_store::DumpError),
+    /// The write-ahead log could not be parsed, replayed, or appended
+    /// to (see `ioql_store::wal`).
+    Wal(ioql_store::WalError),
     /// An I/O operation (saving/loading a dump file) failed.
     Io(String),
     /// An engine bug: evaluation panicked. The panic is contained by
@@ -38,6 +41,7 @@ impl fmt::Display for DbError {
             DbError::Effect(e) => write!(f, "effect error: {e}"),
             DbError::Eval(e) => write!(f, "evaluation error: {e}"),
             DbError::Dump(e) => write!(f, "{e}"),
+            DbError::Wal(e) => write!(f, "{e}"),
             DbError::Io(msg) => write!(f, "io error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error (engine bug): {msg}"),
         }
@@ -85,5 +89,11 @@ impl From<ioql_eval::EvalError> for DbError {
 impl From<ioql_store::DumpError> for DbError {
     fn from(e: ioql_store::DumpError) -> Self {
         DbError::Dump(e)
+    }
+}
+
+impl From<ioql_store::WalError> for DbError {
+    fn from(e: ioql_store::WalError) -> Self {
+        DbError::Wal(e)
     }
 }

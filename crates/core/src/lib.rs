@@ -53,11 +53,13 @@
 pub mod analysis;
 pub mod cache;
 pub mod database;
+pub mod durable;
 pub mod error;
 
 pub use analysis::{Analysis, CommutationVerdict};
 pub use cache::CacheStats;
 pub use database::{Database, DbMetrics, DbOptions, Engine, QueryResult};
+pub use durable::{RecoveryReport, SinkFactory, WalStatus};
 pub use error::DbError;
 
 // Re-export the subsystem crates under stable names so downstream users
@@ -78,6 +80,7 @@ pub use ioql_ast::{Program, Query, Type, Value};
 pub use ioql_effects::{Discipline, Effect};
 pub use ioql_eval::{
     CancelToken, Chooser, EvalError, FirstChooser, Governor, LastChooser, Limits, RandomChooser,
-    ResourceKind,
+    ResourceKind, ScriptedChooser,
 };
 pub use ioql_methods::Mode;
+pub use ioql_store::{Durability, WalError, WalErrorKind};

@@ -172,6 +172,66 @@ impl Chooser for CountingChooser<'_> {
     }
 }
 
+/// Wraps any chooser, recording the picks it returns — the draw trace a
+/// write-ahead log frames next to the query text so recovery can replay
+/// the identical `(ND comp)` path through a [`ScriptedChooser`].
+///
+/// The wrapper is always in place on the database's query path (the
+/// borrow structure demands one shape for logged and unlogged queries),
+/// so it has an `active` switch:
+///
+/// * **inactive** (write-free query, or durability off): records
+///   nothing and delegates *everything*, including `parallel_fork` —
+///   byte-identical behaviour to the bare chooser, keeping the
+///   transparency guard intact.
+/// * **active** (the commit will be logged): records each returned pick
+///   and refuses to fork. Refusal costs nothing real: only mutating
+///   queries are recorded, and the Theorem 7 guard already bars those
+///   from the parallel executor.
+pub struct RecordingChooser<'a> {
+    inner: &'a mut dyn Chooser,
+    active: bool,
+    trace: Vec<usize>,
+}
+
+impl<'a> RecordingChooser<'a> {
+    /// Wraps `inner`; records returned picks only when `active`.
+    pub fn new(inner: &'a mut dyn Chooser, active: bool) -> Self {
+        RecordingChooser {
+            inner,
+            active,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The picks returned so far (empty when inactive). Feeding this to
+    /// [`ScriptedChooser::new`] replays the run: `ScriptedChooser`
+    /// returns script entries verbatim while they last, and the entries
+    /// are in-range by construction (each was a returned pick).
+    pub fn trace(&self) -> &[usize] {
+        &self.trace
+    }
+}
+
+impl Chooser for RecordingChooser<'_> {
+    fn choose(&mut self, n: usize) -> usize {
+        let pick = self.inner.choose(n);
+        if self.active {
+            self.trace.push(pick);
+        }
+        pick
+    }
+
+    fn parallel_fork(&self) -> Option<Box<dyn Chooser + Send>> {
+        if self.active {
+            // A forked worker's picks would bypass this trace; refuse,
+            // forcing the sequential path, so the log sees every draw.
+            return None;
+        }
+        self.inner.parallel_fork()
+    }
+}
+
 /// An owned [`CountingChooser`] produced by [`Chooser::parallel_fork`]:
 /// same delegation + shared counter, but holds its inner chooser by value
 /// so it can move into a worker thread.
@@ -280,6 +340,45 @@ mod tests {
         // Wrapping an unforkable chooser stays unforkable.
         let mut scripted = ScriptedChooser::new(vec![0]);
         assert!(CountingChooser::new(&mut scripted, draws)
+            .parallel_fork()
+            .is_none());
+    }
+
+    #[test]
+    fn recording_chooser_traces_only_when_active() {
+        let mut rng = RandomChooser::seeded(11);
+        let mut rec = RecordingChooser::new(&mut rng, true);
+        let picks: Vec<usize> = [5usize, 3, 7, 2].iter().map(|&n| rec.choose(n)).collect();
+        assert_eq!(rec.trace(), picks.as_slice());
+        // Replaying the trace through a ScriptedChooser reproduces the run.
+        let mut replay = ScriptedChooser::new(rec.trace().to_vec());
+        let replayed: Vec<usize> = [5usize, 3, 7, 2]
+            .iter()
+            .map(|&n| replay.choose(n))
+            .collect();
+        assert_eq!(replayed, picks);
+        // Inactive: transparent delegation, no trace.
+        let mut rng2 = RandomChooser::seeded(11);
+        let mut idle = RecordingChooser::new(&mut rng2, false);
+        let idle_picks: Vec<usize> = [5usize, 3, 7, 2].iter().map(|&n| idle.choose(n)).collect();
+        assert_eq!(idle_picks, picks, "wrapping must not perturb draws");
+        assert!(idle.trace().is_empty());
+    }
+
+    #[test]
+    fn recording_chooser_fork_policy() {
+        // Active: never forks, even over a forkable inner chooser.
+        let mut first = FirstChooser;
+        assert!(RecordingChooser::new(&mut first, true)
+            .parallel_fork()
+            .is_none());
+        // Inactive: delegates the inner chooser's forkability.
+        let mut first = FirstChooser;
+        assert!(RecordingChooser::new(&mut first, false)
+            .parallel_fork()
+            .is_some());
+        let mut scripted = ScriptedChooser::new(vec![0]);
+        assert!(RecordingChooser::new(&mut scripted, false)
             .parallel_fork()
             .is_none());
     }

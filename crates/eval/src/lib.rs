@@ -37,7 +37,8 @@ pub mod trace;
 
 pub use bigstep::{eval_big, eval_expr, BigStepResult, ExprEval};
 pub use chooser::{
-    Chooser, CountingChooser, FirstChooser, LastChooser, RandomChooser, ScriptedChooser,
+    Chooser, CountingChooser, FirstChooser, LastChooser, RandomChooser, RecordingChooser,
+    ScriptedChooser,
 };
 pub use explore::{
     all_outcomes_equivalent, explore_outcomes, explore_outcomes_parallel, Exploration,

@@ -216,6 +216,19 @@ pub fn equiv_outcomes(a: &Outcome, b: &Outcome) -> bool {
     m.match_pairs(&pairs, &mut done)
 }
 
+/// Decides store equivalence up to an oid bijection — [`equiv_outcomes`]
+/// with no result value constraining the pairing. This is the relation
+/// crash recovery is measured by: a recovered store need not reuse the
+/// original run's oids (replayed `(New)` steps mint fresh ones), but it
+/// must be `∼`-related to the store after the committed prefix.
+pub fn equiv_stores(a: &Store, b: &Store) -> bool {
+    let unit = Value::Bool(true);
+    equiv_outcomes(
+        &Outcome::new(a.clone(), unit.clone()),
+        &Outcome::new(b.clone(), unit),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +399,16 @@ mod tests {
         let a = Outcome::new(Store::new(), v1);
         let b = Outcome::new(Store::new(), v2);
         assert!(equiv_outcomes(&a, &b));
+    }
+
+    #[test]
+    fn store_equiv_ignores_oid_labels_but_not_content() {
+        assert!(equiv_stores(&mk(&[(0, 1), (1, 2)]), &mk(&[(7, 2), (9, 1)])));
+        assert!(!equiv_stores(
+            &mk(&[(0, 1), (1, 2)]),
+            &mk(&[(0, 1), (1, 3)])
+        ));
+        assert!(!equiv_stores(&mk(&[(0, 1)]), &mk(&[(0, 1), (1, 2)])));
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   modelling a supervisor killing the query mid-flight. Because both
 //!   engines issue the identical chooser-call sequence, the cancellation
 //!   lands at the same semantic point in each.
-//! * [`corrupt_dump`] — seed-driven bit flips and truncations of a dump
-//!   file's text, for exercising the loader's damage detection.
+//! * [`corrupt_dump`] — seed-driven bit flips, truncations, and header
+//!   attacks on a dump or WAL file's text, for exercising the loaders'
+//!   damage detection.
+//! * [`CrashSink`] — a write sink that persists only a budgeted prefix
+//!   of its bytes then fails, modelling a crash at an exact byte offset
+//!   inside a write-ahead-log append (or a dying `fsync`).
 
 use ioql_eval::{CancelToken, Chooser, Limits};
 use ioql_rng::SmallRng;
@@ -153,17 +157,40 @@ pub enum Corruption {
     BitFlip,
     /// The text was cut short (whole lines or mid-line).
     Truncation,
+    /// A single character of the *header line* was altered — exercising
+    /// the loader's header parsing (magic, version, object count,
+    /// checksum field) rather than its body integrity checks.
+    Header,
 }
 
-/// Damages a dump deterministically: even seeds flip one body character,
-/// odd seeds truncate the text. Returns the damaged text and what was
-/// done. The header line is left intact so the loader exercises its
-/// *integrity* checks (count/checksum), not just header parsing.
+/// Damages a dump deterministically, cycling `seed % 3` through the
+/// catalogue: flip one body character, truncate the text, or damage the
+/// header line. Returns the damaged text and what was done. The same
+/// attack applies unchanged to any header-plus-lines format — the
+/// robustness suite aims it at WAL files too.
 pub fn corrupt_dump(dump: &str, seed: u64) -> (String, Corruption) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let header_end = dump.find('\n').map(|i| i + 1).unwrap_or(0);
     let body = &dump[header_end..];
-    if seed % 2 == 0 && !body.is_empty() {
+    if seed % 3 == 2 && header_end > 1 {
+        // Damage one header character (never its newline). Depending on
+        // where the wound lands the loader must diagnose a missing
+        // magic, a version mismatch, a count mismatch, or a bad
+        // checksum field — always a structured error, never a panic.
+        let idx = rng.gen_range(0..header_end as u64 - 1) as usize;
+        let old = dump.as_bytes()[idx];
+        let mut new = b'0' + (rng.gen_range(0..10u32) as u8);
+        if new == old {
+            new = b'x';
+        }
+        let mut damaged = dump.as_bytes().to_vec();
+        damaged[idx] = new;
+        return (
+            String::from_utf8(damaged).expect("ascii-safe flip"),
+            Corruption::Header,
+        );
+    }
+    if seed % 3 == 0 && !body.is_empty() {
         // Flip one byte of the body to a different printable character.
         let bytes = body.as_bytes();
         let mut idx = rng.gen_range(0..bytes.len());
@@ -190,6 +217,107 @@ pub fn corrupt_dump(dump: &str, seed: u64) -> (String, Corruption) {
             header_end + rng.gen_range(0..body.len())
         };
         (dump[..cut].to_string(), Corruption::Truncation)
+    }
+}
+
+/// A [`WalSink`] that models a crash at an exact byte offset: it writes
+/// through to a real file until a byte budget runs out, persists only
+/// the prefix that "reached the disk", and fails every operation after
+/// that — exactly what a power cut mid-`write(2)` leaves behind. An
+/// optional sync budget models the complementary failure (appends
+/// land, `fsync` dies).
+///
+/// Budgets are per-sink. [`CrashSink::factory`] builds the
+/// `SinkFactory` the recovery harness hands to
+/// `Database::attach_durable_with`; the budget arms the *first* sink
+/// built (the live log) and later sinks (checkpoint generations) are
+/// unbudgeted, so one test run injects exactly one crash point.
+pub struct CrashSink {
+    file: std::fs::File,
+    write_budget: Option<u64>,
+    sync_budget: Option<u64>,
+    dead: bool,
+}
+
+use ioql_store::WalSink;
+
+/// The factory shape `Database::attach_durable_with` accepts — the
+/// crash harness's way into the append path.
+pub type WalSinkFactory =
+    std::sync::Arc<dyn Fn(&std::path::Path) -> std::io::Result<Box<dyn WalSink>> + Send + Sync>;
+
+impl CrashSink {
+    /// Opens `path` for appending. `write_budget` is the number of
+    /// bytes allowed to persist before writes start failing (`None` =
+    /// unlimited); `sync_budget` the number of `sync` calls allowed to
+    /// succeed (`None` = unlimited).
+    pub fn open(
+        path: &std::path::Path,
+        write_budget: Option<u64>,
+        sync_budget: Option<u64>,
+    ) -> std::io::Result<CrashSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(CrashSink {
+            file,
+            write_budget,
+            sync_budget,
+            dead: false,
+        })
+    }
+
+    /// A `Database::attach_durable_with`-shaped factory whose *first*
+    /// sink carries the budgets; every subsequent sink is unbudgeted.
+    pub fn factory(write_budget: Option<u64>, sync_budget: Option<u64>) -> WalSinkFactory {
+        let armed = std::sync::atomic::AtomicBool::new(true);
+        std::sync::Arc::new(move |path: &std::path::Path| {
+            let first = armed.swap(false, std::sync::atomic::Ordering::SeqCst);
+            let (w, s) = if first {
+                (write_budget, sync_budget)
+            } else {
+                (None, None)
+            };
+            Ok(Box::new(CrashSink::open(path, w, s)?) as Box<dyn WalSink>)
+        })
+    }
+}
+
+impl WalSink for CrashSink {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if self.dead {
+            return Err(std::io::Error::other("crashed: sink is dead"));
+        }
+        let allowed = match self.write_budget {
+            None => bytes.len() as u64,
+            Some(rem) => rem.min(bytes.len() as u64),
+        };
+        // The prefix that "reached the disk" before the crash.
+        self.file.write_all(&bytes[..allowed as usize])?;
+        if let Some(rem) = &mut self.write_budget {
+            *rem -= allowed;
+        }
+        if allowed < bytes.len() as u64 {
+            self.dead = true;
+            return Err(std::io::Error::other("crashed: write budget exhausted"));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::other("crashed: sink is dead"));
+        }
+        if let Some(rem) = &mut self.sync_budget {
+            if *rem == 0 {
+                self.dead = true;
+                return Err(std::io::Error::other("crashed: fsync failed"));
+            }
+            *rem -= 1;
+        }
+        self.file.sync_all()
     }
 }
 
@@ -252,21 +380,67 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_dump_changes_text_and_keeps_header() {
+    fn corrupt_dump_catalogue_covers_all_three_attacks() {
         let dump = "ioql-store v2 objects=1 crc32=00000000\n@0 P name=1\n";
-        for seed in 0..20 {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..21 {
             let (damaged, kind) = corrupt_dump(dump, seed);
             assert_ne!(damaged, dump, "seed {seed} produced identical text");
+            let header = dump.lines().next().unwrap();
             match kind {
                 Corruption::BitFlip => {
-                    assert!(damaged.starts_with("ioql-store v2 objects=1"));
+                    assert!(damaged.starts_with(header), "body flip spared the header");
                     assert_eq!(damaged.len(), dump.len());
                 }
                 Corruption::Truncation => {
                     assert!(damaged.len() < dump.len());
                     assert!(dump.starts_with(&damaged));
                 }
+                Corruption::Header => {
+                    // The wound is in the header line; the body survives.
+                    assert!(!damaged.starts_with(header), "header attack missed");
+                    assert_eq!(damaged.len(), dump.len());
+                    assert!(damaged.ends_with("@0 P name=1\n"));
+                }
             }
+            kinds.insert(kind as u8);
         }
+        assert_eq!(kinds.len(), 3, "seed sweep must cover every attack");
+    }
+
+    #[test]
+    fn crash_sink_persists_exactly_the_budgeted_prefix() {
+        let path = std::env::temp_dir().join(format!("ioql-crashsink-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut sink = CrashSink::open(&path, Some(10), None).unwrap();
+        sink.append(b"abcdef").unwrap(); // 6 bytes, 4 left
+        let err = sink.append(b"ghijkl").unwrap_err(); // 4 of 6 land
+        assert!(err.to_string().contains("write budget"), "{err}");
+        // Dead from here on.
+        assert!(sink.append(b"x").is_err());
+        assert!(sink.sync().is_err());
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, "abcdefghij", "exactly 10 bytes persisted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_sink_sync_budget_and_factory_arming() {
+        let path = std::env::temp_dir().join(format!("ioql-crashsync-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut sink = CrashSink::open(&path, None, Some(1)).unwrap();
+        sink.append(b"a").unwrap();
+        sink.sync().unwrap(); // first sync allowed
+        sink.append(b"b").unwrap();
+        assert!(sink.sync().is_err(), "second sync must fail");
+        assert!(sink.append(b"c").is_err(), "dead after the failed sync");
+        // The factory arms only its first sink.
+        let factory = CrashSink::factory(Some(0), None);
+        let mut armed = factory(&path).unwrap();
+        assert!(armed.append(b"x").is_err(), "budget 0: first byte crashes");
+        let mut clean = factory(&path).unwrap();
+        clean.append(b"y").unwrap();
+        clean.sync().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 }

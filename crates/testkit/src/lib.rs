@@ -22,7 +22,9 @@ pub mod gen;
 pub mod oracles;
 pub mod workloads;
 
-pub use faults::{corrupt_dump, ChaosChooser, Corruption, Fault, FaultPlan};
+pub use faults::{
+    corrupt_dump, ChaosChooser, Corruption, CrashSink, Fault, FaultPlan, WalSinkFactory,
+};
 pub use fixtures::{deep_hierarchy, jack_jill, payroll, persons_employees, Fixture};
 pub use gen::{GenConfig, QueryGen};
 pub use oracles::{

@@ -340,3 +340,53 @@ fn bad_schema_file_is_reported() {
     assert!(!ok);
     assert!(stderr.contains("cannot read"), "{stderr}");
 }
+
+#[test]
+fn durable_session_survives_restart_and_checkpoints() {
+    let schema = schema_file();
+    let dir = std::env::temp_dir().join(format!("ioql-cli-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().unwrap().to_string();
+
+    // Session 1: mutate under `--durable`; the WAL records the commit.
+    let script = "{ new P(name: n) | n <- {1, 2, 3} }\n:wal status\n:quit\n";
+    let (stdout, stderr, ok) =
+        run_session(&[schema.to_str().unwrap(), "--durable", &dir_arg], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("durable: recovered generation 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("wal: mode commit"), "{stdout}");
+    assert!(stdout.contains("1 record(s) appended"), "{stdout}");
+
+    // Session 2: recovery replays the log; `:checkpoint` folds it.
+    let script = "size(Ps)\n:checkpoint\n:wal status\n:quit\n";
+    let (stdout, stderr, ok) =
+        run_session(&[schema.to_str().unwrap(), "--durable", &dir_arg], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("replayed 1 query"), "{stdout}");
+    assert!(stdout.contains("checkpointed."), "{stdout}");
+    assert!(stdout.contains("generation 1"), "{stdout}");
+
+    // Session 3: the checkpoint is the baseline now; the store is back.
+    let (stdout, _, ok) = run_session(
+        &[
+            schema.to_str().unwrap(),
+            "--durable",
+            &dir_arg,
+            "-e",
+            "size(Ps)",
+        ],
+        "",
+    );
+    assert!(ok);
+    assert!(stdout.contains("recovered generation 1"), "{stdout}");
+    assert!(stdout.contains('3'), "{stdout}");
+
+    // Without `--durable` the commands explain themselves.
+    let (stdout, _, ok) = run_session(&[schema.to_str().unwrap(), "-e", ":wal status"], "");
+    assert!(ok);
+    assert!(stdout.contains("wal: off"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

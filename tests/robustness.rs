@@ -203,13 +203,16 @@ fn corrupt_dumps_rejected_without_panic_and_store_untouched() {
     let mut db = db_with(Engine::SmallStep);
     let clean = db.dump();
     let before = db.dump();
+    let mut header_kinds = std::collections::BTreeSet::new();
     for seed in 0..40u64 {
         let (damaged, kind) = corrupt_dump(&clean, seed);
         match db.load(&damaged) {
             Err(DbError::Dump(e)) => {
                 // The diagnostic must match the injury: a flipped byte is
                 // caught by the checksum; a cut either drops whole lines
-                // (truncation diagnosis) or damages one (checksum).
+                // (truncation diagnosis) or damages one (checksum); a
+                // wounded header trips whichever of its fields took the
+                // hit — magic, version, object count, or checksum.
                 let k = e.kind;
                 match kind {
                     Corruption::BitFlip => assert_eq!(
@@ -225,6 +228,27 @@ fn corrupt_dumps_rejected_without_panic_and_store_untouched() {
                         ),
                         "seed {seed}: truncation misdiagnosed: {e}"
                     ),
+                    Corruption::Header => {
+                        assert!(
+                            matches!(
+                                k,
+                                ioql::store::DumpErrorKind::MissingHeader
+                                    | ioql::store::DumpErrorKind::VersionMismatch
+                                    | ioql::store::DumpErrorKind::Truncated
+                                    | ioql::store::DumpErrorKind::ChecksumMismatch
+                                    | ioql::store::DumpErrorKind::Malformed
+                            ),
+                            "seed {seed}: header damage misdiagnosed: {e}"
+                        );
+                        // Field-level wounds are diagnosed at line 1; a
+                        // flipped checksum digit surfaces as a whole-file
+                        // mismatch (line 0). Never deeper into the body.
+                        assert!(
+                            e.line <= 1,
+                            "seed {seed}: header fault blamed the body: {e}"
+                        );
+                        header_kinds.insert(format!("{k:?}"));
+                    }
                 }
             }
             Ok(()) => panic!("seed {seed}: damaged dump accepted ({kind:?})"),
@@ -232,8 +256,60 @@ fn corrupt_dumps_rejected_without_panic_and_store_untouched() {
         }
         assert_eq!(db.dump(), before, "seed {seed}: failed load mutated store");
     }
+    // The sweep wounds different header fields; the loader must have
+    // told them apart rather than collapsing to one catch-all.
+    assert!(
+        header_kinds.len() >= 2,
+        "header attacks all produced the same diagnosis: {header_kinds:?}"
+    );
     // The undamaged dump still loads.
     db.load(&clean).unwrap();
+}
+
+#[test]
+fn generated_stores_roundtrip_through_dump_and_file() {
+    // Property: for any store reachable by executing generated
+    // well-typed queries, save→load reproduces it up to the oid
+    // bijection (`equiv_stores`) — text and file paths both.
+    use ioql_testkit::fixtures::jack_jill;
+    use ioql_testkit::gen::{GenConfig, QueryGen};
+
+    let fx = jack_jill();
+    let path = std::env::temp_dir().join(format!(
+        "ioql-robustness-roundtrip-{}.dump",
+        std::process::id()
+    ));
+    for seed in 0..25u64 {
+        let mut db = Database::from_schema(fx.schema.clone(), ioql::DbOptions::default()).unwrap();
+        *db.store_mut() = fx.store.clone();
+        // Grow a seed-specific store: run a handful of generated
+        // queries, keeping whichever commit (mutators included —
+        // `allow_new` defaults on).
+        let mut g = QueryGen::new(&fx.schema, seed, GenConfig::default());
+        for i in 0..6 {
+            let target = g.target_type();
+            let q = g.query(&target).to_string();
+            let mut chooser = ioql::RandomChooser::seeded(seed * 31 + i);
+            let _ = db.query_with(&q, &mut chooser);
+        }
+
+        let text = ioql::store::dump_store(db.store());
+        let loaded = ioql::store::load_store(&fx.schema, &text)
+            .unwrap_or_else(|e| panic!("seed {seed}: clean dump rejected: {e}"));
+        assert!(
+            ioql::store::equiv_stores(db.store(), &loaded),
+            "seed {seed}: text roundtrip broke oid-bijection equivalence"
+        );
+
+        ioql::store::save_store(db.store(), &path).unwrap();
+        let from_file = ioql::store::load_store_file(&fx.schema, &path)
+            .unwrap_or_else(|e| panic!("seed {seed}: saved file rejected: {e}"));
+        assert!(
+            ioql::store::equiv_stores(db.store(), &from_file),
+            "seed {seed}: file roundtrip broke oid-bijection equivalence"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
