@@ -151,7 +151,13 @@ pub enum Query {
     /// extension beyond the paper's grammar** (whose only aggregate is
     /// `size`): the core calculus has no fold, so summation is not
     /// expressible without it. Total (`sum({}) = 0`), preserving
-    /// progress.
+    /// progress. Overflow **wraps** (two's complement), like every
+    /// [`IntOp`]: wrapping is the defined semantics, not an artifact —
+    /// a partial or saturating aggregate would either break progress or
+    /// make the fold order observable, and every engine (small-step,
+    /// big-step, plan interpreter, bytecode VM, constant folding) must
+    /// agree bit-for-bit at `i64::MAX`/`i64::MIN` (see
+    /// `tests/compile.rs`).
     Sum(Box<Query>),
     /// Upcast `(C) q` (paper Note 2: downcasts are rejected by the default
     /// type system; a design-space flag in `ioql-types` re-admits them).

@@ -6,6 +6,7 @@
 //! ioql schema.odl -e '{ p.name | p <- Ps }'   # one-shot query
 //! ioql schema.odl --telemetry-jsonl events.jsonl   # structured event log
 //! ioql schema.odl --parallelism 4   # effect-licensed parallel execution
+//! ioql schema.odl --compile    # bytecode VM for predicates and heads
 //! ioql schema.odl --durable state/  # crash-safe: WAL + checkpoints, recovery on start
 //! ```
 //!
@@ -23,6 +24,7 @@
 //! :metrics           Prometheus-style dump of the telemetry registry
 //! :stats             cache/parallel counters and per-extent sizes/versions
 //! :parallel <n>      set the parallel worker-pool size (0 = off)
+//! :compile <on|off>  toggle the bytecode compile tier (plan engine)
 //! :save <file>       dump the store to a file (atomic write + checksum)
 //! :load <file>       load a store dump (replaces current contents)
 //! :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
@@ -54,6 +56,7 @@ commands:
   :metrics           Prometheus-style dump of the telemetry registry
   :stats             cache/parallel counters and per-extent sizes/versions
   :parallel <n>      set the parallel worker-pool size (0 = off)
+  :compile <on|off>  toggle the bytecode compile tier (plan engine)
   :save <file>       dump the store to a file (atomic write + checksum)
   :load <file>       load a store dump (replaces current contents)
   :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
@@ -70,10 +73,12 @@ fn main() {
     let mut extended = false;
     let mut jsonl: Option<String> = None;
     let mut parallelism: Option<usize> = None;
+    let mut compile = false;
     let mut durable: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
+            "--compile" => compile = true,
             "-e" => one_shot = args.next(),
             "--telemetry-jsonl" => jsonl = args.next(),
             "--durable" => {
@@ -101,7 +106,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] \
-                     [--parallelism N] [--durable DIR] [-e QUERY]\n\n{HELP}"
+                     [--parallelism N] [--compile] [--durable DIR] [-e QUERY]\n\n{HELP}"
                 );
                 return;
             }
@@ -126,6 +131,11 @@ fn main() {
         if n >= 2 {
             opts.engine = ioql::Engine::Plan;
         }
+    }
+    if compile {
+        opts.compile = true;
+        // Compilation lives in the plan executor, like parallelism.
+        opts.engine = ioql::Engine::Plan;
     }
     let ddl = match &ddl_path {
         Some(p) => match std::fs::read_to_string(p) {
@@ -324,6 +334,26 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         }
         return Ok(());
     }
+    if let Some(rest) = line.strip_prefix(":compile ") {
+        let on = match rest.trim() {
+            "on" => true,
+            "off" => false,
+            other => {
+                return Err(DbError::Internal(format!(
+                    ":compile needs `on` or `off`, got `{other}`"
+                )))
+            }
+        };
+        db.set_compile(on);
+        if on {
+            // The compile tier only exists on the plan engine.
+            db.set_engine(ioql::Engine::Plan);
+            println!("compile on (engine: plan)");
+        } else {
+            println!("compile off");
+        }
+        return Ok(());
+    }
     if line == ":metrics" {
         print!("{}", db.metrics_text());
         return Ok(());
@@ -352,6 +382,14 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
             p.fallback_chooser.get(),
             p.fallback_budget.get(),
             p.fallback_tiny.get()
+        );
+        let v = &db.metrics().vm;
+        println!(
+            "vm: compile {} — {} node(s) compiled, {} interpreted, {} row(s) dispatched",
+            if db.compile() { "on" } else { "off" },
+            v.compiles.get(),
+            v.fallbacks.get(),
+            v.dispatches.get()
         );
         for (e, _c) in db.schema().extents() {
             println!(

@@ -102,6 +102,18 @@ pub struct DbOptions {
     /// `tests/parallel.rs`). Defaults from the `IOQL_PARALLELISM`
     /// environment variable when set to a valid integer.
     pub parallelism: usize,
+    /// Compile comprehension predicates and projection heads to the
+    /// bytecode VM on the `Plan` engine. Lowering annotates each
+    /// eligible plan node with a compile verdict — `[vm]` in `:plan`
+    /// output, or `[interp(reason)]` naming the construct that kept it
+    /// interpreted — and the executor dispatches compiled rows through
+    /// the VM in batch. The compilation contract matches the
+    /// parallelism one: **no observable changes** — values, stores,
+    /// effect traces, governor meters, chooser draw totals, stuck
+    /// messages, and cache interactions are byte-identical to
+    /// `compile = false` (see `tests/compile.rs`). Defaults from the
+    /// `IOQL_COMPILE` environment variable (`1`/`true` enables).
+    pub compile: bool,
     /// Write-ahead-log fsync policy for committed mutating queries, in
     /// force once a durable directory is attached
     /// ([`Database::attach_durable`]): `Off` (default) logs nothing and
@@ -133,6 +145,9 @@ impl Default for DbOptions {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            compile: std::env::var("IOQL_COMPILE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
             durability: Durability::Off,
         }
     }
@@ -177,6 +192,9 @@ pub struct DbMetrics {
     /// Parallel-executor counters: chunks dispatched, worker busy time,
     /// licensed runs by mechanism, and run-time fallbacks by reason.
     pub parallel: ioql_plan::ParMetrics,
+    /// Bytecode-VM counters: plan nodes compiled vs. kept interpreted,
+    /// rows dispatched through the VM, and batch dispatch wall time.
+    pub vm: ioql_plan::VmMetrics,
     /// WAL records appended (one per committed mutating query or logged
     /// definition).
     pub wal_appends: Counter,
@@ -239,6 +257,7 @@ impl DbMetrics {
                 recursions: c("ioql_eval_recursions_total"),
             },
             parallel: ioql_plan::ParMetrics::new(&registry),
+            vm: ioql_plan::VmMetrics::new(&registry),
             wal_appends: c("ioql_wal_appends_total"),
             wal_skipped_effect: c("ioql_wal_skipped_effect_total"),
             wal_fsyncs: c("ioql_wal_fsyncs_total"),
@@ -419,6 +438,18 @@ impl Database {
     /// The current parallel worker-pool size (`0` = off).
     pub fn parallelism(&self) -> usize {
         self.options.parallelism
+    }
+
+    /// Enables or disables bytecode compilation of predicates and
+    /// projection heads (see [`DbOptions::compile`]); takes effect on
+    /// the next query.
+    pub fn set_compile(&mut self, on: bool) {
+        self.options.compile = on;
+    }
+
+    /// Whether the bytecode compile tier is on.
+    pub fn compile(&self) -> bool {
+        self.options.compile
     }
 
     /// Selects which evaluator runs subsequent queries. Parallel
@@ -709,7 +740,18 @@ impl Database {
             }
             _ => None,
         };
+        // Record compile verdicts once per execution (not per `explain`):
+        // write-only, like every other counter.
+        if let Some(p) = &plan {
+            for v in p.compiled.values() {
+                match v {
+                    ioql_plan::CompileVerdict::Vm(_) => self.metrics.vm.compiles.inc(),
+                    ioql_plan::CompileVerdict::Interp(_) => self.metrics.vm.fallbacks.inc(),
+                }
+            }
+        }
         let par_metrics = self.metrics.parallel.clone();
+        let vm_metrics = self.metrics.vm.clone();
         let store = &mut self.store;
         let exec_timer = self.metrics.phase_execute.start_timer();
         // Contain engine panics: a bug in either evaluator must not
@@ -727,14 +769,17 @@ impl Database {
             }),
             Engine::Plan => {
                 match &plan {
-                    Some(plan) => ioql_plan::execute_metered(
+                    Some(plan) => ioql_plan::execute_instrumented(
                         plan,
                         &cfg,
                         &defs,
                         store,
                         chooser,
                         max_steps,
-                        Some(&par_metrics),
+                        ioql_plan::ExecMetrics {
+                            par: Some(&par_metrics),
+                            vm: Some(&vm_metrics),
+                        },
                     )
                     .map(|r| ioql_eval::Evaluated {
                         value: r.value,
@@ -931,6 +976,7 @@ impl Database {
         };
         let spec = ioql_plan::ParSpec {
             parallelism: self.options.parallelism,
+            compile: self.options.compile,
             schema: Some(&self.schema),
             branch_effect: Some(&branch_effect),
         };
@@ -1076,12 +1122,7 @@ impl Database {
         // could collide with fingerprints cached against the outgoing
         // store; move every counter strictly past both histories.
         loaded.bump_versions_from(&self.store);
-        self.store = loaded;
-        self.metrics.store_loads.inc();
-        if self.durable.is_some() {
-            self.checkpoint()?;
-        }
-        Ok(())
+        self.install_loaded(loaded)
     }
 
     /// Atomically saves the current store to `path` (temp file + fsync +
@@ -1098,11 +1139,26 @@ impl Database {
     pub fn load_from(&mut self, path: &std::path::Path) -> Result<(), DbError> {
         let mut loaded = ioql_store::load_store_file(&self.schema, path)?;
         loaded.bump_versions_from(&self.store);
-        self.store = loaded;
-        self.metrics.store_loads.inc();
+        self.install_loaded(loaded)
+    }
+
+    /// Swaps in a loaded store, checkpointing first when durable — and
+    /// **rolling the swap back** if the checkpoint fails. Without the
+    /// rollback, a failed checkpoint (full disk, yanked directory)
+    /// would leave memory ahead of the durable baseline: the session
+    /// keeps answering from the loaded store while a crash recovers the
+    /// *replaced* one — the worst kind of silent desync. Erroring with
+    /// the old store intact keeps the documented contract: on any load
+    /// error, the in-memory store is untouched.
+    fn install_loaded(&mut self, loaded: Store) -> Result<(), DbError> {
+        let prev = std::mem::replace(&mut self.store, loaded);
         if self.durable.is_some() {
-            self.checkpoint()?;
+            if let Err(e) = self.checkpoint() {
+                self.store = prev;
+                return Err(e);
+            }
         }
+        self.metrics.store_loads.inc();
         Ok(())
     }
 
@@ -1324,7 +1380,17 @@ mod tests {
 
     #[test]
     fn explain_renders_plans_and_diagnoses_refusals() {
-        let mut db = db();
+        // Pinned to the interpreted tier: with compilation on (e.g. the
+        // CI pass that exports IOQL_COMPILE=1), a compiled Filter costs
+        // less than the index build + probe and the cost model rightly
+        // stops picking HashIndexProbe for this tiny extent.
+        let opts = DbOptions {
+            compile: false,
+            ..DbOptions::default()
+        };
+        let mut db = Database::from_ddl_with(DDL, opts).unwrap();
+        db.query("{ new Person(name: n, age: n + 20) | n <- {1, 2, 3} }")
+            .unwrap();
         // Enough rows that the cost model picks the index over the scan.
         db.query("{ new Person(name: n, age: n) | n <- {4, 5, 6, 7, 8, 9} }")
             .unwrap();

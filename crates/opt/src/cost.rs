@@ -103,6 +103,15 @@ impl Stats {
         });
         total
     }
+
+    /// Per-row work, in [`work`](Stats::work) units, of an expression the
+    /// compile tier accepted: a bytecode dispatch costs near-constant
+    /// time regardless of the expression's node count, so scan-vs-index
+    /// choices made for a compiled predicate should not be biased by an
+    /// interpreted-work estimate that will never be paid.
+    pub fn compiled_work(&self) -> usize {
+        1
+    }
 }
 
 #[cfg(test)]

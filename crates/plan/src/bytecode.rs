@@ -1,0 +1,823 @@
+//! The compiled execution tier: a compact bytecode for row-level
+//! expressions, compiled out of elaborated [`Query`] predicates and
+//! projection heads, and a dispatch-loop VM that replaces the
+//! clone-substitute-recurse cycle of [`eval_expr`](ioql_eval::eval_expr)
+//! on the plan executor's hot path.
+//!
+//! # What compiles
+//!
+//! The scalar, draw-free fragment: literals, pipeline-bound variables,
+//! attribute loads, integer arithmetic and comparisons, the two
+//! equalities, `if`/`then`/`else` (which is also what the parser's
+//! boolean connectives desugar to), `size` and `sum`. Everything else —
+//! nested comprehensions, set operators, extent reads, definition
+//! calls, records, casts — makes [`compile`] return an `Err` with the
+//! reason, and the executor falls back to `eval_expr` for that node
+//! (rendered as `[interp(reason)]` by `:plan`). The compiled fragment
+//! is exactly the fragment whose evaluation makes no chooser draw and
+//! no cell charge, so a program run is a pure function of the store
+//! snapshot, the row, and the fuel/cancellation state.
+//!
+//! # Observational parity
+//!
+//! The VM is held to the same contract as every other engine: byte
+//! identical observables. Three disciplines make that hold:
+//!
+//! * **Fuel.** The big-step evaluator burns one fuel unit (plus one
+//!   governor checkpoint) at the *entry* of every recursion. The
+//!   compiler mirrors that pre-order cadence by accumulating pending
+//!   burns and flushing them as a coalesced [`Instr::Burn`] before
+//!   every *fallible* instruction, at the end of each `if` arm, and
+//!   before `Ret` — so a budget that exhausts mid-expression exhausts
+//!   at a point where the interpreter would also have exhausted before
+//!   reaching the next observable action. A `Burn(k)` makes one
+//!   governor checkpoint for the k units; the governor contract
+//!   (`governor.rs`) licenses engines noticing cancellation/deadline at
+//!   slightly different spent values, never a different error class.
+//! * **Operand order.** The interpreter evaluates operand `a`, checks
+//!   its type, *then* evaluates operand `b`. The compiler emits
+//!   `code(a); Check…; code(b); Check…; op` in that order, so `b`'s
+//!   burns and attribute-read effects never happen when `a`'s check
+//!   sticks — same as the interpreter.
+//! * **Stuck messages.** Fallible instructions carry an index into a
+//!   table of source subexpressions; on error the VM substitutes the
+//!   current row bindings into the subexpression (innermost-first,
+//!   exactly as the executor's `eval_expr` delegation does) and renders
+//!   it, reproducing the interpreted path's error text byte for byte.
+//!   Store errors reuse [`StoreError`]'s own `Display` strings.
+
+use ioql_ast::{AttrName, IntOp, Query, Value, VarName};
+use ioql_effects::Effect;
+use ioql_eval::{EvalError, Governor};
+use ioql_store::{Store, StoreError};
+use ioql_telemetry::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// The compile decision for one plan node, rendered by `:plan` as
+/// `[vm]` / `[interp(reason)]`.
+#[derive(Clone, Debug)]
+pub enum CompileVerdict {
+    /// The node's expression compiled; the executor runs the program.
+    Vm(Arc<Program>),
+    /// The expression left the compiled fragment; the executor keeps
+    /// delegating to `eval_expr`, for this reason.
+    Interp(String),
+}
+
+/// One VM instruction. Operands are indices into the program's constant
+/// pool (`Const`), the row's binding slots (`Load`), or its source-
+/// subexpression table (the `u16` on fallible instructions, used only to
+/// reconstruct the interpreter's exact stuck message).
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// Burn `k` fuel units after one governor checkpoint — the coalesced
+    /// pre-order entry burns of the nodes compiled since the last flush.
+    Burn(u32),
+    /// Push a constant.
+    Const(u16),
+    /// Push the value bound in row slot `i`.
+    Load(u8),
+    /// The top of stack must be an `Int` (left in place).
+    CheckInt(u16),
+    /// The top of stack must be an `Oid` (left in place).
+    CheckOid(u16),
+    /// The top of stack must be a `Set` (left in place).
+    CheckSet(u16),
+    /// Pop an oid (already checked), record its dynamic class as an
+    /// `Ra` effect, push the attribute value.
+    LoadAttr(AttrName),
+    /// Pop two ints (already checked), push the operator's result.
+    Arith(IntOp),
+    /// Pop two ints (already checked), push their equality.
+    IntEq,
+    /// Pop two oids (already checked), check both are live, push their
+    /// identity.
+    ObjEq(u16),
+    /// Pop a set (already checked), push the wrapping sum of its
+    /// integer elements.
+    Sum(u16),
+    /// Pop a set (already checked), push its cardinality.
+    Size,
+    /// Pop a bool; fall through on `true`, jump on `false`, stick on
+    /// anything else.
+    JumpIfFalse {
+        /// Source index for the "non-boolean condition" message.
+        src: u16,
+        /// Jump target (instruction index) taken on `false`.
+        target: u16,
+    },
+    /// Unconditional jump (joins the `if` arms).
+    Jump(u16),
+    /// Return the top of stack.
+    Ret,
+}
+
+/// A compiled row-level expression: straight-line code over a constant
+/// pool, with the source subexpressions kept for error reconstruction
+/// and the binder environment the slots were resolved against.
+#[derive(Debug)]
+pub struct Program {
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    /// Source subexpressions for fallible instructions (cloned,
+    /// unsubstituted; bindings are substituted in at error time).
+    srcs: Vec<Query>,
+    /// The generator binders the slots index, outermost first — the
+    /// executor's `binds` stack at the point this expression runs.
+    pub slots: Vec<VarName>,
+}
+
+/// The result of one successful program run.
+pub struct VmOutcome {
+    /// The computed value.
+    pub value: Value,
+    /// Fuel units consumed — one per compiled node, the interpreter's
+    /// exact count for the same expression.
+    pub fuel_spent: u64,
+}
+
+/// Reusable per-driver VM scratch state: the value stack, plus the
+/// loop-invariant cache the leaf drain turns on with
+/// [`begin_drain`](VmCtx::begin_drain).
+///
+/// # The invariant cache
+///
+/// During a leaf drain only one binding slot changes between rows — the
+/// drained generator's. Every other slot, and every constant, is the
+/// same value on all rows, and the store is immutable for the whole
+/// drain (compiled programs are draw-free and effect-recording only, so
+/// nothing can write between rows). An attribute load whose operand is
+/// such a *row-invariant* value therefore produces the same value, the
+/// same `Ra` effect atom, and the same error verdict on every row —
+/// e.g. the `p.age` side of `{ p.age + q.age | p <- Ps, q <- Ps }` while
+/// `q` is being drained. The VM computes it on the first row and replays
+/// the value from `cache` (indexed by instruction address) after that.
+///
+/// Soundness is tracked with one bit per stack slot plus a sticky
+/// `tainted` flag: constants and non-drain loads push `true`; pure
+/// operators AND their operands' bits; and the moment a branch tests a
+/// *non*-invariant condition, every later push is `false` (`tainted`) —
+/// the pc trace is only guaranteed identical across rows up to the
+/// first row-dependent branch, so a join point downstream of one may
+/// see different values at the same pc. Nothing observable changes on a
+/// cache hit: `Burn` instructions (fuel + governor checkpoints) are
+/// never elided, the effect atom is already in the accumulated set from
+/// the miss row, and the skipped oid/attr error checks were decided
+/// against the same immutable store on the miss row.
+#[derive(Default)]
+pub struct VmCtx {
+    stack: Vec<Value>,
+    /// Row-invariance bit per `stack` entry (see above).
+    inv: Vec<bool>,
+    /// Per-instruction cached results of invariant attribute loads.
+    /// Meaningful only between `begin_drain`/`end_drain`, for the one
+    /// program the drain runs.
+    cache: Vec<Option<Value>>,
+    /// `Some(slot)` while a leaf drain is live: the one binding slot
+    /// that changes per row. `None` disables the cache entirely.
+    drain: Option<u8>,
+}
+
+impl VmCtx {
+    /// Arms the invariant cache for a leaf drain in which only binding
+    /// slot `slot` changes between rows. The caller promises the store
+    /// is not mutated until [`end_drain`](VmCtx::end_drain).
+    pub fn begin_drain(&mut self, slot: u8) {
+        self.drain = Some(slot);
+        self.cache.clear();
+    }
+
+    /// Disarms the invariant cache; subsequent runs re-evaluate every
+    /// attribute load.
+    pub fn end_drain(&mut self) {
+        self.drain = None;
+        self.cache.clear();
+    }
+}
+
+/// Compiles `q` against the pipeline binder environment `binders`
+/// (outermost first, matching the executor's `binds` stack). `Err`
+/// carries the human-readable fallback reason.
+pub fn compile(q: &Query, binders: &[VarName]) -> Result<Program, String> {
+    let mut em = Emitter {
+        binders,
+        code: Vec::new(),
+        consts: Vec::new(),
+        srcs: Vec::new(),
+        pending: 0,
+    };
+    em.emit(q)?;
+    em.flush();
+    em.code.push(Instr::Ret);
+    Ok(Program {
+        code: em.code,
+        consts: em.consts,
+        srcs: em.srcs,
+        slots: binders.to_vec(),
+    })
+}
+
+struct Emitter<'b> {
+    binders: &'b [VarName],
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    srcs: Vec<Query>,
+    /// Entry burns accumulated since the last flush.
+    pending: u32,
+}
+
+impl Emitter<'_> {
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            self.code.push(Instr::Burn(self.pending));
+            self.pending = 0;
+        }
+    }
+
+    fn const_idx(&mut self, v: &Value) -> Result<u16, String> {
+        if let Some(i) = self.consts.iter().position(|c| c == v) {
+            return Ok(i as u16);
+        }
+        let i = self.consts.len();
+        if i > u16::MAX as usize {
+            return Err("constant pool overflow".into());
+        }
+        self.consts.push(v.clone());
+        Ok(i as u16)
+    }
+
+    fn src_idx(&mut self, q: &Query) -> Result<u16, String> {
+        let i = self.srcs.len();
+        if i > u16::MAX as usize {
+            return Err("source table overflow".into());
+        }
+        self.srcs.push(q.clone());
+        Ok(i as u16)
+    }
+
+    /// Emits code for one operand and its type check: the check runs
+    /// before the *next* operand's code, preserving the interpreter's
+    /// evaluate-a, check-a, evaluate-b order.
+    fn operand(&mut self, q: &Query, check: fn(u16) -> Instr) -> Result<(), String> {
+        self.emit(q)?;
+        self.flush();
+        let s = self.src_idx(q)?;
+        self.code.push(check(s));
+        Ok(())
+    }
+
+    fn emit(&mut self, q: &Query) -> Result<(), String> {
+        // The node's entry burn, in pre-order like the interpreter.
+        self.pending += 1;
+        match q {
+            Query::Lit(v) => {
+                let i = self.const_idx(v)?;
+                self.code.push(Instr::Const(i));
+            }
+            Query::Var(x) => {
+                // Last binding wins, matching the innermost-first
+                // substitution order of the interpreted path.
+                let slot = self
+                    .binders
+                    .iter()
+                    .rposition(|b| b == x)
+                    .ok_or_else(|| format!("free variable `{x}`"))?;
+                if slot > u8::MAX as usize {
+                    return Err("too many binders".into());
+                }
+                self.code.push(Instr::Load(slot as u8));
+            }
+            Query::Attr(subject, a) => {
+                self.operand(subject, Instr::CheckOid)?;
+                self.code.push(Instr::LoadAttr(a.clone()));
+            }
+            Query::IntBin(op, a, b) => {
+                self.operand(a, Instr::CheckInt)?;
+                self.operand(b, Instr::CheckInt)?;
+                self.code.push(Instr::Arith(*op));
+            }
+            Query::IntEq(a, b) => {
+                self.operand(a, Instr::CheckInt)?;
+                self.operand(b, Instr::CheckInt)?;
+                self.code.push(Instr::IntEq);
+            }
+            Query::ObjEq(a, b) => {
+                self.operand(a, Instr::CheckOid)?;
+                self.operand(b, Instr::CheckOid)?;
+                let s = self.src_idx(q)?;
+                self.code.push(Instr::ObjEq(s));
+            }
+            Query::Size(inner) => {
+                self.operand(inner, Instr::CheckSet)?;
+                self.code.push(Instr::Size);
+            }
+            Query::Sum(inner) => {
+                self.operand(inner, Instr::CheckSet)?;
+                let s = self.src_idx(q)?;
+                self.code.push(Instr::Sum(s));
+            }
+            Query::If(c, t, e) => {
+                self.emit(c)?;
+                self.flush();
+                let s = self.src_idx(q)?;
+                let jf = self.code.len();
+                self.code.push(Instr::JumpIfFalse { src: s, target: 0 });
+                // Each arm flushes its own burns, so the join point has
+                // no pending count to disagree on between the arms.
+                self.emit(t)?;
+                self.flush();
+                let jmp = self.code.len();
+                self.code.push(Instr::Jump(0));
+                self.patch(jf, self.code.len())?;
+                self.emit(e)?;
+                self.flush();
+                let end = self.code.len();
+                self.patch(jmp, end)?;
+            }
+            Query::SetLit(_) => return Err("set literal".into()),
+            Query::SetBin(..) => return Err("set operator".into()),
+            Query::Extent(_) => return Err("extent read".into()),
+            Query::Comp(..) => return Err("nested comprehension".into()),
+            Query::Call(..) => return Err("definition call".into()),
+            Query::Record(_) => return Err("record construction".into()),
+            Query::Field(..) => return Err("record field access".into()),
+            Query::Cast(..) => return Err("cast".into()),
+            Query::Invoke(..) => return Err("method invocation".into()),
+            Query::New(..) => return Err("object construction".into()),
+        }
+        if self.code.len() > u16::MAX as usize {
+            return Err("program too large".into());
+        }
+        Ok(())
+    }
+
+    fn patch(&mut self, at: usize, target: usize) -> Result<(), String> {
+        if target > u16::MAX as usize {
+            return Err("program too large".into());
+        }
+        match &mut self.code[at] {
+            Instr::JumpIfFalse { target: t, .. } | Instr::Jump(t) => *t = target as u16,
+            _ => unreachable!("patched instruction is a jump"),
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Reconstructs the interpreter's stuck error for source `src`:
+    /// substitute the current bindings into the stored subexpression
+    /// (innermost-first) and render it.
+    fn stuck(&self, src: u16, binds: &[(VarName, Value)], reason: &str) -> EvalError {
+        let mut q = self.srcs[src as usize].clone();
+        for (x, v) in binds.iter().rev() {
+            q = q.subst(x, v);
+        }
+        EvalError::Stuck {
+            query: q.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Runs the program for one row.
+    ///
+    /// `binds` is the executor's binding stack (slot `i` reads
+    /// `binds[i].1`; the names are only needed for error messages).
+    /// The store is read-only — the Theorem 7 guard that admitted the
+    /// plan already established the expression cannot mutate. Fuel is
+    /// burned from `fuel` and the consumption reported on success, so
+    /// the caller can settle a shared budget exactly as it does for
+    /// `eval_expr` delegations. Attribute reads record their `Ra`
+    /// effects into `effect` as they execute.
+    pub fn run(
+        &self,
+        store: &Store,
+        binds: &[(VarName, Value)],
+        governor: Option<&Governor>,
+        fuel: u64,
+        effect: &mut Effect,
+        ctx: &mut VmCtx,
+    ) -> Result<VmOutcome, EvalError> {
+        debug_assert!(
+            binds.len() == self.slots.len()
+                && binds.iter().zip(&self.slots).all(|((x, _), s)| x == s),
+            "row bindings must match the compile-time binder environment"
+        );
+        let VmCtx {
+            stack,
+            inv,
+            cache,
+            drain,
+        } = ctx;
+        let drain = *drain;
+        stack.clear();
+        inv.clear();
+        if drain.is_some() && cache.len() != self.code.len() {
+            // First row of a drain: `begin_drain` emptied the cache.
+            cache.clear();
+            cache.resize(self.code.len(), None);
+        }
+        // Sticky: set when control branches on a row-dependent
+        // condition; every later push is non-invariant (see [`VmCtx`]).
+        let mut tainted = false;
+        let mut left = fuel;
+        let mut pc = 0usize;
+        loop {
+            match &self.code[pc] {
+                Instr::Burn(k) => {
+                    if let Some(gov) = governor {
+                        gov.checkpoint()?;
+                    }
+                    let k = u64::from(*k);
+                    if left < k {
+                        return Err(EvalError::FuelExhausted);
+                    }
+                    left -= k;
+                }
+                Instr::Const(i) => {
+                    stack.push(self.consts[*i as usize].clone());
+                    inv.push(drain.is_some() && !tainted);
+                }
+                Instr::Load(i) => {
+                    stack.push(binds[*i as usize].1.clone());
+                    inv.push(!tainted && drain.is_some_and(|d| *i != d));
+                }
+                Instr::CheckInt(s) => {
+                    if !matches!(stack.last(), Some(Value::Int(_))) {
+                        return Err(self.stuck(*s, binds, "expected an integer"));
+                    }
+                }
+                Instr::CheckOid(s) => {
+                    if !matches!(stack.last(), Some(Value::Oid(_))) {
+                        return Err(self.stuck(*s, binds, "expected an object"));
+                    }
+                }
+                Instr::CheckSet(s) => {
+                    if !matches!(stack.last(), Some(Value::Set(_))) {
+                        return Err(self.stuck(*s, binds, "expected a set"));
+                    }
+                }
+                Instr::LoadAttr(a) => {
+                    let b = inv.pop().expect("compiled stack discipline");
+                    let hit = if b { cache[pc].clone() } else { None };
+                    if let Some(v) = hit {
+                        // Invariant operand, already computed on the
+                        // miss row: same value, effect atom, and error
+                        // verdict against the same immutable store.
+                        stack.pop();
+                        stack.push(v);
+                        inv.push(true);
+                    } else {
+                        let Some(Value::Oid(o)) = stack.pop() else {
+                            unreachable!("CheckOid precedes LoadAttr")
+                        };
+                        let obj = store.objects.get(o).ok_or_else(|| {
+                            EvalError::Store(StoreError::UnknownOid(o).to_string())
+                        })?;
+                        if !effect.attr_reads.contains(&obj.class) {
+                            effect.attr_reads.insert(obj.class.clone());
+                        }
+                        let v = obj.attr(a).ok_or_else(|| {
+                            EvalError::Store(StoreError::UnknownAttr(o, a.clone()).to_string())
+                        })?;
+                        if b {
+                            cache[pc] = Some(v.clone());
+                        }
+                        stack.push(v.clone());
+                        inv.push(b);
+                    }
+                }
+                Instr::Arith(op) => {
+                    let (Some(Value::Int(b)), Some(Value::Int(a))) = (stack.pop(), stack.pop())
+                    else {
+                        unreachable!("CheckInt precedes Arith")
+                    };
+                    stack.push(op.apply(a, b));
+                    let bi = inv.pop().expect("compiled stack discipline");
+                    *inv.last_mut().expect("compiled stack discipline") &= bi;
+                }
+                Instr::IntEq => {
+                    let (Some(Value::Int(b)), Some(Value::Int(a))) = (stack.pop(), stack.pop())
+                    else {
+                        unreachable!("CheckInt precedes IntEq")
+                    };
+                    stack.push(Value::Bool(a == b));
+                    let bi = inv.pop().expect("compiled stack discipline");
+                    *inv.last_mut().expect("compiled stack discipline") &= bi;
+                }
+                Instr::ObjEq(s) => {
+                    let (Some(Value::Oid(b)), Some(Value::Oid(a))) = (stack.pop(), stack.pop())
+                    else {
+                        unreachable!("CheckOid precedes ObjEq")
+                    };
+                    if !store.objects.contains(a) || !store.objects.contains(b) {
+                        return Err(self.stuck(*s, binds, "dangling oid"));
+                    }
+                    stack.push(Value::Bool(a == b));
+                    let bi = inv.pop().expect("compiled stack discipline");
+                    *inv.last_mut().expect("compiled stack discipline") &= bi;
+                }
+                Instr::Sum(s) => {
+                    let Some(Value::Set(set)) = stack.pop() else {
+                        unreachable!("CheckSet precedes Sum")
+                    };
+                    let mut total = 0i64;
+                    for v in &set {
+                        match v {
+                            Value::Int(i) => total = total.wrapping_add(*i),
+                            _ => {
+                                return Err(self.stuck(*s, binds, "sum over a non-integer set"));
+                            }
+                        }
+                    }
+                    stack.push(Value::Int(total));
+                }
+                Instr::Size => {
+                    let Some(Value::Set(set)) = stack.pop() else {
+                        unreachable!("CheckSet precedes Size")
+                    };
+                    stack.push(Value::Int(set.len() as i64));
+                }
+                Instr::JumpIfFalse { src, target } => {
+                    if !inv.pop().expect("compiled stack discipline") {
+                        // Row-dependent branch: pc traces diverge across
+                        // rows from here on, so no later push may be
+                        // treated as row-invariant.
+                        tainted = true;
+                    }
+                    match stack.pop() {
+                        Some(Value::Bool(true)) => {}
+                        Some(Value::Bool(false)) => {
+                            pc = *target as usize;
+                            continue;
+                        }
+                        _ => return Err(self.stuck(*src, binds, "non-boolean condition")),
+                    }
+                }
+                Instr::Jump(target) => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Instr::Ret => {
+                    let value = stack.pop().expect("compiled program leaves a result");
+                    return Ok(VmOutcome {
+                        value,
+                        fuel_spent: fuel - left,
+                    });
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Telemetry handles for the compiled tier. Write-only, like
+/// [`ParMetrics`](crate::par::ParMetrics): nothing here feeds a compile
+/// or dispatch decision, so a metered run and a bare one execute
+/// identically.
+#[derive(Clone, Debug, Default)]
+pub struct VmMetrics {
+    /// Plan nodes whose expression compiled to bytecode.
+    pub compiles: Counter,
+    /// Plan nodes that stayed interpreted (a fallback reason exists).
+    pub fallbacks: Counter,
+    /// Rows dispatched through the VM.
+    pub dispatches: Counter,
+    /// Wall time of batched VM dispatch loops, one observation per
+    /// driven generator chunk (not per row — the hot loop stays
+    /// clock-free when telemetry is off).
+    pub dispatch_ns: Histogram,
+}
+
+impl VmMetrics {
+    /// Handles registered under the canonical `ioql_vm_*` names.
+    pub fn new(registry: &MetricsRegistry) -> VmMetrics {
+        VmMetrics {
+            compiles: registry.counter("ioql_vm_compiles_total"),
+            fallbacks: registry.counter("ioql_vm_fallbacks_total"),
+            dispatches: registry.counter("ioql_vm_dispatches_total"),
+            dispatch_ns: registry.histogram("ioql_vm_dispatch_ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioql_eval::{eval_expr, DefEnv, EvalConfig, FirstChooser};
+    use ioql_store::Object;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.declare_extent("Ps", "P");
+        for n in 1..=3 {
+            s.create(
+                Object::new("P", [("n", Value::Int(n))]),
+                [ioql_ast::ExtentName::new("Ps")],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn schema() -> ioql_schema::Schema {
+        ioql_schema::Schema::new(vec![ioql_ast::ClassDef::plain(
+            "P",
+            ioql_ast::ClassName::object(),
+            "Ps",
+            [ioql_ast::AttrDef::new("n", ioql_ast::Type::Int)],
+        )])
+        .unwrap()
+    }
+
+    /// Runs `q` (with `binds` applied) through both the VM and the
+    /// interpreter at every fuel level up to its full cost, asserting
+    /// identical values, effects, fuel consumption, and errors.
+    fn assert_vm_matches_interp(q: &Query, binds: &[(VarName, Value)]) {
+        let schema = schema();
+        let cfg = EvalConfig::new(&schema);
+        let defs = DefEnv::new();
+        let binders: Vec<VarName> = binds.iter().map(|(x, _)| x.clone()).collect();
+        let prog = compile(q, &binders).expect("fragment compiles");
+        let mut store = store();
+        // The interpreted path substitutes binds innermost-first.
+        let full = {
+            let mut bound = q.clone();
+            for (x, v) in binds.iter().rev() {
+                bound = bound.subst(x, v);
+            }
+            bound
+        };
+        let interp_cost = match eval_expr(
+            &cfg,
+            &defs,
+            &mut store.clone(),
+            &full,
+            &mut FirstChooser,
+            1_000,
+        ) {
+            Ok(r) => r.fuel_spent,
+            Err(_) => 1_000,
+        };
+        for fuel in 0..=interp_cost.min(64) {
+            let mut ctx = VmCtx::default();
+            let mut vm_eff = Effect::empty();
+            let vm = prog.run(&store, binds, None, fuel, &mut vm_eff, &mut ctx);
+            let it = eval_expr(&cfg, &defs, &mut store, &full, &mut FirstChooser, fuel);
+            match (vm, it) {
+                (Ok(v), Ok(i)) => {
+                    assert_eq!(v.value, i.value, "value mismatch on {q} fuel={fuel}");
+                    assert_eq!(v.fuel_spent, i.fuel_spent, "fuel mismatch on {q}");
+                    assert_eq!(vm_eff, i.effect, "effect mismatch on {q}");
+                }
+                (Err(ve), Err(ie)) => {
+                    assert_eq!(ve, ie, "error mismatch on {q} fuel={fuel}")
+                }
+                (v, i) => panic!(
+                    "divergence on {q} fuel={fuel}: vm={v:?} interp={i:?}",
+                    v = v.map(|o| o.value),
+                    i = i.map(|r| r.value)
+                ),
+            }
+        }
+    }
+
+    fn an_oid(store: &Store) -> Value {
+        let Value::Set(s) = store
+            .extent_value(&ioql_ast::ExtentName::new("Ps"))
+            .unwrap()
+        else {
+            panic!()
+        };
+        s.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons_match_the_interpreter() {
+        assert_vm_matches_interp(&Query::int(2).add(Query::int(3)), &[]);
+        assert_vm_matches_interp(
+            &Query::IntBin(
+                IntOp::Mul,
+                Box::new(Query::int(i64::MAX).add(Query::int(1))),
+                Box::new(Query::int(2)),
+            ),
+            &[],
+        );
+        assert_vm_matches_interp(
+            &Query::IntBin(IntOp::Lt, Box::new(Query::int(1)), Box::new(Query::int(2))),
+            &[],
+        );
+        assert_vm_matches_interp(&Query::int(1).int_eq(Query::int(1)), &[]);
+    }
+
+    #[test]
+    fn attribute_loads_and_slots_match_the_interpreter() {
+        let store = store();
+        let o = an_oid(&store);
+        let binds = vec![(VarName::new("p"), o)];
+        assert_vm_matches_interp(&Query::var("p").attr("n").add(Query::int(10)), &binds);
+        assert_vm_matches_interp(&Query::var("p").obj_eq(Query::var("p")), &binds);
+    }
+
+    #[test]
+    fn type_errors_reproduce_the_interpreters_stuck_text() {
+        // b must not evaluate when a's check sticks; message text and
+        // fuel positions must match exactly.
+        assert_vm_matches_interp(&Query::bool(true).add(Query::int(1)), &[]);
+        assert_vm_matches_interp(&Query::int(1).add(Query::bool(true)), &[]);
+        let binds = vec![(VarName::new("p"), Value::Int(9))];
+        assert_vm_matches_interp(&Query::var("p").attr("n"), &binds);
+    }
+
+    #[test]
+    fn dangling_oids_reproduce_store_error_text() {
+        let store = store();
+        let o = an_oid(&store);
+        let dangling = Value::Oid(ioql_ast::Oid::from_raw(9999));
+        assert_vm_matches_interp(
+            &Query::var("p").obj_eq(Query::var("q")),
+            &[
+                (VarName::new("p"), o.clone()),
+                (VarName::new("q"), dangling.clone()),
+            ],
+        );
+        assert_vm_matches_interp(&Query::var("p").attr("n"), &[(VarName::new("p"), dangling)]);
+        assert_vm_matches_interp(&Query::var("p").attr("zzz"), &[(VarName::new("p"), o)]);
+    }
+
+    #[test]
+    fn if_sum_size_match_the_interpreter() {
+        let set = Query::set_lit([Query::int(1), Query::int(2), Query::int(i64::MAX)]);
+        // The set literal itself is not compilable; bind it as a value.
+        let v = Value::set([Value::Int(1), Value::Int(2), Value::Int(i64::MAX)]);
+        let binds = vec![(VarName::new("s"), v)];
+        assert_vm_matches_interp(&Query::Sum(Box::new(Query::var("s"))), &binds);
+        assert_vm_matches_interp(&Query::Size(Box::new(Query::var("s"))), &binds);
+        let _ = set;
+        let cond_true = Query::If(
+            Box::new(Query::int(1).int_eq(Query::int(1))),
+            Box::new(Query::int(10)),
+            Box::new(Query::int(20)),
+        );
+        let cond_false = Query::If(
+            Box::new(Query::int(1).int_eq(Query::int(2))),
+            Box::new(Query::int(10)),
+            Box::new(Query::int(20)),
+        );
+        let cond_bad = Query::If(
+            Box::new(Query::int(7)),
+            Box::new(Query::int(10)),
+            Box::new(Query::int(20)),
+        );
+        assert_vm_matches_interp(&cond_true, &[]);
+        assert_vm_matches_interp(&cond_false, &[]);
+        assert_vm_matches_interp(&cond_bad, &[]);
+        // Sum over non-integers sticks identically.
+        let mixed = Value::set([Value::Int(1), Value::Bool(true)]);
+        assert_vm_matches_interp(
+            &Query::Sum(Box::new(Query::var("s"))),
+            &[(VarName::new("s"), mixed)],
+        );
+    }
+
+    #[test]
+    fn shadowed_binders_resolve_to_the_innermost() {
+        let binds = vec![
+            (VarName::new("x"), Value::Int(1)),
+            (VarName::new("x"), Value::Int(2)),
+        ];
+        assert_vm_matches_interp(&Query::var("x").add(Query::int(0)), &binds);
+    }
+
+    #[test]
+    fn uncompilable_shapes_report_reasons() {
+        for (q, reason) in [
+            (Query::extent("Ps"), "extent read"),
+            (Query::set_lit([Query::int(1)]), "set literal"),
+            (
+                Query::extent("Ps").union(Query::extent("Ps")),
+                "set operator",
+            ),
+            (
+                Query::Call(ioql_ast::DefName::new("f"), vec![]),
+                "definition call",
+            ),
+        ] {
+            let err = compile(&q, &[]).unwrap_err();
+            assert_eq!(err, reason, "{q}");
+        }
+        // Free variables are a compile error, not a runtime one.
+        assert!(compile(&Query::var("zz"), &[])
+            .unwrap_err()
+            .contains("free variable"));
+    }
+
+    #[test]
+    fn vm_metrics_register_canonical_names() {
+        let reg = MetricsRegistry::new(true);
+        let m = VmMetrics::new(&reg);
+        m.compiles.inc();
+        m.dispatches.add(5);
+        assert_eq!(reg.counter_value("ioql_vm_compiles_total"), Some(1));
+        assert_eq!(reg.counter_value("ioql_vm_dispatches_total"), Some(5));
+    }
+}

@@ -68,15 +68,17 @@
 //! error class reachable from a type-checked, Theorem-7-guarded query
 //! (fuel, cancellation, deadline) is partition-order-independent.
 
+use crate::bytecode::{CompileVerdict, Program, VmCtx, VmMetrics};
 use crate::ir::{
     EqKind, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage, StageKind,
 };
 use crate::par::{chunk_bounds, ParMetrics};
-use ioql_ast::{Query, SetOp, Value, VarName};
+use ioql_ast::{ExtentName, Query, SetOp, Value, VarName};
 use ioql_effects::Effect;
 use ioql_eval::{eval_expr, Chooser, DefEnv, EvalConfig, EvalError};
 use ioql_store::Store;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -299,6 +301,26 @@ struct ParCtx<'m> {
     in_worker: bool,
 }
 
+/// A pipeline head as the executor sees it: the source expression
+/// (always present — delegation, error rendering, and profiling need
+/// it) and its compiled program when the compile tier accepted it.
+#[derive(Clone, Copy)]
+struct Head<'p> {
+    expr: &'p Query,
+    prog: Option<&'p Program>,
+}
+
+/// Telemetry handles for one execution — all write-only (the
+/// transparency guard): no dispatch, compile, or fallback decision reads
+/// them, so a metered run and a bare one execute identically.
+#[derive(Clone, Copy, Default)]
+pub struct ExecMetrics<'m> {
+    /// Parallel-dispatch counters ([`ParMetrics`]).
+    pub par: Option<&'m ParMetrics>,
+    /// Compiled-tier counters ([`VmMetrics`]).
+    pub vm: Option<&'m VmMetrics>,
+}
+
 /// Executes a physical plan against a store.
 ///
 /// `max_steps` is the same fuel budget the naive engines take; the
@@ -333,12 +355,43 @@ pub fn execute_metered(
     max_steps: u64,
     metrics: Option<&ParMetrics>,
 ) -> Result<PlanResult, EvalError> {
+    execute_instrumented(
+        plan,
+        cfg,
+        defs,
+        store,
+        chooser,
+        max_steps,
+        ExecMetrics {
+            par: metrics,
+            vm: None,
+        },
+    )
+}
+
+/// [`execute`], with the full set of telemetry handles — parallel
+/// dispatch *and* compiled-tier counters. The superset of
+/// [`execute_metered`], which predates the compile tier and is kept for
+/// callers that only meter parallelism.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_instrumented(
+    plan: &Plan,
+    cfg: &EvalConfig<'_>,
+    defs: &DefEnv,
+    store: &mut Store,
+    chooser: &mut dyn Chooser,
+    max_steps: u64,
+    metrics: ExecMetrics<'_>,
+) -> Result<PlanResult, EvalError> {
     let par = ParCtx {
         level: plan.parallelism,
-        metrics,
+        metrics: metrics.par,
         in_worker: false,
     };
-    execute_inner(plan, cfg, defs, store, chooser, max_steps, None, par).map(|(r, _)| r)
+    execute_inner(
+        plan, cfg, defs, store, chooser, max_steps, None, par, metrics.vm,
+    )
+    .map(|(r, _)| r)
 }
 
 /// Executes a physical plan while collecting per-operator runtime stats
@@ -364,8 +417,17 @@ pub fn execute_with_profile(
         metrics: None,
         in_worker: false,
     };
-    let (result, prof) =
-        execute_inner(plan, cfg, defs, store, chooser, max_steps, Some(prof), par)?;
+    let (result, prof) = execute_inner(
+        plan,
+        cfg,
+        defs,
+        store,
+        chooser,
+        max_steps,
+        Some(prof),
+        par,
+        None,
+    )?;
     let prof = prof.expect("profiler threaded through");
     Ok((
         result,
@@ -386,6 +448,7 @@ fn execute_inner<'a>(
     max_steps: u64,
     prof: Option<Profiler>,
     par: ParCtx<'a>,
+    vm_metrics: Option<&'a VmMetrics>,
 ) -> Result<(PlanResult, Option<Profiler>), EvalError> {
     let mut ex = Exec {
         cfg,
@@ -396,6 +459,10 @@ fn execute_inner<'a>(
         binds: Vec::new(),
         prof,
         par,
+        compiled: &plan.compiled,
+        vm_metrics,
+        vm_ctx: VmCtx::default(),
+        extent_cache: HashMap::new(),
     };
     let value = ex.eval_op(store, &plan.root)?;
     Ok((
@@ -436,6 +503,21 @@ fn split_probe<'p>(var: &VarName, rest: &'p [Stage]) -> ProbeParts<'p> {
         }
     }
     (None, rest)
+}
+
+/// Removes and returns element `i` of the draw pool. Endpoint picks —
+/// the only picks the deterministic and forked choosers make — are
+/// O(1); interior picks (random/scripted choosers) shift the shorter
+/// side.
+fn pop_at(remaining: &mut VecDeque<Value>, i: usize) -> Value {
+    let n = remaining.len();
+    if i == 0 {
+        remaining.pop_front().expect("chooser contract: non-empty")
+    } else if i + 1 == n {
+        remaining.pop_back().expect("chooser contract: non-empty")
+    } else {
+        remaining.remove(i).expect("chooser contract: i < n")
+    }
 }
 
 /// Whether a value is the shape the probe's equality demands (the
@@ -501,11 +583,13 @@ fn run_chunk<'a>(
     fuel: &AtomicU64,
     binds: Vec<(VarName, Value)>,
     metrics: Option<&ParMetrics>,
+    compiled: &'a BTreeMap<NodeId, CompileVerdict>,
+    vm_metrics: Option<&'a VmMetrics>,
     mut store: Store,
     var: &VarName,
     slice: &[Value],
     rest: &[Stage],
-    head: &Query,
+    head: Head<'a>,
 ) -> Result<(BTreeSet<Value>, Effect), EvalError> {
     let t = metrics.map(|m| m.worker_busy_ns.start_timer());
     let mut w = Exec {
@@ -521,9 +605,14 @@ fn run_chunk<'a>(
             metrics: None,
             in_worker: true,
         },
+        compiled,
+        vm_metrics,
+        vm_ctx: VmCtx::default(),
+        extent_cache: HashMap::new(),
     };
     let mut part = BTreeSet::new();
-    let r = w.drive_chunk(&mut store, var, slice, rest, head, &mut part);
+    let elems: VecDeque<Value> = slice.iter().cloned().collect();
+    let r = w.drive_gen(&mut store, var, elems, rest, head, &mut part);
     if let Some(m) = metrics {
         m.worker_busy_ns.observe_timer(t.flatten());
     }
@@ -541,8 +630,10 @@ fn run_branch<'a>(
     fuel: &AtomicU64,
     binds: Vec<(VarName, Value)>,
     metrics: Option<&ParMetrics>,
+    compiled: &'a BTreeMap<NodeId, CompileVerdict>,
+    vm_metrics: Option<&'a VmMetrics>,
     mut store: Store,
-    subtree: &Op,
+    subtree: &'a Op,
 ) -> Result<(BTreeSet<Value>, Effect), EvalError> {
     let t = metrics.map(|m| m.worker_busy_ns.start_timer());
     let mut w = Exec {
@@ -558,6 +649,10 @@ fn run_branch<'a>(
             metrics: None,
             in_worker: true,
         },
+        compiled,
+        vm_metrics,
+        vm_ctx: VmCtx::default(),
+        extent_cache: HashMap::new(),
     };
     let r = w.op_set(&mut store, subtree);
     if let Some(m) = metrics {
@@ -582,9 +677,25 @@ struct Exec<'a, 'c, 'f> {
     prof: Option<Profiler>,
     /// Parallel-mode context (pool size, telemetry, worker flag).
     par: ParCtx<'a>,
+    /// The plan's compile verdicts (empty when lowered without the
+    /// compile pass). Read-only: the executor *uses* programs, it never
+    /// decides to compile.
+    compiled: &'a BTreeMap<NodeId, CompileVerdict>,
+    /// Compiled-tier telemetry (write-only).
+    vm_metrics: Option<&'a VmMetrics>,
+    /// Reusable VM scratch (the value stack) — one allocation per
+    /// executor, not per row.
+    vm_ctx: VmCtx,
+    /// Per-execution snapshot cache of extent element vectors, in
+    /// canonical (sorted) order. Licensed by the Theorem 7 guard: the
+    /// plan is read-only, so an extent cannot change between two scans
+    /// of the same execution. Only the element *vector* is cached — the
+    /// per-scan observables (`R(C)` effect atom, cardinality
+    /// observation) still fire on every scan, exactly as uncached.
+    extent_cache: HashMap<ExtentName, Rc<Vec<Value>>>,
 }
 
-impl Exec<'_, '_, '_> {
+impl<'a> Exec<'a, '_, '_> {
     /// Starts a timer iff profiling — `execute` runs never touch the
     /// clock, which is what keeps telemetry out of deadline semantics.
     fn ptimer(&self) -> Option<Instant> {
@@ -647,6 +758,38 @@ impl Exec<'_, '_, '_> {
         Ok(r.value)
     }
 
+    /// The compiled program for a plan node, when the compile pass
+    /// accepted its expression.
+    fn vm_prog(&self, id: NodeId) -> Option<&'a Program> {
+        match self.compiled.get(&id) {
+            Some(CompileVerdict::Vm(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Runs a compiled expression for the current row — the VM twin of
+    /// [`expr`](Exec::expr): same fuel snapshot/settle protocol, same
+    /// batch-recorded `recursions` accounting, effects recorded by the
+    /// program as it executes.
+    fn vm_expr(&mut self, store: &Store, prog: &Program) -> Result<Value, EvalError> {
+        let o = prog.run(
+            store,
+            &self.binds,
+            self.cfg.governor,
+            self.fuel.avail(),
+            &mut self.effect,
+            &mut self.vm_ctx,
+        )?;
+        self.fuel.spend(o.fuel_spent);
+        if let Some(m) = self.cfg.metrics {
+            m.recursions.add(o.fuel_spent);
+        }
+        if let Some(m) = self.vm_metrics {
+            m.dispatches.inc();
+        }
+        Ok(o.value)
+    }
+
     fn eval_op(&mut self, store: &mut Store, op: &Op) -> Result<Value, EvalError> {
         if self.prof.is_none() {
             return self.eval_op_inner(store, op);
@@ -684,6 +827,10 @@ impl Exec<'_, '_, '_> {
                 let OpKind::Pipeline { stages } = &pl.kind else {
                     return self.malformed();
                 };
+                let head = Head {
+                    expr: head,
+                    prog: self.vm_prog(mp.id),
+                };
                 let t = self.ptimer();
                 let mut out = BTreeSet::new();
                 if !self.try_parallel_pipeline(store, pl, stages, head, &mut out)? {
@@ -712,11 +859,7 @@ impl Exec<'_, '_, '_> {
 
     /// Reads one extent: `R(C)` effect, extent value, cardinality
     /// observation — byte-for-byte the big-step `Extent` rule.
-    fn scan_extent(
-        &mut self,
-        store: &mut Store,
-        extent: &ioql_ast::ExtentName,
-    ) -> Result<Value, EvalError> {
+    fn scan_extent(&mut self, store: &mut Store, extent: &ExtentName) -> Result<Value, EvalError> {
         let class = match store.extents.get(extent) {
             Some((c, _)) => c.clone(),
             None => {
@@ -736,6 +879,45 @@ impl Exec<'_, '_, '_> {
             }
         }
         Ok(v)
+    }
+
+    /// [`scan_extent`](Exec::scan_extent), returning the elements as a
+    /// shared vector in canonical (sorted) order and memoizing the
+    /// vector per execution. A nested generator re-scans its extent once
+    /// per outer row; under the Theorem 7 guard the store is frozen, so
+    /// only the first scan builds the set — but the per-scan
+    /// *observables* (`R(C)` effect, cardinality observation, the
+    /// unknown-extent error) are replayed on every call, keeping the hit
+    /// path byte-identical to the miss path.
+    fn scan_extent_elems(
+        &mut self,
+        store: &mut Store,
+        extent: &ExtentName,
+    ) -> Result<Rc<Vec<Value>>, EvalError> {
+        if let Some(cached) = self.extent_cache.get(extent) {
+            let cached = Rc::clone(cached);
+            let class = match store.extents.get(extent) {
+                Some((c, _)) => c.clone(),
+                None => {
+                    return Err(EvalError::Stuck {
+                        query: extent.to_string(),
+                        reason: format!("unknown extent `{extent}`"),
+                    })
+                }
+            };
+            self.effect.union_with(&Effect::read(class));
+            if let Some(gov) = self.cfg.governor {
+                gov.observe_set_card(cached.len() as u64)?;
+            }
+            return Ok(cached);
+        }
+        let elems = match self.scan_extent(store, extent)? {
+            Value::Set(s) => s,
+            _ => return self.malformed(),
+        };
+        let vec = Rc::new(elems.into_iter().collect::<Vec<Value>>());
+        self.extent_cache.insert(extent.clone(), Rc::clone(&vec));
+        Ok(vec)
     }
 
     fn set_bin(
@@ -818,12 +1000,20 @@ impl Exec<'_, '_, '_> {
         let binds_l = self.binds.clone();
         let binds_r = self.binds.clone();
         let metrics = self.par.metrics;
+        let compiled = self.compiled;
+        let vm_metrics = self.vm_metrics;
         let (ra, rb) = std::thread::scope(|scope| {
             let cell = &fuel_cell;
-            let hl = scope
-                .spawn(move || run_branch(cfg, defs, fl, cell, binds_l, metrics, store_l, left));
-            let hr = scope
-                .spawn(move || run_branch(cfg, defs, fr, cell, binds_r, metrics, store_r, right));
+            let hl = scope.spawn(move || {
+                run_branch(
+                    cfg, defs, fl, cell, binds_l, metrics, compiled, vm_metrics, store_l, left,
+                )
+            });
+            let hr = scope.spawn(move || {
+                run_branch(
+                    cfg, defs, fr, cell, binds_r, metrics, compiled, vm_metrics, store_r, right,
+                )
+            });
             let ra = hl.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             let rb = hr.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             (ra, rb)
@@ -854,7 +1044,7 @@ impl Exec<'_, '_, '_> {
         store: &mut Store,
         pl: &Op,
         stages: &[Stage],
-        head: &Query,
+        head: Head<'_>,
         out: &mut BTreeSet<Value>,
     ) -> Result<bool, EvalError> {
         let Some(ParVerdict::Par {
@@ -893,15 +1083,13 @@ impl Exec<'_, '_, '_> {
         // From here on the extent read has happened — an observable —
         // so every remaining fallback must *complete* the pipeline
         // rather than hand back to the caller.
-        let elems = match self.scan_extent(store, extent)? {
-            Value::Set(s) => s,
-            _ => return self.malformed(),
-        };
+        let elems = self.scan_extent_elems(store, extent)?;
         let n = elems.len();
         if n < 2 {
             if let Some(m) = self.par.metrics {
                 m.fallback_tiny.inc();
             }
+            let elems: VecDeque<Value> = elems.iter().cloned().collect();
             self.drive_gen(store, var, elems, rest, head, out)?;
             return Ok(true);
         }
@@ -913,12 +1101,12 @@ impl Exec<'_, '_, '_> {
                     if let Some(m) = self.par.metrics {
                         m.fallback_budget.inc();
                     }
+                    let elems: VecDeque<Value> = elems.iter().cloned().collect();
                     self.drive_gen(store, var, elems, rest, head, out)?;
                     return Ok(true);
                 }
             }
         }
-        let elems_vec: Vec<Value> = elems.into_iter().collect();
         let chunks = chunk_bounds(n, self.par.level);
         let mut forks = Vec::with_capacity(chunks.len());
         for _ in &chunks {
@@ -928,7 +1116,7 @@ impl Exec<'_, '_, '_> {
                     if let Some(m) = self.par.metrics {
                         m.fallback_chooser.inc();
                     }
-                    let elems: BTreeSet<Value> = elems_vec.into_iter().collect();
+                    let elems: VecDeque<Value> = elems.iter().cloned().collect();
                     self.drive_gen(store, var, elems, rest, head, out)?;
                     return Ok(true);
                 }
@@ -939,9 +1127,11 @@ impl Exec<'_, '_, '_> {
         let cfg = self.cfg;
         let defs = self.defs;
         let metrics = self.par.metrics;
+        let compiled = self.compiled;
+        let vm_metrics = self.vm_metrics;
         let binds = &self.binds;
         let store_ref: &Store = store;
-        let elems_ref: &[Value] = &elems_vec;
+        let elems_ref: &[Value] = &elems;
         let parts: Vec<Result<(BTreeSet<Value>, Effect), EvalError>> =
             std::thread::scope(|scope| {
                 let cell = &fuel_cell;
@@ -959,6 +1149,8 @@ impl Exec<'_, '_, '_> {
                                 cell,
                                 wbinds,
                                 metrics,
+                                compiled,
+                                vm_metrics,
                                 wstore,
                                 var,
                                 &elems_ref[lo..hi],
@@ -997,19 +1189,25 @@ impl Exec<'_, '_, '_> {
         &mut self,
         store: &mut Store,
         stages: &[Stage],
-        head: &Query,
+        head: Head<'_>,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
         match stages.split_first() {
             None => {
-                let v = self.expr(store, head)?;
+                let v = match head.prog {
+                    Some(prog) => self.vm_expr(store, prog)?,
+                    None => self.expr(store, head.expr)?,
+                };
                 out.insert(v);
                 Ok(())
             }
             Some((st, rest)) => match &st.kind {
                 StageKind::Filter { pred } => {
                     let t = self.ptimer();
-                    let v = self.expr(store, pred)?;
+                    let v = match self.vm_prog(st.id) {
+                        Some(prog) => self.vm_expr(store, prog)?,
+                        None => self.expr(store, pred)?,
+                    };
                     match v {
                         Value::Bool(pass) => {
                             self.precord(st.id, t, pass as u64);
@@ -1024,11 +1222,9 @@ impl Exec<'_, '_, '_> {
                 }
                 StageKind::ExtentScan { var, extent, .. } => {
                     let t = self.ptimer();
-                    let elems = match self.scan_extent(store, extent)? {
-                        Value::Set(s) => s,
-                        _ => return self.malformed(),
-                    };
+                    let elems = self.scan_extent_elems(store, extent)?;
                     self.precord(st.id, t, elems.len() as u64);
+                    let elems: VecDeque<Value> = elems.iter().cloned().collect();
                     self.drive_gen(store, var, elems, rest, head, out)
                 }
                 StageKind::Scan { var, source, .. } => {
@@ -1038,6 +1234,7 @@ impl Exec<'_, '_, '_> {
                         _ => return self.stuck(source, "generator over a non-set"),
                     };
                     self.precord(st.id, t, elems.len() as u64);
+                    let elems: VecDeque<Value> = elems.into_iter().collect();
                     self.drive_gen(store, var, elems, rest, head, out)
                 }
                 // A probe is always fused behind its generator and
@@ -1048,27 +1245,43 @@ impl Exec<'_, '_, '_> {
         }
     }
 
-    /// Drives one generator sequentially: draw elements through the
-    /// chooser in the `(ND comp)` protocol, charging one cell and
-    /// checkpointing per draw, optionally probing a one-shot hash index
-    /// in place of the fused equality predicate.
+    /// Drives one generator: draw elements through the chooser in the
+    /// `(ND comp)` protocol, charging one cell and checkpointing per
+    /// draw, optionally probing a one-shot hash index in place of the
+    /// fused equality predicate. Elements live in a deque so the
+    /// endpoint picks of the common choosers (first/last — including
+    /// every forked worker chooser) are O(1) instead of shifting the
+    /// whole remainder per draw. Shared by the sequential path and the
+    /// pool workers (each worker drives its chunk through this exact
+    /// loop), so the per-element observables cannot drift between them.
     fn drive_gen(
         &mut self,
         store: &mut Store,
         var: &VarName,
-        elems: BTreeSet<Value>,
+        mut remaining: VecDeque<Value>,
         rest: &[Stage],
-        head: &Query,
+        head: Head<'_>,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
         let (probe, body) = split_probe(var, rest);
-        let mut remaining: Vec<Value> = elems.into_iter().collect();
+        // The hot-loop specialization: a leaf generator (no probe, no
+        // trailing stages) projecting through a compiled head runs a
+        // tight draw→burn→dispatch loop with a single reused binding
+        // slot — the per-row observables (chooser draw, cell charge,
+        // checkpoint, head fuel) are the same calls `run_stages` would
+        // make, minus the recursion, substitution, and re-binding.
+        if probe.is_none() && body.is_empty() {
+            if let Some(prog) = head.prog {
+                return self.drive_leaf_vm(store, var, remaining, prog, out);
+            }
+        }
         // `None` until the first draw; `Some(None)` = index abandoned
         // (anomaly — the per-row fallback reproduces the naive error),
         // `Some(Some(idx))` = probe with `idx`.
         let mut index: Option<Option<HashSet<Value>>> = None;
         while !remaining.is_empty() {
-            let i = self.chooser.choose(remaining.len());
+            let n = remaining.len();
+            let i = self.chooser.choose(n);
             if let Some(gov) = self.cfg.governor {
                 gov.charge_cells(1)?;
             }
@@ -1077,13 +1290,17 @@ impl Exec<'_, '_, '_> {
             // recursion that evaluates the rejected element's predicate,
             // so the plan path must offer the same observation point.
             self.checkpoint()?;
-            let picked = remaining.remove(i);
+            let picked = pop_at(&mut remaining, i);
             if let Some((pkey, build, probe_q, _)) = probe {
                 if index.is_none() {
                     // Built exactly once, at the first draw — where the
                     // naive path would first evaluate the predicate, so
                     // the probe side's one evaluation lands where
-                    // naive's first would.
+                    // naive's first would. In a pool worker the build is
+                    // chunk-local — observationally identical to a
+                    // global one because `Ra` atoms are set-unioned and
+                    // anomalies revert to the per-row fallback either
+                    // way.
                     let t = self.ptimer();
                     let refs: Vec<&Value> =
                         std::iter::once(&picked).chain(remaining.iter()).collect();
@@ -1099,55 +1316,70 @@ impl Exec<'_, '_, '_> {
         Ok(())
     }
 
-    /// Drives one chunk of a partitioned generator inside a pool
-    /// worker: the same per-draw protocol as [`drive_gen`] (chooser
-    /// draw, one-cell charge, checkpoint), but over a deque so the
-    /// forkable choosers' endpoint picks (first/last) are O(1) instead
-    /// of shifting the whole remainder per draw.
-    fn drive_chunk(
+    /// The vectorized leaf loop: drains the generator through the
+    /// compiled head, mutating one pushed binding slot per row instead
+    /// of push/pop + clone/substitute/recurse. Draw protocol, cell
+    /// charges, checkpoints, and per-row head fuel are identical to the
+    /// general path.
+    fn drive_leaf_vm(
         &mut self,
         store: &mut Store,
         var: &VarName,
-        elems: &[Value],
-        rest: &[Stage],
-        head: &Query,
+        mut remaining: VecDeque<Value>,
+        prog: &Program,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
-        let (probe, body) = split_probe(var, rest);
-        let mut remaining: VecDeque<Value> = elems.iter().cloned().collect();
-        let mut index: Option<Option<HashSet<Value>>> = None;
-        while !remaining.is_empty() {
-            let n = remaining.len();
-            let i = self.chooser.choose(n);
-            if let Some(gov) = self.cfg.governor {
-                gov.charge_cells(1)?;
-            }
-            self.checkpoint()?;
-            let picked = if i == 0 {
-                remaining.pop_front().expect("loop guard: non-empty")
-            } else if i + 1 == n {
-                remaining.pop_back().expect("loop guard: non-empty")
-            } else {
-                remaining.remove(i).expect("chooser contract: i < n")
-            };
-            if let Some((pkey, build, probe_q, _)) = probe {
-                if index.is_none() {
-                    // Chunk-local speculative build — observationally
-                    // identical to a global one because `Ra` atoms are
-                    // set-unioned and anomalies revert to the per-row
-                    // fallback either way.
-                    let refs: Vec<&Value> =
-                        std::iter::once(&picked).chain(remaining.iter()).collect();
-                    index = Some(self.build_index(store, build, probe_q, &refs));
-                    self.ptime(pkey, None);
-                }
-            }
-            let probe_ref = probe.map(|(pkey, _, _, pred)| {
-                (pkey, index.as_ref().expect("built at first draw"), pred)
-            });
-            self.consume_elem(store, var, picked, probe_ref, body, head, out)?;
+        if remaining.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let timer = self.vm_metrics.map(|m| m.dispatch_ns.start_timer());
+        let mut rows = 0u64;
+        let mut fuel_rows = 0u64;
+        // Placeholder value; overwritten before the program ever reads
+        // the slot.
+        self.binds.push((var.clone(), Value::Bool(false)));
+        // Only the drained slot changes per row and the store is
+        // immutable until the drain ends (compiled programs are
+        // draw-free and read-only), so the VM may replay loop-invariant
+        // attribute loads from its per-drain cache.
+        self.vm_ctx
+            .begin_drain((self.binds.len() - 1).try_into().expect("≤ 255 binders"));
+        let r = (|| -> Result<(), EvalError> {
+            while !remaining.is_empty() {
+                let n = remaining.len();
+                let i = self.chooser.choose(n);
+                if let Some(gov) = self.cfg.governor {
+                    gov.charge_cells(1)?;
+                }
+                self.checkpoint()?;
+                self.binds.last_mut().expect("pushed above").1 = pop_at(&mut remaining, i);
+                let o = prog.run(
+                    store,
+                    &self.binds,
+                    self.cfg.governor,
+                    self.fuel.avail(),
+                    &mut self.effect,
+                    &mut self.vm_ctx,
+                )?;
+                self.fuel.spend(o.fuel_spent);
+                fuel_rows += o.fuel_spent;
+                rows += 1;
+                out.insert(o.value);
+            }
+            Ok(())
+        })();
+        self.vm_ctx.end_drain();
+        self.binds.pop();
+        // Batched telemetry: totals identical to per-row adds (failed
+        // rows never contributed), one atomic instead of one per row.
+        if let Some(m) = self.cfg.metrics {
+            m.recursions.add(fuel_rows);
+        }
+        if let Some(m) = self.vm_metrics {
+            m.dispatches.add(rows);
+            m.dispatch_ns.observe_timer(timer.flatten());
+        }
+        r
     }
 
     /// Consumes one drawn element: bind it, run the stage body (or
@@ -1162,7 +1394,7 @@ impl Exec<'_, '_, '_> {
         picked: Value,
         probe: Option<(NodeId, &Option<HashSet<Value>>, &Query)>,
         body: &[Stage],
-        head: &Query,
+        head: Head<'_>,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
         let Some((pkey, index, pred)) = probe else {
@@ -1202,7 +1434,7 @@ impl Exec<'_, '_, '_> {
         store: &mut Store,
         pred: &Query,
         body: &[Stage],
-        head: &Query,
+        head: Head<'_>,
         out: &mut BTreeSet<Value>,
     ) -> Result<bool, EvalError> {
         match self.expr(store, pred)? {

@@ -17,8 +17,10 @@
 //! [`ParVerdict`] — the Theorem 7/8 license decision — rendered by
 //! `:plan` as `[par]` or `[seq(reason)]`.
 
+use crate::bytecode::CompileVerdict;
 use ioql_ast::{AttrName, DefName, ExtentName, Query, VarName};
 use ioql_effects::Effect;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A stable node identifier, assigned in pre-order by [`Plan::number`].
@@ -387,6 +389,12 @@ pub struct Plan {
     /// dispatches workers only when this is `≥ 2` *and* the node's
     /// verdict licenses it.
     pub parallelism: usize,
+    /// The compile tier's verdict per expression-bearing node (the
+    /// `head` of a `MapProject`, the `pred` of a `Filter`), keyed by
+    /// [`NodeId`] and rendered by `:plan` as `[vm]` / `[interp(reason)]`.
+    /// Empty when lowering ran with compilation off, keeping `:plan`
+    /// output annotation-free.
+    pub compiled: BTreeMap<NodeId, CompileVerdict>,
 }
 
 impl Plan {
@@ -431,7 +439,7 @@ impl Plan {
     /// `explain` output).
     pub fn render(&self) -> String {
         let mut out = format!("Plan  [guard: {}]\n", self.guard);
-        render_op(&self.root, 1, &mut out);
+        render_op(&self.root, &self.compiled, 1, &mut out);
         out
     }
 }
@@ -456,7 +464,17 @@ fn par_suffix(par: &Option<ParVerdict>) -> String {
     }
 }
 
-fn render_op(op: &Op, depth: usize, out: &mut String) {
+/// The ` [vm]` / ` [interp(reason)]` suffix, empty for nodes the compile
+/// pass did not annotate (or when compilation is off).
+fn vm_suffix(compiled: &BTreeMap<NodeId, CompileVerdict>, id: NodeId) -> String {
+    match compiled.get(&id) {
+        Some(CompileVerdict::Vm(_)) => "  [vm]".into(),
+        Some(CompileVerdict::Interp(reason)) => format!("  [interp({reason})]"),
+        None => String::new(),
+    }
+}
+
+fn render_op(op: &Op, compiled: &BTreeMap<NodeId, CompileVerdict>, depth: usize, out: &mut String) {
     indent(depth, out);
     let par = par_suffix(&op.par);
     match &op.kind {
@@ -465,36 +483,37 @@ fn render_op(op: &Op, depth: usize, out: &mut String) {
         }
         OpKind::SetUnion { left, right } => {
             out.push_str(&format!("SetUnion{par}\n"));
-            render_op(left, depth + 1, out);
-            render_op(right, depth + 1, out);
+            render_op(left, compiled, depth + 1, out);
+            render_op(right, compiled, depth + 1, out);
         }
         OpKind::SetIntersect { left, right } => {
             out.push_str(&format!("SetIntersect{par}\n"));
-            render_op(left, depth + 1, out);
-            render_op(right, depth + 1, out);
+            render_op(left, compiled, depth + 1, out);
+            render_op(right, compiled, depth + 1, out);
         }
         OpKind::SetDiff { left, right } => {
             out.push_str(&format!("SetDiff{par}\n"));
-            render_op(left, depth + 1, out);
-            render_op(right, depth + 1, out);
+            render_op(left, compiled, depth + 1, out);
+            render_op(right, compiled, depth + 1, out);
         }
         OpKind::Distinct { input } => {
             out.push_str(&format!("Distinct{par}\n"));
-            render_op(input, depth + 1, out);
+            render_op(input, compiled, depth + 1, out);
         }
         OpKind::MapProject { head, input } => {
-            out.push_str(&format!("MapProject  head = {head}{par}\n"));
-            render_op(input, depth + 1, out);
+            let vm = vm_suffix(compiled, op.id);
+            out.push_str(&format!("MapProject  head = {head}{par}{vm}\n"));
+            render_op(input, compiled, depth + 1, out);
         }
         OpKind::Pipeline { stages } => {
             out.push_str(&format!("Pipeline{par}\n"));
             for stage in stages {
-                render_stage(stage, depth + 1, out);
+                render_stage(stage, compiled, depth + 1, out);
             }
         }
         OpKind::InlineDef { name, body } => {
             out.push_str(&format!("InlineDef {name}  (literal args inlined){par}\n"));
-            render_op(body, depth + 1, out);
+            render_op(body, compiled, depth + 1, out);
         }
         OpKind::Eval { expr } => {
             out.push_str(&format!("Eval  {expr}  (pure operand, interpreted){par}\n"));
@@ -502,7 +521,12 @@ fn render_op(op: &Op, depth: usize, out: &mut String) {
     }
 }
 
-fn render_stage(stage: &Stage, depth: usize, out: &mut String) {
+fn render_stage(
+    stage: &Stage,
+    compiled: &BTreeMap<NodeId, CompileVerdict>,
+    depth: usize,
+    out: &mut String,
+) {
     indent(depth, out);
     let par = par_suffix(&stage.par);
     match &stage.kind {
@@ -525,7 +549,8 @@ fn render_stage(stage: &Stage, depth: usize, out: &mut String) {
             ));
         }
         StageKind::Filter { pred } => {
-            out.push_str(&format!("Filter  {pred}{par}\n"));
+            let vm = vm_suffix(compiled, stage.id);
+            out.push_str(&format!("Filter  {pred}{par}{vm}\n"));
         }
         StageKind::HashIndexProbe {
             var,

@@ -46,13 +46,16 @@
 #![allow(clippy::result_large_err)]
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod exec;
 pub mod ir;
 mod lower;
 pub mod par;
 
+pub use bytecode::{compile, CompileVerdict, Program, VmCtx, VmMetrics, VmOutcome};
 pub use exec::{
-    execute, execute_metered, execute_with_profile, PlanProfile, PlanResult, ProfEntry,
+    execute, execute_instrumented, execute_metered, execute_with_profile, ExecMetrics, PlanProfile,
+    PlanResult, ProfEntry,
 };
 pub use ir::{
     EqKind, Guard, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage,
@@ -312,6 +315,7 @@ mod tests {
                 effect: Effect::empty(),
             },
             parallelism: 0,
+            compiled: Default::default(),
         };
         plan.number();
         let mut s1 = store.clone();

@@ -18,14 +18,18 @@
 //! effects must be pairwise non-interfering — and a refusal quotes the
 //! interfering atom pair.
 
+use crate::bytecode::{self, CompileVerdict};
 use crate::ir::{
-    EqKind, Guard, HashIndexBuild, KeyAccess, Op, OpKind, ParVerdict, Plan, Stage, StageKind,
+    EqKind, Guard, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage,
+    StageKind,
 };
 use ioql_ast::{Qualifier, Query, VarName};
 use ioql_effects::Effect;
 use ioql_eval::DefEnv;
 use ioql_opt::Stats;
 use ioql_schema::Schema;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How (and whether) to compute parallelism verdicts during lowering.
 ///
@@ -46,6 +50,14 @@ pub struct ParSpec<'a> {
     /// Infers the Figure-3 effect of one set-operator branch, or `None`
     /// when inference fails (the branch is then refused parallelism).
     pub branch_effect: Option<&'a BranchEffectFn<'a>>,
+    /// Whether to run the compile pass: each `MapProject` head and
+    /// `Filter` predicate is compiled to [`bytecode`] where the fragment
+    /// allows, recorded as a [`CompileVerdict`] in [`Plan::compiled`],
+    /// and the cost model stops charging interpreted per-row work for
+    /// predicates that compiled. `false` leaves [`Plan::compiled`] empty
+    /// and execution byte-identical to the interpreted tier by
+    /// construction (there is nothing to dispatch).
+    pub compile: bool,
 }
 
 /// A branch-effect oracle for [`ParSpec`]: infers the Figure-3 effect
@@ -59,6 +71,7 @@ impl ParSpec<'static> {
             parallelism: 0,
             schema: None,
             branch_effect: None,
+            compile: false,
         }
     }
 }
@@ -104,9 +117,72 @@ pub fn lower_with(
             effect: static_effect.clone(),
         },
         parallelism: spec.parallelism,
+        compiled: BTreeMap::new(),
     };
     plan.number();
+    if spec.compile {
+        let mut compiled = BTreeMap::new();
+        annotate_compile(&plan.root, &mut compiled);
+        plan.compiled = compiled;
+    }
     Some(plan)
+}
+
+/// The compile pass: walks the numbered tree and records a
+/// [`CompileVerdict`] for every expression-bearing node — `MapProject`
+/// heads (compiled against *all* of their pipeline's binders) and
+/// `Filter` predicates (against the binders of the generators *above*
+/// them, which is exactly the executor's binding stack when the stage
+/// runs). Probe stages keep their fused predicate interpreted: the probe
+/// is evaluated once per index build, not per row, so there is nothing
+/// to win.
+fn annotate_compile(op: &Op, compiled: &mut BTreeMap<NodeId, CompileVerdict>) {
+    match &op.kind {
+        OpKind::MapProject { head, input } => {
+            let mut binders = Vec::new();
+            if let OpKind::Pipeline { stages } = &input.kind {
+                for stage in stages {
+                    match &stage.kind {
+                        StageKind::ExtentScan { var, .. }
+                        | StageKind::Scan { var, .. }
+                        | StageKind::HashIndexProbe { var, .. } => binders.push(var.clone()),
+                        StageKind::Filter { .. } => {}
+                    }
+                }
+            }
+            compiled.insert(op.id, verdict(head, &binders));
+            annotate_compile(input, compiled);
+        }
+        OpKind::Pipeline { stages } => {
+            let mut binders: Vec<VarName> = Vec::new();
+            for stage in stages {
+                match &stage.kind {
+                    StageKind::ExtentScan { var, .. }
+                    | StageKind::Scan { var, .. }
+                    | StageKind::HashIndexProbe { var, .. } => binders.push(var.clone()),
+                    StageKind::Filter { pred } => {
+                        compiled.insert(stage.id, verdict(pred, &binders));
+                    }
+                }
+            }
+        }
+        OpKind::SetUnion { left, right }
+        | OpKind::SetIntersect { left, right }
+        | OpKind::SetDiff { left, right } => {
+            annotate_compile(left, compiled);
+            annotate_compile(right, compiled);
+        }
+        OpKind::Distinct { input } => annotate_compile(input, compiled),
+        OpKind::InlineDef { body, .. } => annotate_compile(body, compiled),
+        OpKind::ExtentScan { .. } | OpKind::Eval { .. } => {}
+    }
+}
+
+fn verdict(q: &Query, binders: &[VarName]) -> CompileVerdict {
+    match bytecode::compile(q, binders) {
+        Ok(prog) => CompileVerdict::Vm(Arc::new(prog)),
+        Err(reason) => CompileVerdict::Interp(reason),
+    }
 }
 
 /// Theorem 8 licensing for one set operator: do the branches' inferred
@@ -345,7 +421,15 @@ fn lower_quals(quals: &[Qualifier], stats: &Stats, spec: &ParSpec<'_>) -> Vec<St
                         // hash probe (~2 units) plus a fixed build
                         // overhead (~8). Both are in `Stats::work`
                         // units, so only the relative order matters.
-                        let scan_cost = est_rows.max(1).saturating_mul(stats.work(p).max(1));
+                        // When the compile tier will accept the
+                        // predicate, its per-row cost is a VM dispatch,
+                        // not an interpretation of the whole expression.
+                        let per_row = if spec.compile && pred_compiles(p, &binders, x) {
+                            stats.compiled_work()
+                        } else {
+                            stats.work(p).max(1)
+                        };
+                        let scan_cost = est_rows.max(1).saturating_mul(per_row);
                         let index_cost = stats
                             .work(&probe)
                             .saturating_add(2 * est_rows)
@@ -384,6 +468,15 @@ fn lower_quals(quals: &[Qualifier], stats: &Stats, spec: &ParSpec<'_>) -> Vec<St
         }
     }
     stages
+}
+
+/// Whether `pred` would compile when filtering rows of generator `x`
+/// under the enclosing `binders` — the cost model's view of the compile
+/// pass (same entry point, binder environment `binders ++ [x]`).
+fn pred_compiles(pred: &Query, binders: &[VarName], x: &VarName) -> bool {
+    let mut with_x = binders.to_vec();
+    with_x.push(x.clone());
+    bytecode::compile(pred, &with_x).is_ok()
 }
 
 /// Matches `pred` against the probe-eligible shape for generator

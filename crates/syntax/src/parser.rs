@@ -28,14 +28,42 @@ use ioql_ast::{Definition, IntOp, Program, Qualifier, Query, SetOp, Type, VarNam
 pub(crate) struct Cursor {
     toks: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
+
+/// Maximum expression-nesting depth. Recursive descent spends native
+/// stack per nesting level, so an adversarial input — `((((…1…))))`,
+/// `not not not …`, a tower of casts — could otherwise overflow the
+/// stack and abort the process instead of returning a diagnosable
+/// error. The cap is far above anything a legitimate query reaches and
+/// far below what overflows any supported stack size — one grammar
+/// level costs about a dozen native frames (`expr` through `atom`), so
+/// the cap must clear even a 2 MiB test-thread stack in debug builds
+/// with room to spare.
+const MAX_DEPTH: usize = 64;
 
 impl Cursor {
     pub(crate) fn new(input: &str) -> Result<Self, ParseError> {
         Ok(Cursor {
             toks: lex(input)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Enters one nesting level of the expression grammar, failing with
+    /// a line-accurate diagnostic (positioned at the token that opened
+    /// the level) once [`MAX_DEPTH`] is exceeded.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(format!("expression nesting exceeds {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
     }
 
     pub(crate) fn peek(&self) -> &Tok {
@@ -225,6 +253,13 @@ fn definitions(c: &mut Cursor) -> Result<Vec<Definition>, ParseError> {
 }
 
 pub(crate) fn expr(c: &mut Cursor) -> Result<Query, ParseError> {
+    c.enter()?;
+    let r = expr_inner(c);
+    c.exit();
+    r
+}
+
+fn expr_inner(c: &mut Cursor) -> Result<Query, ParseError> {
     if c.peek() == &Tok::If {
         c.bump();
         let cond = or_expr(c)?;
@@ -256,8 +291,14 @@ fn and_expr(c: &mut Cursor) -> Result<Query, ParseError> {
 }
 
 fn not_expr(c: &mut Cursor) -> Result<Query, ParseError> {
+    // Self-recursive without passing through `expr` — guarded itself,
+    // but only when a `not` actually nests (this function is on every
+    // precedence chain; charging unconditionally would double-count).
     if c.eat(Tok::Not) {
-        Ok(not_expr(c)?.not())
+        c.enter()?;
+        let r = not_expr(c).map(Query::not);
+        c.exit();
+        r
     } else {
         set_expr(c)
     }
@@ -323,15 +364,18 @@ fn mul_expr(c: &mut Cursor) -> Result<Query, ParseError> {
 }
 
 fn cast_expr(c: &mut Cursor) -> Result<Query, ParseError> {
-    // `(Ident)` followed by an expression start is a cast.
+    // `(Ident)` followed by an expression start is a cast. A cast tower
+    // recurses here without passing through `expr` — guarded itself.
     if c.peek() == &Tok::LParen {
         if let Tok::Ident(name) = c.peek_at(1).clone() {
             if c.peek_at(2) == &Tok::RParen && starts_expr(c.peek_at(3)) {
+                c.enter()?;
                 c.bump();
                 c.bump();
                 c.bump();
-                let inner = cast_expr(c)?;
-                return Ok(inner.cast(name));
+                let inner = cast_expr(c);
+                c.exit();
+                return Ok(inner?.cast(name));
             }
         }
     }
@@ -865,6 +909,58 @@ mod tests {
         assert!(e.message.contains("expected an expression"));
         let e = parse_query("{1, }").unwrap_err();
         assert!(e.col > 1);
+    }
+
+    #[test]
+    fn adversarial_nesting_errors_instead_of_overflowing() {
+        // 100k open parens must come back as a parse error, not blow
+        // the native stack and abort the process.
+        let deep = "(".repeat(100_000) + "1" + &")".repeat(100_000);
+        let e = parse_query(&deep).unwrap_err();
+        assert!(
+            e.message.contains("nesting exceeds"),
+            "diagnosis names the depth cap: {}",
+            e.message
+        );
+        // The guard also covers the recursions that bypass `expr`:
+        // `not` towers and cast towers.
+        let nots = "not ".repeat(100_000) + "true";
+        assert!(parse_query(&nots)
+            .unwrap_err()
+            .message
+            .contains("nesting exceeds"));
+        let casts = "(C)".repeat(100_000) + "x";
+        assert!(parse_query(&casts)
+            .unwrap_err()
+            .message
+            .contains("nesting exceeds"));
+        // …and a mixed `if` ladder through set literals.
+        let ifs = "{ if true then ".repeat(50_000) + "1" + &" else 2 }".repeat(50_000);
+        assert!(parse_query(&ifs).is_err());
+    }
+
+    #[test]
+    fn depth_diagnostic_is_line_accurate() {
+        // Nesting spread over lines: the error points at the line (and
+        // column) where the one-too-deep level opens, not at line 1.
+        let levels = super::MAX_DEPTH + 1;
+        let deep = "(\n".repeat(levels) + "1" + &")".repeat(levels);
+        let e = parse_query(&deep).unwrap_err();
+        assert_eq!(
+            e.line, levels,
+            "the diagnostic points at the paren that broke the cap"
+        );
+        assert!(e.message.contains("nesting exceeds"));
+    }
+
+    #[test]
+    fn deep_but_legal_nesting_still_parses() {
+        // Real queries never get close to the cap; a comfortably deep
+        // expression stays accepted.
+        let deep = "(".repeat(48) + "1" + &")".repeat(48);
+        assert_eq!(parse_query(&deep).unwrap(), Query::int(1));
+        let nots = "not ".repeat(48) + "true";
+        assert!(parse_query(&nots).is_ok());
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn lower_par(fx: &Fixture, q: &Query, parallelism: usize) -> Option<Plan> {
     let branch = |bq: &Query| infer_query(&eenv, bq).ok().map(|(_, e)| e);
     let spec = ParSpec {
         parallelism,
+        compile: false,
         schema: Some(&fx.schema),
         branch_effect: Some(&branch),
     };
@@ -370,6 +371,7 @@ fn plan_render_shows_par_and_seq_verdicts() {
         &stats,
         &ParSpec {
             parallelism: 4,
+            compile: false,
             schema: Some(&fx.schema),
             branch_effect: Some(&real),
         },
@@ -402,6 +404,7 @@ fn plan_render_shows_par_and_seq_verdicts() {
         &stats,
         &ParSpec {
             parallelism: 4,
+            compile: false,
             schema: Some(&fx.schema),
             branch_effect: Some(&lying),
         },

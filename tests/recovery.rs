@@ -658,3 +658,204 @@ fn durability_off_changes_no_observable() {
     let log = std::fs::read_to_string(wal_path(dir.path(), 0)).unwrap();
     assert_eq!(log, "ioql-wal v1 gen=0\n");
 }
+
+// ---------------------------------------------------------------------
+// `:load` under durability: checkpoint-failure atomicity.
+
+/// A `:load` on a durable database swaps the store in memory and then
+/// checkpoints the loaded state. If the checkpoint fails, the swap must
+/// be **rolled back**: without the rollback, the session keeps
+/// answering from the loaded store while recovery — the log still
+/// describes the replaced one — silently resurrects the old state
+/// after a crash.
+#[test]
+fn failed_load_checkpoint_rolls_back_the_swap() {
+    let dir = TempDir::new("load-rollback");
+    let mut db = db_with(Engine::BigStep, Durability::Commit);
+    db.attach_durable(dir.path()).unwrap();
+    db.query(MUTATIONS[0]).unwrap();
+    db.query(MUTATIONS[1]).unwrap();
+    let before = db.store().clone();
+
+    // A dump of a recognizably different store.
+    let (dump, loaded_ref) = {
+        let mut other = db_with(Engine::BigStep, Durability::Off);
+        other.query(MUTATIONS[5]).unwrap();
+        (other.dump(), other.store().clone())
+    };
+
+    // Sabotage the next checkpoint generation: a directory squatting on
+    // `wal-<g+1>.log` makes the new log's creation fail — *after* the
+    // load has already swapped stores in memory.
+    let gen = db.wal_status().unwrap().generation;
+    std::fs::create_dir(wal_path(dir.path(), gen + 1)).unwrap();
+
+    let err = db.load(&dump).unwrap_err();
+    assert!(
+        err.to_string().contains("create"),
+        "the error cites the failed checkpoint: {err}"
+    );
+    // The swap was rolled back: memory still holds the old store, the
+    // generation did not advance, and the log is not poisoned.
+    assert_eq!(
+        db.store(),
+        &before,
+        "failed load must leave the store untouched"
+    );
+    let status = db.wal_status().unwrap();
+    assert_eq!(status.generation, gen);
+    assert!(
+        !status.poisoned,
+        "a failed checkpoint is not a failed append"
+    );
+
+    // The database keeps committing against the old state…
+    db.query(MUTATIONS[2]).unwrap();
+    let expected = {
+        let mut reference = db_with(Engine::BigStep, Durability::Off);
+        for q in &MUTATIONS[..3] {
+            reference.query(q).unwrap();
+        }
+        reference.store().clone()
+    };
+    drop(db);
+
+    // …and a crash recovers exactly that history — memory and disk
+    // never disagreed.
+    std::fs::remove_dir(wal_path(dir.path(), gen + 1)).unwrap();
+    let (mut rec, _) = recover(Engine::BigStep, Durability::Commit, dir.path()).unwrap();
+    assert!(
+        equiv_stores(rec.store(), &expected),
+        "recovery must replay the pre-load history"
+    );
+
+    // With the obstruction gone, the same load succeeds and the loaded
+    // store becomes the durable baseline.
+    rec.load(&dump).unwrap();
+    assert!(equiv_stores(rec.store(), &loaded_ref));
+    drop(rec);
+    let (rec2, report) = recover(Engine::BigStep, Durability::Commit, dir.path()).unwrap();
+    assert!(
+        report.checkpoint_loaded,
+        "the load's checkpoint is the baseline"
+    );
+    assert!(
+        equiv_stores(rec2.store(), &loaded_ref),
+        "recovery after a successful load yields the loaded store"
+    );
+}
+
+// ---------------------------------------------------------------------
+// `Batch(n)` acknowledgement boundaries.
+
+/// `Batch(1)` *is* `Commit`: every record's acknowledgement has its own
+/// fsync behind it, so under any crash point the two modes ack the same
+/// prefix, fsync the same number of times, and recover the same store.
+#[test]
+fn batch_of_one_acknowledges_like_commit() {
+    let prefixes = reference_prefixes();
+
+    // Clean runs: identical fsync cadence (one per append), never a
+    // pending record.
+    for mode in [Durability::Commit, Durability::Batch(1)] {
+        let dir = TempDir::new("batch1-clean");
+        let mut db = db_with(Engine::BigStep, mode);
+        db.attach_durable(dir.path()).unwrap();
+        for q in MUTATIONS {
+            db.query(q).unwrap();
+            assert_eq!(
+                db.wal_status().unwrap().pending,
+                0,
+                "{mode:?}: no acked record may wait"
+            );
+        }
+        assert_eq!(
+            db.metrics().wal_fsyncs.get(),
+            db.metrics().wal_appends.get()
+        );
+        assert_eq!(
+            db.metrics().wal_group_commits.get(),
+            0,
+            "{mode:?}: groups of one are not group commits"
+        );
+    }
+
+    // Sync-crash sweep: at every crash point both modes acknowledge the
+    // same commits and recover the same prefix — and no acked commit is
+    // ever lost.
+    for sync_budget in 0..=4u64 {
+        let mut per_mode = Vec::new();
+        for mode in [Durability::Commit, Durability::Batch(1)] {
+            let dir = TempDir::new("batch1-crash");
+            let mut db = db_with(Engine::SmallStep, mode);
+            db.attach_durable_with(dir.path(), CrashSink::factory(None, Some(sync_budget)))
+                .unwrap();
+            let acks: Vec<bool> = MUTATIONS.iter().map(|q| db.query(q).is_ok()).collect();
+            drop(db);
+            let (rec, _) = recover(Engine::SmallStep, mode, dir.path()).unwrap();
+            let k = matching_prefix(rec.store(), &prefixes)
+                .unwrap_or_else(|| panic!("{mode:?} sync {sync_budget}: no prefix"));
+            let acked = acks.iter().filter(|a| **a).count();
+            assert!(
+                k >= acked,
+                "{mode:?} sync {sync_budget}: acked commit lost (prefix {k}, acked {acked})"
+            );
+            per_mode.push((acks, k));
+        }
+        assert_eq!(
+            per_mode[0], per_mode[1],
+            "sync {sync_budget}: Batch(1) must ack and recover exactly like Commit"
+        );
+    }
+}
+
+/// Under `Batch(n)` the only records at risk are the acknowledged-but-
+/// unsynced tail, and that tail is always shorter than `n`: a crash may
+/// lose it, but never a record covered by a group fsync.
+#[test]
+fn batch_tail_loss_is_bounded_by_group_size() {
+    let prefixes = reference_prefixes();
+    for n in [2u64, 3] {
+        // Clean partial run: the pending tail is exactly `appends mod n`,
+        // strictly below `n` at every point.
+        let dir = TempDir::new("batch-tail");
+        let mut db = db_with(Engine::BigStep, Durability::Batch(n as usize));
+        db.attach_durable(dir.path()).unwrap();
+        for (i, q) in MUTATIONS[..5].iter().enumerate() {
+            db.query(q).unwrap();
+            let pending = db.wal_status().unwrap().pending;
+            assert_eq!(
+                pending,
+                (i as u64 + 1) % n,
+                "Batch({n}) pending after {} appends",
+                i + 1
+            );
+            assert!(
+                pending < n,
+                "the unacked tail must stay below the group size"
+            );
+        }
+
+        // Crash sweep: whatever the crash point, the recovered prefix
+        // drops at most the sub-group tail — strictly fewer than `n`
+        // acknowledged records.
+        for sync_budget in 0..=3u64 {
+            let dir = TempDir::new("batch-tail-crash");
+            let mut db = db_with(Engine::SmallStep, Durability::Batch(n as usize));
+            db.attach_durable_with(dir.path(), CrashSink::factory(None, Some(sync_budget)))
+                .unwrap();
+            let acked = MUTATIONS.iter().filter(|q| db.query(q).is_ok()).count();
+            drop(db);
+            let (rec, _) =
+                recover(Engine::SmallStep, Durability::Batch(n as usize), dir.path()).unwrap();
+            let k = matching_prefix(rec.store(), &prefixes)
+                .unwrap_or_else(|| panic!("Batch({n}) sync {sync_budget}: no prefix"));
+            assert!(
+                k + (n as usize) > acked,
+                "Batch({n}) sync {sync_budget}: lost {} acked records, bound is {}",
+                acked.saturating_sub(k),
+                n - 1
+            );
+        }
+    }
+}
