@@ -1,15 +1,18 @@
 //! `ioql-bench` — offline perf runner for the plan-engine execution
-//! tiers.
+//! tiers and the multi-client query server.
 //!
-//! Emits `BENCH_7.json`: interpreted-vs-compiled × sequential-vs-
-//! parallel wall-clock timings for the B6 (join), B7 (selective
-//! equality), and B8 (100k-object scan) workloads. The Criterion suites
+//! Emits `BENCH_8.json`: the BENCH_7 interpreted-vs-compiled ×
+//! sequential-vs-parallel quads for the B6 (join), B7 (selective
+//! equality), and B8 (100k-object scan) workloads, plus the B9 serve
+//! matrix — 1/4/16 wire clients × read-heavy/mixed workloads against
+//! one admission-scheduled kernel, with observed throughput and the
+//! scheduler's admitted/serialized split per cell. The Criterion suites
 //! in `crates/bench` need the registry; this runner is dependency-free
 //! (`std::time::Instant`, hand-rolled JSON) so the perf trajectory
 //! stays machine-readable on offline machines.
 //!
 //! ```sh
-//! ioql-bench                 # writes BENCH_7.json in the cwd
+//! ioql-bench                 # writes BENCH_8.json in the cwd
 //! ioql-bench --out perf.json
 //! ```
 //!
@@ -31,11 +34,15 @@
 //!   PR 5 gate, re-checked so the compile tier cannot regress it) —
 //!   enforced only when the host reports ≥ 2 CPUs, since a 1-CPU
 //!   cgroup serializes the pool and the ratio measures the scheduler,
-//!   not the engine.
+//!   not the engine;
+//! * B9 read-heavy concurrent throughput ≥ 2× over the 1-client
+//!   baseline at the best multi-client cell — likewise enforced only
+//!   on ≥ 2 CPUs, since on one CPU the admitted snapshots still share
+//!   a core and the ratio measures timeslicing, not admission.
 
 #![allow(clippy::result_large_err)] // cold-path bench errors
 
-use ioql::{Database, DbOptions, Engine};
+use ioql::{Client, Database, DbOptions, Engine};
 use std::time::Instant;
 
 const DDL: &str = "
@@ -167,8 +174,95 @@ fn run_quad(id: &'static str, n: usize, query: &'static str, iters: usize) -> Ro
     row
 }
 
+// ---------------------------------------------------------------------
+// B9 — the serve matrix: N wire clients against one kernel.
+
+const SERVE_POPULATION: usize = 20_000;
+const SERVE_REQUESTS: usize = 240;
+const SERVE_READ: &str = "sum({ p.age | p <- Persons, p.name <= 20000 })";
+const SERVE_WRITE: &str = "size({ new Person(name: 0, age: 0) | n <- {1} })";
+
+struct ServeCell {
+    clients: usize,
+    workload: &'static str,
+    wall_ms: f64,
+    req_per_s: f64,
+    admitted: u64,
+    serialized: u64,
+    max_inflight: u64,
+}
+
+/// Drive `SERVE_REQUESTS` requests split evenly across `clients` wire
+/// connections; `write_every == 0` means read-only, otherwise every
+/// `write_every`-th request per client is a mutating query. A fresh
+/// kernel per cell keeps the scheduler counters attributable.
+fn run_serve_cell(clients: usize, workload: &'static str, write_every: usize) -> ServeCell {
+    eprintln!("[B9-serve] {workload} × {clients} client(s)…");
+    // Cache off so every admitted read does real evaluation work —
+    // with the cache on, throughput would measure frame parsing.
+    let db = persons(SERVE_POPULATION, 0, false);
+    let mut server = db.serve("127.0.0.1:0").expect("bench serve");
+    let addr = server.addr();
+    let per_client = SERVE_REQUESTS / clients;
+    let t = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..clients {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("bench client");
+            let mut reads = String::new();
+            for i in 0..per_client {
+                let src = if write_every > 0 && (i + 1) % write_every == 0 {
+                    SERVE_WRITE
+                } else {
+                    SERVE_READ
+                };
+                let frame = c.request(src).expect("bench request");
+                assert!(frame.is_ok(), "bench request failed: {:?}", frame.status);
+                if src == SERVE_READ {
+                    if reads.is_empty() {
+                        reads = frame.lines[0].clone();
+                    } else if write_every == 0 {
+                        // Read-only cells: every answer must be identical.
+                        assert_eq!(reads, frame.lines[0], "read-only answers diverged");
+                    }
+                }
+            }
+            let _ = c.request(":quit");
+            reads
+        }));
+    }
+    let answers: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+    if write_every == 0 {
+        // Across clients too: one snapshot, one answer.
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "clients disagreed"
+        );
+    }
+    let sched = &db.metrics().sched;
+    let (_, _, max_inflight, _) = db.kernel().sched_snapshot();
+    let done = per_client * clients;
+    let cell = ServeCell {
+        clients,
+        workload,
+        wall_ms,
+        req_per_s: done as f64 / (wall_ms / 1e3),
+        admitted: sched.admitted.get(),
+        serialized: sched.serialized.get(),
+        max_inflight,
+    };
+    eprintln!(
+        "[B9-serve] {workload} × {clients}: {done} req in {wall_ms:.1} ms \
+         ({:.0} req/s), admitted {}, serialized {}, max in-flight {}",
+        cell.req_per_s, cell.admitted, cell.serialized, cell.max_inflight
+    );
+    cell
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -180,7 +274,7 @@ fn main() {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: ioql-bench [--out FILE]   (default: BENCH_7.json)");
+                println!("usage: ioql-bench [--out FILE]   (default: BENCH_8.json)");
                 return;
             }
             other => {
@@ -217,6 +311,17 @@ fn main() {
         run_quad("B8-scan", 100_000, "{ p.name | p <- Persons }", 1),
     ];
 
+    // B9 — the serve matrix. Read-heavy is pure reads (every request
+    // snapshot-admitted); mixed interleaves one writer per eight
+    // requests per client, so serializations and snapshots coexist.
+    let mut serve_cells = Vec::new();
+    for clients in [1usize, 4, 16] {
+        serve_cells.push(run_serve_cell(clients, "read-heavy", 0));
+    }
+    for clients in [1usize, 4, 16] {
+        serve_cells.push(run_serve_cell(clients, "mixed", 8));
+    }
+
     let b6 = &rows[0];
     let b8 = &rows[2];
     assert!(
@@ -228,10 +333,37 @@ fn main() {
     let b6_gate = b6_vs_baseline >= 5.0;
     let b8_gate = host < 2 || ratio(b8.ms[0], b8.ms[2]) >= 2.0;
 
+    // Sanity invariants that hold on any host: pure reads never
+    // serialize, and the multi-client read cells genuinely overlapped.
+    for c in &serve_cells {
+        if c.workload == "read-heavy" {
+            assert_eq!(c.serialized, 0, "a pure read serialized");
+            if c.clients > 1 {
+                assert!(
+                    c.max_inflight > 1,
+                    "{} read clients never overlapped in flight",
+                    c.clients
+                );
+            }
+        }
+    }
+    let read_base = serve_cells
+        .iter()
+        .find(|c| c.workload == "read-heavy" && c.clients == 1)
+        .unwrap()
+        .req_per_s;
+    let read_best = serve_cells
+        .iter()
+        .filter(|c| c.workload == "read-heavy" && c.clients > 1)
+        .map(|c| c.req_per_s)
+        .fold(0.0f64, f64::max);
+    let b9_scaling = ratio(read_best, read_base);
+    let b9_gate = host < 2 || b9_scaling >= 2.0;
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_7\",\n");
-    json.push_str("  \"description\": \"interpreted vs compiled (bytecode VM) x sequential vs parallel (Engine::Plan, cache off)\",\n");
+    json.push_str("  \"bench\": \"BENCH_8\",\n");
+    json.push_str("  \"description\": \"interpreted vs compiled (bytecode VM) x sequential vs parallel (Engine::Plan, cache off), plus the B9 serve matrix (wire clients x workload against one admission-scheduled kernel)\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"pool_size\": {PAR},\n"));
     json.push_str(&format!(
@@ -264,15 +396,44 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"serve_matrix\": [\n");
+    for (i, c) in serve_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"id\": \"B9-serve\", \"workload\": \"{}\", \"clients\": {}, \
+             \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}, \
+             \"admitted\": {}, \"serialized\": {}, \"max_inflight_readers\": {} }}{}\n",
+            c.workload,
+            c.clients,
+            SERVE_REQUESTS / c.clients * c.clients,
+            c.wall_ms,
+            c.req_per_s,
+            c.admitted,
+            c.serialized,
+            c.max_inflight,
+            if i + 1 < serve_cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"b9_read_throughput_scaling_vs_1_client\": {b9_scaling:.3},\n"
+    ));
     json.push_str(&format!(
         "  \"b6_vm_seq_at_least_5x_vs_bench5_baseline\": {b6_gate},\n"
     ));
     json.push_str(&format!(
-        "  \"b8_par_speedup_at_least_2x\": {}\n",
+        "  \"b8_par_speedup_at_least_2x\": {},\n",
         if host < 2 {
             "\"skipped (1-cpu host)\"".to_string()
         } else {
             b8_gate.to_string()
+        }
+    ));
+    json.push_str(&format!(
+        "  \"b9_concurrent_read_throughput_at_least_2x\": {}\n",
+        if host < 2 {
+            "\"skipped (1-cpu host)\"".to_string()
+        } else {
+            b9_gate.to_string()
         }
     ));
     json.push_str("}\n");
@@ -291,6 +452,13 @@ fn main() {
         eprintln!(
             "B8 parallel speedup {:.2}× is below the 2× acceptance bound",
             ratio(b8.ms[0], b8.ms[2])
+        );
+        std::process::exit(1);
+    }
+    if !b9_gate {
+        eprintln!(
+            "B9 concurrent read throughput {b9_scaling:.2}× over the 1-client \
+             baseline is below the 2× acceptance bound"
         );
         std::process::exit(1);
     }

@@ -8,6 +8,7 @@
 //! ioql schema.odl --parallelism 4   # effect-licensed parallel execution
 //! ioql schema.odl --compile    # bytecode VM for predicates and heads
 //! ioql schema.odl --durable state/  # crash-safe: WAL + checkpoints, recovery on start
+//! ioql schema.odl --serve 127.0.0.1:7583   # multi-client TCP server (line protocol)
 //! ```
 //!
 //! REPL commands (same list as `:help`):
@@ -29,6 +30,7 @@
 //! :load <file>       load a store dump (replaces current contents)
 //! :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
 //! :wal status        write-ahead log mode, generation, append/fsync state
+//! :serve <addr>      serve this database to TCP clients (admission-scheduled)
 //! :schema            list classes, attributes, methods
 //! :extents           list extents and their sizes
 //! :help              this text
@@ -61,6 +63,7 @@ commands:
   :load <file>       load a store dump (replaces current contents)
   :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
   :wal status        write-ahead log mode, generation, append/fsync state
+  :serve <addr>      serve this database to TCP clients (admission-scheduled)
   :schema            list classes, attributes, methods
   :extents           list extents and their sizes
   :help              this text
@@ -75,6 +78,7 @@ fn main() {
     let mut parallelism: Option<usize> = None;
     let mut compile = false;
     let mut durable: Option<String> = None;
+    let mut serve: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
@@ -85,6 +89,13 @@ fn main() {
                 durable = args.next();
                 if durable.is_none() {
                     eprintln!("--durable needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--serve" => {
+                serve = args.next();
+                if serve.is_none() {
+                    eprintln!("--serve needs an address (e.g. 127.0.0.1:7583)");
                     std::process::exit(2);
                 }
             }
@@ -106,7 +117,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] \
-                     [--parallelism N] [--compile] [--durable DIR] [-e QUERY]\n\n{HELP}"
+                     [--parallelism N] [--compile] [--durable DIR] [--serve ADDR] \
+                     [-e QUERY]\n\n{HELP}"
                 );
                 return;
             }
@@ -171,6 +183,21 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    if let Some(addr) = serve {
+        // Foreground server: block until killed. Stdout is line-buffered
+        // noise-free so scripts can scrape the bound address.
+        match db.serve(&addr) {
+            Ok(mut handle) => {
+                println!("serving on {}", handle.addr());
+                handle.wait();
+                return;
+            }
+            Err(e) => {
+                eprintln!("--serve {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     println!("ioql — executable semantics of object queries (SIGMOD 2003). :help for commands.");
@@ -252,6 +279,16 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
             Some(status) => println!("{status}"),
             None => println!("wal: off (start with --durable <dir> to enable)"),
         }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":serve ") {
+        let handle = db
+            .serve(rest.trim())
+            .map_err(|e| DbError::Io(format!(":serve {}: {e}", rest.trim())))?;
+        println!("serving on {} (runs until the shell exits)", handle.addr());
+        // Keep the server alive for the rest of the session: dropping
+        // the handle would shut it down.
+        std::mem::forget(handle);
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix(":analyze ") {
@@ -391,6 +428,20 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
             v.fallbacks.get(),
             v.dispatches.get()
         );
+        let (commits, inflight, max_inflight, witnesses) = db.kernel().sched_snapshot();
+        let sm = &db.metrics().sched;
+        println!(
+            "sched: {} committed writer(s), {} in-flight reader(s), max concurrent {}, \
+             admitted {}, serialized {}",
+            commits,
+            inflight,
+            max_inflight,
+            sm.admitted.get(),
+            sm.serialized.get()
+        );
+        if !witnesses.is_empty() {
+            println!("recent witnesses: {}", witnesses.join(" "));
+        }
         for (e, _c) in db.schema().extents() {
             println!(
                 "extent {e}: {} object(s), version {}",

@@ -1,26 +1,36 @@
-//! The end-to-end pipeline: one type that owns a schema and a store and
-//! runs text through parse → resolve → elaborate/type → effect-infer →
-//! (optionally optimize) → evaluate.
+//! The embedded database facade: one handle over a shared
+//! [`DbKernel`], running text through parse → resolve →
+//! elaborate/type → effect-infer → (optionally optimize) → evaluate.
+//!
+//! [`Database`] is the *exclusive* handle — each query runs under the
+//! kernel's state write lock against the live store, exactly as the
+//! pre-split monolith did, so embedded callers see zero behavioural
+//! change. Concurrent multi-client access goes through
+//! [`Database::session`] (effect-scheduled admission — see
+//! [`crate::sched`]) and [`Database::serve`] (the TCP server).
 
 use crate::analysis::{collect_commutations, Analysis};
-use crate::cache::{CacheEntry, CacheStats, QueryCache};
+use crate::cache::CacheStats;
+use crate::cache::QueryCache;
 use crate::error::DbError;
-use ioql_ast::{DefName, Definition, FnType, Program, Query, Type, Value};
-use ioql_effects::{
-    effect_extents, infer_query, Discipline, Effect, EffectEnv, EffectError, MethodEffects,
-};
+use crate::kernel::{DbKernel, ExecMode, KernelState};
+use crate::sched::{Admitted, SchedMetrics};
+use crate::session::Session;
+use ioql_ast::{Definition, Query, Type, Value};
+use ioql_effects::{infer_query, Discipline, Effect, EffectError};
 use ioql_eval::{
-    eval_big, evaluate, explore_outcomes, Chooser, CountingChooser, DefEnv, EvalConfig,
-    EvalMetrics, Exploration, FirstChooser, Governor, GovernorMetrics, Limits, RecordingChooser,
+    evaluate, Chooser, DefEnv, EvalMetrics, Exploration, FirstChooser, Governor, GovernorMetrics,
+    Limits,
 };
 use ioql_methods::{check_schema_methods, effect_table, Mode};
-use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
+use ioql_opt::AppliedRewrite;
 use ioql_schema::Schema;
-use ioql_store::{Durability, Store, WalPayload};
-use ioql_syntax::{parse_definitions, parse_program, parse_schema};
+use ioql_store::{Durability, Store};
+use ioql_syntax::{parse_program, parse_schema};
 use ioql_telemetry::{Counter, EventSink, Histogram, MetricsRegistry};
-use ioql_types::{check_query, TypeEnv, TypeOptions};
+use ioql_types::TypeOptions;
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -125,6 +135,16 @@ pub struct DbOptions {
     /// the log entirely under every mode — the effect system proves
     /// they have nothing to persist.
     pub durability: Durability,
+    /// Cumulative resource budget for one [`Session`]: when set, every
+    /// session built from these options meters **all** of its queries
+    /// against a single long-lived [`Governor`] constructed from these
+    /// limits, so one greedy client exhausts its own budget instead of
+    /// starving the others. `None` (the default) gives sessions the
+    /// per-query [`DbOptions::limits`] behaviour. Trips are surfaced
+    /// per-session (see [`Session::describe`]) and in the shared
+    /// governor trip counters. The embedded [`Database`] handle ignores
+    /// this field.
+    pub session_budget: Option<Limits>,
 }
 
 impl Default for DbOptions {
@@ -149,6 +169,7 @@ impl Default for DbOptions {
                 .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
                 .unwrap_or(false),
             durability: Durability::Off,
+            session_budget: None,
         }
     }
 }
@@ -177,12 +198,12 @@ pub struct DbMetrics {
     pub cache_misses: Counter,
     /// Query-cache evictions (capacity and staleness).
     pub cache_evictions: Counter,
-    phase_parse: Histogram,
-    phase_typecheck: Histogram,
-    phase_effect: Histogram,
-    phase_optimize: Histogram,
-    phase_lower: Histogram,
-    phase_execute: Histogram,
+    pub(crate) phase_parse: Histogram,
+    pub(crate) phase_typecheck: Histogram,
+    pub(crate) phase_effect: Histogram,
+    pub(crate) phase_optimize: Histogram,
+    pub(crate) phase_lower: Histogram,
+    pub(crate) phase_execute: Histogram,
     /// Governor charge/trip counters (shared with every [`Governor`]
     /// built by [`Database::governor`]).
     pub governor: GovernorMetrics,
@@ -195,6 +216,10 @@ pub struct DbMetrics {
     /// Bytecode-VM counters: plan nodes compiled vs. kept interpreted,
     /// rows dispatched through the VM, and batch dispatch wall time.
     pub vm: ioql_plan::VmMetrics,
+    /// Admission-controller counters: queries admitted concurrently,
+    /// queries serialized (with their interference witnesses), and the
+    /// submission-to-admission wait histogram — see [`crate::sched`].
+    pub sched: SchedMetrics,
     /// WAL records appended (one per committed mutating query or logged
     /// definition).
     pub wal_appends: Counter,
@@ -258,6 +283,12 @@ impl DbMetrics {
             },
             parallel: ioql_plan::ParMetrics::new(&registry),
             vm: ioql_plan::VmMetrics::new(&registry),
+            sched: SchedMetrics {
+                admitted: c("ioql_sched_admitted_total"),
+                serialized: c("ioql_sched_serialized_total"),
+                witnesses: c("ioql_sched_witnesses_total"),
+                wait_ns: registry.histogram("ioql_sched_wait_ns"),
+            },
             wal_appends: c("ioql_wal_appends_total"),
             wal_skipped_effect: c("ioql_wal_skipped_effect_total"),
             wal_fsyncs: c("ioql_wal_fsyncs_total"),
@@ -302,26 +333,81 @@ pub struct QueryResult {
     /// regardless of [`DbOptions::telemetry`] — purely informational;
     /// nothing reads it back.
     pub elapsed: Duration,
+    /// How the admission controller scheduled this query: a snapshot
+    /// stamp for a concurrently-admitted reader, a commit-order stamp
+    /// plus interference witness for a serialized writer. `None` on the
+    /// embedded exclusive path ([`Database::query`] and friends), which
+    /// bypasses admission entirely.
+    pub admitted: Option<Admitted>,
 }
 
-/// An IOQL database: schema + store + named query definitions.
-#[derive(Clone, Debug)]
+/// Read access to the shared store: a lock guard dereferencing to
+/// [`Store`]. Dropping it releases the kernel's state read lock — do
+/// not hold one across a `query`/`define` call on the same database.
+pub struct StoreRef<'a> {
+    pub(crate) guard: std::sync::RwLockReadGuard<'a, KernelState>,
+}
+
+impl Deref for StoreRef<'_> {
+    type Target = Store;
+    fn deref(&self) -> &Store {
+        &self.guard.store
+    }
+}
+
+/// Mutable access to the shared store: a lock guard dereferencing to
+/// [`Store`]. Dropping it releases the kernel's state write lock — do
+/// not hold one across a `query`/`define` call on the same database.
+pub struct StoreRefMut<'a> {
+    pub(crate) guard: std::sync::RwLockWriteGuard<'a, KernelState>,
+}
+
+impl Deref for StoreRefMut<'_> {
+    type Target = Store;
+    fn deref(&self) -> &Store {
+        &self.guard.store
+    }
+}
+
+impl DerefMut for StoreRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut Store {
+        &mut self.guard.store
+    }
+}
+
+/// An IOQL database: the embedded, exclusive handle over a (possibly
+/// shared) [`DbKernel`] — schema + store + named query definitions.
+#[derive(Debug)]
 pub struct Database {
-    schema: Schema,
-    store: Store,
-    defs: Vec<Definition>,
-    def_types: BTreeMap<DefName, FnType>,
-    def_effects: BTreeMap<DefName, (FnType, Effect)>,
-    method_effects: MethodEffects,
+    kernel: Arc<DbKernel>,
     options: DbOptions,
-    cache: QueryCache,
-    metrics: DbMetrics,
-    /// JSONL event sink, shared by clones of this database.
-    sink: Option<Arc<EventSink>>,
-    /// Durable log state (WAL + poison flag), shared by clones — the
-    /// clones append to one log, exactly as they write to one sink.
-    /// `None` until [`Database::attach_durable`].
-    durable: Option<Arc<std::sync::Mutex<crate::durable::DurableLog>>>,
+}
+
+impl Clone for Database {
+    /// Clones the database **state**: the clone gets its own kernel with
+    /// an independent copy of the store, definitions, and cache, while
+    /// *sharing* the original's telemetry registry, JSONL sink, and
+    /// durable log — exactly the pre-split semantics (clones append to
+    /// one log and one sink, but mutate their own stores). To share
+    /// *live* state instead, hand out [`Database::session`] handles or
+    /// clone the [`Database::kernel`] `Arc`.
+    fn clone(&self) -> Database {
+        let k = &*self.kernel;
+        let state = k.read_state().clone();
+        let cache = k.cache.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        Database {
+            kernel: Arc::new(DbKernel::new(
+                k.schema.clone(),
+                k.method_effects.clone(),
+                state,
+                cache,
+                k.metrics.clone(),
+                k.sink.clone(),
+                k.durable_handle(),
+            )),
+            options: self.options.clone(),
+        }
+    }
 }
 
 impl Database {
@@ -357,34 +443,57 @@ impl Database {
             metrics.cache_misses.clone(),
             metrics.cache_evictions.clone(),
         );
-        Ok(Database {
-            schema,
+        let state = KernelState {
             store,
             defs: Vec::new(),
             def_types: BTreeMap::new(),
             def_effects: BTreeMap::new(),
-            method_effects,
+        };
+        Ok(Database {
+            kernel: Arc::new(DbKernel::new(
+                schema,
+                method_effects,
+                state,
+                cache,
+                metrics,
+                sink,
+                None,
+            )),
             options,
-            cache,
-            metrics,
-            sink,
-            durable: None,
         })
+    }
+
+    /// The shared kernel this handle runs against. Clone the `Arc` to
+    /// build [`Session`]s (or whole servers) over the same live state.
+    pub fn kernel(&self) -> &Arc<DbKernel> {
+        &self.kernel
+    }
+
+    /// A new admission-scheduled [`Session`] over this database's
+    /// kernel, labelled for telemetry. The session starts from this
+    /// handle's current options (including [`DbOptions::session_budget`]).
+    pub fn session(&self, label: impl Into<String>) -> Session {
+        Session::new(Arc::clone(&self.kernel), self.options.clone(), label.into())
     }
 
     /// The schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.kernel.schema()
     }
 
-    /// The store (read access).
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// The store (read access, behind the kernel's state read lock).
+    pub fn store(&self) -> StoreRef<'_> {
+        StoreRef {
+            guard: self.kernel.read_state(),
+        }
     }
 
-    /// The store (mutable access, for direct population in tests/benches).
-    pub fn store_mut(&mut self) -> &mut Store {
-        &mut self.store
+    /// The store (mutable access, for direct population in
+    /// tests/benches; behind the kernel's state write lock).
+    pub fn store_mut(&mut self) -> StoreRefMut<'_> {
+        StoreRefMut {
+            guard: self.kernel.write_state(),
+        }
     }
 
     /// The options.
@@ -394,7 +503,9 @@ impl Database {
 
     /// Replaces the options wholesale; takes effect on the next query.
     /// (Recovery uses this to replay logged queries with the optimizer
-    /// and limits off, then restores the caller's options.)
+    /// and limits off, then restores the caller's options.) Options are
+    /// per-handle: sessions and other handles on the same kernel keep
+    /// their own.
     pub fn set_options(&mut self, options: DbOptions) {
         self.options = options;
     }
@@ -406,27 +517,21 @@ impl Database {
     }
 
     /// The registered definitions, in registration order.
-    pub fn definitions(&self) -> &[Definition] {
-        &self.defs
+    pub fn definitions(&self) -> Vec<Definition> {
+        self.kernel.read_state().defs.clone()
     }
 
     pub(crate) fn durable_handle(
         &self,
     ) -> Option<Arc<std::sync::Mutex<crate::durable::DurableLog>>> {
-        self.durable.clone()
+        self.kernel.durable_handle()
     }
 
     pub(crate) fn set_durable_handle(
         &mut self,
         handle: Arc<std::sync::Mutex<crate::durable::DurableLog>>,
     ) {
-        self.durable = Some(handle);
-    }
-
-    /// Whether committed mutations are being logged: a directory is
-    /// attached and the policy is not `Off`.
-    fn wal_active(&self) -> bool {
-        self.durable.is_some() && self.options.durability != Durability::Off
+        self.kernel.set_durable_handle(handle);
     }
 
     /// Sets the worker-pool size for effect-licensed parallel execution
@@ -466,13 +571,13 @@ impl Database {
 
     /// The telemetry handles (registry, counters, histograms).
     pub fn metrics(&self) -> &DbMetrics {
-        &self.metrics
+        self.kernel.metrics()
     }
 
     /// Prometheus-style text exposition of every registered series —
     /// the `:metrics` REPL command.
     pub fn metrics_text(&self) -> String {
-        self.metrics.registry.render_prometheus()
+        self.metrics().registry().render_prometheus()
     }
 
     /// A fresh [`Governor`] built from [`DbOptions::limits`], wired to
@@ -481,94 +586,21 @@ impl Database {
     /// registry; callers wanting session-wide budgets can take one and
     /// pass it to [`Database::query_governed`].
     pub fn governor(&self) -> Governor {
-        Governor::new(self.options.limits).with_metrics(self.metrics.governor.clone())
+        Governor::new(self.options.limits).with_metrics(self.metrics().governor.clone())
     }
 
     /// Registers `define …;` forms. Each definition is type-checked,
     /// elaborated, and effect-annotated before being added to scope.
     pub fn define(&mut self, src: &str) -> Result<(), DbError> {
-        let parsed = parse_definitions(src)?;
-        for def in parsed {
-            if self.def_types.contains_key(&def.name) {
-                return Err(ioql_types::TypeError::DuplicateDef(def.name).into());
-            }
-            let resolved = self.schema.resolve_def(&def);
-            let tenv = self.type_env();
-            let (elab, fnty) = ioql_types::check_definition(&tenv, &resolved)?;
-            let eenv = self.effect_env(Discipline::permissive());
-            let (_, eff) = ioql_effects::infer_definition(&eenv, &elab)?;
-            self.def_types.insert(elab.name.clone(), fnty.clone());
-            self.def_effects.insert(elab.name.clone(), (fnty, eff));
-            let text = elab.to_string();
-            let name = elab.name.clone();
-            self.defs.push(elab);
-            // Definitions are replayable state: log each one like a
-            // committed mutation (checkpoints re-log the live set). If
-            // the append fails, unregister so the in-memory catalogue
-            // never runs ahead of the log.
-            if self.wal_active() {
-                if let Err(e) = self.wal_append(&WalPayload::Define { text }) {
-                    self.defs.pop();
-                    self.def_types.remove(&name);
-                    self.def_effects.remove(&name);
-                    return Err(e);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn type_env(&self) -> TypeEnv<'_> {
-        let mut env = TypeEnv::with_options(&self.schema, self.options.type_options);
-        env.defs = self.def_types.clone();
-        env
-    }
-
-    fn effect_env(&self, discipline: Discipline) -> EffectEnv<'_> {
-        let mut env = EffectEnv::new(&self.schema)
-            .with_discipline(discipline)
-            .with_method_effects(self.method_effects.clone());
-        env.defs = self.def_effects.clone();
-        env
-    }
-
-    fn eval_config(&self) -> EvalConfig<'_> {
-        EvalConfig::new(&self.schema)
-            .with_method_mode(self.options.method_mode)
-            .with_method_fuel(self.options.method_fuel)
-    }
-
-    fn def_env(&self) -> DefEnv {
-        let mut de = DefEnv::new();
-        for d in &self.defs {
-            de.insert(d.clone());
-        }
-        de
+        self.kernel.define(&self.options, src).map(|_| ())
     }
 
     /// Parses, resolves, elaborates, and effect-checks a query without
     /// running it. Returns the elaborated query, its type, and its
     /// inferred effect.
     pub fn prepare(&self, src: &str) -> Result<(Query, Type, Effect), DbError> {
-        let t = self.metrics.phase_parse.start_timer();
-        let raw = ioql_syntax::parse_query(src)?;
-        let resolved = self.schema.resolve_query(&raw);
-        self.metrics.phase_parse.observe_timer(t);
-        let t = self.metrics.phase_typecheck.start_timer();
-        let tenv = self.type_env();
-        let (elab, ty) = check_query(&tenv, &resolved)?;
-        self.metrics.phase_typecheck.observe_timer(t);
-        let discipline = if self.options.require_deterministic {
-            Discipline::deterministic()
-        } else {
-            Discipline::permissive()
-        };
-        let t = self.metrics.phase_effect.start_timer();
-        let eenv = self.effect_env(discipline);
-        let (ty2, eff) = infer_query(&eenv, &elab)?;
-        self.metrics.phase_effect.observe_timer(t);
-        debug_assert_eq!(ty, ty2, "Figure 1 and Figure 3 disagree on a type");
-        Ok((elab, ty, eff))
+        let state = self.kernel.read_state();
+        self.kernel.prepare_in(&self.options, &state, src)
     }
 
     /// Runs a query end-to-end with the canonical deterministic chooser.
@@ -603,280 +635,17 @@ impl Database {
         chooser: &mut dyn Chooser,
         governor: &Governor,
     ) -> Result<QueryResult, DbError> {
-        // The clock here feeds only `QueryResult::elapsed` and the JSONL
-        // span; the governor keeps its own deadline clock. Read
-        // unconditionally so the telemetry flag cannot shift behaviour.
-        let started = Instant::now();
-        self.metrics.queries.inc();
-        let span = self
-            .sink
-            .as_ref()
-            .map(|s| (Arc::clone(s), s.span_begin("query", src)));
-        let mut result = self.query_governed_inner(src, chooser, governor);
-        if let Some((sink, id)) = span {
-            sink.span_end(id, "query", result.is_ok());
-            sink.counters(&self.metrics.registry);
-        }
-        if let Ok(r) = result.as_mut() {
-            r.elapsed = started.elapsed();
-        }
-        result
-    }
-
-    fn query_governed_inner(
-        &mut self,
-        src: &str,
-        chooser: &mut dyn Chooser,
-        governor: &Governor,
-    ) -> Result<QueryResult, DbError> {
-        let (mut elab, ty, static_effect) = self.prepare(src)?;
-        // The write-ahead-log gate: only queries the effect system says
-        // can write (`A(C)`/`U(C)` non-empty) are logged — Theorem 7
-        // write-free queries have nothing to persist and skip the log.
-        let mutating = !static_effect.adds.is_empty() || !static_effect.updates.is_empty();
-        let log_this = mutating && self.wal_active();
-        if self.wal_active() && !mutating {
-            self.metrics.wal_skipped_effect.inc();
-        }
-        // Record the draw trace for the log (active only when this
-        // commit will be logged — inactive recording is transparent
-        // delegation), and count draws without touching them: both
-        // wrappers delegate every pick to the caller's chooser
-        // unchanged.
-        let mut recording = RecordingChooser::new(chooser, log_this);
-        let mut chooser = CountingChooser::new(&mut recording, self.metrics.chooser_draws.clone());
-        let chooser: &mut dyn Chooser = &mut chooser;
-        // Theorem 7 guard: only `new`-free queries with no `A(C)` (and,
-        // for the §5 extension, no `U(C)`) are deterministic, hence
-        // memoizable. The effect check is the sound one; the syntactic
-        // `contains_new` checks are belt-and-braces, mirroring
-        // `Database::analyze`'s `functional` verdict.
-        let cacheable = self.options.cache_capacity > 0
-            && static_effect.is_read_only()
-            && !elab.contains_new()
-            && elab.called_defs().iter().all(|d| {
-                self.defs
-                    .iter()
-                    .any(|def| &def.name == d && !def.contains_new())
-            });
-        // Key on the *pre-optimization* elaborated query: the optimizer's
-        // output drifts with catalogue statistics, the elaborated form
-        // does not.
-        let cache_key = cacheable.then(|| elab.clone());
-        if let Some(key) = &cache_key {
-            if let Some(entry) = self.cache.lookup(key, &self.store) {
-                // A hit still passes through the governor, so the
-                // resource-limit contract is engine-identical: the
-                // deadline and cancellation are checked, the original
-                // run's cells are re-charged against this caller's
-                // budget, and the result cardinality is re-observed.
-                governor.checkpoint()?;
-                governor.charge_cells(entry.cells)?;
-                if let Value::Set(s) = &entry.value {
-                    governor.observe_set_card(s.len() as u64)?;
-                }
-                return Ok(QueryResult {
-                    value: entry.value,
-                    ty,
-                    static_effect,
-                    runtime_effect: entry.runtime_effect,
-                    steps: 0,
-                    cached: true,
-                    elapsed: Duration::ZERO, // overwritten by the wrapper
-                });
-            }
-        }
-        // Fingerprint the read set *before* evaluation; the Theorem 7
-        // guard means evaluation cannot move these counters.
-        let read_versions = cache_key.as_ref().map(|_| {
-            effect_extents(&self.schema, &static_effect)
-                .reads
-                .into_iter()
-                .map(|e| {
-                    let v = self.store.extent_version(&e);
-                    (e, v)
-                })
-                .collect::<BTreeMap<_, _>>()
-        });
-        let cells_before = governor.cells_spent();
-        if self.options.optimize {
-            let t = self.metrics.phase_optimize.start_timer();
-            let (optimized, _) = self.optimize_prepared(&elab);
-            self.metrics.phase_optimize.observe_timer(t);
-            elab = optimized;
-        }
-        // Snapshot only when the query can actually mutate the store —
-        // the static effect tells us up front (Theorem 5: the runtime
-        // trace is covered by it), so read-only queries pay nothing.
-        let snapshot = (!static_effect.adds.is_empty() || !static_effect.updates.is_empty())
-            .then(|| self.store.clone());
-        // Split field borrows: the config borrows only the schema, so the
-        // store can be taken mutably.
-        let eval_metrics = self.metrics.eval.clone();
-        let cfg = EvalConfig::new(&self.schema)
-            .with_method_mode(self.options.method_mode)
-            .with_method_fuel(self.options.method_fuel)
-            .with_governor(governor)
-            .with_metrics(&eval_metrics);
-        let defs = {
-            let mut de = DefEnv::new();
-            for d in &self.defs {
-                de.insert(d.clone());
-            }
-            de
-        };
-        let engine = self.options.engine;
-        let max_steps = self.options.max_steps;
-        // Lower to a physical plan before taking the store mutably (the
-        // lowering reads extent sizes for its cost model). `None` — the
-        // Theorem 7 guard refused, or the engine is an interpreter —
-        // means the interpreters run the query as before.
-        let plan = match engine {
-            Engine::Plan => {
-                let t = self.metrics.phase_lower.start_timer();
-                let plan = self.lower_prepared(&elab, &static_effect, &defs);
-                self.metrics.phase_lower.observe_timer(t);
-                plan
-            }
-            _ => None,
-        };
-        // Record compile verdicts once per execution (not per `explain`):
-        // write-only, like every other counter.
-        if let Some(p) = &plan {
-            for v in p.compiled.values() {
-                match v {
-                    ioql_plan::CompileVerdict::Vm(_) => self.metrics.vm.compiles.inc(),
-                    ioql_plan::CompileVerdict::Interp(_) => self.metrics.vm.fallbacks.inc(),
-                }
-            }
-        }
-        let par_metrics = self.metrics.parallel.clone();
-        let vm_metrics = self.metrics.vm.clone();
-        let store = &mut self.store;
-        let exec_timer = self.metrics.phase_execute.start_timer();
-        // Contain engine panics: a bug in either evaluator must not
-        // tear down the caller. `AssertUnwindSafe` is justified because
-        // on `Err` the only witness of the broken invariants — the
-        // store — is discarded and replaced by the snapshot below.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match engine {
-            Engine::SmallStep => evaluate(&cfg, &defs, store, &elab, chooser, max_steps),
-            Engine::BigStep => eval_big(&cfg, &defs, store, &elab, chooser, max_steps).map(|r| {
-                ioql_eval::Evaluated {
-                    value: r.value,
-                    effect: r.effect,
-                    steps: 0,
-                }
-            }),
-            Engine::Plan => {
-                match &plan {
-                    Some(plan) => ioql_plan::execute_instrumented(
-                        plan,
-                        &cfg,
-                        &defs,
-                        store,
-                        chooser,
-                        max_steps,
-                        ioql_plan::ExecMetrics {
-                            par: Some(&par_metrics),
-                            vm: Some(&vm_metrics),
-                        },
-                    )
-                    .map(|r| ioql_eval::Evaluated {
-                        value: r.value,
-                        effect: r.effect,
-                        steps: 0,
-                    }),
-                    // Ineligible or shape-unknown: the big-step evaluator is
-                    // the plan engine's interpreter tier.
-                    None => eval_big(&cfg, &defs, store, &elab, chooser, max_steps).map(|r| {
-                        ioql_eval::Evaluated {
-                            value: r.value,
-                            effect: r.effect,
-                            steps: 0,
-                        }
-                    }),
-                }
-            }
-        }));
-        self.metrics.phase_execute.observe_timer(exec_timer);
-        let result = match outcome {
-            Ok(r) => r.map_err(DbError::from),
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "evaluator panicked".to_string());
-                Err(DbError::Internal(msg))
-            }
-        };
-        let out = match result {
-            Ok(out) => out,
-            Err(e) => {
-                if let Some(snap) = snapshot {
-                    // Restoring the snapshot rewinds extent *contents*
-                    // to their pre-query state, but the aborted run may
-                    // have published intermediate contents under the
-                    // snapshot's version numbers (e.g. a partial `new`
-                    // batch read back by a later governed query). Move
-                    // every counter strictly past both histories so no
-                    // cached fingerprint can collide.
-                    let dirty = std::mem::replace(&mut self.store, snap);
-                    self.store.bump_versions_from(&dirty);
-                    self.metrics.rollbacks.inc();
-                }
-                return Err(e);
-            }
-        };
-        debug_assert!(
-            out.effect.covered_by(&static_effect, &self.schema),
-            "Theorem 5 violated: runtime effect {{{}}} escapes static {{{static_effect}}}",
-            out.effect
-        );
-        // Acknowledged ⇒ logged: the commit's record (the executed
-        // query text plus the recorded draw trace) must be in the log
-        // before the caller sees `Ok`. If the append fails the store
-        // mutation is rolled back too, so the in-memory state never
-        // runs ahead of what a recovery could reconstruct.
-        if log_this {
-            let payload = WalPayload::Query {
-                text: elab.to_string(),
-                draws: recording.trace().to_vec(),
-            };
-            if let Err(e) = self.wal_append(&payload) {
-                if let Some(snap) = snapshot {
-                    let dirty = std::mem::replace(&mut self.store, snap);
-                    self.store.bump_versions_from(&dirty);
-                    self.metrics.rollbacks.inc();
-                }
-                return Err(e);
-            }
-        }
-        if let (Some(key), Some(versions)) = (cache_key, read_versions) {
-            self.cache.insert(
-                key,
-                CacheEntry {
-                    versions,
-                    value: out.value.clone(),
-                    runtime_effect: out.effect.clone(),
-                    cells: governor.cells_spent().saturating_sub(cells_before),
-                },
-            );
-        }
-        Ok(QueryResult {
-            value: out.value,
-            ty,
-            static_effect,
-            runtime_effect: out.effect,
-            steps: out.steps,
-            cached: false,
-            elapsed: Duration::ZERO, // overwritten by the wrapper
-        })
+        self.kernel
+            .run_query(&self.options, src, chooser, governor, ExecMode::Exclusive)
     }
 
     /// Hit/miss/occupancy counters of the query-result cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.kernel
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
     }
 
     /// Runs a full program (definitions + query) against a *clone* of the
@@ -885,14 +654,16 @@ impl Database {
     pub fn run_program(&self, src: &str) -> Result<(QueryResult, Store), DbError> {
         let started = Instant::now();
         let program = parse_program(src)?;
-        let resolved = self.schema.resolve_program(&program);
+        let resolved = self.schema().resolve_program(&program);
         let checked =
-            ioql_types::check_program(&self.schema, &resolved, self.options.type_options)?;
-        let eenv = self.effect_env(Discipline::permissive());
+            ioql_types::check_program(self.schema(), &resolved, self.options.type_options)?;
+        let state = self.kernel.read_state();
+        let eenv = self.kernel.effect_env_in(Discipline::permissive(), &state);
         let inferred = ioql_effects::infer_program(&eenv, &checked.program)?;
-        let cfg = self.eval_config();
+        let cfg = self.kernel.eval_config(&self.options);
         let defs = DefEnv::from_program(&checked.program);
-        let mut store = self.store.clone();
+        let mut store = state.store.clone();
+        drop(state);
         let out = evaluate(
             &cfg,
             &defs,
@@ -910,6 +681,7 @@ impl Database {
                 steps: out.steps,
                 cached: false,
                 elapsed: started.elapsed(),
+                admitted: None,
             },
             store,
         ))
@@ -918,8 +690,11 @@ impl Database {
     /// Static analysis of a query: type, effect, functional-ness, the
     /// `⊢'` determinism verdict, and per-operator commutation verdicts.
     pub fn analyze(&self, src: &str) -> Result<Analysis, DbError> {
-        let (elab, ty, effect) = self.prepare(src)?;
-        let det_env = self.effect_env(Discipline::deterministic());
+        let state = self.kernel.read_state();
+        let (elab, ty, effect) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let det_env = self
+            .kernel
+            .effect_env_in(Discipline::deterministic(), &state);
         let determinism = infer_query(&det_env, &elab);
         let (deterministic, diagnosis) = match determinism {
             Ok(_) => (true, None),
@@ -933,11 +708,12 @@ impl Database {
         };
         let functional = !elab.contains_new()
             && elab.called_defs().iter().all(|d| {
-                self.defs
+                state
+                    .defs
                     .iter()
                     .any(|def| &def.name == d && !def.contains_new())
             });
-        let eenv = self.effect_env(Discipline::permissive());
+        let eenv = self.kernel.effect_env_in(Discipline::permissive(), &state);
         let mut commutations = Vec::new();
         collect_commutations(&eenv, &elab, &mut commutations);
         Ok(Analysis {
@@ -953,52 +729,9 @@ impl Database {
     /// Optimizes a query, returning the rewritten query and the applied
     /// rewrites. Statistics are seeded from the *current* extent sizes.
     pub fn optimize(&self, src: &str) -> Result<(Query, Vec<AppliedRewrite>), DbError> {
-        let (elab, _, _) = self.prepare(src)?;
-        Ok(self.optimize_prepared(&elab))
-    }
-
-    /// Lowers a prepared query to a physical plan under the configured
-    /// parallelism: verdicts are computed against this database's schema,
-    /// with set-operator branch effects inferred through the same
-    /// Figure-3 machinery as `prepare` (Theorem 8 licensing). Shared by
-    /// execution, `explain`, and `explain analyze` so the plan the user
-    /// sees — including its `par`/`seq(reason)` annotations — is the
-    /// plan that runs.
-    fn lower_prepared(
-        &self,
-        elab: &Query,
-        static_effect: &Effect,
-        defs: &DefEnv,
-    ) -> Option<ioql_plan::Plan> {
-        let branch_effect = |q: &Query| {
-            let eenv = self.effect_env(Discipline::permissive());
-            infer_query(&eenv, q).ok().map(|(_, eff)| eff)
-        };
-        let spec = ioql_plan::ParSpec {
-            parallelism: self.options.parallelism,
-            compile: self.options.compile,
-            schema: Some(&self.schema),
-            branch_effect: Some(&branch_effect),
-        };
-        ioql_plan::lower_with(elab, static_effect, defs, &self.stats(), &spec)
-    }
-
-    /// Catalogue statistics seeded from the current extent sizes — shared
-    /// by the optimizer's and the plan lowering's cost models.
-    fn stats(&self) -> Stats {
-        let mut stats = Stats::new();
-        for (e, _, members) in self.store.extents.iter() {
-            stats.set(e.clone(), members.len());
-        }
-        stats
-    }
-
-    fn optimize_prepared(&self, elab: &Query) -> (Query, Vec<AppliedRewrite>) {
-        let stats = self.stats();
-        let program = Program::new(self.defs.clone(), elab.clone());
-        let (optimized, applied) =
-            run_optimizer(&self.schema, &program, stats, OptOptions::default());
-        (optimized.query, applied)
+        let state = self.kernel.read_state();
+        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        Ok(self.kernel.optimize_in(&state, &elab))
     }
 
     /// Renders the physical plan the `Plan` engine would execute for a
@@ -1008,15 +741,19 @@ impl Database {
     /// diagnosis of which condition failed. Respects
     /// [`DbOptions::optimize`], exactly as execution does.
     pub fn explain(&self, src: &str) -> Result<String, DbError> {
-        let (mut elab, _, static_effect) = self.prepare(src)?;
+        let state = self.kernel.read_state();
+        let (mut elab, _, static_effect) = self.kernel.prepare_in(&self.options, &state, src)?;
         if self.options.optimize {
-            elab = self.optimize_prepared(&elab).0;
+            elab = self.kernel.optimize_in(&state, &elab).0;
         }
-        let defs = self.def_env();
-        if let Some(plan) = self.lower_prepared(&elab, &static_effect, &defs) {
+        let defs = DbKernel::def_env_in(&state);
+        if let Some(plan) =
+            self.kernel
+                .lower_in(&self.options, &state, &elab, &static_effect, &defs)
+        {
             return Ok(plan.render());
         }
-        Ok(self.explain_refusal(&elab, &static_effect, &defs))
+        Ok(explain_refusal(&elab, &static_effect, &defs))
     }
 
     /// As [`Database::explain`], but *runs* the plan — against a clone
@@ -1027,17 +764,25 @@ impl Database {
     /// plan-ineligible queries get the same refusal diagnosis as
     /// `explain`.
     pub fn explain_analyze(&self, src: &str) -> Result<String, DbError> {
-        let (mut elab, _, static_effect) = self.prepare(src)?;
+        let state = self.kernel.read_state();
+        let (mut elab, _, static_effect) = self.kernel.prepare_in(&self.options, &state, src)?;
         if self.options.optimize {
-            elab = self.optimize_prepared(&elab).0;
+            elab = self.kernel.optimize_in(&state, &elab).0;
         }
-        let defs = self.def_env();
-        let Some(plan) = self.lower_prepared(&elab, &static_effect, &defs) else {
-            return Ok(self.explain_refusal(&elab, &static_effect, &defs));
+        let defs = DbKernel::def_env_in(&state);
+        let Some(plan) = self
+            .kernel
+            .lower_in(&self.options, &state, &elab, &static_effect, &defs)
+        else {
+            return Ok(explain_refusal(&elab, &static_effect, &defs));
         };
         let governor = self.governor();
-        let cfg = self.eval_config().with_governor(&governor);
-        let mut store = self.store.clone();
+        let cfg = self
+            .kernel
+            .eval_config(&self.options)
+            .with_governor(&governor);
+        let mut store = state.store.clone();
+        drop(state);
         let (result, profile) = ioql_plan::execute_with_profile(
             &plan,
             &cfg,
@@ -1053,50 +798,18 @@ impl Database {
         Ok(format!("{}returned {rows} row(s)\n", profile.render()))
     }
 
-    /// The shared `explain`/`explain_analyze` diagnosis of why a query
-    /// has no physical plan.
-    fn explain_refusal(&self, elab: &Query, static_effect: &Effect, defs: &DefEnv) -> String {
-        let yes_no = |b: bool| if b { "yes" } else { "no" };
-        let defs_ok = elab.called_defs().iter().all(|d| {
-            defs.get(d)
-                .is_some_and(|def| !def.body.contains_new() && !def.body.contains_invoke())
-        });
-        let guard_holds = static_effect.is_read_only()
-            && !elab.contains_new()
-            && !elab.contains_invoke()
-            && defs_ok;
-        format!(
-            "no physical plan — the interpreter executes this query\n  \
-             Thm 7 guard:\n    \
-             effect {{{static_effect}}} read-only: {}\n    \
-             `new`-free: {}\n    \
-             invocation-free: {}\n    \
-             called defs pure: {}\n  \
-             root shape has a physical operator: {}\n",
-            yes_no(static_effect.is_read_only()),
-            yes_no(!elab.contains_new()),
-            yes_no(!elab.contains_invoke()),
-            yes_no(defs_ok),
-            // The guard held but `lower` still declined ⇒ shape.
-            if guard_holds {
-                "no"
-            } else {
-                "not evaluated (guard failed)"
-            },
-        )
-    }
-
     /// Exhaustively explores every `(ND comp)` order of a query against a
     /// snapshot of the store — the full outcome set of the paper's
     /// non-deterministic relation.
     pub fn explore(&self, src: &str, max_runs: usize) -> Result<Exploration, DbError> {
-        let (elab, _, _) = self.prepare(src)?;
-        let cfg = self.eval_config();
-        let defs = self.def_env();
-        Ok(explore_outcomes(
+        let state = self.kernel.read_state();
+        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let cfg = self.kernel.eval_config(&self.options);
+        let defs = DbKernel::def_env_in(&state);
+        Ok(ioql_eval::explore_outcomes(
             &cfg,
             &defs,
-            &self.store,
+            &state.store,
             &elab,
             self.options.max_steps,
             max_runs,
@@ -1105,7 +818,7 @@ impl Database {
 
     /// Serialises the current store (see `ioql_store::dump`).
     pub fn dump(&self) -> String {
-        ioql_store::dump_store(&self.store)
+        ioql_store::dump_store(&self.store())
     }
 
     /// Replaces the current store with one loaded from a dump, validated
@@ -1117,19 +830,19 @@ impl Database {
     /// the new on-disk baseline (the old log described the *replaced*
     /// store and is folded away).
     pub fn load(&mut self, text: &str) -> Result<(), DbError> {
-        let mut loaded = ioql_store::load_store(&self.schema, text)?;
+        let mut loaded = ioql_store::load_store(self.schema(), text)?;
         // A freshly parsed store starts all version counters at 0, which
         // could collide with fingerprints cached against the outgoing
         // store; move every counter strictly past both histories.
-        loaded.bump_versions_from(&self.store);
+        loaded.bump_versions_from(&self.store());
         self.install_loaded(loaded)
     }
 
     /// Atomically saves the current store to `path` (temp file + fsync +
     /// rename — see [`ioql_store::save_store`]).
     pub fn save_to(&self, path: &std::path::Path) -> Result<(), DbError> {
-        ioql_store::save_store(&self.store, path)?;
-        self.metrics.store_saves.inc();
+        ioql_store::save_store(&self.store(), path)?;
+        self.metrics().store_saves.inc();
         Ok(())
     }
 
@@ -1137,8 +850,8 @@ impl Database {
     /// with [`Database::load`], a failed load leaves the store untouched
     /// and a durable database checkpoints the loaded state.
     pub fn load_from(&mut self, path: &std::path::Path) -> Result<(), DbError> {
-        let mut loaded = ioql_store::load_store_file(&self.schema, path)?;
-        loaded.bump_versions_from(&self.store);
+        let mut loaded = ioql_store::load_store_file(self.schema(), path)?;
+        loaded.bump_versions_from(&self.store());
         self.install_loaded(loaded)
     }
 
@@ -1150,15 +863,21 @@ impl Database {
     /// *replaced* one — the worst kind of silent desync. Erroring with
     /// the old store intact keeps the documented contract: on any load
     /// error, the in-memory store is untouched.
+    ///
+    /// Loads are administrative: run them before handing out sessions,
+    /// not concurrently with them.
     fn install_loaded(&mut self, loaded: Store) -> Result<(), DbError> {
-        let prev = std::mem::replace(&mut self.store, loaded);
-        if self.durable.is_some() {
+        let prev = {
+            let mut state = self.kernel.write_state();
+            std::mem::replace(&mut state.store, loaded)
+        };
+        if self.durable_handle().is_some() {
             if let Err(e) = self.checkpoint() {
-                self.store = prev;
+                self.kernel.write_state().store = prev;
                 return Err(e);
             }
         }
-        self.metrics.store_loads.inc();
+        self.metrics().store_loads.inc();
         Ok(())
     }
 
@@ -1166,10 +885,12 @@ impl Database {
     /// the store (the database itself is unchanged) — every rule
     /// application and effect label, ready for rendering.
     pub fn trace(&self, src: &str) -> Result<ioql_eval::Trace, DbError> {
-        let (elab, _, _) = self.prepare(src)?;
-        let cfg = self.eval_config();
-        let defs = self.def_env();
-        let mut store = self.store.clone();
+        let state = self.kernel.read_state();
+        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let cfg = self.kernel.eval_config(&self.options);
+        let defs = DbKernel::def_env_in(&state);
+        let mut store = state.store.clone();
+        drop(state);
         Ok(ioql_eval::trace(
             &cfg,
             &defs,
@@ -1190,13 +911,14 @@ impl Database {
         max_runs: usize,
         threads: usize,
     ) -> Result<Exploration, DbError> {
-        let (elab, _, _) = self.prepare(src)?;
-        let cfg = self.eval_config();
-        let defs = self.def_env();
+        let state = self.kernel.read_state();
+        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let cfg = self.kernel.eval_config(&self.options);
+        let defs = DbKernel::def_env_in(&state);
         Ok(ioql_eval::explore_outcomes_parallel(
             &cfg,
             &defs,
-            &self.store,
+            &state.store,
             &elab,
             self.options.max_steps,
             max_runs,
@@ -1206,12 +928,43 @@ impl Database {
 
     /// Number of objects currently in extent `e` (0 if undeclared).
     pub fn extent_len(&self, e: &str) -> usize {
-        self.store
+        self.store()
             .extents
             .members(&ioql_ast::ExtentName::new(e))
             .map(|s| s.len())
             .unwrap_or(0)
     }
+}
+
+/// The shared `explain`/`explain_analyze` diagnosis of why a query has
+/// no physical plan.
+fn explain_refusal(elab: &Query, static_effect: &Effect, defs: &DefEnv) -> String {
+    let yes_no = |b: bool| if b { "yes" } else { "no" };
+    let defs_ok = elab.called_defs().iter().all(|d| {
+        defs.get(d)
+            .is_some_and(|def| !def.body.contains_new() && !def.body.contains_invoke())
+    });
+    let guard_holds =
+        static_effect.is_read_only() && !elab.contains_new() && !elab.contains_invoke() && defs_ok;
+    format!(
+        "no physical plan — the interpreter executes this query\n  \
+         Thm 7 guard:\n    \
+         effect {{{static_effect}}} read-only: {}\n    \
+         `new`-free: {}\n    \
+         invocation-free: {}\n    \
+         called defs pure: {}\n  \
+         root shape has a physical operator: {}\n",
+        yes_no(static_effect.is_read_only()),
+        yes_no(!elab.contains_new()),
+        yes_no(!elab.contains_invoke()),
+        yes_no(defs_ok),
+        // The guard held but `lower` still declined ⇒ shape.
+        if guard_holds {
+            "no"
+        } else {
+            "not evaluated (guard failed)"
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1243,6 +996,8 @@ mod tests {
         assert_eq!(r.ty, Type::set(Type::Int));
         assert!(r.runtime_effect.subeffect(&r.static_effect));
         assert!(r.steps > 0);
+        // The embedded handle bypasses admission entirely.
+        assert_eq!(r.admitted, None);
     }
 
     #[test]
@@ -1419,5 +1174,25 @@ mod tests {
             db.query("{ p.ghost | p <- Persons }"),
             Err(DbError::Type(_))
         ));
+    }
+
+    #[test]
+    fn clone_is_state_deep_and_plumbing_shallow() {
+        let mut a = db();
+        let mut b = a.clone();
+        b.query("{ new Person(name: 9, age: 9) | n <- {1} }")
+            .unwrap();
+        // The clone mutated its own store only…
+        assert_eq!(a.extent_len("Persons"), 3);
+        assert_eq!(b.extent_len("Persons"), 4);
+        // …while the telemetry registry is shared (same Arc).
+        assert!(
+            Arc::ptr_eq(
+                &Arc::new(a.metrics().registry().render_prometheus()),
+                &Arc::new(b.metrics().registry().render_prometheus())
+            ) || a.metrics().registry().render_prometheus()
+                == b.metrics().registry().render_prometheus()
+        );
+        let _ = a.query("size(Persons)").unwrap();
     }
 }

@@ -34,6 +34,7 @@
 
 use crate::database::Database;
 use crate::error::DbError;
+use crate::kernel::DbKernel;
 use ioql_eval::ScriptedChooser;
 use ioql_store::wal::{checkpoint_path, parse_wal, scan_generations, wal_path, Wal, WalSink};
 use ioql_store::{Durability, Store, WalError, WalErrorKind, WalPayload};
@@ -219,7 +220,7 @@ impl Database {
             for (e, c) in self.schema().extents() {
                 fresh.declare_extent(e.clone(), c.clone());
             }
-            fresh.bump_versions_from(self.store());
+            fresh.bump_versions_from(&self.store());
             *self.store_mut() = fresh;
         }
 
@@ -312,6 +313,47 @@ impl Database {
     /// written from the in-memory store, so the suspect tail is
     /// discarded and logging resumes clean.
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        let durability = self.options().durability;
+        self.kernel().checkpoint(durability)
+    }
+
+    /// The durable log's current state, or `None` when no directory is
+    /// attached.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        let durability = self.options().durability;
+        self.kernel().wal_status(durability)
+    }
+
+    /// Replays one logged query: the elaborated text under a
+    /// `ScriptedChooser` over the recorded draws, with the optimizer off
+    /// (the text is already post-optimization), no resource limits, and
+    /// the permissive discipline — the run was legal when it committed.
+    fn replay_logged_query(&mut self, text: &str, draws: &[usize]) -> Result<(), DbError> {
+        let saved = self.options();
+        let mut replay_opts = saved.clone();
+        replay_opts.optimize = false;
+        replay_opts.require_deterministic = false;
+        replay_opts.limits = ioql_eval::Limits::none();
+        self.set_options(replay_opts);
+        let mut chooser = ScriptedChooser::new(draws.to_vec());
+        let result = self.query_with(text, &mut chooser);
+        self.set_options(saved);
+        result.map(|_| ())
+    }
+}
+
+impl DbKernel {
+    /// The kernel-side checkpoint: fold the log into generation `g+1`.
+    ///
+    /// Lock order: the state **read** guard is taken first and held for
+    /// the whole procedure (the checkpoint must capture one consistent
+    /// cut of store + definitions, and no writer may commit between the
+    /// preamble and the store dump), then the durable mutex — the same
+    /// state → durable order the query path uses, so sessions
+    /// checkpointing concurrently with committing writers cannot
+    /// deadlock.
+    pub(crate) fn checkpoint(&self, durability: Durability) -> Result<(), DbError> {
+        let state = self.read_state();
         let Some(handle) = self.durable_handle() else {
             return Err(io_wal("no durable directory attached").into());
         };
@@ -338,9 +380,9 @@ impl Database {
             .map_err(|e| io_wal(format!("create {}: {e}", next_log_path.display())))?;
         let sink = (log.factory)(&next_log_path)
             .map_err(|e| io_wal(format!("open {}: {e}", next_log_path.display())))?;
-        let mut next_wal = Wal::create_with_sink(sink, next, self.options().durability)
+        let mut next_wal = Wal::create_with_sink(sink, next, durability)
             .map_err(|e| io_wal(format!("write wal-{next} header: {e}")))?;
-        for def in self.definitions() {
+        for def in &state.defs {
             next_wal
                 .append(&WalPayload::Define {
                     text: def.to_string(),
@@ -355,7 +397,7 @@ impl Database {
         // Until this rename, recovery still picks generation `gen`
         // (wal-{next} is an ignorable orphan); after it, generation
         // `next` — whose log replays exactly the definitions.
-        ioql_store::save_store(self.store(), &checkpoint_path(&log.dir, next))?;
+        ioql_store::save_store(&state.store, &checkpoint_path(&log.dir, next))?;
         self.metrics().store_saves.inc();
 
         // Switch and clean up the old generation (best-effort: stale
@@ -369,12 +411,13 @@ impl Database {
     }
 
     /// The durable log's current state, or `None` when no directory is
-    /// attached.
-    pub fn wal_status(&self) -> Option<WalStatus> {
+    /// attached. `durability` is the asking handle's fsync policy
+    /// (options are per-handle; the log itself is shared).
+    pub(crate) fn wal_status(&self, durability: Durability) -> Option<WalStatus> {
         let handle = self.durable_handle()?;
         let log = handle.lock().expect("durable lock");
         Some(WalStatus {
-            mode: self.options().durability,
+            mode: durability,
             dir: log.dir.clone(),
             generation: log.wal.generation(),
             appended: log.wal.next_seq() - 1,
@@ -385,7 +428,8 @@ impl Database {
 
     /// Appends one committed payload to the log, applying the fsync
     /// policy and the poison protocol. Called by the query path (for
-    /// mutating queries) and by `define`.
+    /// mutating queries) and by `define`, in both cases while the state
+    /// write lock is held — the state → durable order.
     pub(crate) fn wal_append(&self, payload: &WalPayload) -> Result<(), DbError> {
         let Some(handle) = self.durable_handle() else {
             return Ok(());
@@ -424,22 +468,5 @@ impl Database {
         if covered > 1 {
             self.metrics().wal_group_commits.inc();
         }
-    }
-
-    /// Replays one logged query: the elaborated text under a
-    /// `ScriptedChooser` over the recorded draws, with the optimizer off
-    /// (the text is already post-optimization), no resource limits, and
-    /// the permissive discipline — the run was legal when it committed.
-    fn replay_logged_query(&mut self, text: &str, draws: &[usize]) -> Result<(), DbError> {
-        let saved = self.options();
-        let mut replay_opts = saved.clone();
-        replay_opts.optimize = false;
-        replay_opts.require_deterministic = false;
-        replay_opts.limits = ioql_eval::Limits::none();
-        self.set_options(replay_opts);
-        let mut chooser = ScriptedChooser::new(draws.to_vec());
-        let result = self.query_with(text, &mut chooser);
-        self.set_options(saved);
-        result.map(|_| ())
     }
 }

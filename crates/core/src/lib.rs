@@ -55,12 +55,20 @@ pub mod cache;
 pub mod database;
 pub mod durable;
 pub mod error;
+pub mod kernel;
+pub mod sched;
+pub mod server;
+pub mod session;
 
 pub use analysis::{Analysis, CommutationVerdict};
 pub use cache::CacheStats;
-pub use database::{Database, DbMetrics, DbOptions, Engine, QueryResult};
+pub use database::{Database, DbMetrics, DbOptions, Engine, QueryResult, StoreRef, StoreRefMut};
 pub use durable::{RecoveryReport, SinkFactory, WalStatus};
 pub use error::DbError;
+pub use kernel::DbKernel;
+pub use sched::{Admitted, SchedMetrics};
+pub use server::{serve, Client, Frame, ServerHandle};
+pub use session::Session;
 
 // Re-export the subsystem crates under stable names so downstream users
 // need only one dependency.

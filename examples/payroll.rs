@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         use ioql::ast::{AttrName, Value};
         use ioql::store::Object;
         let schema = db.schema().clone();
-        let store = db.store_mut();
+        let mut store = db.store_mut();
         let o = store.fresh_oid();
         store.objects.insert(
             o,

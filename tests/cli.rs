@@ -394,3 +394,66 @@ fn durable_session_survives_restart_and_checkpoints() {
     assert!(stdout.contains("wal: off"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `--serve` turns the binary into the TCP query server: the announced
+/// address is live, speaks the line protocol, and reports admission
+/// decisions per request. (The drift guard above already keeps the
+/// `:serve` help line in sync between `:help` and the module docs.)
+#[test]
+fn serve_flag_binds_and_speaks_the_line_protocol() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let schema = schema_file();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ioql"))
+        .args([schema.to_str().unwrap(), "--serve", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ioql --serve");
+
+    // Scrape the bound address from the announcement line.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+
+    let mut c = ioql::Client::connect(addr.parse().unwrap()).unwrap();
+    let w = c.request("size({ new P(name: n) | n <- {1, 2} })").unwrap();
+    assert_eq!(w.status, "ok seq=1 mode=serialized cached=false");
+    assert_eq!(w.lines[0], "2");
+    let r = c.request("size(Ps)").unwrap();
+    assert_eq!(r.status, "ok seq=1 mode=snapshot cached=false");
+    assert_eq!(r.lines[0], "2");
+    let stats = c.request(":stats").unwrap();
+    let joined = stats.lines.join("\n");
+    assert!(joined.contains("admitted 1, serialized 1"), "{joined}");
+    let bye = c.request(":quit").unwrap();
+    assert_eq!(bye.status, "ok bye");
+
+    child.kill().unwrap();
+    let status = child.wait().unwrap();
+    assert!(!status.success()); // killed, by design
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut err)
+        .unwrap();
+    assert!(err.is_empty(), "server wrote to stderr: {err}");
+}
+
+/// `--serve` without an address is a usage error, reported on stderr
+/// with exit code 2 like every other malformed invocation.
+#[test]
+fn serve_flag_requires_an_address() {
+    let schema = schema_file();
+    let (_, stderr, ok) = run_session(&[schema.to_str().unwrap(), "--serve"], "");
+    assert!(!ok);
+    assert!(stderr.contains("--serve"), "{stderr}");
+}

@@ -196,7 +196,7 @@ fn clean_recovery_replays_definitions_and_queries() {
         assert_eq!(report.replayed_defs, 1);
         assert_eq!(report.torn_dropped, 0);
         assert!(
-            equiv_stores(rec.store(), &expected),
+            equiv_stores(&rec.store(), &expected),
             "{engine:?}: recovered store differs from the one that shut down"
         );
         // The definition came back with the log.
@@ -238,7 +238,7 @@ fn checkpoint_folds_log_into_a_new_generation() {
     // new log's preamble.
     assert_eq!(report.replayed_queries, after.len() as u64);
     assert_eq!(report.replayed_defs, 1);
-    assert!(equiv_stores(rec.store(), &expected));
+    assert!(equiv_stores(&rec.store(), &expected));
     assert_eq!(rec.metrics().store_loads.get(), 1);
     assert!(rec.query("size(adults(0))").is_ok());
 }
@@ -310,7 +310,7 @@ fn crash_during_append_recovers_exactly_the_acked_prefix() {
                     recover(engine, Durability::Commit, dir.path()).unwrap_or_else(|e| {
                         panic!("{engine:?}/{kind:?}/budget {budget}: recovery failed: {e}")
                     });
-                let k = matching_prefix(rec.store(), &prefixes).unwrap_or_else(|| {
+                let k = matching_prefix(&rec.store(), &prefixes).unwrap_or_else(|| {
                     panic!(
                         "{engine:?}/{kind:?}/budget {budget}: recovered store matches no \
                          committed prefix (acked {acked})"
@@ -346,7 +346,7 @@ fn fsync_crash_never_loses_an_acked_commit() {
                 drop(db);
 
                 let (rec, _) = recover(engine, Durability::Commit, dir.path()).unwrap();
-                let k = matching_prefix(rec.store(), &prefixes)
+                let k = matching_prefix(&rec.store(), &prefixes)
                     .unwrap_or_else(|| panic!("{engine:?}/{kind:?}/sync {sync_budget}: no prefix"));
                 // The record whose fsync died is fully on disk (the
                 // bytes landed; only the barrier failed), so recovery
@@ -380,7 +380,7 @@ fn batch_mode_group_commits_and_bounds_tail_loss() {
     drop(db);
     let (rec, _) = recover(Engine::BigStep, Durability::Batch(3), dir.path()).unwrap();
     assert_eq!(
-        matching_prefix(rec.store(), &prefixes),
+        matching_prefix(&rec.store(), &prefixes),
         Some(MUTATIONS.len())
     );
 
@@ -402,7 +402,7 @@ fn batch_mode_group_commits_and_bounds_tail_loss() {
         let synced = (2 * sync_budget) as usize;
         drop(db);
         let (rec, _) = recover(Engine::SmallStep, Durability::Batch(2), dir.path()).unwrap();
-        let k = matching_prefix(rec.store(), &prefixes)
+        let k = matching_prefix(&rec.store(), &prefixes)
             .unwrap_or_else(|| panic!("batch sync {sync_budget}: no prefix"));
         assert!(
             k >= synced && k <= acked.max(synced) + 1,
@@ -433,7 +433,7 @@ fn torn_tail_is_dropped_silently_counted_and_repaired() {
     assert_eq!(report.replayed_queries, MUTATIONS.len() as u64 - 1);
     assert_eq!(rec.metrics().wal_torn_dropped.get(), 1);
     assert_eq!(
-        matching_prefix(rec.store(), &prefixes),
+        matching_prefix(&rec.store(), &prefixes),
         Some(MUTATIONS.len() - 1)
     );
 
@@ -445,7 +445,7 @@ fn torn_tail_is_dropped_silently_counted_and_repaired() {
     let (rec2, report2) = recover(Engine::SmallStep, Durability::Commit, dir.path()).unwrap();
     assert_eq!(report2.torn_dropped, 0);
     assert_eq!(report2.replayed_queries, MUTATIONS.len() as u64);
-    assert!(matching_prefix(rec2.store(), &prefixes).is_some());
+    assert!(matching_prefix(&rec2.store(), &prefixes).is_some());
 }
 
 #[test]
@@ -503,7 +503,7 @@ fn wal_corruption_catalogue_never_panics_and_never_invents_state() {
             // Tolerated damage must be tail damage: the survivors are a
             // committed prefix, nothing more.
             Ok((rec, report)) => {
-                let k = matching_prefix(rec.store(), &prefixes).unwrap_or_else(|| {
+                let k = matching_prefix(&rec.store(), &prefixes).unwrap_or_else(|| {
                     panic!("seed {seed} ({kind:?}): tolerated damage invented state")
                 });
                 assert!(k <= MUTATIONS.len());
@@ -548,7 +548,7 @@ fn orphan_next_generation_log_is_ignored() {
     let (rec, report) = recover(Engine::SmallStep, Durability::Commit, dir.path()).unwrap();
     assert_eq!(report.generation, 0);
     assert_eq!(
-        matching_prefix(rec.store(), &prefixes),
+        matching_prefix(&rec.store(), &prefixes),
         Some(MUTATIONS.len())
     );
     // Recovery cleaned the orphan up.
@@ -572,7 +572,7 @@ fn stale_previous_generation_files_are_ignored_and_cleaned() {
     assert_eq!(report.generation, 1);
     assert!(report.checkpoint_loaded);
     assert_eq!(
-        matching_prefix(rec.store(), &prefixes),
+        matching_prefix(&rec.store(), &prefixes),
         Some(MUTATIONS.len())
     );
     assert!(!wal_path(dir.path(), 0).exists());
@@ -609,7 +609,7 @@ fn poisoned_log_fails_fast_until_a_checkpoint_rebuilds() {
 
     let (rec, report) = recover(Engine::BigStep, Durability::Commit, dir.path()).unwrap();
     assert_eq!(report.generation, 1);
-    assert!(equiv_stores(rec.store(), &expected));
+    assert!(equiv_stores(&rec.store(), &expected));
 }
 
 #[test]
@@ -681,7 +681,8 @@ fn failed_load_checkpoint_rolls_back_the_swap() {
     let (dump, loaded_ref) = {
         let mut other = db_with(Engine::BigStep, Durability::Off);
         other.query(MUTATIONS[5]).unwrap();
-        (other.dump(), other.store().clone())
+        let snapshot = other.store().clone();
+        (other.dump(), snapshot)
     };
 
     // Sabotage the next checkpoint generation: a directory squatting on
@@ -698,7 +699,7 @@ fn failed_load_checkpoint_rolls_back_the_swap() {
     // The swap was rolled back: memory still holds the old store, the
     // generation did not advance, and the log is not poisoned.
     assert_eq!(
-        db.store(),
+        &*db.store(),
         &before,
         "failed load must leave the store untouched"
     );
@@ -716,7 +717,8 @@ fn failed_load_checkpoint_rolls_back_the_swap() {
         for q in &MUTATIONS[..3] {
             reference.query(q).unwrap();
         }
-        reference.store().clone()
+        let snapshot = reference.store().clone();
+        snapshot
     };
     drop(db);
 
@@ -725,14 +727,14 @@ fn failed_load_checkpoint_rolls_back_the_swap() {
     std::fs::remove_dir(wal_path(dir.path(), gen + 1)).unwrap();
     let (mut rec, _) = recover(Engine::BigStep, Durability::Commit, dir.path()).unwrap();
     assert!(
-        equiv_stores(rec.store(), &expected),
+        equiv_stores(&rec.store(), &expected),
         "recovery must replay the pre-load history"
     );
 
     // With the obstruction gone, the same load succeeds and the loaded
     // store becomes the durable baseline.
     rec.load(&dump).unwrap();
-    assert!(equiv_stores(rec.store(), &loaded_ref));
+    assert!(equiv_stores(&rec.store(), &loaded_ref));
     drop(rec);
     let (rec2, report) = recover(Engine::BigStep, Durability::Commit, dir.path()).unwrap();
     assert!(
@@ -740,7 +742,7 @@ fn failed_load_checkpoint_rolls_back_the_swap() {
         "the load's checkpoint is the baseline"
     );
     assert!(
-        equiv_stores(rec2.store(), &loaded_ref),
+        equiv_stores(&rec2.store(), &loaded_ref),
         "recovery after a successful load yields the loaded store"
     );
 }
@@ -793,7 +795,7 @@ fn batch_of_one_acknowledges_like_commit() {
             let acks: Vec<bool> = MUTATIONS.iter().map(|q| db.query(q).is_ok()).collect();
             drop(db);
             let (rec, _) = recover(Engine::SmallStep, mode, dir.path()).unwrap();
-            let k = matching_prefix(rec.store(), &prefixes)
+            let k = matching_prefix(&rec.store(), &prefixes)
                 .unwrap_or_else(|| panic!("{mode:?} sync {sync_budget}: no prefix"));
             let acked = acks.iter().filter(|a| **a).count();
             assert!(
@@ -848,7 +850,7 @@ fn batch_tail_loss_is_bounded_by_group_size() {
             drop(db);
             let (rec, _) =
                 recover(Engine::SmallStep, Durability::Batch(n as usize), dir.path()).unwrap();
-            let k = matching_prefix(rec.store(), &prefixes)
+            let k = matching_prefix(&rec.store(), &prefixes)
                 .unwrap_or_else(|| panic!("Batch({n}) sync {sync_budget}: no prefix"));
             assert!(
                 k + (n as usize) > acked,

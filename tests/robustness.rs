@@ -293,19 +293,19 @@ fn generated_stores_roundtrip_through_dump_and_file() {
             let _ = db.query_with(&q, &mut chooser);
         }
 
-        let text = ioql::store::dump_store(db.store());
+        let text = ioql::store::dump_store(&db.store());
         let loaded = ioql::store::load_store(&fx.schema, &text)
             .unwrap_or_else(|e| panic!("seed {seed}: clean dump rejected: {e}"));
         assert!(
-            ioql::store::equiv_stores(db.store(), &loaded),
+            ioql::store::equiv_stores(&db.store(), &loaded),
             "seed {seed}: text roundtrip broke oid-bijection equivalence"
         );
 
-        ioql::store::save_store(db.store(), &path).unwrap();
+        ioql::store::save_store(&db.store(), &path).unwrap();
         let from_file = ioql::store::load_store_file(&fx.schema, &path)
             .unwrap_or_else(|e| panic!("seed {seed}: saved file rejected: {e}"));
         assert!(
-            ioql::store::equiv_stores(db.store(), &from_file),
+            ioql::store::equiv_stores(&db.store(), &from_file),
             "seed {seed}: file roundtrip broke oid-bijection equivalence"
         );
     }
