@@ -9,6 +9,8 @@
 //! ioql schema.odl --compile    # bytecode VM for predicates and heads
 //! ioql schema.odl --durable state/  # crash-safe: WAL + checkpoints, recovery on start
 //! ioql schema.odl --serve 127.0.0.1:7583   # multi-client TCP server (line protocol)
+//! ioql schema.odl --serve 127.0.0.1:7583 --obs 127.0.0.1:9090   # + HTTP observability
+//! ioql schema.odl --slow-query 50 --telemetry-jsonl events.jsonl  # slow-query log
 //! ```
 //!
 //! REPL commands (same list as `:help`):
@@ -18,6 +20,8 @@
 //! define d(…) as q;  register a named query definition
 //! :analyze <query>   type, effect, determinism and commutation verdicts
 //! :explore <query>   enumerate every (ND comp) order; list outcomes
+//! :trace last [n]    last n flight-recorder records (decision span trees)
+//! :trace seq <s>     the flight-recorder record with sequence number s
 //! :trace <query>     step-by-step derivation with rule names
 //! :optimize <query>  show the effect-guided rewrite result
 //! :plan <query>      show the physical plan (operators, costs, guard)
@@ -31,6 +35,7 @@
 //! :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
 //! :wal status        write-ahead log mode, generation, append/fsync state
 //! :serve <addr>      serve this database to TCP clients (admission-scheduled)
+//! :obs <addr>        serve /metrics, /healthz, /traces over HTTP
 //! :schema            list classes, attributes, methods
 //! :extents           list extents and their sizes
 //! :help              this text
@@ -51,6 +56,8 @@ commands:
   define d(..) as q; register a named query definition
   :analyze <query>   type, effect, determinism and commutation verdicts
   :explore <query>   enumerate every (ND comp) order; list outcomes
+  :trace last [n]    last n flight-recorder records (decision span trees)
+  :trace seq <s>     the flight-recorder record with sequence number s
   :trace <query>     step-by-step derivation with rule names
   :optimize <query>  show the effect-guided rewrite result
   :plan <query>      show the physical plan (operators, costs, guard)
@@ -64,6 +71,7 @@ commands:
   :checkpoint        fold the WAL into a fresh checkpoint (durable mode)
   :wal status        write-ahead log mode, generation, append/fsync state
   :serve <addr>      serve this database to TCP clients (admission-scheduled)
+  :obs <addr>        serve /metrics, /healthz, /traces over HTTP
   :schema            list classes, attributes, methods
   :extents           list extents and their sizes
   :help              this text
@@ -79,6 +87,8 @@ fn main() {
     let mut compile = false;
     let mut durable: Option<String> = None;
     let mut serve: Option<String> = None;
+    let mut obs: Option<String> = None;
+    let mut slow_query: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--extended" => extended = true,
@@ -99,6 +109,28 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--obs" => {
+                obs = args.next();
+                if obs.is_none() {
+                    eprintln!("--obs needs an address (e.g. 127.0.0.1:9090)");
+                    std::process::exit(2);
+                }
+            }
+            "--slow-query" => {
+                let raw = args.next();
+                slow_query = match raw.as_deref().map(str::parse) {
+                    Some(Ok(ms)) => Some(ms),
+                    _ => {
+                        eprintln!(
+                            "--slow-query needs a threshold in milliseconds, got {}",
+                            raw.as_deref()
+                                .map(|v| format!("`{v}`"))
+                                .unwrap_or_else(|| "nothing".into())
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--parallelism" => {
                 let raw = args.next();
                 parallelism = match raw.as_deref().map(str::parse) {
@@ -118,7 +150,7 @@ fn main() {
                 println!(
                     "usage: ioql [SCHEMA.odl] [--extended] [--telemetry-jsonl FILE] \
                      [--parallelism N] [--compile] [--durable DIR] [--serve ADDR] \
-                     [-e QUERY]\n\n{HELP}"
+                     [--obs ADDR] [--slow-query MS] [-e QUERY]\n\n{HELP}"
                 );
                 return;
             }
@@ -126,11 +158,15 @@ fn main() {
         }
     }
 
-    // The shell always records metrics so `:metrics`/`:stats` have data;
-    // telemetry is transparent, so this changes no query observable.
+    // The shell always records metrics so `:metrics`/`:stats` have
+    // data, and keeps a flight recorder so `:trace last` and the
+    // observability plane's `/traces` have records; both are
+    // transparent, so this changes no query observable.
     let mut opts = DbOptions {
         telemetry: true,
         telemetry_jsonl: jsonl.map(std::path::PathBuf::from),
+        trace_capacity: 256,
+        slow_query_ms: slow_query,
         ..DbOptions::default()
     };
     if extended {
@@ -183,6 +219,20 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    // The observability plane is orthogonal to the serving mode: it
+    // reads the same kernel whether queries arrive over TCP or stdin.
+    if let Some(addr) = obs {
+        match db.serve_obs(&addr) {
+            Ok(handle) => {
+                println!("observability on http://{}", handle.addr());
+                std::mem::forget(handle); // lives until the process exits
+            }
+            Err(e) => {
+                eprintln!("--obs {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(addr) = serve {
         // Foreground server: block until killed. Stdout is line-buffered
@@ -291,6 +341,17 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         std::mem::forget(handle);
         return Ok(());
     }
+    if let Some(rest) = line.strip_prefix(":obs ") {
+        let handle = db
+            .serve_obs(rest.trim())
+            .map_err(|e| DbError::Io(format!(":obs {}: {e}", rest.trim())))?;
+        println!(
+            "observability on http://{} (runs until the shell exits)",
+            handle.addr()
+        );
+        std::mem::forget(handle);
+        return Ok(());
+    }
     if let Some(rest) = line.strip_prefix(":analyze ") {
         let a = db.analyze(rest)?;
         println!("type          : {}", a.ty);
@@ -326,6 +387,32 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         let failures = ex.runs.iter().filter(|r| r.is_err()).count();
         if failures > 0 {
             println!("  ({failures} path(s) failed/diverged)");
+        }
+        return Ok(());
+    }
+    // Flight-recorder retrieval — matched before the step-derivation
+    // `:trace <query>` form, which keeps everything else as a query.
+    if line == ":trace last" || line.starts_with(":trace last ") || line.starts_with(":trace seq ")
+    {
+        let records = if let Some(s) = line.strip_prefix(":trace seq ") {
+            let seq: u64 = s.trim().parse().map_err(|_| {
+                DbError::Internal(format!(":trace seq needs a number, got `{}`", s.trim()))
+            })?;
+            db.trace_by_seq(seq).into_iter().collect::<Vec<_>>()
+        } else {
+            let n: usize = match line.strip_prefix(":trace last").map(str::trim) {
+                Some("") | None => 1,
+                Some(s) => s.parse().map_err(|_| {
+                    DbError::Internal(format!(":trace last needs a count, got `{s}`"))
+                })?,
+            };
+            db.traces_last(n)
+        };
+        if records.is_empty() {
+            println!("no matching trace record");
+        }
+        for r in &records {
+            print!("{}", r.render());
         }
         return Ok(());
     }

@@ -27,7 +27,9 @@ use ioql_opt::AppliedRewrite;
 use ioql_schema::Schema;
 use ioql_store::{Durability, Store};
 use ioql_syntax::{parse_program, parse_schema};
-use ioql_telemetry::{Counter, EventSink, Histogram, MetricsRegistry};
+use ioql_telemetry::{
+    Counter, EventSink, FlightRecorder, Histogram, MetricsRegistry, TraceRecord, Tracer,
+};
 use ioql_types::TypeOptions;
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
@@ -145,6 +147,30 @@ pub struct DbOptions {
     /// governor trip counters. The embedded [`Database`] handle ignores
     /// this field.
     pub session_budget: Option<Limits>,
+    /// Capacity of the query flight recorder's in-memory ring: when
+    /// non-zero, every query run through the kernel captures a structured
+    /// [`TraceRecord`] — a span tree over
+    /// parse → typecheck → effect-infer → optimize → lower → execute
+    /// plus scheduler wait, lock acquisition, cache probe, and WAL
+    /// append, each span carrying the decision it witnessed (cache
+    /// hit/miss with reason, admission mode with serialization witness,
+    /// per-node parallel/compile verdicts, governor charges). The last
+    /// `trace_capacity` records are retrievable via
+    /// [`Database::traces_last`], the `:trace last`/`:trace seq` wire
+    /// commands, and `GET /traces` on the observability listener.
+    /// `0` (the default) disables recording entirely. The recording
+    /// contract matches telemetry's: **no observable changes** — results,
+    /// stores, effects, meters, and draw totals are byte-identical to
+    /// `trace_capacity = 0` (see `tests/flight_recorder.rs`).
+    pub trace_capacity: usize,
+    /// Slow-query threshold: when set together with
+    /// [`DbOptions::telemetry_jsonl`], any query whose wall-clock
+    /// `elapsed` (scheduler wait included) reaches this many
+    /// milliseconds has its full [`TraceRecord`] emitted to the JSONL
+    /// sink as a `slow_query` event. Requires `trace_capacity > 0`
+    /// (the record must exist to be logged). `None` (the default)
+    /// disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for DbOptions {
@@ -170,6 +196,8 @@ impl Default for DbOptions {
                 .unwrap_or(false),
             durability: Durability::Off,
             session_budget: None,
+            trace_capacity: 0,
+            slow_query_ms: None,
         }
     }
 }
@@ -247,6 +275,103 @@ pub struct DbMetrics {
 impl DbMetrics {
     fn new(enabled: bool) -> DbMetrics {
         let registry = Arc::new(MetricsRegistry::new(enabled));
+        for (family, help) in [
+            (
+                "ioql_queries_total",
+                "Queries started (any engine, cached or not).",
+            ),
+            (
+                "ioql_rollbacks_total",
+                "Failed mutating queries rolled back to their pre-query snapshot.",
+            ),
+            (
+                "ioql_chooser_draws_total",
+                "Nondeterministic chooser draws across all queries.",
+            ),
+            ("ioql_cache_hits_total", "Query-result cache hits."),
+            ("ioql_cache_misses_total", "Query-result cache misses."),
+            (
+                "ioql_cache_evictions_total",
+                "Query-result cache LRU evictions.",
+            ),
+            (
+                "ioql_phase_duration_ns",
+                "Wall-clock nanoseconds per pipeline phase.",
+            ),
+            (
+                "ioql_governor_checkpoints_total",
+                "Governor budget checkpoints.",
+            ),
+            ("ioql_governor_charges_total", "Governor charges by kind."),
+            (
+                "ioql_governor_observations_total",
+                "Governor observations by kind.",
+            ),
+            (
+                "ioql_governor_cancellations_total",
+                "Queries cancelled via the governor's token.",
+            ),
+            (
+                "ioql_governor_trips_total",
+                "Governor budget trips by kind.",
+            ),
+            (
+                "ioql_eval_steps_total",
+                "Small-step machine reduction steps.",
+            ),
+            (
+                "ioql_eval_recursions_total",
+                "Named-definition recursive calls.",
+            ),
+            (
+                "ioql_sched_admitted_total",
+                "Write-free queries admitted concurrently against a snapshot.",
+            ),
+            (
+                "ioql_sched_serialized_total",
+                "Writing queries serialized into the kernel's commit order.",
+            ),
+            (
+                "ioql_sched_witnesses_total",
+                "Interference witnesses recorded at serialization.",
+            ),
+            (
+                "ioql_sched_wait_ns",
+                "Nanoseconds spent waiting for admission plus state-lock acquisition.",
+            ),
+            (
+                "ioql_wal_appends_total",
+                "Committed records appended to the write-ahead log.",
+            ),
+            (
+                "ioql_wal_skipped_effect_total",
+                "Commits skipped by the WAL because the effect proved them write-free.",
+            ),
+            ("ioql_wal_fsyncs_total", "WAL fsync calls."),
+            (
+                "ioql_wal_group_commits_total",
+                "WAL fsyncs that covered more than one pending record.",
+            ),
+            (
+                "ioql_wal_checkpoints_total",
+                "Durable checkpoints (baseline rebuilds).",
+            ),
+            (
+                "ioql_wal_replayed_total",
+                "Records replayed during recovery.",
+            ),
+            (
+                "ioql_wal_torn_dropped_total",
+                "Torn tail records dropped during recovery.",
+            ),
+            ("ioql_store_saves_total", "Store snapshots saved to disk."),
+            (
+                "ioql_store_loads_total",
+                "Store snapshots loaded from disk.",
+            ),
+        ] {
+            registry.describe(family, help);
+        }
         let c = |name: &str| registry.counter(name);
         let h = |phase: &str| {
             registry.histogram(&format!("ioql_phase_duration_ns{{phase=\"{phase}\"}}"))
@@ -328,11 +453,18 @@ pub struct QueryResult {
     /// than evaluated. Cached results are value-identical to a fresh
     /// evaluation (Theorem 7 — see [`crate::cache`]).
     pub cached: bool,
-    /// Wall-clock time of the whole pipeline run (prepare through
-    /// evaluate). Measured outside the governor's deadline path and
+    /// Wall-clock time of the whole pipeline run, scheduler wait
+    /// included (admission through evaluate — what the caller actually
+    /// waited). Measured outside the governor's deadline path and
     /// regardless of [`DbOptions::telemetry`] — purely informational;
     /// nothing reads it back.
     pub elapsed: Duration,
+    /// The portion of [`QueryResult::elapsed`] spent waiting to be
+    /// scheduled: admission-queue time plus kernel state-lock
+    /// acquisition, before the pipeline proper started. Always
+    /// ≤ `elapsed`; `Duration::ZERO` for cache hits served without
+    /// touching the write path. Like `elapsed`, purely informational.
+    pub wait: Duration,
     /// How the admission controller scheduled this query: a snapshot
     /// stamp for a concurrently-admitted reader, a commit-order stamp
     /// plus interference witness for a serialized writer. `None` on the
@@ -403,6 +535,7 @@ impl Clone for Database {
                 cache,
                 k.metrics.clone(),
                 k.sink.clone(),
+                k.recorder().cloned(),
                 k.durable_handle(),
             )),
             options: self.options.clone(),
@@ -449,6 +582,8 @@ impl Database {
             def_types: BTreeMap::new(),
             def_effects: BTreeMap::new(),
         };
+        let recorder = (options.trace_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(options.trace_capacity)));
         Ok(Database {
             kernel: Arc::new(DbKernel::new(
                 schema,
@@ -457,6 +592,7 @@ impl Database {
                 cache,
                 metrics,
                 sink,
+                recorder,
                 None,
             )),
             options,
@@ -600,7 +736,8 @@ impl Database {
     /// inferred effect.
     pub fn prepare(&self, src: &str) -> Result<(Query, Type, Effect), DbError> {
         let state = self.kernel.read_state();
-        self.kernel.prepare_in(&self.options, &state, src)
+        self.kernel
+            .prepare_in(&self.options, &state, src, &mut Tracer::off())
     }
 
     /// Runs a query end-to-end with the canonical deterministic chooser.
@@ -635,8 +772,38 @@ impl Database {
         chooser: &mut dyn Chooser,
         governor: &Governor,
     ) -> Result<QueryResult, DbError> {
+        self.kernel.run_query(
+            &self.options,
+            src,
+            chooser,
+            governor,
+            ExecMode::Exclusive,
+            None,
+            None,
+        )
+    }
+
+    /// The query flight recorder, when one is attached
+    /// ([`DbOptions::trace_capacity`] > 0 at construction). All handles
+    /// over the same kernel — sessions, the server, the observability
+    /// listener — share this recorder.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.kernel.recorder()
+    }
+
+    /// The last `n` flight-recorder trace records, oldest first. Empty
+    /// when recording is off ([`DbOptions::trace_capacity`] = 0).
+    pub fn traces_last(&self, n: usize) -> Vec<TraceRecord> {
         self.kernel
-            .run_query(&self.options, src, chooser, governor, ExecMode::Exclusive)
+            .recorder()
+            .map(|r| r.last(n))
+            .unwrap_or_default()
+    }
+
+    /// The flight-recorder record with the given sequence number, if it
+    /// is still in the ring.
+    pub fn trace_by_seq(&self, seq: u64) -> Option<TraceRecord> {
+        self.kernel.recorder().and_then(|r| r.by_seq(seq))
     }
 
     /// Hit/miss/occupancy counters of the query-result cache.
@@ -681,6 +848,7 @@ impl Database {
                 steps: out.steps,
                 cached: false,
                 elapsed: started.elapsed(),
+                wait: Duration::ZERO,
                 admitted: None,
             },
             store,
@@ -691,7 +859,9 @@ impl Database {
     /// `⊢'` determinism verdict, and per-operator commutation verdicts.
     pub fn analyze(&self, src: &str) -> Result<Analysis, DbError> {
         let state = self.kernel.read_state();
-        let (elab, ty, effect) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (elab, ty, effect) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         let det_env = self
             .kernel
             .effect_env_in(Discipline::deterministic(), &state);
@@ -730,7 +900,9 @@ impl Database {
     /// rewrites. Statistics are seeded from the *current* extent sizes.
     pub fn optimize(&self, src: &str) -> Result<(Query, Vec<AppliedRewrite>), DbError> {
         let state = self.kernel.read_state();
-        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (elab, _, _) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         Ok(self.kernel.optimize_in(&state, &elab))
     }
 
@@ -742,7 +914,9 @@ impl Database {
     /// [`DbOptions::optimize`], exactly as execution does.
     pub fn explain(&self, src: &str) -> Result<String, DbError> {
         let state = self.kernel.read_state();
-        let (mut elab, _, static_effect) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (mut elab, _, static_effect) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         if self.options.optimize {
             elab = self.kernel.optimize_in(&state, &elab).0;
         }
@@ -765,7 +939,9 @@ impl Database {
     /// `explain`.
     pub fn explain_analyze(&self, src: &str) -> Result<String, DbError> {
         let state = self.kernel.read_state();
-        let (mut elab, _, static_effect) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (mut elab, _, static_effect) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         if self.options.optimize {
             elab = self.kernel.optimize_in(&state, &elab).0;
         }
@@ -803,7 +979,9 @@ impl Database {
     /// non-deterministic relation.
     pub fn explore(&self, src: &str, max_runs: usize) -> Result<Exploration, DbError> {
         let state = self.kernel.read_state();
-        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (elab, _, _) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         let cfg = self.kernel.eval_config(&self.options);
         let defs = DbKernel::def_env_in(&state);
         Ok(ioql_eval::explore_outcomes(
@@ -886,7 +1064,9 @@ impl Database {
     /// application and effect label, ready for rendering.
     pub fn trace(&self, src: &str) -> Result<ioql_eval::Trace, DbError> {
         let state = self.kernel.read_state();
-        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (elab, _, _) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         let cfg = self.kernel.eval_config(&self.options);
         let defs = DbKernel::def_env_in(&state);
         let mut store = state.store.clone();
@@ -912,7 +1092,9 @@ impl Database {
         threads: usize,
     ) -> Result<Exploration, DbError> {
         let state = self.kernel.read_state();
-        let (elab, _, _) = self.kernel.prepare_in(&self.options, &state, src)?;
+        let (elab, _, _) =
+            self.kernel
+                .prepare_in(&self.options, &state, src, &mut Tracer::off())?;
         let cfg = self.kernel.eval_config(&self.options);
         let defs = DbKernel::def_env_in(&state);
         Ok(ioql_eval::explore_outcomes_parallel(

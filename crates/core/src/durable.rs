@@ -104,6 +104,15 @@ impl std::fmt::Display for RecoveryReport {
     }
 }
 
+/// What a successful WAL append did on disk: whether this append
+/// carried an fsync, and how many pending records that sync covered.
+/// Feeds the flight recorder's `wal-append` span verdict.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WalAppendAck {
+    pub(crate) synced: bool,
+    pub(crate) grouped: u64,
+}
+
 /// A snapshot of the durable log's state — the REPL's `:wal status`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WalStatus {
@@ -429,10 +438,15 @@ impl DbKernel {
     /// Appends one committed payload to the log, applying the fsync
     /// policy and the poison protocol. Called by the query path (for
     /// mutating queries) and by `define`, in both cases while the state
-    /// write lock is held — the state → durable order.
-    pub(crate) fn wal_append(&self, payload: &WalPayload) -> Result<(), DbError> {
+    /// write lock is held — the state → durable order. The returned ack
+    /// says whether this append triggered an fsync and how many pending
+    /// records that sync covered (for the flight recorder's wal span).
+    pub(crate) fn wal_append(&self, payload: &WalPayload) -> Result<WalAppendAck, DbError> {
         let Some(handle) = self.durable_handle() else {
-            return Ok(());
+            return Ok(WalAppendAck {
+                synced: false,
+                grouped: 0,
+            });
         };
         let mut log = handle.lock().expect("durable lock");
         if log.poisoned {
@@ -448,7 +462,10 @@ impl DbKernel {
                 if ack.synced {
                     self.note_wal_sync(ack.grouped);
                 }
-                Ok(())
+                Ok(WalAppendAck {
+                    synced: ack.synced,
+                    grouped: ack.grouped,
+                })
             }
             Err(e) => {
                 // The failed write may be partially on disk; nothing

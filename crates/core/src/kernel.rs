@@ -46,7 +46,7 @@ use ioql_opt::{optimize as run_optimizer, AppliedRewrite, OptOptions, Stats};
 use ioql_schema::Schema;
 use ioql_store::{Durability, Store, WalPayload};
 use ioql_syntax::parse_definitions;
-use ioql_telemetry::EventSink;
+use ioql_telemetry::{EventSink, FlightRecorder, Tracer};
 use ioql_types::{check_query, TypeEnv};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -84,6 +84,7 @@ pub struct DbKernel {
     pub(crate) cache: Mutex<QueryCache>,
     pub(crate) metrics: DbMetrics,
     pub(crate) sink: Option<Arc<EventSink>>,
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
     pub(crate) durable: RwLock<Option<Arc<Mutex<DurableLog>>>>,
     pub(crate) sched: Sched,
 }
@@ -109,6 +110,7 @@ fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 }
 
 impl DbKernel {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         schema: Schema,
         method_effects: MethodEffects,
@@ -116,6 +118,7 @@ impl DbKernel {
         cache: QueryCache,
         metrics: DbMetrics,
         sink: Option<Arc<EventSink>>,
+        recorder: Option<Arc<FlightRecorder>>,
         durable: Option<Arc<Mutex<DurableLog>>>,
     ) -> DbKernel {
         DbKernel {
@@ -125,6 +128,7 @@ impl DbKernel {
             cache: Mutex::new(cache),
             metrics,
             sink,
+            recorder,
             durable: RwLock::new(durable),
             sched: Sched::new(),
         }
@@ -133,6 +137,12 @@ impl DbKernel {
     /// The schema (immutable for the kernel's lifetime).
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The query flight recorder, when one is attached
+    /// (`DbOptions::trace_capacity > 0` at construction).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The telemetry handles.
@@ -219,30 +229,39 @@ impl DbKernel {
     }
 
     /// Parses, resolves, elaborates, and effect-checks a query without
-    /// running it.
+    /// running it. The tracer (a no-op unless the caller is recording a
+    /// flight-recorder trace) gets one span per phase; spans left open
+    /// by an early error are closed when the trace is sealed.
     pub(crate) fn prepare_in(
         &self,
         opts: &DbOptions,
         state: &KernelState,
         src: &str,
+        tracer: &mut Tracer,
     ) -> Result<(Query, Type, Effect), DbError> {
         let t = self.metrics.phase_parse.start_timer();
+        let sp = tracer.begin("parse", "");
         let raw = ioql_syntax::parse_query(src)?;
         let resolved = self.schema.resolve_query(&raw);
         self.metrics.phase_parse.observe_timer(t);
+        tracer.end(sp);
         let t = self.metrics.phase_typecheck.start_timer();
+        let sp = tracer.begin("typecheck", "");
         let tenv = self.type_env_in(opts, state);
         let (elab, ty) = check_query(&tenv, &resolved)?;
         self.metrics.phase_typecheck.observe_timer(t);
+        tracer.end_with(sp, || Some(ty.to_string()));
         let discipline = if opts.require_deterministic {
             Discipline::deterministic()
         } else {
             Discipline::permissive()
         };
         let t = self.metrics.phase_effect.start_timer();
+        let sp = tracer.begin("effect-infer", "");
         let eenv = self.effect_env_in(discipline, state);
         let (ty2, eff) = infer_query(&eenv, &elab)?;
         self.metrics.phase_effect.observe_timer(t);
+        tracer.end_with(sp, || Some(format!("effect {{{eff}}}")));
         debug_assert_eq!(ty, ty2, "Figure 1 and Figure 3 disagree on a type");
         Ok((elab, ty, eff))
     }
@@ -294,9 +313,13 @@ impl DbKernel {
     // The query path.
     // ------------------------------------------------------------------
 
-    /// Runs a query end-to-end: telemetry span, mode dispatch, elapsed
-    /// stamp. The single entry point for the facade, sessions, and the
-    /// durable-replay path.
+    /// Runs a query end-to-end: telemetry span, flight-recorder trace,
+    /// mode dispatch, elapsed stamp. The single entry point for the
+    /// facade, sessions, and the durable-replay path. `trace_id` is the
+    /// caller's correlation ID (wire clients send `trace=ID`), `session`
+    /// the session label — both stamped into the trace record when a
+    /// recorder is attached, and both ignored otherwise.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_query(
         &self,
         opts: &DbOptions,
@@ -304,6 +327,8 @@ impl DbKernel {
         chooser: &mut dyn Chooser,
         governor: &Governor,
         mode: ExecMode,
+        trace_id: Option<&str>,
+        session: Option<&str>,
     ) -> Result<QueryResult, DbError> {
         // The clock here feeds only `QueryResult::elapsed` and the JSONL
         // span; the governor keeps its own deadline clock. Read
@@ -313,14 +338,37 @@ impl DbKernel {
         let span = self
             .sink
             .as_ref()
-            .map(|s| (Arc::clone(s), s.span_begin("query", src)));
-        let mut result = self.run_query_inner(opts, src, chooser, governor, mode);
+            .map(|s| (Arc::clone(s), s.span_begin_traced("query", src, trace_id)));
+        // The tracer is write-only from the pipeline's view (the
+        // transparency guard extends to recording): when no recorder is
+        // attached every tracer call is one `Option` branch, no verdict
+        // string is built, and no extra clock is read.
+        let mut tracer = match &self.recorder {
+            Some(_) => Tracer::start(src, trace_id.map(String::from), session.map(String::from)),
+            None => Tracer::off(),
+        };
+        let mut result = self.run_query_inner(opts, src, chooser, governor, mode, &mut tracer);
         if let Some((sink, id)) = span {
             sink.span_end(id, "query", result.is_ok());
             sink.counters(self.metrics.registry());
         }
         if let Ok(r) = result.as_mut() {
             r.elapsed = started.elapsed();
+        }
+        if let Some(recorder) = &self.recorder {
+            let error = result.as_ref().err().map(|e| e.to_string());
+            if let Some(record) = tracer.finish(error.is_none(), error) {
+                let seq = recorder.push(record);
+                // The threshold-gated slow-query log: the full record,
+                // as JSON, to the JSONL sink.
+                if let (Some(ms), Some(sink)) = (opts.slow_query_ms, &self.sink) {
+                    if started.elapsed() >= Duration::from_millis(ms) {
+                        if let Some(r) = recorder.by_seq(seq) {
+                            sink.slow_query(ms, &r);
+                        }
+                    }
+                }
+            }
         }
         result
     }
@@ -332,16 +380,26 @@ impl DbKernel {
         chooser: &mut dyn Chooser,
         governor: &Governor,
         mode: ExecMode,
+        tracer: &mut Tracer,
     ) -> Result<QueryResult, DbError> {
         match mode {
             ExecMode::Exclusive => {
+                // Unconditional clock read, like `elapsed`: `wait` is an
+                // observable on every result, not a telemetry artifact.
+                let lock_started = Instant::now();
+                let sp = tracer.begin("lock-acquire", "state-write");
                 let mut state = self.write_state();
-                let (elab, ty, eff) = self.prepare_in(opts, &state, src)?;
-                let (r, _) =
-                    self.execute_in(opts, &mut state, elab, ty, eff, chooser, governor, true)?;
+                tracer.end(sp);
+                let wait = lock_started.elapsed();
+                tracer.set_wait_ns(wait.as_nanos().min(u64::MAX as u128) as u64);
+                let (elab, ty, eff) = self.prepare_in(opts, &state, src, tracer)?;
+                let (mut r, _) = self.execute_in(
+                    opts, &mut state, elab, ty, eff, chooser, governor, true, tracer,
+                )?;
+                r.wait = wait;
                 Ok(r)
             }
-            ExecMode::Admission => self.run_admitted(opts, src, chooser, governor),
+            ExecMode::Admission => self.run_admitted(opts, src, chooser, governor, tracer),
         }
     }
 
@@ -353,10 +411,15 @@ impl DbKernel {
         src: &str,
         chooser: &mut dyn Chooser,
         governor: &Governor,
+        tracer: &mut Tracer,
     ) -> Result<QueryResult, DbError> {
+        let wait_started = Instant::now();
         let wait = self.metrics.sched.wait_ns.start_timer();
+        let wait_sp = tracer.begin("sched-wait", "");
+        let lock_sp = tracer.begin("lock-acquire", "state-read");
         let state = self.read_state();
-        let (elab, ty, eff) = self.prepare_in(opts, &state, src)?;
+        tracer.end(lock_sp);
+        let (elab, ty, eff) = self.prepare_in(opts, &state, src, tracer)?;
         // Theorem 7's guard, at query granularity: a write-free (no
         // `A(C)`, no `U(C)`) and `new`-free query cannot interfere with
         // any other such query — two read-only effects never produce an
@@ -382,11 +445,29 @@ impl DbKernel {
             drop(state);
             self.metrics.sched.admitted.inc();
             self.metrics.sched.wait_ns.observe_timer(wait);
-            let result =
-                self.execute_in(opts, &mut snapshot, elab, ty, eff, chooser, governor, false);
+            let waited = wait_started.elapsed();
+            tracer.set_wait_ns(waited.as_nanos().min(u64::MAX as u128) as u64);
+            tracer.end_with(wait_sp, || {
+                Some(format!(
+                    "admitted: {}",
+                    Admitted::Concurrent { snapshot_seq }
+                ))
+            });
+            let result = self.execute_in(
+                opts,
+                &mut snapshot,
+                elab,
+                ty,
+                eff,
+                chooser,
+                governor,
+                false,
+                tracer,
+            );
             self.sched.finish_reader(rid);
             result.map(|(mut r, _)| {
                 r.admitted = Some(Admitted::Concurrent { snapshot_seq });
+                r.wait = waited;
                 r
             })
         } else {
@@ -397,14 +478,25 @@ impl DbKernel {
             let witness = self.sched.writer_witness(&eff, &self.schema);
             self.metrics.sched.serialized.inc();
             self.metrics.sched.witnesses.inc();
+            let lock_sp = tracer.begin("lock-acquire", "state-write");
             let mut state = self.write_state();
+            tracer.end(lock_sp);
             self.metrics.sched.wait_ns.observe_timer(wait);
+            let waited = wait_started.elapsed();
+            tracer.set_wait_ns(waited.as_nanos().min(u64::MAX as u128) as u64);
+            tracer.end_with(wait_sp, || {
+                Some(format!(
+                    "admitted: serialized witness=({}, {})",
+                    witness.0, witness.1
+                ))
+            });
             // Prepared under the read lock, executed under the write
             // lock: sound because elaboration depends only on the
             // schema (fixed) and the def catalogue (append-only, and a
             // redefinition is rejected at `define` time).
-            let (mut r, seq) =
-                self.execute_in(opts, &mut state, elab, ty, eff, chooser, governor, true)?;
+            let (mut r, seq) = self.execute_in(
+                opts, &mut state, elab, ty, eff, chooser, governor, true, tracer,
+            )?;
             r.admitted = Some(Admitted::Serialized {
                 // A statically-mutating query always commits on success
                 // (`commit=true` above), so the stamp is present; 0 is
@@ -412,6 +504,7 @@ impl DbKernel {
                 commit_seq: seq.unwrap_or(0),
                 witness,
             });
+            r.wait = waited;
             Ok(r)
         }
     }
@@ -434,6 +527,7 @@ impl DbKernel {
         chooser: &mut dyn Chooser,
         governor: &Governor,
         commit: bool,
+        tracer: &mut Tracer,
     ) -> Result<(QueryResult, Option<u64>), DbError> {
         // The write-ahead-log gate: only queries the effect system says
         // can write (`A(C)`/`U(C)` non-empty) are logged — Theorem 7
@@ -468,6 +562,18 @@ impl DbKernel {
         // output drifts with catalogue statistics, the elaborated form
         // does not.
         let cache_key = cacheable.then(|| elab.clone());
+        if !cacheable {
+            tracer.note("cache-probe", || {
+                let reason = if opts.cache_capacity == 0 {
+                    "cache disabled (capacity 0)"
+                } else if !static_effect.is_read_only() {
+                    "effect not read-only"
+                } else {
+                    "query or called defs contain `new`"
+                };
+                (String::new(), format!("ineligible({reason})"))
+            });
+        }
         if let Some(key) = &cache_key {
             // Validated against `state.store` — the store this query
             // actually runs against. On the snapshot path that is the
@@ -477,11 +583,15 @@ impl DbKernel {
             // writer can never leak a too-new value into an old
             // snapshot (see `cache_isolated_from_concurrent_writers`
             // in tests/server.rs).
+            let probe_sp = tracer.begin("cache-probe", "");
             let hit = self
                 .cache
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .lookup(key, &state.store);
+            tracer.end_with(probe_sp, || {
+                Some(if hit.is_some() { "hit" } else { "miss" }.to_string())
+            });
             if let Some(entry) = hit {
                 // A hit still passes through the governor, so the
                 // resource-limit contract is engine-identical.
@@ -490,6 +600,12 @@ impl DbKernel {
                 if let Value::Set(s) = &entry.value {
                     governor.observe_set_card(s.len() as u64)?;
                 }
+                tracer.note("governor", || {
+                    (
+                        String::new(),
+                        format!("cells_delta={} {}", entry.cells, governor.charges_report()),
+                    )
+                });
                 return Ok((
                     QueryResult {
                         value: entry.value,
@@ -499,6 +615,7 @@ impl DbKernel {
                         steps: 0,
                         cached: true,
                         elapsed: Duration::ZERO, // overwritten by the wrapper
+                        wait: Duration::ZERO,    // stamped by the caller
                         admitted: None,          // stamped by the caller
                     },
                     None,
@@ -520,8 +637,10 @@ impl DbKernel {
         let cells_before = governor.cells_spent();
         if opts.optimize {
             let t = self.metrics.phase_optimize.start_timer();
-            let (optimized, _) = self.optimize_in(state, &elab);
+            let sp = tracer.begin("optimize", "");
+            let (optimized, applied) = self.optimize_in(state, &elab);
             self.metrics.phase_optimize.observe_timer(t);
+            tracer.end_with(sp, || Some(format!("{} rewrite(s)", applied.len())));
             elab = optimized;
         }
         // Snapshot only when the query can actually mutate the store —
@@ -544,8 +663,15 @@ impl DbKernel {
         let plan = match engine {
             Engine::Plan => {
                 let t = self.metrics.phase_lower.start_timer();
+                let sp = tracer.begin("lower", "");
                 let plan = self.lower_in(opts, state, &elab, &static_effect, &defs);
                 self.metrics.phase_lower.observe_timer(t);
+                tracer.end_with(sp, || {
+                    Some(match &plan {
+                        Some(_) => "physical plan".to_string(),
+                        None => "no plan — interpreter tier".to_string(),
+                    })
+                });
                 plan
             }
             _ => None,
@@ -560,10 +686,61 @@ impl DbKernel {
                 }
             }
         }
+        // The verdict bridge: per-node parallel and compile decisions
+        // into the trace. Every traced query gets all four verdict
+        // kinds — a node-less outcome (interpreter engine, no plan,
+        // tiers off) is itself a verdict with its reason.
+        if tracer.is_on() {
+            match (engine, &plan) {
+                (Engine::Plan, Some(p)) => {
+                    let verdicts = p.verdicts();
+                    for v in &verdicts {
+                        if let Some(par) = &v.par {
+                            tracer.note("parallel", || {
+                                (format!("{} {}", v.id, v.label), par.clone())
+                            });
+                        }
+                        if let Some(c) = &v.compile {
+                            tracer.note("compile", || (format!("{} {}", v.id, v.label), c.clone()));
+                        }
+                    }
+                    if verdicts.iter().all(|v| v.par.is_none()) {
+                        tracer.note("parallel", || {
+                            (String::new(), "seq(parallelism off)".to_string())
+                        });
+                    }
+                    if verdicts.iter().all(|v| v.compile.is_none()) {
+                        tracer.note("compile", || {
+                            (String::new(), "interp(compile off)".to_string())
+                        });
+                    }
+                }
+                (Engine::Plan, None) => {
+                    tracer.note("parallel", || {
+                        (
+                            String::new(),
+                            "seq(no physical plan — interpreter tier)".to_string(),
+                        )
+                    });
+                    tracer.note("compile", || {
+                        (String::new(), "interp(no physical plan)".to_string())
+                    });
+                }
+                _ => {
+                    tracer.note("parallel", || {
+                        (String::new(), "seq(interpreter engine)".to_string())
+                    });
+                    tracer.note("compile", || {
+                        (String::new(), "interp(interpreter engine)".to_string())
+                    });
+                }
+            }
+        }
         let par_metrics = self.metrics.parallel.clone();
         let vm_metrics = self.metrics.vm.clone();
         let store = &mut state.store;
         let exec_timer = self.metrics.phase_execute.start_timer();
+        let exec_sp = tracer.begin("execute", "");
         // Contain engine panics: a bug in either evaluator must not
         // tear down the caller. `AssertUnwindSafe` is justified because
         // on `Err` the only witness of the broken invariants — the
@@ -609,6 +786,7 @@ impl DbKernel {
             }
         }));
         self.metrics.phase_execute.observe_timer(exec_timer);
+        tracer.end_with(exec_sp, || Some(format!("{engine:?}")));
         let result = match outcome {
             Ok(r) => r.map_err(DbError::from),
             Err(payload) => {
@@ -643,6 +821,16 @@ impl DbKernel {
             "Theorem 5 violated: runtime effect {{{}}} escapes static {{{static_effect}}}",
             out.effect
         );
+        tracer.note("governor", || {
+            (
+                String::new(),
+                format!(
+                    "cells_delta={} {}",
+                    governor.cells_spent().saturating_sub(cells_before),
+                    governor.charges_report()
+                ),
+            )
+        });
         // Acknowledged ⇒ logged: the commit's record (the executed
         // query text plus the recorded draw trace) must be in the log
         // before the caller sees `Ok`. If the append fails the store
@@ -653,13 +841,25 @@ impl DbKernel {
                 text: elab.to_string(),
                 draws: recording.trace().to_vec(),
             };
-            if let Err(e) = self.wal_append(&payload) {
-                if let Some(snap) = rollback {
-                    let dirty = std::mem::replace(&mut state.store, snap);
-                    state.store.bump_versions_from(&dirty);
-                    self.metrics.rollbacks.inc();
+            let wal_sp = tracer.begin("wal-append", "");
+            match self.wal_append(&payload) {
+                Ok(ack) => tracer.end_with(wal_sp, || {
+                    let group = if ack.grouped > 1 {
+                        format!(" group={}", ack.grouped)
+                    } else {
+                        String::new()
+                    };
+                    Some(format!("appended fsync={}{group}", ack.synced))
+                }),
+                Err(e) => {
+                    tracer.end_with(wal_sp, || Some("append failed — rolled back".to_string()));
+                    if let Some(snap) = rollback {
+                        let dirty = std::mem::replace(&mut state.store, snap);
+                        state.store.bump_versions_from(&dirty);
+                        self.metrics.rollbacks.inc();
+                    }
+                    return Err(e);
                 }
-                return Err(e);
             }
         }
         if let (Some(key), Some(versions)) = (cache_key, read_versions) {
@@ -686,6 +886,7 @@ impl DbKernel {
                 steps: out.steps,
                 cached: false,
                 elapsed: Duration::ZERO, // overwritten by the wrapper
+                wait: Duration::ZERO,    // stamped by the caller
                 admitted: None,          // stamped by the caller
             },
             seq,

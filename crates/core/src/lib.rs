@@ -56,6 +56,7 @@ pub mod database;
 pub mod durable;
 pub mod error;
 pub mod kernel;
+pub mod obs;
 pub mod sched;
 pub mod server;
 pub mod session;
@@ -66,6 +67,7 @@ pub use database::{Database, DbMetrics, DbOptions, Engine, QueryResult, StoreRef
 pub use durable::{RecoveryReport, SinkFactory, WalStatus};
 pub use error::DbError;
 pub use kernel::DbKernel;
+pub use obs::{serve_obs, ObsHandle};
 pub use sched::{Admitted, SchedMetrics};
 pub use server::{serve, Client, Frame, ServerHandle};
 pub use session::Session;
@@ -92,3 +94,4 @@ pub use ioql_eval::{
 };
 pub use ioql_methods::Mode;
 pub use ioql_store::{Durability, WalError, WalErrorKind};
+pub use ioql_telemetry::{FlightRecorder, TraceRecord, TraceSpan};

@@ -1,0 +1,239 @@
+//! A live HTTP observability plane over one shared kernel.
+//!
+//! Hand-rolled HTTP/1.0 on `std::net` — no dependencies, no async
+//! runtime, exactly like the query server ([`crate::server`]): one
+//! accept loop, one short-lived thread per request, `Connection:
+//! close` on every response so a plain `curl` (or a Prometheus
+//! scraper) needs no keep-alive logic. The listener is **read-only**:
+//! every endpoint renders state other subsystems already maintain, so
+//! scraping it changes no observable — results, stores, meters, and
+//! traces are byte-identical whether or not anyone is watching.
+//!
+//! ## Endpoints
+//!
+//! * `GET /metrics` — the telemetry registry in Prometheus text
+//!   exposition format (`# HELP`/`# TYPE` per family, cumulative
+//!   histogram buckets ending at `+Inf`). Empty when the kernel was
+//!   built with [`DbOptions::telemetry`](crate::DbOptions::telemetry)
+//!   off.
+//! * `GET /healthz` — a one-object JSON liveness report: commit count,
+//!   in-flight readers, and the WAL's poison status. Returns `200`
+//!   when healthy and `503 Service Unavailable` when the write-ahead
+//!   log is poisoned (mutations are failing fast until a checkpoint).
+//! * `GET /traces?n=K` — the last `K` (default 16) query
+//!   flight-recorder records as a JSON array (see
+//!   [`TraceRecord::to_json`](ioql_telemetry::TraceRecord::to_json)).
+//!   `404` with a JSON error when the kernel has no recorder
+//!   ([`DbOptions::trace_capacity`](crate::DbOptions::trace_capacity)
+//!   is 0).
+//!
+//! Anything else is a `404`. Only `GET` is served — the plane observes;
+//! it never mutates.
+
+use crate::database::{Database, DbOptions};
+use crate::kernel::DbKernel;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running observability listener: its bound address and
+/// shutdown/join controls. Dropping the handle shuts the listener down.
+#[derive(Debug)]
+pub struct ObsHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ObsHandle {
+    /// The address the listener actually bound (port 0 resolves here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting requests and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        self.running.store(false, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the listener stops.
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Starts the observability listener over `kernel` on `addr` (e.g.
+/// `127.0.0.1:9090`, or port `0` to pick a free one — read it back from
+/// [`ObsHandle::addr`]). `options` supplies the durability mode the
+/// health report describes the WAL under.
+pub fn serve_obs(
+    kernel: Arc<DbKernel>,
+    options: DbOptions,
+    addr: &str,
+) -> std::io::Result<ObsHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let running = Arc::new(AtomicBool::new(true));
+    let accept = {
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if !running.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let kernel = Arc::clone(&kernel);
+                let options = options.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_request(stream, &kernel, &options);
+                });
+            }
+        })
+    };
+    Ok(ObsHandle {
+        addr,
+        running,
+        accept: Some(accept),
+    })
+}
+
+impl Database {
+    /// Serves this database's kernel on `addr` as a read-only HTTP
+    /// observability plane — see [`crate::obs`].
+    pub fn serve_obs(&self, addr: &str) -> std::io::Result<ObsHandle> {
+        serve_obs(Arc::clone(self.kernel()), self.options(), addr)
+    }
+}
+
+/// One HTTP response, ready to serialize.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+fn handle_request(
+    stream: TcpStream,
+    kernel: &Arc<DbKernel>,
+    options: &DbOptions,
+) -> std::io::Result<()> {
+    let mut out = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    if reader.read_line(&mut request)? == 0 {
+        return Ok(());
+    }
+    // Drain the headers; nothing in them changes what we serve.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        Response::json(
+            "405 Method Not Allowed",
+            "{\"error\":\"only GET is served\"}".into(),
+        )
+    } else {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        match path {
+            "/metrics" => Response {
+                status: "200 OK",
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: kernel.metrics().registry().render_prometheus(),
+            },
+            "/healthz" => healthz(kernel, options),
+            "/traces" => traces(kernel, query),
+            _ => Response::json("404 Not Found", "{\"error\":\"no such endpoint\"}".into()),
+        }
+    };
+    write!(
+        out,
+        "HTTP/1.0 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len(),
+    )?;
+    out.write_all(response.body.as_bytes())?;
+    out.flush()
+}
+
+/// The liveness report: scheduler commit/in-flight counts plus the
+/// WAL's poison status. `503` while the log is poisoned — mutating
+/// queries are failing fast, which is exactly what a load balancer
+/// should know.
+fn healthz(kernel: &Arc<DbKernel>, options: &DbOptions) -> Response {
+    let (commits, inflight, _, _) = kernel.sched_snapshot();
+    let (wal, poisoned) = match kernel.wal_status(options.durability) {
+        Some(s) => (
+            format!(
+                "{{\"mode\":\"{}\",\"generation\":{},\"appended\":{},\"pending\":{},\
+                 \"poisoned\":{}}}",
+                s.mode, s.generation, s.appended, s.pending, s.poisoned,
+            ),
+            s.poisoned,
+        ),
+        None => ("null".to_string(), false),
+    };
+    let traces = kernel.recorder().map_or(0, |r| r.recorded());
+    let body = format!(
+        "{{\"status\":\"{}\",\"commits\":{commits},\"inflight\":{inflight},\
+         \"traces_recorded\":{traces},\"wal\":{wal}}}",
+        if poisoned { "poisoned" } else { "ok" },
+    );
+    if poisoned {
+        Response::json("503 Service Unavailable", body)
+    } else {
+        Response::json("200 OK", body)
+    }
+}
+
+/// The last `n` flight-recorder records (`?n=K`, default 16) as a JSON
+/// array, oldest first.
+fn traces(kernel: &Arc<DbKernel>, query: Option<&str>) -> Response {
+    let Some(recorder) = kernel.recorder() else {
+        return Response::json(
+            "404 Not Found",
+            "{\"error\":\"flight recorder off (trace_capacity is 0)\"}".into(),
+        );
+    };
+    let n = query
+        .iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("n=")?.parse::<usize>().ok())
+        .unwrap_or(16);
+    Response::json("200 OK", recorder.render_json(n))
+}

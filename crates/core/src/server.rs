@@ -16,8 +16,13 @@
 //! * `define …;` — register definitions (serialized, like any write).
 //! * `:stats`, `:metrics`, `:wal status`, `:checkpoint` — admin
 //!   commands, same output as the REPL's.
+//! * `:trace last [N]`, `:trace seq <S>` — flight-recorder retrieval
+//!   (requires the server to run with `trace_capacity > 0`).
 //! * `:quit` — close the connection.
-//! * anything else — an IOQL query.
+//! * anything else — an IOQL query. A query (or `define`) may be
+//!   prefixed with `trace=<id> ` to stamp the client's trace ID into
+//!   the query's flight-recorder record; the ID is echoed back in the
+//!   status line so a caller can correlate across systems.
 //!
 //! Every server→client message is a **frame**: one status line, zero
 //! or more payload lines, then a line containing a single `.`. Payload
@@ -31,6 +36,10 @@
 //!   write path and `seq` is its position in the kernel's total commit
 //!   order. Payload: the value, then `: <type>`, and for serialized
 //!   queries the interference `witness: (…)` that refused concurrency.
+//!   When the request carried `trace=<id>`, the status line ends with
+//!   ` wait_ns=<n> trace=<id>` — the scheduler-wait observation and the
+//!   echoed ID. (These tokens appear **only** for traced requests, so
+//!   untraced traffic stays byte-identical run to run.)
 //! * `ok <word>` — an admin command succeeded; payload varies.
 //! * `err <message>` — the request failed; the session stays usable.
 //!
@@ -248,14 +257,61 @@ fn run_request(
         session.kernel().checkpoint(durability).map_err(one_line)?;
         return Ok(("ok checkpointed".into(), String::new()));
     }
+    if let Some(rest) = line.strip_prefix(":trace") {
+        let rest = rest.trim();
+        if rest == "last" || rest.starts_with("last ") || rest.starts_with("seq ") {
+            let Some(recorder) = session.kernel().recorder() else {
+                return Err("flight recorder off (start the server with tracing on)".into());
+            };
+            let records = if let Some(s) = rest.strip_prefix("seq ") {
+                let seq: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad sequence number {:?}", s.trim()))?;
+                recorder.by_seq(seq).into_iter().collect::<Vec<_>>()
+            } else {
+                let n: usize = match rest.strip_prefix("last").map(str::trim) {
+                    Some("") | None => 1,
+                    Some(s) => s.parse().map_err(|_| format!("bad count {s:?}"))?,
+                };
+                recorder.last(n)
+            };
+            if records.is_empty() {
+                return Err("no matching trace record".into());
+            }
+            let payload = records
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+                .join("\n");
+            return Ok((format!("ok traces count={}", records.len()), payload));
+        }
+    }
+    // A `trace=<id>` prefix stamps the client's trace ID into the
+    // request's flight-recorder record and switches the status line to
+    // the traced form (wait_ns + echoed ID).
+    let (trace_id, line) = match line
+        .strip_prefix("trace=")
+        .and_then(|rest| rest.split_once(char::is_whitespace))
+    {
+        Some((id, rest)) if !id.is_empty() => (Some(id), rest.trim_start()),
+        _ => (None, line),
+    };
     if line.starts_with("define ") {
         let seq = session.define(line).map_err(one_line)?;
+        let trace = match trace_id {
+            Some(id) => format!(" trace={id}"),
+            None => String::new(),
+        };
         return Ok((
-            format!("ok seq={} mode=serialized cached=false", seq.unwrap_or(0)),
+            format!(
+                "ok seq={} mode=serialized cached=false{trace}",
+                seq.unwrap_or(0)
+            ),
             "defined.\n".into(),
         ));
     }
-    let r = session.query(line).map_err(one_line)?;
+    let r = session.query_traced(line, trace_id).map_err(one_line)?;
     let (seq, mode, witness) = match &r.admitted {
         Some(Admitted::Concurrent { snapshot_seq }) => (*snapshot_seq, "snapshot", None),
         Some(Admitted::Serialized {
@@ -268,8 +324,15 @@ fn run_request(
     if let Some((a, b)) = witness {
         payload.push_str(&format!("witness: ({a}, {b})\n"));
     }
+    // The traced tokens are appended only when the client asked for
+    // them: untraced responses must stay byte-identical across runs
+    // (and across tracing on/off), and `wait_ns` is wall-clock jitter.
+    let trace = match trace_id {
+        Some(id) => format!(" wait_ns={} trace={id}", r.wait.as_nanos()),
+        None => String::new(),
+    };
     Ok((
-        format!("ok seq={seq} mode={mode} cached={}", r.cached),
+        format!("ok seq={seq} mode={mode} cached={}{trace}", r.cached),
         payload,
     ))
 }

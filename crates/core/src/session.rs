@@ -119,7 +119,19 @@ impl Session {
     /// Runs a query through the admission controller with the canonical
     /// deterministic chooser.
     pub fn query(&mut self, src: &str) -> Result<QueryResult, DbError> {
-        self.query_with(src, &mut FirstChooser)
+        self.query_traced(src, None)
+    }
+
+    /// Like [`Session::query`], stamping the client-supplied trace ID
+    /// into the query's flight-recorder record (when the kernel has a
+    /// recorder). This is what the server calls for wire queries that
+    /// carried a `trace=ID` token.
+    pub fn query_traced(
+        &mut self,
+        src: &str,
+        trace_id: Option<&str>,
+    ) -> Result<QueryResult, DbError> {
+        self.query_with_traced(src, &mut FirstChooser, trace_id)
     }
 
     /// Runs a query through the admission controller with an explicit
@@ -131,17 +143,39 @@ impl Session {
         src: &str,
         chooser: &mut dyn Chooser,
     ) -> Result<QueryResult, DbError> {
+        self.query_with_traced(src, chooser, None)
+    }
+
+    fn query_with_traced(
+        &mut self,
+        src: &str,
+        chooser: &mut dyn Chooser,
+        trace_id: Option<&str>,
+    ) -> Result<QueryResult, DbError> {
         self.queries += 1;
+        let label = Some(self.label.as_str());
         let result = match &self.budget {
-            Some(governor) => {
-                self.kernel
-                    .run_query(&self.options, src, chooser, governor, ExecMode::Admission)
-            }
+            Some(governor) => self.kernel.run_query(
+                &self.options,
+                src,
+                chooser,
+                governor,
+                ExecMode::Admission,
+                trace_id,
+                label,
+            ),
             None => {
                 let governor = Governor::new(self.options.limits)
                     .with_metrics(self.kernel.metrics().governor.clone());
-                self.kernel
-                    .run_query(&self.options, src, chooser, &governor, ExecMode::Admission)
+                self.kernel.run_query(
+                    &self.options,
+                    src,
+                    chooser,
+                    &governor,
+                    ExecMode::Admission,
+                    trace_id,
+                    label,
+                )
             }
         };
         if let Err(DbError::Eval(EvalError::ResourceExhausted { .. } | EvalError::Cancelled)) =

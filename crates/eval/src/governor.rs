@@ -264,6 +264,19 @@ impl Governor {
             .map(|limit| limit.saturating_sub(self.cells.load(Ordering::Relaxed)))
     }
 
+    /// A compact rendering of the meters — the flight recorder's
+    /// governor-charges verdict. Reading the atomics here is a
+    /// diagnostic surface, not an enforcement path: nothing in
+    /// evaluation consults it.
+    pub fn charges_report(&self) -> String {
+        let cells = self.cells_spent();
+        let growth = self.growth_spent();
+        match self.cells_remaining() {
+            Some(rem) => format!("cells={cells} growth={growth} cells_remaining={rem}"),
+            None => format!("cells={cells} growth={growth} cells_remaining=unmetered"),
+        }
+    }
+
     /// The per-step / per-recursion checkpoint: cancellation first, then
     /// the wall-clock deadline.
     pub fn checkpoint(&self) -> Result<(), EvalError> {

@@ -591,6 +591,22 @@ pub struct VmMetrics {
 impl VmMetrics {
     /// Handles registered under the canonical `ioql_vm_*` names.
     pub fn new(registry: &MetricsRegistry) -> VmMetrics {
+        registry.describe(
+            "ioql_vm_compiles_total",
+            "Plan nodes compiled to bytecode at lowering.",
+        );
+        registry.describe(
+            "ioql_vm_fallbacks_total",
+            "Plan nodes kept on the interpreter at lowering.",
+        );
+        registry.describe(
+            "ioql_vm_dispatches_total",
+            "Batched VM dispatch loops executed.",
+        );
+        registry.describe(
+            "ioql_vm_dispatch_ns",
+            "Wall time of batched VM dispatch loops.",
+        );
         VmMetrics {
             compiles: registry.counter("ioql_vm_compiles_total"),
             fallbacks: registry.counter("ioql_vm_fallbacks_total"),

@@ -433,6 +433,24 @@ fn number_op(op: &mut Op, next: &mut u32) {
     }
 }
 
+/// One node's license decisions, bridged out of the operator tree for
+/// the flight recorder: the `:plan` annotations (`par` / `seq(reason)`,
+/// `vm` / `interp(reason)`) as plain strings, in pre-order, keyed by
+/// the same [`NodeId`]s the profile uses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeVerdict {
+    /// The node's stable id.
+    pub id: NodeId,
+    /// The node's one-line label ([`Op::label`] / [`Stage::label`]).
+    pub label: String,
+    /// The parallelism verdict, rendered (`par` / `seq(reason)`);
+    /// `None` on nodes with no parallel strategy.
+    pub par: Option<String>,
+    /// The compile verdict, rendered (`vm` / `interp(reason)`); `None`
+    /// on nodes the compile pass did not annotate.
+    pub compile: Option<String>,
+}
+
 impl Plan {
     /// Renders the plan as an indented operator tree with cost
     /// estimates, guard and parallelism annotations (the `:plan` /
@@ -441,6 +459,67 @@ impl Plan {
         let mut out = format!("Plan  [guard: {}]\n", self.guard);
         render_op(&self.root, &self.compiled, 1, &mut out);
         out
+    }
+
+    /// Collects every annotated node's verdicts in pre-order — the
+    /// bridge from the plan tree to the flight recorder's span tree.
+    /// Nodes with neither a parallel nor a compile annotation are
+    /// skipped (so a `parallelism = 0`, compile-off plan yields none).
+    pub fn verdicts(&self) -> Vec<NodeVerdict> {
+        let mut out = Vec::new();
+        collect_op_verdicts(&self.root, &self.compiled, &mut out);
+        out
+    }
+}
+
+fn compile_string(compiled: &BTreeMap<NodeId, CompileVerdict>, id: NodeId) -> Option<String> {
+    compiled.get(&id).map(|v| match v {
+        CompileVerdict::Vm(_) => "vm".to_string(),
+        CompileVerdict::Interp(reason) => format!("interp({reason})"),
+    })
+}
+
+fn collect_op_verdicts(
+    op: &Op,
+    compiled: &BTreeMap<NodeId, CompileVerdict>,
+    out: &mut Vec<NodeVerdict>,
+) {
+    let par = op.par.as_ref().map(|v| v.to_string());
+    let compile = compile_string(compiled, op.id);
+    if par.is_some() || compile.is_some() {
+        out.push(NodeVerdict {
+            id: op.id,
+            label: op.label(),
+            par,
+            compile,
+        });
+    }
+    match &op.kind {
+        OpKind::SetUnion { left, right }
+        | OpKind::SetIntersect { left, right }
+        | OpKind::SetDiff { left, right } => {
+            collect_op_verdicts(left, compiled, out);
+            collect_op_verdicts(right, compiled, out);
+        }
+        OpKind::Distinct { input } | OpKind::MapProject { input, .. } => {
+            collect_op_verdicts(input, compiled, out);
+        }
+        OpKind::Pipeline { stages } => {
+            for stage in stages {
+                let par = stage.par.as_ref().map(|v| v.to_string());
+                let compile = compile_string(compiled, stage.id);
+                if par.is_some() || compile.is_some() {
+                    out.push(NodeVerdict {
+                        id: stage.id,
+                        label: stage.label(),
+                        par,
+                        compile,
+                    });
+                }
+            }
+        }
+        OpKind::InlineDef { body, .. } => collect_op_verdicts(body, compiled, out),
+        OpKind::ExtentScan { .. } | OpKind::Eval { .. } => {}
     }
 }
 

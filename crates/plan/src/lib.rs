@@ -58,8 +58,8 @@ pub use exec::{
     PlanResult, ProfEntry,
 };
 pub use ir::{
-    EqKind, Guard, HashIndexBuild, KeyAccess, NodeId, Op, OpKind, ParVerdict, Plan, Stage,
-    StageKind,
+    EqKind, Guard, HashIndexBuild, KeyAccess, NodeId, NodeVerdict, Op, OpKind, ParVerdict, Plan,
+    Stage, StageKind,
 };
 pub use lower::{lower, lower_with, set_op_verdict, BranchEffectFn, ParSpec};
 pub use par::ParMetrics;

@@ -38,6 +38,22 @@ pub struct ParMetrics {
 impl ParMetrics {
     /// Handles registered under the canonical `ioql_parallel_*` names.
     pub fn new(registry: &MetricsRegistry) -> ParMetrics {
+        registry.describe(
+            "ioql_parallel_chunks_total",
+            "Work chunks dispatched to parallel workers.",
+        );
+        registry.describe(
+            "ioql_parallel_worker_busy_ns",
+            "Nanoseconds each parallel worker spent executing a chunk.",
+        );
+        registry.describe(
+            "ioql_parallel_runs_total",
+            "Plan nodes executed in parallel, by operator.",
+        );
+        registry.describe(
+            "ioql_parallel_fallbacks_total",
+            "Licensed parallel dispatches refused at run time, by reason.",
+        );
         ParMetrics {
             chunks: registry.counter("ioql_parallel_chunks_total"),
             worker_busy_ns: registry.histogram("ioql_parallel_worker_busy_ns"),

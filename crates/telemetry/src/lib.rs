@@ -30,6 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod trace;
+pub use trace::{FlightRecorder, TraceRecord, TraceSpan, Tracer};
+
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -185,6 +188,7 @@ pub struct MetricsRegistry {
     enabled: bool,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -194,6 +198,7 @@ impl MetricsRegistry {
             enabled,
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            help: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -227,6 +232,27 @@ impl MetricsRegistry {
         Histogram(Some(Arc::clone(cell)))
     }
 
+    /// Attaches a `# HELP` string to the metric family `family`
+    /// (the name without its label braces). Rendered before the
+    /// family's `# TYPE` line in the Prometheus exposition.
+    pub fn describe(&self, family: &str, help: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.help
+            .lock()
+            .expect("help map poisoned")
+            .insert(family.to_string(), help.to_string());
+    }
+
+    fn help_lines(&self, family: &str, kind: &str, out: &mut String) {
+        let help = self.help.lock().expect("help map poisoned");
+        if let Some(h) = help.get(family) {
+            out.push_str(&format!("# HELP {family} {}\n", help_escape(h)));
+        }
+        out.push_str(&format!("# TYPE {family} {kind}\n"));
+    }
+
     /// The current value of counter `name`, if registered.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.counters
@@ -246,10 +272,13 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// Renders every series as Prometheus text exposition: `# TYPE`
+    /// Renders every series as Prometheus text exposition: `# HELP`
+    /// (when [`describe`](MetricsRegistry::describe)d) and `# TYPE`
     /// lines per metric family, counters as `name value`, histograms as
-    /// `_bucket{le=…}`/`_sum`/`_count` series with the stored labels
-    /// preserved.
+    /// cumulative `_bucket{le=…}` series ending in `+Inf` plus
+    /// `_sum`/`_count`, with the stored labels preserved. Output is
+    /// name-sorted (the maps are `BTreeMap`s), so two renders of the
+    /// same state are byte-identical.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let counters = self.counters.lock().expect("counter map poisoned");
@@ -257,8 +286,8 @@ impl MetricsRegistry {
         for (name, value) in counters.iter() {
             let family = family_of(name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} counter\n"));
                 last_family = family.to_string();
+                self.help_lines(family, "counter", &mut out);
             }
             out.push_str(&format!("{name} {}\n", value.load(Ordering::Relaxed)));
         }
@@ -268,8 +297,8 @@ impl MetricsRegistry {
         for (name, h) in histograms.iter() {
             let family = family_of(name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} histogram\n"));
                 last_family = family.to_string();
+                self.help_lines(family, "histogram", &mut out);
             }
             let labels = labels_of(name);
             let mut cumulative = 0u64;
@@ -326,6 +355,12 @@ fn series_line(name: &str, labels: &str, value: u64) -> String {
     format!("{name}{labels} {value}\n")
 }
 
+/// Escapes a `# HELP` string per the text exposition format (backslash
+/// and newline).
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// Escapes `s` for inclusion inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -345,13 +380,16 @@ pub fn json_escape(s: &str) -> String {
 
 /// A structured JSONL event sink: one JSON object per line.
 ///
-/// Event schema (all timestamps are nanoseconds since the sink was
-/// created; `span` numbers pair a `span_begin` with its `span_end`):
+/// Event schema (all timestamps are monotonic nanoseconds since the
+/// sink was created; `span` numbers pair a `span_begin` with its
+/// `span_end`; `trace` carries the caller's correlation ID when one was
+/// propagated — full schema in `docs/TELEMETRY.md`):
 ///
 /// ```text
-/// {"event":"span_begin","span":1,"t_ns":..,"name":"query","detail":"size(Ps)"}
+/// {"event":"span_begin","span":1,"t_ns":..,"name":"query","detail":"size(Ps)","trace":"req-7"}
 /// {"event":"span_end","span":1,"t_ns":..,"name":"query","ok":true}
 /// {"event":"counters","t_ns":..,"counters":{"ioql_cache_hits_total":0,..}}
+/// {"event":"slow_query","t_ns":..,"threshold_ms":250,"record":{..TraceRecord..}}
 /// ```
 ///
 /// Every event is flushed as it is written, so the stream survives
@@ -388,14 +426,33 @@ impl EventSink {
     /// Opens a span; the returned id pairs the eventual
     /// [`span_end`](EventSink::span_end) with this begin.
     pub fn span_begin(&self, name: &str, detail: &str) -> u64 {
+        self.span_begin_traced(name, detail, None)
+    }
+
+    /// Opens a span carrying a caller-propagated trace ID, recorded as
+    /// a `"trace"` field on the `span_begin` event.
+    pub fn span_begin_traced(&self, name: &str, detail: &str, trace: Option<&str>) -> u64 {
         let span = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let trace_field = trace
+            .map(|t| format!(",\"trace\":\"{}\"", json_escape(t)))
+            .unwrap_or_default();
         self.emit(format!(
-            "{{\"event\":\"span_begin\",\"span\":{span},\"t_ns\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+            "{{\"event\":\"span_begin\",\"span\":{span},\"t_ns\":{},\"name\":\"{}\",\"detail\":\"{}\"{trace_field}}}",
             self.t_ns(),
             json_escape(name),
             json_escape(detail),
         ));
         span
+    }
+
+    /// Emits a full flight-recorder record for a query whose total time
+    /// crossed the slow-query threshold (`DbOptions::slow_query_ms`).
+    pub fn slow_query(&self, threshold_ms: u64, record: &TraceRecord) {
+        self.emit(format!(
+            "{{\"event\":\"slow_query\",\"t_ns\":{},\"threshold_ms\":{threshold_ms},\"record\":{}}}",
+            self.t_ns(),
+            record.to_json(),
+        ));
     }
 
     /// Closes span `span`.
@@ -500,6 +557,44 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_golden_exposition() {
+        // Pins the full text format: HELP before TYPE, cumulative
+        // buckets ending in +Inf, stable name-sorted output.
+        let reg = MetricsRegistry::new(true);
+        reg.describe("lat_ns", "Phase latency\nby phase");
+        reg.describe("trips_total", "Governor trips");
+        reg.counter("trips_total{kind=\"cells\"}").inc();
+        reg.counter("draws_total").add(7);
+        let h = reg.histogram("lat_ns{phase=\"parse\"}");
+        h.observe_ns(500);
+        h.observe_ns(5_000);
+        let expected = "\
+# TYPE draws_total counter
+draws_total 7
+# HELP trips_total Governor trips
+# TYPE trips_total counter
+trips_total{kind=\"cells\"} 1
+# HELP lat_ns Phase latency\\nby phase
+# TYPE lat_ns histogram
+lat_ns_bucket{phase=\"parse\",le=\"1000\"} 1
+lat_ns_bucket{phase=\"parse\",le=\"10000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"100000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"1000000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"10000000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"100000000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"1000000000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"10000000000\"} 2
+lat_ns_bucket{phase=\"parse\",le=\"+Inf\"} 2
+lat_ns_sum{phase=\"parse\"} 5500
+lat_ns_count{phase=\"parse\"} 2
+";
+        let text = reg.render_prometheus();
+        assert_eq!(text, expected);
+        // Rendering twice is byte-identical (stable sort).
+        assert_eq!(reg.render_prometheus(), text);
+    }
+
+    #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
@@ -521,17 +616,38 @@ mod tests {
             let sink = EventSink::create(&path).unwrap();
             let span = sink.span_begin("query", "size(Ps) \"quoted\"");
             sink.span_end(span, "query", true);
+            let traced = sink.span_begin_traced("query", "size(Qs)", Some("req-42"));
+            sink.span_end(traced, "query", true);
             sink.counters(&reg);
+            let mut t = Tracer::start("size(Ps)", Some("req-42".into()), None);
+            let p = t.begin("parse", "");
+            t.end(p);
+            sink.slow_query(250, &t.finish(true, None).unwrap());
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(lines.len(), 6, "{text}");
         assert!(
             lines[0].contains("\"event\":\"span_begin\"") && lines[0].contains("\\\"quoted\\\"")
         );
+        assert!(
+            !lines[0].contains("\"trace\""),
+            "untraced span: {}",
+            lines[0]
+        );
         assert!(lines[1].contains("\"event\":\"span_end\"") && lines[1].contains("\"ok\":true"));
-        assert!(lines[2].contains("\"counters\":{\"q_total\":1}"));
+        assert!(lines[2].contains("\"trace\":\"req-42\""), "{}", lines[2]);
+        assert!(lines[4].contains("\"counters\":{\"q_total\":1}"));
+        assert!(
+            lines[5].contains("\"event\":\"slow_query\"")
+                && lines[5].contains("\"threshold_ms\":250")
+                && lines[5].contains("\"trace_id\":\"req-42\""),
+            "{}",
+            lines[5]
+        );
+        // Span ids keep increasing and timestamps are monotonic.
+        assert!(lines[2].contains("\"span\":2"), "{}", lines[2]);
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
         }
