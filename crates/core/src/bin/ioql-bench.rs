@@ -1,18 +1,21 @@
 //! `ioql-bench` — offline perf runner for the plan-engine execution
 //! tiers and the multi-client query server.
 //!
-//! Emits `BENCH_8.json`: the BENCH_7 interpreted-vs-compiled ×
+//! Emits `BENCH_10.json`: the BENCH_7 interpreted-vs-compiled ×
 //! sequential-vs-parallel quads for the B6 (join), B7 (selective
-//! equality), and B8 (100k-object scan) workloads, plus the B9 serve
+//! equality), and B8 (100k-object scan) workloads, the B9 serve
 //! matrix — 1/4/16 wire clients × read-heavy/mixed workloads against
 //! one admission-scheduled kernel, with observed throughput and the
-//! scheduler's admitted/serialized split per cell. The Criterion suites
+//! scheduler's admitted/serialized split per cell — and the B10
+//! snapshot matrix: the cost of acquiring a read snapshot (a COW chunk
+//! spine clone, what every admission pays) at 1k/10k/100k objects,
+//! against a clone-on-admit deep-copy baseline. The Criterion suites
 //! in `crates/bench` need the registry; this runner is dependency-free
 //! (`std::time::Instant`, hand-rolled JSON) so the perf trajectory
 //! stays machine-readable on offline machines.
 //!
 //! ```sh
-//! ioql-bench                 # writes BENCH_8.json in the cwd
+//! ioql-bench                 # writes BENCH_10.json in the cwd
 //! ioql-bench --out perf.json
 //! ```
 //!
@@ -38,7 +41,11 @@
 //! * B9 read-heavy concurrent throughput ≥ 2× over the 1-client
 //!   baseline at the best multi-client cell — likewise enforced only
 //!   on ≥ 2 CPUs, since on one CPU the admitted snapshots still share
-//!   a core and the ratio measures timeslicing, not admission.
+//!   a core and the ratio measures timeslicing, not admission;
+//! * B10 snapshot acquisition on the 100k store ≥ 50× cheaper than the
+//!   deep-copy baseline, and sublinear in store size (100× the objects
+//!   must cost well under 100× the snapshot) — enforced on every host,
+//!   since both sides of each ratio run on the same core.
 
 #![allow(clippy::result_large_err)] // cold-path bench errors
 
@@ -261,8 +268,98 @@ fn run_serve_cell(clients: usize, workload: &'static str, write_every: usize) ->
     cell
 }
 
+// ---------------------------------------------------------------------
+// B10 — snapshot acquisition vs store size. The kernel snapshots the
+// store on every concurrent read admission; under the chunked COW
+// layout that is a spine clone (bump one `Arc` per chunk), so its cost
+// tracks chunk count, not object count. The baseline is a deep copy
+// rebuilt element-by-element through the public API — the cost profile
+// of clone-on-admit over a flat map layout.
+
+struct SnapCell {
+    n: usize,
+    chunks: u64,
+    snapshot_ns: f64,
+    deep_copy_ns: f64,
+}
+
+impl SnapCell {
+    fn cow_advantage(&self) -> f64 {
+        ratio(self.deep_copy_ns, self.snapshot_ns)
+    }
+}
+
+/// Copies every object and every extent member individually, which is
+/// what `Clone` cost before the store grew structurally-shared chunk
+/// spines.
+fn deep_copy(s: &ioql::store::Store) -> ioql::store::Store {
+    let mut out = ioql::store::Store::new();
+    for (e, c, _) in s.extents.iter() {
+        out.declare_extent(e.clone(), c.clone());
+    }
+    for (o, obj) in s.objects.iter() {
+        out.objects.insert(o, obj.clone());
+    }
+    for (e, _, members) in s.extents.iter() {
+        for o in members {
+            out.extents.add(e, *o);
+        }
+    }
+    out
+}
+
+fn run_snapshot_cell(n: usize) -> SnapCell {
+    eprintln!("[B10-snapshot] building a {n}-object store…");
+    let db = persons(n, 0, false);
+    let store = db.store().clone();
+
+    // The COW snapshot: exactly the clone `run_admitted` takes under
+    // the read lock. A single spine clone is nanosecond-scale — below
+    // `Instant` resolution — so time a batch and report the per-clone
+    // average, best of several batches.
+    const BATCH: usize = 1024;
+    let mut snapshot_ns = f64::INFINITY;
+    for _ in 0..16 {
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(store.clone());
+        }
+        snapshot_ns = snapshot_ns.min(t.elapsed().as_secs_f64() * 1e9 / BATCH as f64);
+    }
+
+    let deep_iters = (200_000 / n).clamp(2, 50);
+    let mut deep_copy_ns = f64::INFINITY;
+    for _ in 0..deep_iters {
+        let t = Instant::now();
+        let copy = std::hint::black_box(deep_copy(&store));
+        deep_copy_ns = deep_copy_ns.min(t.elapsed().as_secs_f64() * 1e9);
+        // Data-only comparison: the rebuilt store never allocated, so
+        // its oid counter (part of `Store` equality) legitimately lags.
+        assert!(
+            copy.objects == store.objects && copy.extents == store.extents,
+            "deep-copy baseline diverged from the store"
+        );
+    }
+
+    let cell = SnapCell {
+        n,
+        chunks: store.chunk_count(),
+        snapshot_ns,
+        deep_copy_ns,
+    };
+    eprintln!(
+        "[B10-snapshot] n={n}: snapshot {:.0} ns across {} chunks, \
+         deep copy {:.0} ns — {:.1}× cheaper",
+        cell.snapshot_ns,
+        cell.chunks,
+        cell.deep_copy_ns,
+        cell.cow_advantage(),
+    );
+    cell
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -274,7 +371,7 @@ fn main() {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: ioql-bench [--out FILE]   (default: BENCH_8.json)");
+                println!("usage: ioql-bench [--out FILE]   (default: BENCH_10.json)");
                 return;
             }
             other => {
@@ -322,6 +419,20 @@ fn main() {
         serve_cells.push(run_serve_cell(clients, "mixed", 8));
     }
 
+    // B10 — snapshot acquisition across three store sizes.
+    let snaps = [
+        run_snapshot_cell(1_000),
+        run_snapshot_cell(10_000),
+        run_snapshot_cell(100_000),
+    ];
+    let b10_advantage = snaps[2].cow_advantage();
+    let b10_gate = b10_advantage >= 50.0;
+    // 100× the objects for well under 100× the snapshot cost: the spine
+    // clone scales with chunk count (plus per-clone constants), never
+    // with per-object copying.
+    let b10_growth = ratio(snaps[2].snapshot_ns, snaps[0].snapshot_ns);
+    let b10_sublinear = b10_growth < 100.0;
+
     let b6 = &rows[0];
     let b8 = &rows[2];
     assert!(
@@ -362,8 +473,8 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_8\",\n");
-    json.push_str("  \"description\": \"interpreted vs compiled (bytecode VM) x sequential vs parallel (Engine::Plan, cache off), plus the B9 serve matrix (wire clients x workload against one admission-scheduled kernel)\",\n");
+    json.push_str("  \"bench\": \"BENCH_10\",\n");
+    json.push_str("  \"description\": \"interpreted vs compiled (bytecode VM) x sequential vs parallel (Engine::Plan, cache off), the B9 serve matrix (wire clients x workload against one admission-scheduled kernel), and the B10 snapshot matrix (COW spine-clone acquisition vs a clone-on-admit deep-copy baseline, by store size)\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"pool_size\": {PAR},\n"));
     json.push_str(&format!(
@@ -414,6 +525,24 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"snapshot_matrix\": [\n");
+    for (i, s) in snaps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"id\": \"B10-snapshot\", \"n\": {}, \"chunks\": {}, \
+             \"snapshot_ns\": {:.1}, \"deep_copy_ns\": {:.1}, \
+             \"cow_advantage\": {:.3} }}{}\n",
+            s.n,
+            s.chunks,
+            s.snapshot_ns,
+            s.deep_copy_ns,
+            s.cow_advantage(),
+            if i + 1 < snaps.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"b10_snapshot_growth_1k_to_100k\": {b10_growth:.3},\n"
+    ));
     json.push_str(&format!(
         "  \"b9_read_throughput_scaling_vs_1_client\": {b9_scaling:.3},\n"
     ));
@@ -429,12 +558,18 @@ fn main() {
         }
     ));
     json.push_str(&format!(
-        "  \"b9_concurrent_read_throughput_at_least_2x\": {}\n",
+        "  \"b9_concurrent_read_throughput_at_least_2x\": {},\n",
         if host < 2 {
             "\"skipped (1-cpu host)\"".to_string()
         } else {
             b9_gate.to_string()
         }
+    ));
+    json.push_str(&format!(
+        "  \"b10_snapshot_at_least_50x_vs_deep_copy\": {b10_gate},\n"
+    ));
+    json.push_str(&format!(
+        "  \"b10_snapshot_sublinear_in_objects\": {b10_sublinear}\n"
     ));
     json.push_str("}\n");
 
@@ -459,6 +594,21 @@ fn main() {
         eprintln!(
             "B9 concurrent read throughput {b9_scaling:.2}× over the 1-client \
              baseline is below the 2× acceptance bound"
+        );
+        std::process::exit(1);
+    }
+    if !b10_gate {
+        eprintln!(
+            "B10 snapshot acquisition on the 100k store is only \
+             {b10_advantage:.1}× cheaper than the deep-copy baseline — \
+             below the 50× acceptance bound"
+        );
+        std::process::exit(1);
+    }
+    if !b10_sublinear {
+        eprintln!(
+            "B10 snapshot cost grew {b10_growth:.1}× from 1k to 100k objects \
+             — not sublinear in store size"
         );
         std::process::exit(1);
     }

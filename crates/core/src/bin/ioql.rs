@@ -529,6 +529,13 @@ fn run_line(db: &mut Database, line: &str) -> Result<(), DbError> {
         if !witnesses.is_empty() {
             println!("recent witnesses: {}", witnesses.join(" "));
         }
+        println!(
+            "snapshot: {} acquire(s) in {} ns, chunks shared {}, copied {}",
+            sm.snapshot_ns.count(),
+            sm.snapshot_ns.sum_ns(),
+            db.metrics().snapshot_chunks_shared.get(),
+            db.metrics().snapshot_chunks_copied.get()
+        );
         for (e, _c) in db.schema().extents() {
             println!(
                 "extent {e}: {} object(s), version {}",

@@ -248,6 +248,14 @@ pub struct DbMetrics {
     /// queries serialized (with their interference witnesses), and the
     /// submission-to-admission wait histogram — see [`crate::sched`].
     pub sched: SchedMetrics,
+    /// Store chunks shared (not copied) by snapshot acquisition — the
+    /// spine length at each admission. Together with
+    /// `snapshot_chunks_copied` this measures COW effectiveness: shared
+    /// counts snapshot cheapness, copied counts writer path-copy work.
+    pub snapshot_chunks_shared: Counter,
+    /// Store chunks a committed writer had to copy because they were
+    /// shared with a live snapshot (`Arc::make_mut` path copies).
+    pub snapshot_chunks_copied: Counter,
     /// WAL records appended (one per committed mutating query or logged
     /// definition).
     pub wal_appends: Counter,
@@ -340,6 +348,18 @@ impl DbMetrics {
                 "Nanoseconds spent waiting for admission plus state-lock acquisition.",
             ),
             (
+                "ioql_sched_snapshot_ns",
+                "Nanoseconds spent acquiring the COW store snapshot under the read lock.",
+            ),
+            (
+                "ioql_snapshot_chunks_shared_total",
+                "Store chunks shared (not copied) by snapshot acquisition.",
+            ),
+            (
+                "ioql_snapshot_chunks_copied_total",
+                "Store chunks copied by writers because a live snapshot shared them.",
+            ),
+            (
                 "ioql_wal_appends_total",
                 "Committed records appended to the write-ahead log.",
             ),
@@ -413,7 +433,10 @@ impl DbMetrics {
                 serialized: c("ioql_sched_serialized_total"),
                 witnesses: c("ioql_sched_witnesses_total"),
                 wait_ns: registry.histogram("ioql_sched_wait_ns"),
+                snapshot_ns: registry.histogram("ioql_sched_snapshot_ns"),
             },
+            snapshot_chunks_shared: c("ioql_snapshot_chunks_shared_total"),
+            snapshot_chunks_copied: c("ioql_snapshot_chunks_copied_total"),
             wal_appends: c("ioql_wal_appends_total"),
             wal_skipped_effect: c("ioql_wal_skipped_effect_total"),
             wal_fsyncs: c("ioql_wal_fsyncs_total"),

@@ -29,8 +29,10 @@
 //! **state → cache → durable**. The scheduler's internal mutex is a
 //! leaf — never held while acquiring any other lock. The snapshot path
 //! holds *no* state lock while executing, which is the whole point:
-//! readers clone the state under the read lock, drop it, and evaluate
-//! on the clone while writers proceed.
+//! readers spine-clone the copy-on-write store under the read lock
+//! (`O(chunks)`, not `O(objects)` — see `ioql_store::env`), drop the
+//! lock, and evaluate on the frozen snapshot while writers proceed by
+//! path-copying only the chunks they touch.
 
 use crate::cache::{CacheEntry, QueryCache};
 use crate::database::{DbMetrics, DbOptions, Engine, QueryResult};
@@ -439,10 +441,22 @@ impl DbKernel {
             // Register in the scheduler and clone the snapshot while
             // still holding the read lock: no writer can commit between
             // the stamp and the clone, so the snapshot reflects exactly
-            // `snapshot_seq` commits.
+            // `snapshot_seq` commits. The store's environments are
+            // chunked copy-on-write structures, so the clone copies only
+            // the chunk spines — admission cost is O(chunks), not
+            // O(objects) — and every chunk stays shared until a writer
+            // path-copies it.
+            let snap_sp = tracer.begin("snapshot-acquire", "");
+            let snap_timer = self.metrics.sched.snapshot_ns.start_timer();
             let (rid, snapshot_seq) = self.sched.admit_reader(&eff);
             let mut snapshot = state.clone();
+            self.metrics.sched.snapshot_ns.observe_timer(snap_timer);
             drop(state);
+            let shared = snapshot.store.chunk_count();
+            self.metrics.snapshot_chunks_shared.add(shared);
+            tracer.end_with(snap_sp, || {
+                Some(format!("seq={snapshot_seq} chunks_shared={shared}"))
+            });
             self.metrics.sched.admitted.inc();
             self.metrics.sched.wait_ns.observe_timer(wait);
             let waited = wait_started.elapsed();
@@ -647,6 +661,10 @@ impl DbKernel {
         // the static effect tells us up front (Theorem 5: the runtime
         // trace is covered by it), so read-only queries pay nothing.
         let rollback = mutating.then(|| state.store.clone());
+        // The rollback clone shares every chunk with the live store, so
+        // from here each first write to a chunk is an `Arc::make_mut`
+        // path copy — the delta at commit is this query's COW work.
+        let copied_before = state.store.cow_copied_chunks();
         let eval_metrics = self.metrics.eval.clone();
         let cfg = EvalConfig::new(&self.schema)
             .with_method_mode(opts.method_mode)
@@ -876,7 +894,15 @@ impl DbKernel {
         // A committed live mutation takes the next slot in the kernel's
         // total write order; the caller still holds the write lock, so
         // stamps are assigned in exactly commit order.
-        let seq = (commit && mutating).then(|| self.sched.commit_writer());
+        let seq = (commit && mutating).then(|| {
+            self.metrics.snapshot_chunks_copied.add(
+                state
+                    .store
+                    .cow_copied_chunks()
+                    .saturating_sub(copied_before),
+            );
+            self.sched.commit_writer()
+        });
         Ok((
             QueryResult {
                 value: out.value,

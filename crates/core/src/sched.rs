@@ -61,6 +61,11 @@ pub struct SchedMetrics {
     /// query spent in preparation plus (for writers) blocked on the
     /// state write lock.
     pub wait_ns: Histogram,
+    /// Snapshot-acquire time (`ioql_sched_snapshot_ns`): the time spent
+    /// stamping and spine-cloning the COW store under the read lock.
+    /// With persistent extents this is `O(chunks)`, not `O(objects)` —
+    /// this histogram is where that claim is checked in production.
+    pub snapshot_ns: Histogram,
 }
 
 /// How the admission controller scheduled a query — stamped onto

@@ -231,6 +231,14 @@ fn run_request(
         if !witnesses.is_empty() {
             payload.push_str(&format!("recent witnesses: {}\n", witnesses.join(" ")));
         }
+        let dm = kernel.metrics();
+        payload.push_str(&format!(
+            "snapshot: {} acquire(s) in {} ns, chunks shared {}, copied {}\n",
+            m.snapshot_ns.count(),
+            m.snapshot_ns.sum_ns(),
+            dm.snapshot_chunks_shared.get(),
+            dm.snapshot_chunks_copied.get(),
+        ));
         // Every session this server has seen, own line freshest.
         let mut entries = board.lock().unwrap_or_else(|e| e.into_inner()).clone();
         entries.insert(session.label().to_string(), session.describe());

@@ -911,11 +911,31 @@ impl<'a> Exec<'a, '_, '_> {
             }
             return Ok(cached);
         }
-        let elems = match self.scan_extent(store, extent)? {
-            Value::Set(s) => s,
-            _ => return self.malformed(),
+        // Miss path: same observables as `scan_extent` (class lookup,
+        // `R(C)` effect, cardinality observation), but the elements are
+        // drained straight off the store's member chunk spine. Member
+        // chunks are globally sorted by oid and `Value::Oid` ordering
+        // follows oid ordering, so this is exactly the sequence a
+        // `Value::Set` of the members would iterate — without building
+        // the intermediate `BTreeSet`.
+        let (class, members) = match store.extents.get(extent) {
+            Some((c, s)) => (c.clone(), s),
+            None => {
+                return Err(EvalError::Stuck {
+                    query: extent.to_string(),
+                    reason: format!("unknown extent `{extent}`"),
+                })
+            }
         };
-        let vec = Rc::new(elems.into_iter().collect::<Vec<Value>>());
+        self.effect.union_with(&Effect::read(class));
+        if let Some(gov) = self.cfg.governor {
+            gov.observe_set_card(members.len() as u64)?;
+        }
+        let mut vec = Vec::with_capacity(members.len());
+        for chunk in members.chunks() {
+            vec.extend(chunk.iter().map(|o| Value::Oid(*o)));
+        }
+        let vec = Rc::new(vec);
         self.extent_cache.insert(extent.clone(), Rc::clone(&vec));
         Ok(vec)
     }

@@ -24,7 +24,7 @@ pub mod wal;
 pub use dump::{
     crc32, dump_store, load_store, load_store_file, save_store, DumpError, DumpErrorKind,
 };
-pub use env::{ExtentEnv, Object, ObjectEnv};
+pub use env::{ExtentEnv, MemberIter, MemberSet, Object, ObjectEnv};
 pub use equiv::{equiv_outcomes, equiv_stores, Outcome};
 pub use store::{Store, StoreError};
 pub use wal::{Durability, Wal, WalError, WalErrorKind, WalPayload, WalRecord, WalSink};

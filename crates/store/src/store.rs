@@ -34,7 +34,11 @@ impl std::error::Error for StoreError {}
 /// environments plus a monotone oid allocator.
 ///
 /// [`Store`] is `Clone`; reduction-outcome exploration and the optimizer's
-/// equivalence harness snapshot it freely.
+/// equivalence harness snapshot it freely. Since the environments are
+/// chunked copy-on-write structures (see [`crate::env`]), a clone copies
+/// only the chunk spines — `O(n / CHUNK)`, not `O(n)` — which is what
+/// lets the kernel take a snapshot on every admission without paying for
+/// store size.
 ///
 /// Every extent additionally carries a monotonic **version counter**,
 /// bumped whenever the data reachable through that extent may have
@@ -196,6 +200,26 @@ impl Store {
     /// Number of objects currently stored.
     pub fn object_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Total chunks across the object spine and every extent's member
+    /// spine — the cost of cloning this store, and what the snapshot
+    /// telemetry reports as "shared" on each admission.
+    pub fn chunk_count(&self) -> u64 {
+        self.objects.chunk_count() + self.extents.chunk_count()
+    }
+
+    /// Cumulative count of chunks this store has had to copy because a
+    /// writer touched a chunk shared with a live snapshot. Telemetry
+    /// only — like extent versions, excluded from `PartialEq`.
+    pub fn cow_copied_chunks(&self) -> u64 {
+        self.objects.cow_copied_chunks() + self.extents.cow_copied_chunks()
+    }
+
+    /// The chunk spine of extent `e`'s members, for executors that want
+    /// to drain members chunk-by-chunk without re-chunking.
+    pub fn extent_member_chunks(&self, e: &ExtentName) -> Option<&[std::sync::Arc<Vec<Oid>>]> {
+        self.extents.members(e).map(|s| s.chunks())
     }
 }
 
@@ -367,6 +391,47 @@ mod tests {
         let mut rolled = snap.clone();
         rolled.bump_versions_from(&old);
         assert!(rolled.extent_version(&e) > old.extent_version(&e));
+    }
+
+    /// A snapshot shares every chunk; a writer mutating after the
+    /// snapshot copies only the chunks it touches, and the snapshot's
+    /// view (values *and* extent membership) is frozen.
+    #[test]
+    fn snapshot_shares_chunks_until_a_writer_cows() {
+        let mut s = store();
+        let e = ExtentName::new("Ps");
+        let mut first = None;
+        for i in 0..1000i64 {
+            let o = s
+                .create(Object::new("P", [("age", Value::Int(i))]), [e.clone()])
+                .unwrap();
+            first.get_or_insert(o);
+        }
+        let snap = s.clone();
+        assert_eq!(snap.chunk_count(), s.chunk_count());
+        let copied_before = s.cow_copied_chunks();
+
+        s.set_attr(first.unwrap(), &AttrName::new("age"), Value::Int(-1))
+            .unwrap();
+        s.create(Object::new("P", [("age", Value::Int(7))]), [e.clone()])
+            .unwrap();
+
+        // The writer copied a strict subset of the spine, not all of it.
+        let copied = s.cow_copied_chunks() - copied_before;
+        assert!(copied >= 1, "writer must have copied at least one chunk");
+        assert!(
+            copied < snap.chunk_count(),
+            "COW must copy only touched chunks ({copied} of {})",
+            snap.chunk_count()
+        );
+        // The snapshot is frozen: old value, old membership, old count.
+        assert_eq!(
+            snap.attr(first.unwrap(), &AttrName::new("age")).unwrap(),
+            &Value::Int(0)
+        );
+        assert_eq!(snap.object_count(), 1000);
+        assert_eq!(snap.extents.members(&e).unwrap().len(), 1000);
+        assert_eq!(s.object_count(), 1001);
     }
 
     #[test]

@@ -232,6 +232,29 @@ fn cache_isolated_from_concurrent_writers() {
     assert_eq!(again.value.to_string(), "69");
     // …while a reader admitted before both entries would still verify
     // against its own snapshot (hits validate, they don't trust).
+
+    // COW accounting under the chunked layout: every reader admission
+    // (the parked one included) shared the spine instead of deep-copying
+    // it, the concurrent writer path-copied at least one chunk it shared
+    // with the parked reader's live snapshot, and each admission timed
+    // its snapshot acquire. The value assertions above are the semantic
+    // half of the same contract: the parked reader's 66 proves the
+    // writer's path copies never showed through its snapshot, and the
+    // fresh reader's miss proves the frozen version vector on snapshot S
+    // kept validating against S, not against the COWed live store.
+    let m = db.metrics();
+    assert!(
+        m.snapshot_chunks_shared.get() > 0,
+        "reader admissions recorded no shared chunks"
+    );
+    assert!(
+        m.snapshot_chunks_copied.get() > 0,
+        "the concurrent writer's COW path copies went unrecorded"
+    );
+    assert!(
+        m.sched.snapshot_ns.count() >= 3,
+        "each reader admission must observe a snapshot-acquire timing"
+    );
 }
 
 #[test]
